@@ -1,0 +1,57 @@
+//! Exact decision-tree materialisation cost per policy (the engine behind
+//! every exact expected-cost number in EXPERIMENTS.md).
+
+use aigs_core::policy::{GreedyDagPolicy, GreedyTreePolicy, TopDownPolicy, WigsPolicy};
+use aigs_core::{DecisionTreeBuilder, SearchContext};
+use aigs_data::{amazon_like, imagenet_like, Scale};
+use aigs_graph::ReachClosure;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_decision_tree(c: &mut Criterion) {
+    let amazon = amazon_like(Scale::Small, 42);
+    let aw = amazon.empirical_weights();
+    let imagenet = imagenet_like(Scale::Small, 42);
+    let iw = imagenet.empirical_weights();
+    let closure = ReachClosure::build(&imagenet.dag);
+
+    let mut group = c.benchmark_group("decision_tree_build");
+    group.sample_size(10);
+
+    let builder = DecisionTreeBuilder::new();
+
+    let mut greedy_tree = GreedyTreePolicy::new();
+    group.bench_function(BenchmarkId::new("tree", "greedy_tree"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(&amazon.dag, &aw);
+            builder.build(&mut greedy_tree, &ctx).unwrap()
+        })
+    });
+
+    let mut wigs = WigsPolicy::new();
+    group.bench_function(BenchmarkId::new("tree", "wigs"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(&amazon.dag, &aw);
+            builder.build(&mut wigs, &ctx).unwrap()
+        })
+    });
+
+    let mut top_down = TopDownPolicy::new();
+    group.bench_function(BenchmarkId::new("tree", "top_down"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(&amazon.dag, &aw);
+            builder.build(&mut top_down, &ctx).unwrap()
+        })
+    });
+
+    let mut greedy_dag = GreedyDagPolicy::new();
+    group.bench_function(BenchmarkId::new("dag", "greedy_dag"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(&imagenet.dag, &iw).with_closure(&closure);
+            builder.build(&mut greedy_dag, &ctx).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_tree);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 6 (DAG side) as a criterion bench: GreedyDAG vs GreedyNaive on an
+//! ImageNet-like DAG, and the cache-token ablation (per-session O(Σ|G_v|)
+//! re-initialisation vs cached base weights).
+
+use aigs_core::policy::{GreedyDagPolicy, GreedyNaivePolicy};
+use aigs_core::{fresh_cache_token, run_session, SearchContext, TargetOracle};
+use aigs_data::{imagenet_like, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dag_policies(c: &mut Criterion) {
+    let dataset = imagenet_like(Scale::Small, 42);
+    let weights = dataset.empirical_weights();
+    let dag = &dataset.dag;
+    let depths = dag.depths();
+    let target = dag
+        .nodes()
+        .find(|&v| depths[v.index()] == 6)
+        .expect("depth-6 node exists");
+
+    let mut group = c.benchmark_group("greedy_dag_session");
+    group.sample_size(20);
+
+    let token = fresh_cache_token();
+    let mut cached = GreedyDagPolicy::new();
+    group.bench_function(BenchmarkId::new("greedy_dag", "cached_init"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(dag, &weights).with_cache_token(token);
+            let mut oracle = TargetOracle::new(dag, target);
+            run_session(&mut cached, &ctx, &mut oracle, None).unwrap()
+        })
+    });
+
+    let mut uncached = GreedyDagPolicy::new();
+    group.bench_function(BenchmarkId::new("greedy_dag", "fresh_init"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(dag, &weights);
+            let mut oracle = TargetOracle::new(dag, target);
+            run_session(&mut uncached, &ctx, &mut oracle, None).unwrap()
+        })
+    });
+
+    group.sample_size(10);
+    let mut naive = GreedyNaivePolicy::new();
+    group.bench_function(BenchmarkId::new("greedy_naive", "dag"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(dag, &weights);
+            let mut oracle = TargetOracle::new(dag, target);
+            run_session(&mut naive, &ctx, &mut oracle, None).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag_policies);
+criterion_main!(benches);

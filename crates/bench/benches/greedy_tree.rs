@@ -1,0 +1,56 @@
+//! Fig. 6 (tree side) as a criterion bench: per-search latency of
+//! GreedyTree vs GreedyNaive on an Amazon-like tree, plus the footnote-3
+//! ablation (linear child scan vs lazy max-heap).
+
+use aigs_core::policy::{ChildSelect, GreedyNaivePolicy, GreedyTreePolicy};
+use aigs_core::{run_session, SearchContext, TargetOracle};
+use aigs_data::{amazon_like, Scale};
+use aigs_graph::NodeId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tree_policies(c: &mut Criterion) {
+    let dataset = amazon_like(Scale::Small, 42);
+    let weights = dataset.empirical_weights();
+    let dag = &dataset.dag;
+    // A mid-depth target: representative of Fig. 6's x-axis middle.
+    let depths = dag.depths();
+    let target = dag
+        .nodes()
+        .find(|&v| depths[v.index()] == 5)
+        .unwrap_or(NodeId::new(dag.node_count() as u32 as usize - 1));
+
+    let mut group = c.benchmark_group("greedy_tree_session");
+    group.sample_size(20);
+
+    let mut scan = GreedyTreePolicy::with_child_select(ChildSelect::Scan);
+    group.bench_function(BenchmarkId::new("greedy_tree", "scan"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(dag, &weights);
+            let mut oracle = TargetOracle::new(dag, target);
+            run_session(&mut scan, &ctx, &mut oracle, None).unwrap()
+        })
+    });
+
+    let mut heap = GreedyTreePolicy::with_child_select(ChildSelect::Heap);
+    group.bench_function(BenchmarkId::new("greedy_tree", "heap"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(dag, &weights);
+            let mut oracle = TargetOracle::new(dag, target);
+            run_session(&mut heap, &ctx, &mut oracle, None).unwrap()
+        })
+    });
+
+    let mut naive = GreedyNaivePolicy::new();
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("greedy_naive", "tree"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(dag, &weights);
+            let mut oracle = TargetOracle::new(dag, target);
+            run_session(&mut naive, &ctx, &mut oracle, None).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_policies);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Whole-table regeneration latency: one Table III row (exhaustive
+//! expected-cost evaluation of the full roster) per dataset.
+
+use aigs_core::{evaluate_roster, paper_roster};
+use aigs_data::{amazon_like, imagenet_like, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_policy_cost(c: &mut Criterion) {
+    let amazon = amazon_like(Scale::Small, 42);
+    let aw = amazon.empirical_weights();
+    let imagenet = imagenet_like(Scale::Small, 42);
+    let iw = imagenet.empirical_weights();
+
+    let mut group = c.benchmark_group("table3_row");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("evaluate_roster", "amazon"), |b| {
+        b.iter(|| {
+            let mut roster = paper_roster(true);
+            evaluate_roster(&mut roster, &amazon.dag, &aw).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("evaluate_roster", "imagenet"), |b| {
+        b.iter(|| {
+            let mut roster = paper_roster(false);
+            evaluate_roster(&mut roster, &imagenet.dag, &iw).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_cost);
+criterion_main!(benches);

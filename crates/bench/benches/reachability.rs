@@ -1,0 +1,53 @@
+//! Reachability-substrate benches: oracle answer latency across the three
+//! index tiers (Euler intervals / ancestor sets / closure rows) and the
+//! one-off closure build (the WIGS-on-DAG ablation: shared closure vs none).
+
+use aigs_core::{Oracle, TargetOracle};
+use aigs_data::{imagenet_like, Scale};
+use aigs_graph::{AncestorSet, NodeId, ReachClosure, Tree};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_reachability(c: &mut Criterion) {
+    let dataset = imagenet_like(Scale::Small, 42);
+    let dag = &dataset.dag;
+    let target = NodeId::new(dag.node_count() - 1);
+    let probe = NodeId::new(dag.node_count() / 2);
+
+    let mut group = c.benchmark_group("reachability");
+
+    group.bench_function("ancestor_set_build", |b| {
+        b.iter(|| AncestorSet::new(black_box(dag), target))
+    });
+
+    let anc = AncestorSet::new(dag, target);
+    group.bench_function("ancestor_set_query", |b| {
+        b.iter(|| black_box(&anc).reach(black_box(probe)))
+    });
+
+    group.sample_size(10);
+    group.bench_function("closure_build", |b| {
+        b.iter(|| ReachClosure::build(black_box(dag)))
+    });
+    group.sample_size(100);
+
+    let closure = ReachClosure::build(dag);
+    group.bench_function("closure_query", |b| {
+        b.iter(|| black_box(&closure).reaches(black_box(probe), black_box(target)))
+    });
+
+    // Tree tier, on the Amazon-like tree.
+    let amazon = aigs_data::amazon_like(Scale::Small, 42);
+    let tree = Tree::new(&amazon.dag).unwrap();
+    let t_target = NodeId::new(amazon.dag.node_count() - 1);
+    group.bench_function(BenchmarkId::new("euler_oracle", "build_and_query"), |b| {
+        b.iter(|| {
+            let mut o = TargetOracle::for_tree(black_box(&tree), t_target);
+            o.reach(black_box(probe))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability);
+criterion_main!(benches);

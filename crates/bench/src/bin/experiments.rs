@@ -1,0 +1,125 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p aigs-bench --bin experiments -- all
+//! cargo run --release -p aigs-bench --bin experiments -- table3 --full
+//! cargo run --release -p aigs-bench --bin experiments -- fig5 --seed 7 --reps 20
+//! ```
+
+use aigs_bench::ablation::{batched_frontier, greedy_child_select, scanner_orderings};
+use aigs_bench::figures::{fig4, fig5, fig6};
+use aigs_bench::tables::{table2, table3, table4, table5};
+use aigs_bench::ExperimentConfig;
+use aigs_data::Scale;
+
+const USAGE: &str = "usage: experiments <all|table2|table3|table4|table5|fig4|fig5|fig6|ablation> \
+                     [--full] [--seed N] [--reps N] [--traces N] [--trace-len N]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let command = args[0].clone();
+    let mut cfg = ExperimentConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => {
+                let seed = cfg.seed;
+                cfg = ExperimentConfig::full();
+                cfg.seed = seed;
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = parse(&args, i, "--seed");
+            }
+            "--reps" => {
+                i += 1;
+                cfg.repetitions = parse(&args, i, "--reps");
+            }
+            "--traces" => {
+                i += 1;
+                cfg.traces = parse(&args, i, "--traces");
+            }
+            "--trace-len" => {
+                i += 1;
+                cfg.trace_len = parse(&args, i, "--trace-len");
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scale_note = match cfg.scale {
+        Scale::Small => "scale=small (use --full for paper-sized instances)",
+        Scale::Full => "scale=full (paper-sized instances)",
+    };
+    println!("# AIGS experiments — {scale_note}, seed={}", cfg.seed);
+
+    let run_table2 = || println!("{}", table2(&cfg).to_markdown());
+    let run_table3 = || println!("{}", table3(&cfg).0.to_markdown());
+    let run_table4 = || println!("{}", table4(&cfg).0.to_markdown());
+    let run_table5 = || println!("{}", table5(&cfg).0.to_markdown());
+    let run_fig4 = || {
+        for d in [cfg.amazon(), cfg.imagenet()] {
+            println!("{}", fig4(&cfg, &d).0.to_markdown());
+        }
+    };
+    let run_fig5 = || {
+        for d in [cfg.amazon(), cfg.imagenet()] {
+            println!("{}", fig5(&cfg, &d).0.to_markdown());
+        }
+    };
+    let run_fig6 = || {
+        for d in [cfg.amazon(), cfg.imagenet()] {
+            println!("{}", fig6(&cfg, &d).0.to_markdown());
+        }
+    };
+    let run_ablation = || {
+        let amazon = cfg.amazon();
+        println!("{}", greedy_child_select(&cfg, &amazon).0.to_markdown());
+        println!("{}", scanner_orderings(&cfg, &amazon).to_markdown());
+        println!("{}", batched_frontier(&cfg, &amazon).to_markdown());
+        let imagenet = cfg.imagenet();
+        println!("{}", scanner_orderings(&cfg, &imagenet).to_markdown());
+    };
+
+    match command.as_str() {
+        "table2" => run_table2(),
+        "table3" => run_table3(),
+        "table4" => run_table4(),
+        "table5" => run_table5(),
+        "fig4" => run_fig4(),
+        "fig5" => run_fig5(),
+        "fig6" => run_fig6(),
+        "ablation" => run_ablation(),
+        "all" => {
+            run_table2();
+            run_table3();
+            run_table4();
+            run_table5();
+            run_fig4();
+            run_fig5();
+            run_fig6();
+            run_ablation();
+        }
+        other => {
+            eprintln!("unknown command {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} expects a number\n{USAGE}");
+            std::process::exit(2);
+        })
+}

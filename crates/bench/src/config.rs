@@ -1,0 +1,99 @@
+//! Shared experiment configuration.
+
+use aigs_data::{amazon_like, imagenet_like, Dataset, Scale};
+
+/// Knobs shared by every table/figure runner.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Instance sizing (`Small` ≈ 3k nodes for quick runs, `Full` matches
+    /// Table II).
+    pub scale: Scale,
+    /// Master seed; every artefact derives sub-seeds from it.
+    pub seed: u64,
+    /// Repetitions for randomised settings (the paper uses 20).
+    pub repetitions: usize,
+    /// Objects replayed per online-learning trace (Fig. 4).
+    pub trace_len: usize,
+    /// Shuffled traces for Fig. 4 (the paper uses 20).
+    pub traces: usize,
+    /// Targets sampled per depth for the timing experiment (Fig. 6);
+    /// the paper uses 1,000, GreedyNaive gets
+    /// [`ExperimentConfig::naive_targets_per_depth`] instead.
+    pub targets_per_depth: usize,
+    /// Fig. 6 targets per depth for the O(n²m) naive policy.
+    pub naive_targets_per_depth: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: Scale::Small,
+            seed: 0xA165,
+            repetitions: 5,
+            trace_len: 30_000,
+            traces: 3,
+            targets_per_depth: 200,
+            naive_targets_per_depth: 3,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Paper-shaped configuration: full Table II sizes, 20 repetitions.
+    pub fn full() -> Self {
+        ExperimentConfig {
+            scale: Scale::Full,
+            repetitions: 20,
+            trace_len: 100_000,
+            traces: 20,
+            targets_per_depth: 1_000,
+            naive_targets_per_depth: 2,
+            ..Self::default()
+        }
+    }
+
+    /// The Amazon-like dataset for this configuration.
+    pub fn amazon(&self) -> Dataset {
+        amazon_like(self.scale, self.seed)
+    }
+
+    /// The ImageNet-like dataset for this configuration.
+    pub fn imagenet(&self) -> Dataset {
+        imagenet_like(self.scale, self.seed)
+    }
+
+    /// Derives a deterministic sub-seed for an artefact.
+    pub fn sub_seed(&self, tag: &str) -> u64 {
+        // FNV-1a over the tag, mixed with the master seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in tag.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_seeds_differ_by_tag_and_seed() {
+        let c = ExperimentConfig::default();
+        assert_ne!(c.sub_seed("table3"), c.sub_seed("table4"));
+        let c2 = ExperimentConfig {
+            seed: 1,
+            ..ExperimentConfig::default()
+        };
+        assert_ne!(c.sub_seed("table3"), c2.sub_seed("table3"));
+        assert_eq!(c.sub_seed("x"), c.sub_seed("x"));
+    }
+
+    #[test]
+    fn full_scale_config() {
+        let c = ExperimentConfig::full();
+        assert_eq!(c.scale, Scale::Full);
+        assert_eq!(c.repetitions, 20);
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text table/series rendering for harness output.
+
+/// A printable table: header plus rows of equal arity.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    /// Table caption (e.g. "Table III — cost under real data distribution").
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<&str>) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.into_iter().map(|s| s.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header's arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                s.push(' ');
+                s.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    s.push(' ');
+                }
+                s.push_str(" |");
+            }
+            s
+        };
+        let mut out = format!("\n## {}\n\n", self.title);
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with fixed precision for table cells.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with more precision for small values (figure series).
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = TextTable::new("Demo", vec!["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| a   | bb |"));
+        assert!(md.contains("| 333 | 4  |"));
+        assert!(md.contains("|-----|----|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new("x", vec!["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt(21.0187), "21.02");
+        assert_eq!(fmt4(0.12345), "0.1235");
+    }
+}

@@ -1,0 +1,214 @@
+//! Tables II–V of the paper.
+
+use aigs_core::{evaluate_roster, paper_roster, NodeWeights};
+use aigs_data::{Dataset, WeightSetting};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::ExperimentConfig;
+use crate::report::{fmt, TextTable};
+
+/// One measured row: dataset, probability setting, `(policy, expected
+/// cost)` pairs in roster order.
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Probability setting label.
+    pub setting: String,
+    /// `(policy name, expected cost)` in roster order.
+    pub costs: Vec<(String, f64)>,
+}
+
+impl CostRow {
+    /// The expected cost of a policy by name.
+    pub fn cost_of(&self, policy: &str) -> Option<f64> {
+        self.costs
+            .iter()
+            .find(|(name, _)| name == policy)
+            .map(|&(_, c)| c)
+    }
+}
+
+/// Table II: dataset statistics.
+pub fn table2(cfg: &ExperimentConfig) -> TextTable {
+    let mut t = TextTable::new(
+        "Table II — statistics of datasets",
+        vec!["Dataset", "#nodes", "#edges", "Height", "Max Deg.", "Type", "#objects"],
+    );
+    for dataset in [cfg.amazon(), cfg.imagenet()] {
+        let s = dataset.dag.stats();
+        t.push_row(vec![
+            dataset.name.to_owned(),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            s.height.to_string(),
+            s.max_out_degree.to_string(),
+            if s.is_tree { "Tree" } else { "DAG" }.to_owned(),
+            dataset.object_total().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Evaluates the paper's policy roster on one dataset under `weights`.
+fn roster_costs(dataset: &Dataset, weights: &NodeWeights) -> Vec<(String, f64)> {
+    let mut roster = paper_roster(dataset.dag.is_tree());
+    evaluate_roster(&mut roster, &dataset.dag, weights)
+        .expect("evaluation cannot diverge on sound policies")
+        .into_iter()
+        .map(|(name, report)| (name, report.expected_cost))
+        .collect()
+}
+
+/// Table III: cost under the (synthetic stand-in for the) real data
+/// distribution — the empirical distribution of the object multiset.
+pub fn table3(cfg: &ExperimentConfig) -> (TextTable, Vec<CostRow>) {
+    let mut t = TextTable::new(
+        "Table III — cost under real data distribution",
+        vec!["Dataset", "TopDown", "MIGS", "WIGS", "GreedyTree/GreedyDAG"],
+    );
+    let mut rows = Vec::new();
+    for dataset in [cfg.amazon(), cfg.imagenet()] {
+        let weights = dataset.empirical_weights();
+        let costs = roster_costs(&dataset, &weights);
+        t.push_row(
+            std::iter::once(dataset.name.to_owned())
+                .chain(costs.iter().map(|(_, c)| fmt(*c)))
+                .collect(),
+        );
+        rows.push(CostRow {
+            dataset: dataset.name,
+            setting: "real".to_owned(),
+            costs,
+        });
+    }
+    (t, rows)
+}
+
+/// The four synthetic settings of Tables IV/V.
+pub fn synthetic_settings() -> Vec<WeightSetting> {
+    vec![
+        WeightSetting::Equal,
+        WeightSetting::Uniform,
+        WeightSetting::Exponential,
+        WeightSetting::Zipf(2.0),
+    ]
+}
+
+/// Shared engine for Tables IV and V: average expected cost over
+/// `cfg.repetitions` weight draws per setting.
+fn synthetic_table(
+    cfg: &ExperimentConfig,
+    dataset: &Dataset,
+    title: &str,
+) -> (TextTable, Vec<CostRow>) {
+    let greedy_col = if dataset.dag.is_tree() {
+        "GreedyTree"
+    } else {
+        "GreedyDAG"
+    };
+    let mut t = TextTable::new(
+        title,
+        vec!["Distribution", "TopDown", "MIGS", "WIGS", greedy_col],
+    );
+    let mut rows = Vec::new();
+    for setting in synthetic_settings() {
+        let mut acc: Vec<(String, f64)> = Vec::new();
+        let reps = if matches!(setting, WeightSetting::Equal) {
+            1 // deterministic setting: no need to repeat
+        } else {
+            cfg.repetitions
+        };
+        for rep in 0..reps {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                cfg.sub_seed(&format!("{}-{}-{}", dataset.name, setting.label(), rep)),
+            );
+            let weights = setting.assign(dataset.dag.node_count(), &mut rng);
+            let costs = roster_costs(dataset, &weights);
+            if acc.is_empty() {
+                acc = costs;
+            } else {
+                for (slot, (_, c)) in acc.iter_mut().zip(costs) {
+                    slot.1 += c;
+                }
+            }
+        }
+        for slot in &mut acc {
+            slot.1 /= reps as f64;
+        }
+        t.push_row(
+            std::iter::once(setting.label())
+                .chain(acc.iter().map(|(_, c)| fmt(*c)))
+                .collect(),
+        );
+        rows.push(CostRow {
+            dataset: dataset.name,
+            setting: setting.label(),
+            costs: acc,
+        });
+    }
+    (t, rows)
+}
+
+/// Table IV: cost under synthetic probability settings on the tree dataset.
+pub fn table4(cfg: &ExperimentConfig) -> (TextTable, Vec<CostRow>) {
+    let dataset = cfg.amazon();
+    synthetic_table(
+        cfg,
+        &dataset,
+        "Table IV — cost under several probability settings on Amazon(-like)",
+    )
+}
+
+/// Table V: cost under synthetic probability settings on the DAG dataset.
+pub fn table5(cfg: &ExperimentConfig) -> (TextTable, Vec<CostRow>) {
+    let dataset = cfg.imagenet();
+    synthetic_table(
+        cfg,
+        &dataset,
+        "Table V — cost under several probability settings on ImageNet(-like)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aigs_data::Scale;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        // Shrink everything so the table engines run in test time.
+        ExperimentConfig {
+            scale: Scale::Small,
+            repetitions: 1,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn table2_lists_both_datasets() {
+        let t = table2(&tiny_cfg());
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "amazon");
+        assert_eq!(t.rows[1][5], "DAG");
+    }
+
+    #[test]
+    fn table3_greedy_wins() {
+        let (_, rows) = table3(&tiny_cfg());
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            let greedy = row
+                .cost_of("greedy-tree")
+                .or_else(|| row.cost_of("greedy-dag"))
+                .unwrap();
+            let wigs = row.cost_of("wigs").unwrap();
+            let topdown = row.cost_of("top-down").unwrap();
+            assert!(
+                greedy < wigs && wigs < topdown,
+                "{}: greedy {greedy}, wigs {wigs}, topdown {topdown}",
+                row.dataset
+            );
+        }
+    }
+}

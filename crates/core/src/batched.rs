@@ -1,0 +1,398 @@
+//! Batched interactive search on trees (Section III-E of the paper).
+//!
+//! The paper notes that *"for AIGS on a tree, we can ask a batch of k
+//! questions simultaneously leveraging the k-partition scheme \[26\] to ensure
+//! provable guarantees"*, and leaves the DAG case open. This module
+//! implements that extension: each interaction round posts `k` queries
+//! chosen as *successive hypothetical middle points* — pick the greedy
+//! middle point, pretend its answer was *no* (detach its subtree), pick the
+//! next, and so on — which partitions the candidate tree into up to `k + 1`
+//! weight-balanced parts, the spirit of the k-partition scheme.
+//!
+//! The picked subtrees are pairwise disjoint or nested, so the batch of
+//! answers is easy to consume: all *yes* answers lie on one ancestor chain
+//! (descend to the deepest), and every *no* inside the new root's subtree
+//! eliminates its part. One round therefore simulates up to `k` sequential
+//! greedy steps, trading a few extra questions for far fewer crowd
+//! round-trips (the latency currency of crowdsourcing platforms).
+
+use aigs_graph::{NodeId, Tree};
+
+use crate::{CoreError, Oracle, SearchContext};
+
+/// Result of a batched search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchedOutcome {
+    /// The identified target.
+    pub target: NodeId,
+    /// Interaction rounds used (each round posts up to `k` queries).
+    pub rounds: u32,
+    /// Total queries posted across all rounds.
+    pub queries: u32,
+}
+
+/// Batched tree search posting `k` partition queries per round.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedTreeSearch {
+    /// Queries per round (`k ≥ 1`; `k = 1` is sequential greedy search).
+    pub k: usize,
+}
+
+/// Zero-mass fallback threshold, as in `GreedyTreePolicy`.
+const ZERO_MASS: f64 = 1e-12;
+
+/// Mutable search state over a tree (the same bookkeeping as Alg. 4).
+struct State<'a> {
+    ctx: &'a SearchContext<'a>,
+    parent: Vec<NodeId>,
+    depth: Vec<u32>,
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+    wp: Vec<f64>,
+    size: Vec<u32>,
+    detached: Vec<bool>,
+    root: NodeId,
+}
+
+impl<'a> State<'a> {
+    fn new(ctx: &'a SearchContext<'a>) -> Result<Self, CoreError> {
+        let tree = Tree::new(ctx.dag).map_err(|_| CoreError::NotATree)?;
+        let n = ctx.dag.node_count();
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut clock = 0u32;
+        let mut stack: Vec<(NodeId, usize)> = vec![(ctx.dag.root(), 0)];
+        tin[ctx.dag.root().index()] = clock;
+        clock += 1;
+        while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+            let kids = ctx.dag.children(u);
+            if *ci < kids.len() {
+                let c = kids[*ci];
+                *ci += 1;
+                tin[c.index()] = clock;
+                clock += 1;
+                stack.push((c, 0));
+            } else {
+                tout[u.index()] = clock;
+                stack.pop();
+            }
+        }
+        Ok(State {
+            ctx,
+            parent: (0..n).map(|i| tree.parent(NodeId::new(i))).collect(),
+            depth: (0..n).map(|i| tree.depth(NodeId::new(i))).collect(),
+            tin,
+            tout,
+            wp: tree.subtree_weights(ctx.weights.as_slice()),
+            size: (0..n).map(|i| tree.subtree_size(NodeId::new(i))).collect(),
+            detached: vec![false; n],
+            root: ctx.dag.root(),
+        })
+    }
+
+    fn in_subtree(&self, anc: NodeId, v: NodeId) -> bool {
+        self.tin[anc.index()] <= self.tin[v.index()]
+            && self.tin[v.index()] < self.tout[anc.index()]
+    }
+
+    fn weight(&self, v: NodeId, size_mode: bool) -> f64 {
+        if size_mode {
+            self.size[v.index()] as f64
+        } else {
+            self.wp[v.index()]
+        }
+    }
+
+    fn heavy_child(&self, v: NodeId, size_mode: bool) -> Option<NodeId> {
+        let mut best: Option<(f64, NodeId)> = None;
+        for &c in self.ctx.dag.children(v) {
+            if self.detached[c.index()] {
+                continue;
+            }
+            let w = self.weight(c, size_mode);
+            match best {
+                None => best = Some((w, c)),
+                Some((bw, bc)) => {
+                    if w > bw || (w == bw && c < bc) {
+                        best = Some((w, c));
+                    }
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// The greedy middle point of the part rooted at `part_root` (Alg. 4's
+    /// descent started there), or `None` when the part cannot be split.
+    fn middle_point_of(&self, part_root: NodeId, size_mode: bool) -> Option<NodeId> {
+        let r = part_root;
+        if self.size[r.index()] <= 1 {
+            return None;
+        }
+        let wr = self.weight(r, size_mode);
+        let mut u = r;
+        let mut v = r;
+        while 2.0 * self.weight(v, size_mode) > wr {
+            match self.heavy_child(v, size_mode) {
+                None => break,
+                Some(c) => {
+                    u = v;
+                    v = c;
+                }
+            }
+        }
+        if v == r {
+            return self.heavy_child(r, size_mode);
+        }
+        let du = (2.0 * self.weight(u, size_mode) - wr).abs();
+        let dv = (2.0 * self.weight(v, size_mode) - wr).abs();
+        let q = if du <= dv { u } else { v };
+        Some(if q == r { v } else { q })
+    }
+
+    /// Detaches `q`'s subtree, subtracting it from ancestors up to `stop`
+    /// (exclusive of nodes above `stop`).
+    fn detach_upto(&mut self, q: NodeId, stop: NodeId) {
+        let dp = self.wp[q.index()];
+        let ds = self.size[q.index()];
+        let mut x = self.parent[q.index()];
+        loop {
+            debug_assert!(!x.is_sentinel());
+            self.wp[x.index()] -= dp;
+            self.size[x.index()] -= ds;
+            if x == stop {
+                break;
+            }
+            x = self.parent[x.index()];
+        }
+        self.detached[q.index()] = true;
+    }
+
+    /// Re-attaches `q` (inverse of [`State::detach_upto`] with the same
+    /// `stop`).
+    fn reattach_upto(&mut self, q: NodeId, stop: NodeId) {
+        self.detached[q.index()] = false;
+        let dp = self.wp[q.index()];
+        let ds = self.size[q.index()];
+        let mut x = self.parent[q.index()];
+        loop {
+            self.wp[x.index()] += dp;
+            self.size[x.index()] += ds;
+            if x == stop {
+                break;
+            }
+            x = self.parent[x.index()];
+        }
+    }
+}
+
+impl BatchedTreeSearch {
+    /// Batched searcher with `k` queries per round.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "at least one query per round");
+        BatchedTreeSearch { k }
+    }
+
+    /// Runs the batched search to completion.
+    pub fn run(
+        &self,
+        ctx: &SearchContext<'_>,
+        oracle: &mut dyn Oracle,
+    ) -> Result<BatchedOutcome, CoreError> {
+        let mut st = State::new(ctx)?;
+        let mut rounds = 0u32;
+        let mut queries = 0u32;
+        let round_cap = 4 * ctx.dag.node_count() as u32 + 64;
+
+        while st.size[st.root.index()] > 1 {
+            if rounds >= round_cap {
+                return Err(CoreError::Diverged {
+                    queries,
+                    limit: round_cap,
+                });
+            }
+            // Select up to k picks by repeatedly splitting the heaviest
+            // remaining part at its greedy middle point. Parts are tracked
+            // implicitly: detaching a pick from its part makes the pick a
+            // new part root, and `wp`/`size` at each part root are kept
+            // exact by subtracting only up to that root.
+            let size_mode = st.wp[st.root.index()] <= ZERO_MASS;
+            // (part root, splittable) — weight is read live from st.
+            let mut parts: Vec<(NodeId, bool)> = vec![(st.root, true)];
+            let mut picks: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.k); // (pick, its part root)
+            while picks.len() < self.k {
+                let heaviest = parts
+                    .iter_mut()
+                    .filter(|(_, splittable)| *splittable)
+                    .max_by(|a, b| {
+                        st.weight(a.0, size_mode)
+                            .partial_cmp(&st.weight(b.0, size_mode))
+                            .expect("weights are finite")
+                    });
+                let Some(part) = heaviest else { break };
+                let part_root = part.0;
+                match st.middle_point_of(part_root, size_mode) {
+                    Some(q) => {
+                        st.detach_upto(q, part_root);
+                        picks.push((q, part_root));
+                        parts.push((q, true));
+                    }
+                    None => part.1 = false,
+                }
+            }
+            // Roll the hypothetical detaches back before asking.
+            for &(q, part_root) in picks.iter().rev() {
+                st.reattach_upto(q, part_root);
+            }
+            debug_assert!(!picks.is_empty());
+
+            // Post the whole batch in one round.
+            rounds += 1;
+            let answers: Vec<bool> = picks
+                .iter()
+                .map(|&(q, _)| {
+                    queries += 1;
+                    oracle.reach(q)
+                })
+                .collect();
+
+            // All yes-picks are nested (disjoint subtrees cannot both hold
+            // the target): descend to the deepest.
+            let deepest_yes = picks
+                .iter()
+                .zip(&answers)
+                .filter(|&(_, &a)| a)
+                .map(|(&(q, _), _)| q)
+                .max_by_key(|q| st.depth[q.index()]);
+            if let Some(y) = deepest_yes {
+                st.root = y;
+            }
+            // Every no-pick inside the (possibly new) root's subtree
+            // eliminates its part; process deepest-first so nested picks
+            // subtract consistently.
+            let mut nos: Vec<NodeId> = picks
+                .iter()
+                .zip(&answers)
+                .filter(|&(_, &a)| !a)
+                .map(|(&(q, _), _)| q)
+                .filter(|&q| q != st.root && st.in_subtree(st.root, q))
+                .collect();
+            nos.sort_by_key(|q| std::cmp::Reverse(st.depth[q.index()]));
+            for q in nos {
+                st.detach_upto(q, st.root);
+            }
+        }
+        Ok(BatchedOutcome {
+            target: st.root,
+            rounds,
+            queries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeWeights, TargetOracle};
+    use aigs_graph::dag_from_edges;
+    use aigs_graph::generate::{path_graph, star_graph};
+
+    fn fig2a() -> aigs_graph::Dag {
+        dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap()
+    }
+
+    #[test]
+    fn batched_finds_all_targets() {
+        let g = fig2a();
+        let w = NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        for k in 1..=4 {
+            let search = BatchedTreeSearch::new(k);
+            for z in g.nodes() {
+                let mut oracle = TargetOracle::new(&g, z);
+                let out = search.run(&ctx, &mut oracle).unwrap();
+                assert_eq!(out.target, z, "k={k}");
+                assert!(out.queries >= out.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_batches_need_fewer_rounds_on_chains() {
+        let g = path_graph(128);
+        let w = NodeWeights::uniform(128);
+        let ctx = SearchContext::new(&g, &w);
+        let mut rounds_by_k = Vec::new();
+        for k in [1usize, 3, 7] {
+            let search = BatchedTreeSearch::new(k);
+            let mut worst_rounds = 0;
+            for z in g.nodes() {
+                let mut oracle = TargetOracle::new(&g, z);
+                let out = search.run(&ctx, &mut oracle).unwrap();
+                assert_eq!(out.target, z);
+                worst_rounds = worst_rounds.max(out.rounds);
+            }
+            rounds_by_k.push(worst_rounds);
+        }
+        assert!(
+            rounds_by_k[0] > rounds_by_k[1] && rounds_by_k[1] > rounds_by_k[2],
+            "rounds must shrink with k: {rounds_by_k:?}"
+        );
+    }
+
+    #[test]
+    fn larger_batches_need_fewer_rounds_on_stars() {
+        // The hub case that defeats chain-only batching: a root with 63
+        // leaves. k parallel picks must cut rounds by ~k.
+        let g = star_graph(64);
+        let w = NodeWeights::uniform(64);
+        let ctx = SearchContext::new(&g, &w);
+        let mut worst_by_k = Vec::new();
+        for k in [1usize, 4, 8] {
+            let search = BatchedTreeSearch::new(k);
+            let mut worst_rounds = 0;
+            for z in g.nodes() {
+                let mut oracle = TargetOracle::new(&g, z);
+                let out = search.run(&ctx, &mut oracle).unwrap();
+                assert_eq!(out.target, z);
+                worst_rounds = worst_rounds.max(out.rounds);
+            }
+            worst_by_k.push(worst_rounds);
+        }
+        assert_eq!(worst_by_k[0], 63);
+        assert!(worst_by_k[1] <= 17, "k=4: {}", worst_by_k[1]);
+        assert!(worst_by_k[2] <= 9, "k=8: {}", worst_by_k[2]);
+    }
+
+    #[test]
+    fn k1_matches_sequential_query_scale() {
+        let g = path_graph(64);
+        let w = NodeWeights::uniform(64);
+        let ctx = SearchContext::new(&g, &w);
+        let search = BatchedTreeSearch::new(1);
+        for z in g.nodes() {
+            let mut oracle = TargetOracle::new(&g, z);
+            let out = search.run(&ctx, &mut oracle).unwrap();
+            assert_eq!(out.target, z);
+            assert!(out.queries <= 8, "{} queries", out.queries);
+        }
+    }
+
+    #[test]
+    fn rejects_dags() {
+        let g = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let w = NodeWeights::uniform(4);
+        let ctx = SearchContext::new(&g, &w);
+        let mut oracle = TargetOracle::new(&g, NodeId::new(3));
+        assert_eq!(
+            BatchedTreeSearch::new(2).run(&ctx, &mut oracle).unwrap_err(),
+            CoreError::NotATree
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_k_rejected() {
+        let _ = BatchedTreeSearch::new(0);
+    }
+}

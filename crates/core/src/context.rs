@@ -1,0 +1,111 @@
+//! The immutable inputs a policy sees during one search.
+
+use aigs_graph::{Dag, ReachClosure};
+
+use crate::{CoreError, NodeWeights, QueryCosts};
+
+/// Everything a policy may consult: the hierarchy, the target distribution,
+/// query prices, and optional shared accelerators.
+#[derive(Clone, Copy)]
+pub struct SearchContext<'a> {
+    /// The category hierarchy.
+    pub dag: &'a Dag,
+    /// The a-priori target distribution `p(·)`.
+    pub weights: &'a NodeWeights,
+    /// Query prices (uniform for plain AIGS).
+    pub costs: &'a QueryCosts,
+    /// Optional shared transitive closure. DAG policies use it both for
+    /// O(n/64) candidate-set updates and to avoid an O(Σ|G_v|) rebuild per
+    /// session. Policies fall back to BFS when absent.
+    pub closure: Option<&'a ReachClosure>,
+    /// Cache token: a non-zero value promises that *every* reset carrying
+    /// the same token refers to an identical `(dag, weights, costs)` triple,
+    /// letting policies reuse expensive per-instance precomputation across
+    /// sessions. `0` disables caching. Evaluation helpers manage this
+    /// automatically; hand-rolled loops should just pass a fresh token per
+    /// instance (see [`fresh_cache_token`]).
+    pub cache_token: u64,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Context with uniform costs, no closure, no caching.
+    pub fn new(dag: &'a Dag, weights: &'a NodeWeights) -> Self {
+        const UNIFORM: &QueryCosts = &QueryCosts::Uniform;
+        SearchContext {
+            dag,
+            weights,
+            costs: UNIFORM,
+            closure: None,
+            cache_token: 0,
+        }
+    }
+
+    /// Attaches per-node query prices.
+    pub fn with_costs(mut self, costs: &'a QueryCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Attaches a shared transitive closure.
+    pub fn with_closure(mut self, closure: &'a ReachClosure) -> Self {
+        self.closure = Some(closure);
+        self
+    }
+
+    /// Enables cross-session caching under `token` (must be non-zero and
+    /// unique per `(dag, weights, costs)` instance).
+    pub fn with_cache_token(mut self, token: u64) -> Self {
+        self.cache_token = token;
+        self
+    }
+
+    /// Validates that weights and costs match the hierarchy.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.weights.check_for(self.dag)?;
+        self.costs.check_for(self.dag.node_count())?;
+        Ok(())
+    }
+}
+
+/// Hands out process-unique, non-zero cache tokens.
+pub fn fresh_cache_token() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aigs_graph::dag_from_edges;
+
+    #[test]
+    fn builder_style_construction() {
+        let dag = dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let w = NodeWeights::uniform(3);
+        let costs = QueryCosts::PerNode(vec![1.0, 2.0, 3.0]);
+        let closure = ReachClosure::build(&dag);
+        let ctx = SearchContext::new(&dag, &w)
+            .with_costs(&costs)
+            .with_closure(&closure)
+            .with_cache_token(7);
+        assert_eq!(ctx.cache_token, 7);
+        assert!(ctx.closure.is_some());
+        ctx.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_mismatches() {
+        let dag = dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let w = NodeWeights::uniform(4);
+        assert!(SearchContext::new(&dag, &w).validate().is_err());
+    }
+
+    #[test]
+    fn cache_tokens_are_unique_and_nonzero() {
+        let a = fresh_cache_token();
+        let b = fresh_cache_token();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

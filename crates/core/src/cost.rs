@@ -1,0 +1,101 @@
+//! Query pricing for the cost-sensitive extension (CAIGS, Section III-D).
+
+use aigs_graph::NodeId;
+
+/// The price charged per query.
+///
+/// The base AIGS problem charges a flat price (Definition 7); CAIGS lets
+/// every node carry its own price `c(v)` to model question difficulty
+/// (Definition 8) — e.g. $0.5 for an easy question, $1.5 for a hard one.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
+pub enum QueryCosts {
+    /// Every query costs 1 (the paper's default).
+    #[default]
+    Uniform,
+    /// Per-node prices; must be positive and finite.
+    PerNode(Vec<f64>),
+}
+
+impl QueryCosts {
+    /// The price of querying `q`.
+    #[inline]
+    pub fn price(&self, q: NodeId) -> f64 {
+        match self {
+            QueryCosts::Uniform => 1.0,
+            QueryCosts::PerNode(c) => c[q.index()],
+        }
+    }
+
+    /// True when all queries cost the same.
+    pub fn is_uniform(&self) -> bool {
+        match self {
+            QueryCosts::Uniform => true,
+            QueryCosts::PerNode(c) => c.windows(2).all(|w| w[0] == w[1]),
+        }
+    }
+
+    /// Validates prices against a hierarchy size.
+    pub fn check_for(&self, n: usize) -> Result<(), crate::CoreError> {
+        if let QueryCosts::PerNode(c) = self {
+            if c.len() != n {
+                return Err(crate::CoreError::WeightMismatch {
+                    nodes: n,
+                    weights: c.len(),
+                });
+            }
+            for (i, &x) in c.iter().enumerate() {
+                if !x.is_finite() || x <= 0.0 {
+                    return Err(crate::CoreError::InvalidWeight {
+                        node: NodeId::new(i),
+                        value: x,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_prices() {
+        let c = QueryCosts::Uniform;
+        assert_eq!(c.price(NodeId::new(5)), 1.0);
+        assert!(c.is_uniform());
+        assert!(c.check_for(10).is_ok());
+    }
+
+    #[test]
+    fn per_node_prices() {
+        let c = QueryCosts::PerNode(vec![1.0, 1.0, 5.0, 1.0]);
+        assert_eq!(c.price(NodeId::new(2)), 5.0);
+        assert!(!c.is_uniform());
+        assert!(c.check_for(4).is_ok());
+        assert!(c.check_for(3).is_err());
+    }
+
+    #[test]
+    fn constant_per_node_detected_as_uniform() {
+        let c = QueryCosts::PerNode(vec![2.0, 2.0]);
+        assert!(c.is_uniform());
+    }
+
+    #[test]
+    fn rejects_nonpositive_prices() {
+        assert!(QueryCosts::PerNode(vec![1.0, 0.0]).check_for(2).is_err());
+        assert!(QueryCosts::PerNode(vec![1.0, f64::INFINITY])
+            .check_for(2)
+            .is_err());
+    }
+
+    #[test]
+    fn default_is_uniform() {
+        assert_eq!(QueryCosts::default(), QueryCosts::Uniform);
+    }
+}

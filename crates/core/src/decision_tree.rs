@@ -1,0 +1,394 @@
+//! Decision trees for query policies (Definitions 6–8 of the paper).
+//!
+//! Any deterministic policy induces a binary decision tree: internal nodes
+//! are queries, the left/yes and right/no branches follow the answers, and
+//! leaves are identified targets. [`DecisionTreeBuilder`] materialises that
+//! tree with a single iterative DFS, using the policy's `unobserve` to roll
+//! state back at each branch point — no per-branch cloning. The resulting
+//! [`DecisionTree`] yields *exact* expected cost (Eq. 2), expected price
+//! (Eq. 4) and worst-case cost, which tests cross-check against simulated
+//! session costs.
+
+use aigs_graph::NodeId;
+
+use crate::{CoreError, NodeWeights, Policy, QueryCosts, SearchContext};
+
+/// One node of a policy's decision tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtNode {
+    /// An internal query node with its yes/no children (indexes into
+    /// [`DecisionTree::nodes`]).
+    Query {
+        /// The queried hierarchy node.
+        q: NodeId,
+        /// Child on *yes*.
+        yes: u32,
+        /// Child on *no*.
+        no: u32,
+    },
+    /// A leaf: the identified target.
+    Leaf {
+        /// The target node.
+        target: NodeId,
+    },
+    /// An answer branch no target can produce. Only wasteful policies have
+    /// these: e.g. `TopDown` on a DAG asks questions whose answer is already
+    /// deducible, so one branch of such a query is unrealisable. Dead
+    /// branches carry zero probability and are ignored by all costs.
+    Dead,
+}
+
+/// The full decision tree of a deterministic policy on one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    /// Nodes in DFS order; index 0 is the root.
+    pub nodes: Vec<DtNode>,
+}
+
+impl DecisionTree {
+    /// Number of leaves (identified targets).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, DtNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Number of internal (query) nodes.
+    pub fn query_count(&self) -> usize {
+        self.nodes.len() - self.leaf_count()
+    }
+
+    /// Depth (query count) to reach each target, indexed by node id.
+    /// Targets never produced as leaves keep `u32::MAX`.
+    pub fn leaf_depths(&self, n_hierarchy: usize) -> Vec<u32> {
+        let mut depth = vec![u32::MAX; n_hierarchy];
+        let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+        while let Some((idx, d)) = stack.pop() {
+            match &self.nodes[idx as usize] {
+                DtNode::Leaf { target } => depth[target.index()] = d,
+                DtNode::Dead => {}
+                DtNode::Query { yes, no, .. } => {
+                    stack.push((*yes, d + 1));
+                    stack.push((*no, d + 1));
+                }
+            }
+        }
+        depth
+    }
+
+    /// Exact expected cost `Σ p(v)·ℓ(v)` (Eq. 2 / Definition 7).
+    pub fn expected_cost(&self, weights: &NodeWeights) -> f64 {
+        let depths = self.leaf_depths(weights.len());
+        depths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != u32::MAX)
+            .map(|(v, &d)| weights.get(NodeId::new(v)) * d as f64)
+            .sum()
+    }
+
+    /// Exact expected price `Σ p(v)·ℓ̂(v)` (Eq. 4 / Definition 8).
+    pub fn expected_price(&self, weights: &NodeWeights, costs: &QueryCosts) -> f64 {
+        let mut total = 0.0;
+        let mut stack: Vec<(u32, f64)> = vec![(0, 0.0)];
+        while let Some((idx, price)) = stack.pop() {
+            match &self.nodes[idx as usize] {
+                DtNode::Leaf { target } => total += weights.get(*target) * price,
+                DtNode::Dead => {}
+                DtNode::Query { q, yes, no } => {
+                    let p = price + costs.price(*q);
+                    stack.push((*yes, p));
+                    stack.push((*no, p));
+                }
+            }
+        }
+        total
+    }
+
+    /// Worst-case query count over all targets (the WIGS objective).
+    pub fn worst_case_cost(&self) -> u32 {
+        self.leaf_depths(self.max_target_index() + 1)
+            .into_iter()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn max_target_index(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                DtNode::Leaf { target } => Some(target.index()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Graphviz rendering (labels from `dag` when provided), mirroring the
+    /// paper's Fig. 2(b)/Fig. 3(b–c) drawings.
+    pub fn to_dot(&self, dag: Option<&aigs_graph::Dag>) -> String {
+        use std::fmt::Write as _;
+        let name = |u: NodeId| -> String {
+            match dag {
+                Some(d) => d.label(u).to_owned(),
+                None => format!("{u}"),
+            }
+        };
+        let mut s = String::from("digraph decision_tree {\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                DtNode::Query { q, .. } => {
+                    let _ = writeln!(s, "  d{i} [shape=ellipse,label=\"{}?\"];", name(*q));
+                }
+                DtNode::Leaf { target } => {
+                    let _ = writeln!(s, "  d{i} [shape=box,label=\"{}\"];", name(*target));
+                }
+                DtNode::Dead => {
+                    let _ = writeln!(s, "  d{i} [shape=point,label=\"\"];");
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let DtNode::Query { yes, no, .. } = node {
+                let _ = writeln!(s, "  d{i} -> d{yes} [label=\"Y\"];");
+                let _ = writeln!(s, "  d{i} -> d{no} [label=\"N\"];");
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Builds decision trees from policies.
+#[derive(Debug, Default)]
+pub struct DecisionTreeBuilder {
+    /// Safety cap on tree size; a sound policy's tree has at most `2n − 1`
+    /// nodes, the default cap allows slack for wasteful baselines.
+    pub max_nodes: Option<usize>,
+}
+
+impl DecisionTreeBuilder {
+    /// Builder with the default size cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Materialises the decision tree of `policy` on `ctx`.
+    pub fn build(
+        &self,
+        policy: &mut dyn Policy,
+        ctx: &SearchContext<'_>,
+    ) -> Result<DecisionTree, CoreError> {
+        let n = ctx.dag.node_count();
+        // Wasteful baselines (TopDown) ask up to Σ out-degree queries along a
+        // root path, so allow a generous multiple of n before bailing.
+        let cap = self.max_nodes.unwrap_or(64 * n + 1024);
+        policy.reset(ctx);
+
+        // The builder tracks ground-truth candidate sets alongside the
+        // policy: branches whose answer no target can produce become
+        // [`DtNode::Dead`] and are not explored (the policy never receives
+        // impossible answers in a real session either).
+        let mut cand = aigs_graph::CandidateSet::new(n);
+
+        let mut nodes: Vec<DtNode> = Vec::new();
+        // DFS over the answer tree; `Enter` visits a pending branch,
+        // `Backtrack` rolls back one observed answer on the way up.
+        enum Step {
+            Enter { parent: Option<(u32, bool)> },
+            Backtrack,
+        }
+        let mut stack = vec![Step::Enter { parent: None }];
+
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Backtrack => {
+                    policy.unobserve(ctx);
+                    cand.undo();
+                }
+                Step::Enter { parent } => {
+                    if nodes.len() >= cap {
+                        return Err(CoreError::PolicyInvariant(
+                            "decision tree exceeded the size cap (non-terminating policy?)",
+                        ));
+                    }
+                    let idx = nodes.len() as u32;
+                    if let Some((p, is_yes)) = parent {
+                        // Wire into the parent and apply the branch answer.
+                        let DtNode::Query { q, yes, no } = &mut nodes[p as usize] else {
+                            unreachable!("parents are query nodes");
+                        };
+                        let q = *q;
+                        if is_yes {
+                            *yes = idx;
+                        } else {
+                            *no = idx;
+                        }
+                        // Unrealisable branch: no target is consistent with
+                        // this answer. Record a dead leaf and skip it.
+                        // (`apply_original`: wasteful policies may probe
+                        // already-eliminated nodes, where only original-graph
+                        // descendant semantics is exact.)
+                        cand.apply_original(ctx.dag, q, is_yes);
+                        if cand.count() == 0 {
+                            cand.undo();
+                            nodes.push(DtNode::Dead);
+                            continue;
+                        }
+                        policy.observe(ctx, q, is_yes);
+                        stack.push(Step::Backtrack);
+                    }
+                    match policy.resolved() {
+                        Some(target) => nodes.push(DtNode::Leaf { target }),
+                        None => {
+                            let q = policy.select(ctx);
+                            nodes.push(DtNode::Query {
+                                q,
+                                yes: u32::MAX,
+                                no: u32::MAX,
+                            });
+                            // Push no-branch first so yes is explored first
+                            // (cosmetic: matches the paper's left = yes).
+                            stack.push(Step::Enter {
+                                parent: Some((idx, false)),
+                            });
+                            stack.push(Step::Enter {
+                                parent: Some((idx, true)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Sanity: all branch pointers were wired.
+        for node in &nodes {
+            if let DtNode::Query { yes, no, .. } = node {
+                if *yes == u32::MAX || *no == u32::MAX {
+                    return Err(CoreError::PolicyInvariant(
+                        "decision tree has dangling branches",
+                    ));
+                }
+            }
+        }
+        Ok(DecisionTree { nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedyNaivePolicy, GreedyTreePolicy, TopDownPolicy, WigsPolicy};
+    use crate::{evaluate_exhaustive, NodeWeights};
+    use aigs_graph::dag_from_edges;
+
+    fn fig2a() -> aigs_graph::Dag {
+        dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap()
+    }
+
+    #[test]
+    fn leaves_cover_every_node_exactly_once() {
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyTreePolicy::new();
+        let dt = DecisionTreeBuilder::new().build(&mut p, &ctx).unwrap();
+        assert_eq!(dt.leaf_count(), 7, "each node appears as exactly one leaf");
+        let depths = dt.leaf_depths(7);
+        assert!(depths.iter().all(|&d| d != u32::MAX));
+        // Size bound from the paper: |D| ≤ 2·|G| (n leaves + ≤ n internals).
+        assert!(dt.nodes.len() <= 2 * 7);
+    }
+
+    #[test]
+    fn example3_greedy_cost_is_three() {
+        // Paper, Example 3: with equal weights 1/7 on Fig. 2(a), the greedy
+        // decision tree costs (2·2 + 3·3 + 2·4)/7 = 3.
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyNaivePolicy::new();
+        let dt = DecisionTreeBuilder::new().build(&mut p, &ctx).unwrap();
+        let cost = dt.expected_cost(&w);
+        assert!((cost - 3.0).abs() < 1e-12, "expected 3.0, got {cost}");
+    }
+
+    #[test]
+    fn exact_cost_equals_simulated_cost() {
+        let g = fig2a();
+        let w = NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        for mut policy in [
+            Box::new(GreedyTreePolicy::new()) as Box<dyn Policy + Send>,
+            Box::new(TopDownPolicy::new()),
+            Box::new(WigsPolicy::new()),
+            Box::new(GreedyNaivePolicy::new()),
+        ] {
+            let dt = DecisionTreeBuilder::new().build(policy.as_mut(), &ctx).unwrap();
+            let exact = dt.expected_cost(&w);
+            let simulated = evaluate_exhaustive(policy.as_mut(), &ctx)
+                .unwrap()
+                .expected_cost;
+            assert!(
+                (exact - simulated).abs() < 1e-9,
+                "{}: exact {exact} vs simulated {simulated}",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_matches_max_depth() {
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = WigsPolicy::new();
+        let dt = DecisionTreeBuilder::new().build(&mut p, &ctx).unwrap();
+        let report = evaluate_exhaustive(&mut p, &ctx).unwrap();
+        assert_eq!(dt.worst_case_cost(), report.max_cost);
+    }
+
+    #[test]
+    fn expected_price_with_uniform_costs_equals_expected_cost() {
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyTreePolicy::new();
+        let dt = DecisionTreeBuilder::new().build(&mut p, &ctx).unwrap();
+        let c = dt.expected_cost(&w);
+        let p_uniform = dt.expected_price(&w, &QueryCosts::Uniform);
+        assert!((c - p_uniform).abs() < 1e-12);
+        let doubled = dt.expected_price(&w, &QueryCosts::PerNode(vec![2.0; 7]));
+        assert!((doubled - 2.0 * c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_cap_detects_runaway() {
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyTreePolicy::new();
+        let b = DecisionTreeBuilder {
+            max_nodes: Some(2),
+        };
+        assert!(matches!(
+            b.build(&mut p, &ctx),
+            Err(CoreError::PolicyInvariant(_))
+        ));
+    }
+
+    #[test]
+    fn dot_rendering_mentions_labels() {
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyTreePolicy::new();
+        let dt = DecisionTreeBuilder::new().build(&mut p, &ctx).unwrap();
+        let dot = dt.to_dot(Some(&g));
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("label=\"Y\""));
+        assert!(dot.contains("v3?"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Target-node probability distributions and the rounding of Eq. (1).
+
+use aigs_graph::{Dag, NodeId};
+
+use crate::CoreError;
+
+/// The a-priori distribution `p(·)` over target nodes.
+///
+/// Stored normalised (entries sum to 1 within floating tolerance) unless
+/// every entry is zero, which is rejected at construction. Individual nodes
+/// may carry probability 0 — e.g. internal categories that never occur —
+/// and every policy must still be able to identify them as targets.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeWeights {
+    p: Vec<f64>,
+}
+
+impl NodeWeights {
+    /// The uniform distribution `p(v) = 1/n` (the paper's "Equal" setting).
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "empty hierarchy");
+        NodeWeights {
+            p: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Normalises arbitrary non-negative masses into a distribution.
+    pub fn from_masses(masses: Vec<f64>) -> Result<Self, CoreError> {
+        if masses.is_empty() {
+            return Err(CoreError::WeightMismatch {
+                nodes: 0,
+                weights: 0,
+            });
+        }
+        let mut total = 0.0;
+        for (i, &m) in masses.iter().enumerate() {
+            if !m.is_finite() || m < 0.0 {
+                return Err(CoreError::InvalidWeight {
+                    node: NodeId::new(i),
+                    value: m,
+                });
+            }
+            total += m;
+        }
+        if total <= 0.0 {
+            return Err(CoreError::InvalidWeight {
+                node: NodeId::new(0),
+                value: 0.0,
+            });
+        }
+        Ok(NodeWeights {
+            p: masses.into_iter().map(|m| m / total).collect(),
+        })
+    }
+
+    /// Builds the empirical distribution of a labelled-object multiset
+    /// (`counts[v]` objects were categorised as node `v`).
+    pub fn from_counts(counts: &[u64]) -> Result<Self, CoreError> {
+        Self::from_masses(counts.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// True when covering zero nodes (never constructible; for API
+    /// completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// Probability of node `v`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.p[v.index()]
+    }
+
+    /// The raw probability slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Validates the vector against a hierarchy.
+    pub fn check_for(&self, dag: &Dag) -> Result<(), CoreError> {
+        if self.p.len() != dag.node_count() {
+            return Err(CoreError::WeightMismatch {
+                nodes: dag.node_count(),
+                weights: self.p.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Shannon entropy in bits — a scalar skewness summary used when
+    /// reporting the synthetic-distribution experiments (Tables IV/V).
+    pub fn entropy_bits(&self) -> f64 {
+        self.p
+            .iter()
+            .filter(|&&x| x > 0.0)
+            .map(|&x| -x * x.log2())
+            .sum()
+    }
+
+    /// The largest single-node probability.
+    pub fn max_probability(&self) -> f64 {
+        self.p.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Eq. (1) of the paper: round each probability to the integer weight
+    /// `w(u) = ⌈ n² · p(u) / max_v p(v) ⌉`.
+    ///
+    /// The rounding bounds the weight ratio by `n²`, which is what gives the
+    /// `2(1 + 3 ln n)` guarantee of Theorem 1 independently of how small the
+    /// minimum probability is. Zero probabilities stay zero; a degenerate
+    /// all-zero input (impossible post-construction) would map to all-ones.
+    pub fn rounded(&self) -> Vec<u64> {
+        let n = self.p.len() as f64;
+        let max = self.max_probability();
+        if max <= 0.0 {
+            return vec![1; self.p.len()];
+        }
+        let scale = n * n / max;
+        self.p
+            .iter()
+            .map(|&x| (x * scale).ceil() as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let w = NodeWeights::uniform(7);
+        assert_eq!(w.len(), 7);
+        assert!(!w.is_empty());
+        let total: f64 = w.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((w.get(NodeId::new(3)) - 1.0 / 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_masses_normalises() {
+        let w = NodeWeights::from_masses(vec![2.0, 6.0, 0.0]).unwrap();
+        assert!((w.get(NodeId::new(0)) - 0.25).abs() < 1e-15);
+        assert!((w.get(NodeId::new(1)) - 0.75).abs() < 1e-15);
+        assert_eq!(w.get(NodeId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn from_counts_matches_empirical() {
+        let w = NodeWeights::from_counts(&[40, 40, 20]).unwrap();
+        assert!((w.get(NodeId::new(2)) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_bad_masses() {
+        assert!(matches!(
+            NodeWeights::from_masses(vec![1.0, -0.5]),
+            Err(CoreError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            NodeWeights::from_masses(vec![f64::NAN]),
+            Err(CoreError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            NodeWeights::from_masses(vec![0.0, 0.0]),
+            Err(CoreError::InvalidWeight { .. })
+        ));
+        assert!(NodeWeights::from_masses(vec![]).is_err());
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let uniform = NodeWeights::uniform(8);
+        assert!((uniform.entropy_bits() - 3.0).abs() < 1e-12);
+        let point = NodeWeights::from_masses(vec![1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(point.entropy_bits(), 0.0);
+        assert!(uniform.entropy_bits() > point.entropy_bits());
+    }
+
+    #[test]
+    fn rounding_follows_equation_one() {
+        // n = 4, max p = 0.5, scale = 16 / 0.5 = 32.
+        let w = NodeWeights::from_masses(vec![0.5, 0.25, 0.25, 0.0]).unwrap();
+        let r = w.rounded();
+        assert_eq!(r, vec![16, 8, 8, 0]);
+    }
+
+    #[test]
+    fn rounding_lifts_tiny_positive_probabilities() {
+        // A positive probability always rounds to >= 1, so the greedy can
+        // never "lose" a possible target to integer truncation.
+        let w = NodeWeights::from_masses(vec![1.0, 1e-12]).unwrap();
+        let r = w.rounded();
+        assert_eq!(r[0], 4);
+        assert_eq!(r[1], 1);
+    }
+
+    #[test]
+    fn check_for_validates_length() {
+        let dag = aigs_graph::dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        assert!(NodeWeights::uniform(3).check_for(&dag).is_ok());
+        assert!(matches!(
+            NodeWeights::uniform(4).check_for(&dag),
+            Err(CoreError::WeightMismatch { nodes: 3, weights: 4 })
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! Typed errors for search execution.
+
+use std::error::Error;
+use std::fmt;
+
+use aigs_graph::NodeId;
+
+/// Errors surfaced while running interactive search sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The session exceeded its query budget — either the caller-supplied
+    /// cap or the internal safety cap that guards against non-terminating
+    /// policies.
+    Diverged {
+        /// Queries issued before giving up.
+        queries: u32,
+        /// The cap that was hit.
+        limit: u32,
+    },
+    /// A policy that only supports trees was handed a proper DAG.
+    NotATree,
+    /// The weight vector length does not match the hierarchy.
+    WeightMismatch {
+        /// Nodes in the hierarchy.
+        nodes: usize,
+        /// Entries in the weight vector.
+        weights: usize,
+    },
+    /// Weights contained a negative or non-finite entry.
+    InvalidWeight {
+        /// The offending node.
+        node: NodeId,
+        /// Its weight.
+        value: f64,
+    },
+    /// The instance is too large for an exact (exponential) computation.
+    TooLargeForExact {
+        /// Nodes in the instance.
+        nodes: usize,
+        /// Hard cap of the exact solver.
+        cap: usize,
+    },
+    /// A policy reported an inconsistent state (internal invariant broken).
+    PolicyInvariant(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Diverged { queries, limit } => write!(
+                f,
+                "search issued {queries} queries without resolving (cap {limit})"
+            ),
+            CoreError::NotATree => write!(f, "policy requires a tree-shaped hierarchy"),
+            CoreError::WeightMismatch { nodes, weights } => write!(
+                f,
+                "weight vector has {weights} entries for a hierarchy of {nodes} nodes"
+            ),
+            CoreError::InvalidWeight { node, value } => {
+                write!(f, "invalid weight {value} on node {node}")
+            }
+            CoreError::TooLargeForExact { nodes, cap } => write!(
+                f,
+                "exact solver handles at most {cap} nodes, instance has {nodes}"
+            ),
+            CoreError::PolicyInvariant(msg) => write!(f, "policy invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = CoreError::Diverged {
+            queries: 99,
+            limit: 98,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(CoreError::NotATree.to_string().contains("tree"));
+        let e = CoreError::WeightMismatch {
+            nodes: 4,
+            weights: 5,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+        let e = CoreError::InvalidWeight {
+            node: NodeId::new(2),
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("n2"));
+        assert!(CoreError::TooLargeForExact { nodes: 30, cap: 24 }
+            .to_string()
+            .contains("24"));
+        assert!(CoreError::PolicyInvariant("boom").to_string().contains("boom"));
+    }
+}

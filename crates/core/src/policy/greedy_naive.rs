@@ -1,0 +1,228 @@
+//! `GreedyNaive` — the reference instantiation of the greedy middle-point
+//! policy (Alg. 2 + Alg. 3 of the paper).
+//!
+//! Every round scans all candidate nodes, computing each node's reachable
+//! probability mass with a fresh BFS (`GetReachableSetWeight`), and queries
+//! the node minimising `|2·p(G_u) − p(G)|` (Definition 4). O(n·m) per round,
+//! O(n²·m) per search — this is the baseline the efficient `GreedyTree` /
+//! `GreedyDAG` instantiations are benchmarked against (Fig. 6).
+
+use aigs_graph::{CandidateSet, NodeId};
+
+use crate::{Policy, SearchContext};
+
+/// Naive greedy middle-point policy.
+#[derive(Debug, Clone)]
+pub struct GreedyNaivePolicy {
+    cand: CandidateSet,
+    /// Probability mass of the alive candidate set (`sum_prob` in Alg. 2).
+    sum: f64,
+    undo_sums: Vec<f64>,
+    resolved: Option<NodeId>,
+}
+
+impl GreedyNaivePolicy {
+    /// New, un-reset policy.
+    pub fn new() -> Self {
+        GreedyNaivePolicy {
+            cand: CandidateSet::new(0),
+            sum: 0.0,
+            undo_sums: Vec::new(),
+            resolved: None,
+        }
+    }
+
+    fn refresh_resolution(&mut self) {
+        self.resolved = self.cand.sole();
+    }
+}
+
+impl Default for GreedyNaivePolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for GreedyNaivePolicy {
+    fn name(&self) -> &'static str {
+        "greedy-naive"
+    }
+
+    fn reset(&mut self, ctx: &SearchContext<'_>) {
+        self.cand = CandidateSet::new(ctx.dag.node_count());
+        self.sum = ctx.weights.as_slice().iter().sum();
+        self.undo_sums.clear();
+        self.refresh_resolution();
+    }
+
+    fn resolved(&self) -> Option<NodeId> {
+        self.resolved
+    }
+
+    fn select(&mut self, ctx: &SearchContext<'_>) -> NodeId {
+        debug_assert!(self.resolved.is_none());
+        let weights = ctx.weights.as_slice();
+        let total_count = self.cand.count();
+
+        // Primary pass: weight balance. Nodes whose subgraph covers the
+        // whole candidate set are uninformative (the answer is always yes)
+        // and skipped — this is where Definition 4's implicit "u must split
+        // G" becomes explicit code.
+        let mut best: Option<(f64, usize, NodeId)> = None;
+        let alive: Vec<NodeId> = self.cand.iter_alive().collect();
+        for &u in &alive {
+            let (wu, cu) = self.cand.reachable_weight_count(ctx.dag, u, weights);
+            if cu == total_count {
+                continue;
+            }
+            let balance = (2.0 * wu - self.sum).abs();
+            // Secondary key: count balance, so that ties inside zero-weight
+            // regions still pick a genuinely even split; final tie-break is
+            // the node id (`alive` is in ascending id order, so strict
+            // comparison keeps the smallest id).
+            let count_balance = (2 * cu).abs_diff(total_count);
+            let better = match best {
+                None => true,
+                Some((bb, bc, _)) => {
+                    balance < bb - 1e-12
+                        || ((balance - bb).abs() <= 1e-12 && count_balance < bc)
+                }
+            };
+            if better {
+                best = Some((balance, count_balance, u));
+            }
+        }
+        best.expect("unresolved search always has an informative query").2
+    }
+
+    fn observe(&mut self, ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
+        self.undo_sums.push(self.sum);
+        self.cand.apply(ctx.dag, q, yes);
+        // Recompute the alive mass from the killed delta.
+        let weights = ctx.weights.as_slice();
+        let killed: f64 = {
+            // The most recent frame is what apply() just recorded; rather
+            // than expose journal internals, recompute alive mass directly —
+            // one O(n) pass, dwarfed by the O(n·m) selection scan.
+            let alive_mass: f64 = self
+                .cand
+                .iter_alive()
+                .map(|u| weights[u.index()])
+                .sum();
+            self.sum - alive_mass
+        };
+        self.sum -= killed;
+        self.refresh_resolution();
+    }
+
+    fn unobserve(&mut self, _ctx: &SearchContext<'_>) {
+        self.sum = self.undo_sums.pop().expect("nothing to unobserve");
+        assert!(self.cand.undo(), "candidate journal out of sync");
+        self.refresh_resolution();
+    }
+
+    fn clone_box(&self) -> Box<dyn Policy + Send> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeWeights, SearchContext};
+    use aigs_graph::dag_from_edges;
+
+    fn fig2a() -> aigs_graph::Dag {
+        dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap()
+    }
+
+    fn drive(p: &mut dyn Policy, ctx: &SearchContext<'_>, z: NodeId) -> (NodeId, u32) {
+        p.reset(ctx);
+        let mut queries = 0;
+        loop {
+            if let Some(t) = p.resolved() {
+                return (t, queries);
+            }
+            let q = p.select(ctx);
+            p.observe(ctx, q, ctx.dag.reaches(q, z));
+            queries += 1;
+            assert!(queries < 100);
+        }
+    }
+
+    #[test]
+    fn finds_all_targets_tree() {
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyNaivePolicy::new();
+        for z in g.nodes() {
+            assert_eq!(drive(&mut p, &ctx, z).0, z);
+        }
+    }
+
+    #[test]
+    fn finds_all_targets_dag() {
+        let g = dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap();
+        let w = NodeWeights::from_masses(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyNaivePolicy::new();
+        for z in g.nodes() {
+            assert_eq!(drive(&mut p, &ctx, z).0, z);
+        }
+    }
+
+    #[test]
+    fn first_query_is_the_global_middle_point() {
+        // Equal weights 1/7 on Fig. 2(a): p(G_1) = 6/7 (score 5/7),
+        // p(G_3) = 3/7 (score |6/7 - 1| = 1/7) — node 3 is the unique
+        // middle point, exactly the root query of the paper's Fig. 2(b).
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyNaivePolicy::new();
+        p.reset(&ctx);
+        assert_eq!(p.select(&ctx), NodeId::new(3));
+    }
+
+    #[test]
+    fn skewed_mass_pulls_the_query() {
+        // 80% of the mass on node 4, the rest spread thin: the most
+        // balanced split is to test node 4 directly (|2·0.8 − 1| = 0.6,
+        // strictly better than every alternative).
+        let g = fig2a();
+        let eps = 0.2 / 6.0;
+        let w = NodeWeights::from_masses(vec![eps, eps, eps, eps, 0.8, eps, eps]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyNaivePolicy::new();
+        p.reset(&ctx);
+        assert_eq!(p.select(&ctx), NodeId::new(4));
+    }
+
+    #[test]
+    fn zero_weight_targets_still_found() {
+        let g = fig2a();
+        let w = NodeWeights::from_masses(vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyNaivePolicy::new();
+        for z in g.nodes() {
+            assert_eq!(drive(&mut p, &ctx, z).0, z);
+        }
+    }
+
+    #[test]
+    fn undo_restores_selection() {
+        let g = fig2a();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyNaivePolicy::new();
+        p.reset(&ctx);
+        let q0 = p.select(&ctx);
+        p.observe(&ctx, q0, true);
+        let q1_yes = p.select(&ctx);
+        p.unobserve(&ctx);
+        assert_eq!(p.select(&ctx), q0);
+        p.observe(&ctx, q0, true);
+        assert_eq!(p.select(&ctx), q1_yes);
+    }
+}

@@ -1,0 +1,345 @@
+//! Exact optimal policies by dynamic programming over candidate sets.
+//!
+//! Computing the optimal AIGS policy is NP-hard (Lemma 1), but small
+//! instances are tractable with memoisation over candidate bitmasks. The
+//! exact solver exists to *verify* the paper's approximation guarantees
+//! empirically: Theorem 2's (1+√5)/2 factor on trees and Theorem 1's
+//! 2(1+3 ln n) factor on DAGs are asserted against this ground truth in the
+//! property-test suite. It also yields the optimal *worst-case* policy,
+//! which reproduces Example 2's "optimal WIGS needs 4 queries" number.
+
+use std::collections::HashMap;
+
+use aigs_graph::{NodeId, ReachClosure};
+
+use crate::{CoreError, Policy, SearchContext};
+
+/// Hard cap on instance size for the exact solver (2^n states worst case).
+pub const MAX_EXACT_NODES: usize = 24;
+
+/// Which objective the exact solver optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimalObjective {
+    /// Minimise the expected total price (AIGS / CAIGS, Definitions 7–8).
+    #[default]
+    Expected,
+    /// Minimise the worst-case total price (WIGS).
+    WorstCase,
+}
+
+#[derive(Debug, Clone)]
+struct Solver {
+    n: usize,
+    /// `mask[q]` = bitmask of `G_q` (descendants of q, inclusive).
+    masks: Vec<u64>,
+    weights: Vec<f64>,
+    prices: Vec<f64>,
+    objective: OptimalObjective,
+    memo: HashMap<u64, (f64, u32)>,
+}
+
+impl Solver {
+    fn build(ctx: &SearchContext<'_>, objective: OptimalObjective) -> Result<Self, CoreError> {
+        let n = ctx.dag.node_count();
+        if n > MAX_EXACT_NODES {
+            return Err(CoreError::TooLargeForExact {
+                nodes: n,
+                cap: MAX_EXACT_NODES,
+            });
+        }
+        let closure = ReachClosure::build(ctx.dag);
+        let masks: Vec<u64> = ctx
+            .dag
+            .nodes()
+            .map(|u| {
+                closure
+                    .descendants(u)
+                    .iter()
+                    .fold(0u64, |m, v| m | (1u64 << v.index()))
+            })
+            .collect();
+        let prices = ctx.dag.nodes().map(|u| ctx.costs.price(u)).collect();
+        Ok(Solver {
+            n,
+            masks,
+            weights: ctx.weights.as_slice().to_vec(),
+            prices,
+            objective,
+            memo: HashMap::new(),
+        })
+    }
+
+    fn mass(&self, set: u64) -> f64 {
+        let mut total = 0.0;
+        let mut s = set;
+        while s != 0 {
+            let i = s.trailing_zeros() as usize;
+            s &= s - 1;
+            total += self.weights[i];
+        }
+        total
+    }
+
+    /// Optimal remaining cost for candidate set `set`, plus the best first
+    /// query. `u32::MAX` marks "already solved" (singleton).
+    fn solve(&mut self, set: u64) -> (f64, u32) {
+        if set.count_ones() <= 1 {
+            return (0.0, u32::MAX);
+        }
+        if let Some(&hit) = self.memo.get(&set) {
+            return hit;
+        }
+        let mut best = (f64::INFINITY, u32::MAX);
+        for q in 0..self.n {
+            let inside = set & self.masks[q];
+            if inside == 0 || inside == set {
+                continue; // uninformative test
+            }
+            let outside = set & !self.masks[q];
+            let (ci, _) = self.solve(inside);
+            let (co, _) = self.solve(outside);
+            let total = match self.objective {
+                OptimalObjective::Expected => {
+                    // Every target still in `set` pays for this query.
+                    self.prices[q] * self.mass(set) + ci + co
+                }
+                OptimalObjective::WorstCase => self.prices[q] + ci.max(co),
+            };
+            if total < best.0 - 1e-12 {
+                best = (total, q as u32);
+            }
+        }
+        debug_assert!(best.0.is_finite(), "separable instances always split");
+        self.memo.insert(set, best);
+        best
+    }
+}
+
+/// The exact optimal expected cost of an AIGS/CAIGS instance
+/// (Definition 7/8 value of the optimal decision tree).
+pub fn optimal_expected_cost(ctx: &SearchContext<'_>) -> Result<f64, CoreError> {
+    let mut s = Solver::build(ctx, OptimalObjective::Expected)?;
+    let full = full_mask(ctx.dag.node_count());
+    Ok(s.solve(full).0)
+}
+
+/// The exact optimal worst-case cost (the WIGS objective) of an instance.
+pub fn optimal_worst_case_cost(ctx: &SearchContext<'_>) -> Result<f64, CoreError> {
+    let mut s = Solver::build(ctx, OptimalObjective::WorstCase)?;
+    let full = full_mask(ctx.dag.node_count());
+    Ok(s.solve(full).0)
+}
+
+fn full_mask(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Interactive wrapper around the exact solver.
+#[derive(Debug, Clone)]
+pub struct OptimalPolicy {
+    objective: OptimalObjective,
+    solver: Option<Solver>,
+    mask: u64,
+    undo: Vec<u64>,
+}
+
+impl OptimalPolicy {
+    /// Exact expected-cost policy.
+    pub fn new() -> Self {
+        Self::with_objective(OptimalObjective::Expected)
+    }
+
+    /// Exact policy for the chosen objective.
+    pub fn with_objective(objective: OptimalObjective) -> Self {
+        OptimalPolicy {
+            objective,
+            solver: None,
+            mask: 0,
+            undo: Vec::new(),
+        }
+    }
+}
+
+impl Default for OptimalPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for OptimalPolicy {
+    fn name(&self) -> &'static str {
+        match self.objective {
+            OptimalObjective::Expected => "optimal-expected",
+            OptimalObjective::WorstCase => "optimal-worst-case",
+        }
+    }
+
+    fn reset(&mut self, ctx: &SearchContext<'_>) {
+        // Rebuilding the solver discards the memo; keep it when the instance
+        // is unchanged (cheap fingerprint: same n and same weights pointer
+        // contents — exact solves are test-scale, so compare directly).
+        let rebuild = match &self.solver {
+            None => true,
+            Some(s) => {
+                s.n != ctx.dag.node_count()
+                    || s.objective != self.objective
+                    || s.weights != ctx.weights.as_slice()
+            }
+        };
+        if rebuild {
+            self.solver = Some(
+                Solver::build(ctx, self.objective)
+                    .unwrap_or_else(|e| panic!("OptimalPolicy: {e}")),
+            );
+        }
+        self.mask = full_mask(ctx.dag.node_count());
+        self.undo.clear();
+    }
+
+    fn resolved(&self) -> Option<NodeId> {
+        if self.mask.count_ones() == 1 {
+            Some(NodeId::new(self.mask.trailing_zeros() as usize))
+        } else {
+            None
+        }
+    }
+
+    fn select(&mut self, _ctx: &SearchContext<'_>) -> NodeId {
+        let solver = self.solver.as_mut().expect("reset first");
+        let (_, q) = solver.solve(self.mask);
+        debug_assert_ne!(q, u32::MAX);
+        NodeId::new(q as usize)
+    }
+
+    fn observe(&mut self, _ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
+        self.undo.push(self.mask);
+        let solver = self.solver.as_ref().expect("reset first");
+        let gq = solver.masks[q.index()];
+        self.mask = if yes { self.mask & gq } else { self.mask & !gq };
+    }
+
+    fn unobserve(&mut self, _ctx: &SearchContext<'_>) {
+        self.mask = self.undo.pop().expect("nothing to unobserve");
+    }
+
+    fn clone_box(&self) -> Box<dyn Policy + Send> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeWeights, QueryCosts, SearchContext};
+    use aigs_graph::dag_from_edges;
+
+    fn vehicle() -> aigs_graph::Dag {
+        dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap()
+    }
+
+    #[test]
+    fn example2_optimal_worst_case_is_four() {
+        // Paper, Example 2: the optimal WIGS solution on Fig. 1 asks at most
+        // 4 questions.
+        let g = vehicle();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        assert_eq!(optimal_worst_case_cost(&ctx).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn example2_average_cost_beats_worst_case_policy() {
+        // With the Fig. 1 distribution, the average-optimal policy achieves
+        // ≤ 2.04 expected queries (the paper's hand-built policy attains
+        // exactly 2.04, so the optimum is at most that).
+        let g = vehicle();
+        let w = NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        assert!(opt <= 2.04 + 1e-9, "optimal expected cost {opt}");
+        assert!(opt >= 1.0, "must ask at least one question");
+    }
+
+    #[test]
+    fn chain_optimal_is_binary_search() {
+        // Uniform 7-chain: optimal expected cost equals the weighted leaf
+        // depth of a balanced binary decision tree over 7 outcomes:
+        // (2+3+3+2+3+3+2? ) — compute: depths multiset {2,3,3,3,3,3,3}?
+        // Verified value: (1·2 + 6·3)/7 is impossible since only yes/no
+        // splits of a chain are prefixes; the true optimum is 20/7.
+        let g = aigs_graph::generate::path_graph(7);
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        assert!((opt - 20.0 / 7.0).abs() < 1e-9, "got {opt}");
+    }
+
+    #[test]
+    fn policy_achieves_solver_cost() {
+        let g = vehicle();
+        let w = NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        let mut p = OptimalPolicy::new();
+        let mut total = 0.0;
+        for z in g.nodes() {
+            p.reset(&ctx);
+            let mut queries = 0u32;
+            loop {
+                if let Some(t) = p.resolved() {
+                    assert_eq!(t, z);
+                    break;
+                }
+                let q = p.select(&ctx);
+                p.observe(&ctx, q, g.reaches(q, z));
+                queries += 1;
+                assert!(queries < 20);
+            }
+            total += w.get(z) * queries as f64;
+        }
+        assert!((total - opt).abs() < 1e-9, "driven {total} vs solver {opt}");
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let g = aigs_graph::generate::path_graph(MAX_EXACT_NODES + 1);
+        let w = NodeWeights::uniform(MAX_EXACT_NODES + 1);
+        let ctx = SearchContext::new(&g, &w);
+        assert!(matches!(
+            optimal_expected_cost(&ctx),
+            Err(CoreError::TooLargeForExact { .. })
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_prices_change_the_optimum() {
+        // Fig. 3 chain: uniform prices → optimal expected 2.0;
+        // c(2)=5 makes the balanced query expensive, optimal = 4.25/…?
+        // Example 4's cost-sensitive greedy attains 4.25; the optimum is ≤ that.
+        let g = dag_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let w = NodeWeights::uniform(4);
+        let uniform_ctx = SearchContext::new(&g, &w);
+        let opt_uniform = optimal_expected_cost(&uniform_ctx).unwrap();
+        assert!((opt_uniform - 2.0).abs() < 1e-9);
+
+        let c = QueryCosts::PerNode(vec![1.0, 1.0, 5.0, 1.0]);
+        let ctx = SearchContext::new(&g, &w).with_costs(&c);
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        assert!(opt <= 4.25 + 1e-9, "optimum {opt} must not exceed Example 4's greedy");
+        assert!(opt > opt_uniform);
+    }
+
+    #[test]
+    fn worst_case_policy_on_star() {
+        // A star of 5 leaves: any policy needs 4 queries worst case
+        // (prices uniform), and n-1 is also optimal.
+        let g = aigs_graph::generate::star_graph(6);
+        let w = NodeWeights::uniform(6);
+        let ctx = SearchContext::new(&g, &w);
+        assert_eq!(optimal_worst_case_cost(&ctx).unwrap(), 5.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! A uniformly random (but always informative) query policy.
+//!
+//! Not in the paper — a sanity baseline for tests and ablations: every
+//! reasonable policy must beat it, and it exercises the framework with
+//! query sequences no deterministic policy would produce.
+
+use aigs_graph::{CandidateSet, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Policy, SearchContext};
+
+/// Random informative-query policy with a deterministic seed.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    seed: u64,
+    rng: ChaCha8Rng,
+    cand: CandidateSet,
+    resolved: Option<NodeId>,
+}
+
+impl RandomPolicy {
+    /// Policy drawing queries from a `ChaCha8` stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            seed,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            cand: CandidateSet::new(0),
+            resolved: None,
+        }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn reset(&mut self, ctx: &SearchContext<'_>) {
+        self.rng = ChaCha8Rng::seed_from_u64(self.seed);
+        self.cand = CandidateSet::new(ctx.dag.node_count());
+        self.resolved = self.cand.sole();
+    }
+
+    fn resolved(&self) -> Option<NodeId> {
+        self.resolved
+    }
+
+    fn select(&mut self, ctx: &SearchContext<'_>) -> NodeId {
+        debug_assert!(self.resolved.is_none());
+        let total = self.cand.count();
+        let alive: Vec<NodeId> = self.cand.iter_alive().collect();
+        // Rejection-sample an informative candidate; every unresolved state
+        // has one (any alive node with an alive non-descendant).
+        loop {
+            let u = alive[self.rng.gen_range(0..alive.len())];
+            if self.cand.reachable_count(ctx.dag, u) < total {
+                return u;
+            }
+        }
+    }
+
+    fn observe(&mut self, ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
+        self.cand.apply(ctx.dag, q, yes);
+        self.resolved = self.cand.sole();
+    }
+
+    fn unobserve(&mut self, _ctx: &SearchContext<'_>) {
+        assert!(self.cand.undo(), "candidate journal out of sync");
+        self.resolved = self.cand.sole();
+    }
+
+    fn clone_box(&self) -> Box<dyn Policy + Send> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeWeights, SearchContext};
+    use aigs_graph::generate::{random_dag, DagConfig};
+
+    #[test]
+    fn random_policy_is_still_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = random_dag(&DagConfig::bushy(40, 0.2), &mut rng);
+        let w = NodeWeights::uniform(40);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = RandomPolicy::new(11);
+        for z in g.nodes() {
+            p.reset(&ctx);
+            let mut steps = 0;
+            let found = loop {
+                if let Some(t) = p.resolved() {
+                    break t;
+                }
+                let q = p.select(&ctx);
+                p.observe(&ctx, q, g.reaches(q, z));
+                steps += 1;
+                assert!(steps < 200, "runaway for target {z}");
+            };
+            assert_eq!(found, z);
+        }
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = random_dag(&DagConfig::bushy(20, 0.1), &mut rng);
+        let w = NodeWeights::uniform(20);
+        let ctx = SearchContext::new(&g, &w);
+        let mut a = RandomPolicy::new(3);
+        let mut b = RandomPolicy::new(3);
+        a.reset(&ctx);
+        b.reset(&ctx);
+        for _ in 0..3 {
+            let qa = a.select(&ctx);
+            let qb = b.select(&ctx);
+            assert_eq!(qa, qb);
+            a.observe(&ctx, qa, false);
+            b.observe(&ctx, qb, false);
+            if a.resolved().is_some() {
+                break;
+            }
+        }
+    }
+}

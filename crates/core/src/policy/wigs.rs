@@ -1,0 +1,544 @@
+//! `WIGS` — the worst-case interactive graph search baseline
+//! (Tao et al., *Interactive graph search*, SIGMOD 2019).
+//!
+//! WIGS minimises the *maximum* number of queries over targets and is
+//! distribution-agnostic. The technique is heavy-path binary search: extract
+//! the (size-)heavy path from the current root, binary-search for the
+//! deepest path node that still answers *yes* (reachability is monotone
+//! along a downward chain), then recurse from that node with its heavy
+//! child's subtree eliminated. Every iteration either eliminates the heavy
+//! subtree or descends past it, so the candidate set shrinks geometrically
+//! in the tree case.
+//!
+//! On DAGs the same chain/binary-search skeleton runs over exact candidate
+//! bitsets: the chain steps to the child carrying the most alive candidates
+//! (`|G_c ∩ alive|` via closure rows), and answers intersect/subtract
+//! closure rows so DAG semantics stay exact.
+
+use aigs_graph::{NodeBitSet, NodeId, ReachClosure, Tree};
+
+use crate::{Policy, SearchContext};
+
+/// Heavy-path binary search policy (worst-case oriented baseline).
+#[derive(Debug, Clone, Default)]
+pub struct WigsPolicy {
+    mode: Mode,
+    /// Closure built by the policy itself when the context does not share
+    /// one (kept across resets under a matching cache token).
+    own_closure: Option<(u64, ReachClosure)>,
+}
+
+#[derive(Debug, Clone, Default)]
+enum Mode {
+    #[default]
+    Unset,
+    Tree(TreeState),
+    Dag(DagState),
+}
+
+// ---------------------------------------------------------------- tree mode
+
+#[derive(Debug, Clone)]
+struct TreeState {
+    parent: Vec<NodeId>,
+    size: Vec<u32>,
+    detached: Vec<bool>,
+    root: NodeId,
+    chain: Vec<NodeId>,
+    lo: usize,
+    hi: usize,
+    active: bool,
+    undo: Vec<TreeFrame>,
+}
+
+#[derive(Debug, Clone)]
+struct TreeFrame {
+    prev_root: NodeId,
+    prev_chain: Vec<NodeId>,
+    prev_lo: usize,
+    prev_hi: usize,
+    prev_active: bool,
+    /// For *no* answers: the detached node and its subtracted size.
+    detach: Option<(NodeId, u32)>,
+}
+
+impl TreeState {
+    fn new(ctx: &SearchContext<'_>) -> Self {
+        let tree = Tree::new(ctx.dag).expect("tree mode requires a tree");
+        let n = ctx.dag.node_count();
+        TreeState {
+            parent: (0..n).map(|i| tree.parent(NodeId::new(i))).collect(),
+            size: (0..n).map(|i| tree.subtree_size(NodeId::new(i))).collect(),
+            detached: vec![false; n],
+            root: ctx.dag.root(),
+            chain: Vec::new(),
+            lo: 0,
+            hi: 0,
+            active: false,
+            undo: Vec::new(),
+        }
+    }
+
+    fn heavy_child(&self, ctx: &SearchContext<'_>, v: NodeId) -> Option<NodeId> {
+        let mut best: Option<(u32, NodeId)> = None;
+        for &c in ctx.dag.children(v) {
+            if self.detached[c.index()] {
+                continue;
+            }
+            let s = self.size[c.index()];
+            match best {
+                None => best = Some((s, c)),
+                Some((bs, bc)) => {
+                    if s > bs || (s == bs && c < bc) {
+                        best = Some((s, c));
+                    }
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    fn ensure_chain(&mut self, ctx: &SearchContext<'_>) {
+        if self.active {
+            return;
+        }
+        self.chain.clear();
+        self.chain.push(self.root);
+        let mut u = self.root;
+        while let Some(c) = self.heavy_child(ctx, u) {
+            self.chain.push(c);
+            u = c;
+        }
+        debug_assert!(self.chain.len() >= 2, "unresolved root has a child");
+        self.lo = 0;
+        self.hi = self.chain.len() - 1;
+        self.active = true;
+    }
+
+    fn mid(&self) -> usize {
+        (self.lo + self.hi).div_ceil(2)
+    }
+
+    fn snapshot(&self, detach: Option<(NodeId, u32)>) -> TreeFrame {
+        TreeFrame {
+            prev_root: self.root,
+            prev_chain: self.chain.clone(),
+            prev_lo: self.lo,
+            prev_hi: self.hi,
+            prev_active: self.active,
+            detach,
+        }
+    }
+
+    fn observe(&mut self, q: NodeId, yes: bool) {
+        debug_assert!(self.active && q == self.chain[self.mid()]);
+        let mid = self.mid();
+        if yes {
+            self.undo.push(self.snapshot(None));
+            self.root = q;
+            self.lo = mid;
+        } else {
+            let ds = self.size[q.index()];
+            self.undo.push(self.snapshot(Some((q, ds))));
+            let mut x = self.parent[q.index()];
+            loop {
+                debug_assert!(!x.is_sentinel());
+                self.size[x.index()] -= ds;
+                if x == self.root {
+                    break;
+                }
+                x = self.parent[x.index()];
+            }
+            self.detached[q.index()] = true;
+            self.hi = mid - 1;
+        }
+        if self.lo >= self.hi {
+            self.active = false;
+        }
+    }
+
+    fn unobserve(&mut self) {
+        let f = self.undo.pop().expect("nothing to unobserve");
+        if let Some((q, ds)) = f.detach {
+            self.detached[q.index()] = false;
+            let mut x = self.parent[q.index()];
+            loop {
+                self.size[x.index()] += ds;
+                if x == f.prev_root {
+                    break;
+                }
+                x = self.parent[x.index()];
+            }
+        }
+        self.root = f.prev_root;
+        self.chain = f.prev_chain;
+        self.lo = f.prev_lo;
+        self.hi = f.prev_hi;
+        self.active = f.prev_active;
+    }
+}
+
+// ----------------------------------------------------------------- DAG mode
+
+#[derive(Debug, Clone)]
+struct DagState {
+    alive: NodeBitSet,
+    count: usize,
+    root: NodeId,
+    chain: Vec<NodeId>,
+    lo: usize,
+    hi: usize,
+    active: bool,
+    undo: Vec<DagFrame>,
+}
+
+#[derive(Debug, Clone)]
+struct DagFrame {
+    prev_root: NodeId,
+    prev_chain: Vec<NodeId>,
+    prev_lo: usize,
+    prev_hi: usize,
+    prev_active: bool,
+    prev_count: usize,
+    killed: NodeBitSet,
+}
+
+impl DagState {
+    fn new(ctx: &SearchContext<'_>) -> Self {
+        let n = ctx.dag.node_count();
+        DagState {
+            alive: NodeBitSet::full(n),
+            count: n,
+            root: ctx.dag.root(),
+            chain: Vec::new(),
+            lo: 0,
+            hi: 0,
+            active: false,
+            undo: Vec::new(),
+        }
+    }
+
+    fn ensure_chain(&mut self, ctx: &SearchContext<'_>, closure: &ReachClosure) {
+        if self.active {
+            return;
+        }
+        self.chain.clear();
+        self.chain.push(self.root);
+        let mut u = self.root;
+        loop {
+            let mut best: Option<(usize, NodeId)> = None;
+            for &c in ctx.dag.children(u) {
+                let carried = closure.descendants(c).intersection_count(&self.alive);
+                if carried == 0 {
+                    continue;
+                }
+                match best {
+                    None => best = Some((carried, c)),
+                    Some((bs, bc)) => {
+                        if carried > bs || (carried == bs && c < bc) {
+                            best = Some((carried, c));
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((_, c)) => {
+                    self.chain.push(c);
+                    u = c;
+                }
+                None => break,
+            }
+        }
+        debug_assert!(self.chain.len() >= 2, "unresolved root carries candidates below");
+        self.lo = 0;
+        self.hi = self.chain.len() - 1;
+        self.active = true;
+    }
+
+    fn mid(&self) -> usize {
+        (self.lo + self.hi).div_ceil(2)
+    }
+
+    fn observe(&mut self, closure: &ReachClosure, q: NodeId, yes: bool) {
+        debug_assert!(self.active && q == self.chain[self.mid()]);
+        let mid = self.mid();
+        let gq = closure.descendants(q);
+        let mut killed = self.alive.clone();
+        if yes {
+            killed.subtract(gq); // killed = alive ∖ G_q
+            self.alive.intersect_with(gq);
+        } else {
+            killed.intersect_with(gq); // killed = alive ∩ G_q
+            self.alive.subtract(gq);
+        }
+        let prev_count = self.count;
+        self.count -= killed.count();
+        self.undo.push(DagFrame {
+            prev_root: self.root,
+            prev_chain: self.chain.clone(),
+            prev_lo: self.lo,
+            prev_hi: self.hi,
+            prev_active: self.active,
+            prev_count,
+            killed,
+        });
+        if yes {
+            self.root = q;
+            self.lo = mid;
+        } else {
+            self.hi = mid - 1;
+        }
+        if self.lo >= self.hi {
+            self.active = false;
+        }
+    }
+
+    fn unobserve(&mut self) {
+        let f = self.undo.pop().expect("nothing to unobserve");
+        self.alive.union_with(&f.killed);
+        self.count = f.prev_count;
+        self.root = f.prev_root;
+        self.chain = f.prev_chain;
+        self.lo = f.prev_lo;
+        self.hi = f.prev_hi;
+        self.active = f.prev_active;
+    }
+
+    fn resolved(&self) -> Option<NodeId> {
+        if self.count == 1 {
+            self.alive.sole_member()
+        } else {
+            None
+        }
+    }
+}
+
+// -------------------------------------------------------------- policy impl
+
+impl WigsPolicy {
+    /// New, un-reset policy.
+    pub fn new() -> Self {
+        WigsPolicy::default()
+    }
+}
+
+/// Resolves the closure to use: the context's shared one, or the policy's
+/// own copy built at reset. Free function over the `own_closure` field so
+/// the borrow checker can split it from a simultaneous `&mut mode` borrow.
+fn pick_closure<'s>(
+    ctx_closure: Option<&'s ReachClosure>,
+    own: &'s Option<(u64, ReachClosure)>,
+) -> &'s ReachClosure {
+    match ctx_closure {
+        Some(c) => c,
+        None => {
+            &own.as_ref()
+                .expect("reset() builds a closure when the context lacks one")
+                .1
+        }
+    }
+}
+
+impl Policy for WigsPolicy {
+    fn name(&self) -> &'static str {
+        "wigs"
+    }
+
+    fn reset(&mut self, ctx: &SearchContext<'_>) {
+        if ctx.dag.is_tree() {
+            self.mode = Mode::Tree(TreeState::new(ctx));
+            return;
+        }
+        if ctx.closure.is_none() {
+            let reusable = ctx.cache_token != 0
+                && self
+                    .own_closure
+                    .as_ref()
+                    .is_some_and(|(t, _)| *t == ctx.cache_token);
+            if !reusable {
+                self.own_closure = Some((ctx.cache_token, ReachClosure::build(ctx.dag)));
+            }
+        }
+        self.mode = Mode::Dag(DagState::new(ctx));
+    }
+
+    fn resolved(&self) -> Option<NodeId> {
+        match &self.mode {
+            Mode::Unset => None,
+            Mode::Tree(t) => {
+                if t.size[t.root.index()] == 1 {
+                    Some(t.root)
+                } else {
+                    None
+                }
+            }
+            Mode::Dag(d) => d.resolved(),
+        }
+    }
+
+    fn select(&mut self, ctx: &SearchContext<'_>) -> NodeId {
+        debug_assert!(self.resolved().is_none());
+        match &mut self.mode {
+            Mode::Unset => panic!("select() before reset()"),
+            Mode::Tree(t) => {
+                t.ensure_chain(ctx);
+                t.chain[t.mid()]
+            }
+            Mode::Dag(d) => {
+                let closure = pick_closure(ctx.closure, &self.own_closure);
+                d.ensure_chain(ctx, closure);
+                d.chain[d.mid()]
+            }
+        }
+    }
+
+    fn observe(&mut self, ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
+        match &mut self.mode {
+            Mode::Unset => panic!("observe() before reset()"),
+            Mode::Tree(t) => t.observe(q, yes),
+            Mode::Dag(d) => {
+                let closure = pick_closure(ctx.closure, &self.own_closure);
+                d.observe(closure, q, yes);
+            }
+        }
+    }
+
+    fn unobserve(&mut self, _ctx: &SearchContext<'_>) {
+        match &mut self.mode {
+            Mode::Unset => panic!("unobserve() before reset()"),
+            Mode::Tree(t) => t.unobserve(),
+            Mode::Dag(d) => d.unobserve(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Policy + Send> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeWeights, SearchContext};
+    use aigs_graph::generate::path_graph;
+    use aigs_graph::dag_from_edges;
+
+    fn drive(p: &mut dyn Policy, ctx: &SearchContext<'_>, z: NodeId) -> (NodeId, u32) {
+        p.reset(ctx);
+        let mut queries = 0;
+        loop {
+            if let Some(t) = p.resolved() {
+                return (t, queries);
+            }
+            let q = p.select(ctx);
+            p.observe(ctx, q, ctx.dag.reaches(q, z));
+            queries += 1;
+            assert!(queries < 500);
+        }
+    }
+
+    #[test]
+    fn binary_search_on_a_path_is_logarithmic() {
+        let g = path_graph(64);
+        let w = NodeWeights::uniform(64);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = WigsPolicy::new();
+        for z in g.nodes() {
+            let (found, queries) = drive(&mut p, &ctx, z);
+            assert_eq!(found, z);
+            assert!(queries <= 7, "path search took {queries} > log2(64)+1");
+        }
+    }
+
+    #[test]
+    fn finds_all_targets_on_tree() {
+        let g = dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = WigsPolicy::new();
+        for z in g.nodes() {
+            assert_eq!(drive(&mut p, &ctx, z).0, z);
+        }
+    }
+
+    #[test]
+    fn finds_all_targets_on_dag_with_and_without_shared_closure() {
+        let g = dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap();
+        let w = NodeWeights::uniform(6);
+        let closure = aigs_graph::ReachClosure::build(&g);
+        let shared = SearchContext::new(&g, &w).with_closure(&closure);
+        let own = SearchContext::new(&g, &w);
+        for ctx in [shared, own] {
+            let mut p = WigsPolicy::new();
+            for z in g.nodes() {
+                assert_eq!(drive(&mut p, &ctx, z).0, z);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_agnostic() {
+        // WIGS ignores weights entirely: identical query sequences under
+        // wildly different distributions.
+        let g = dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap();
+        let w1 = NodeWeights::uniform(7);
+        let w2 = NodeWeights::from_masses(vec![0.9, 0.02, 0.02, 0.02, 0.02, 0.01, 0.01]).unwrap();
+        for z in g.nodes() {
+            let c1 = SearchContext::new(&g, &w1);
+            let c2 = SearchContext::new(&g, &w2);
+            let mut p1 = WigsPolicy::new();
+            let mut p2 = WigsPolicy::new();
+            assert_eq!(drive(&mut p1, &c1, z).1, drive(&mut p2, &c2, z).1);
+        }
+    }
+
+    #[test]
+    fn worst_case_is_chains_times_log_on_stars_of_chains() {
+        // A root with 8 chains of length 8 (n = 65): the worst target (the
+        // root) forces WIGS to refute every chain with a ⌈log₂ 9⌉-query
+        // binary search — ~8·⌈log₂ 9⌉ ≈ 32 queries, far below the n − 1
+        // a leaf-by-leaf policy would need on this shape.
+        let mut edges = Vec::new();
+        let mut next = 1u32;
+        for _ in 0..8 {
+            let mut prev = 0u32;
+            for _ in 0..8 {
+                edges.push((prev, next));
+                prev = next;
+                next += 1;
+            }
+        }
+        let g = dag_from_edges(next as usize, &edges).unwrap();
+        let w = NodeWeights::uniform(g.node_count());
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = WigsPolicy::new();
+        let mut worst = 0;
+        for z in g.nodes() {
+            let (found, q) = drive(&mut p, &ctx, z);
+            assert_eq!(found, z);
+            worst = worst.max(q);
+        }
+        assert!(worst <= 32, "worst case {worst} exceeds 8·⌈log₂ 9⌉");
+        assert!(worst < g.node_count() as u32 / 2, "must beat linear scan");
+    }
+
+    #[test]
+    fn undo_roundtrip_tree_and_dag() {
+        for g in [
+            dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap(),
+            dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap(),
+        ] {
+            let w = NodeWeights::uniform(g.node_count());
+            let ctx = SearchContext::new(&g, &w);
+            let mut p = WigsPolicy::new();
+            p.reset(&ctx);
+            let q0 = p.select(&ctx);
+            p.observe(&ctx, q0, false);
+            let q1 = p.select(&ctx);
+            p.unobserve(&ctx);
+            assert_eq!(p.select(&ctx), q0);
+            p.observe(&ctx, q0, false);
+            assert_eq!(p.select(&ctx), q1);
+        }
+    }
+}

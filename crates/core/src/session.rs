@@ -1,0 +1,459 @@
+//! Running searches and measuring their cost.
+//!
+//! [`run_session`] drives one policy/oracle interaction to completion
+//! (`FrameworkIGS`, Alg. 1). [`evaluate_exhaustive`] runs a session for
+//! *every* node as target and reports the probability-weighted expected cost
+//! — exactly the metric of Definition 7 — along with worst-case and
+//! per-depth breakdowns used by the experiment harness.
+
+use aigs_graph::{NodeId, ReachClosure};
+
+use crate::{
+    fresh_cache_token, CoreError, Oracle, Policy, SearchContext, TargetOracle,
+};
+
+/// Borrowed-interval oracle used internally by the evaluation loops so that
+/// thousands of per-target oracles share one pair of Euler arrays.
+struct IntervalOracle<'a> {
+    tin: &'a [u32],
+    tout: &'a [u32],
+    target: NodeId,
+    asked: u32,
+}
+
+impl Oracle for IntervalOracle<'_> {
+    fn reach(&mut self, q: NodeId) -> bool {
+        self.asked += 1;
+        self.tin[q.index()] <= self.tin[self.target.index()]
+            && self.tin[self.target.index()] < self.tout[q.index()]
+    }
+
+    fn queries_asked(&self) -> u32 {
+        self.asked
+    }
+
+    fn ground_truth(&self) -> Option<NodeId> {
+        Some(self.target)
+    }
+}
+
+/// The result of one interactive search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The node the policy identified.
+    pub target: NodeId,
+    /// Number of oracle queries issued.
+    pub queries: u32,
+    /// Total price paid (equals `queries` under uniform costs).
+    pub price: f64,
+}
+
+/// Drives `policy` against `oracle` until resolution.
+///
+/// `max_queries` bounds the session; on top of it an internal safety cap of
+/// `4·n + 64` guards against non-terminating policies (every sound policy
+/// resolves within `n − 1` informative queries).
+pub fn run_session(
+    policy: &mut dyn Policy,
+    ctx: &SearchContext<'_>,
+    oracle: &mut dyn Oracle,
+    max_queries: Option<u32>,
+) -> Result<SearchOutcome, CoreError> {
+    let hard_cap = 4 * ctx.dag.node_count() as u32 + 64;
+    let cap = max_queries.map_or(hard_cap, |m| m.min(hard_cap));
+    policy.reset(ctx);
+    let mut queries = 0u32;
+    let mut price = 0.0;
+    loop {
+        if let Some(target) = policy.resolved() {
+            return Ok(SearchOutcome {
+                target,
+                queries,
+                price,
+            });
+        }
+        if queries >= cap {
+            return Err(CoreError::Diverged {
+                queries,
+                limit: cap,
+            });
+        }
+        let q = policy.select(ctx);
+        let yes = oracle.reach(q);
+        price += ctx.costs.price(q);
+        queries += 1;
+        policy.observe(ctx, q, yes);
+    }
+}
+
+/// Aggregate cost statistics over a set of evaluated targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Probability-weighted expected query count (Definition 7).
+    pub expected_cost: f64,
+    /// Probability-weighted expected price (Definition 8; equals
+    /// `expected_cost` under uniform costs).
+    pub expected_price: f64,
+    /// Unweighted mean query count over evaluated targets.
+    pub mean_cost: f64,
+    /// Worst query count over evaluated targets (the WIGS objective).
+    pub max_cost: u32,
+    /// Query count per target node (indexed by node id; only targets that
+    /// were evaluated are meaningful).
+    pub per_target: Vec<u32>,
+    /// Number of targets evaluated.
+    pub targets: usize,
+}
+
+/// Runs `policy` once for **every node as target** and aggregates costs
+/// under the context's distribution. This is the exact expected cost: the
+/// simulated equivalent of summing `p(v)·ℓ(v)` over decision-tree leaves.
+///
+/// A fresh cache token is attached so policies can hoist per-instance
+/// precomputation out of the per-target loop, and oracles answer from the
+/// cheapest index available (tree Euler intervals / shared closure /
+/// per-target ancestor sets).
+pub fn evaluate_exhaustive(
+    policy: &mut dyn Policy,
+    ctx: &SearchContext<'_>,
+) -> Result<EvalReport, CoreError> {
+    let targets: Vec<NodeId> = ctx.dag.nodes().collect();
+    evaluate_targets(policy, ctx, &targets)
+}
+
+/// Runs `policy` for each listed target (repetitions allowed — e.g. a
+/// sampled object trace) and aggregates costs. Expected-cost fields weight
+/// by `ctx.weights`; `mean_cost` treats the list as an empirical sample.
+pub fn evaluate_targets(
+    policy: &mut dyn Policy,
+    ctx: &SearchContext<'_>,
+    targets: &[NodeId],
+) -> Result<EvalReport, CoreError> {
+    let ctx = if ctx.cache_token == 0 {
+        ctx.with_cache_token(fresh_cache_token())
+    } else {
+        *ctx
+    };
+    let n = ctx.dag.node_count();
+
+    // Shared answer indexes.
+    let tree_intervals = euler_intervals(&ctx);
+
+    let mut per_target = vec![0u32; n];
+    let mut seen = vec![false; n];
+    let mut total_queries: u64 = 0;
+    let mut max_cost = 0u32;
+    let mut expected_cost = 0.0;
+
+    for &z in targets {
+        let outcome = run_for_target(policy, &ctx, z, &tree_intervals)?;
+        if outcome.target != z {
+            return Err(CoreError::PolicyInvariant(
+                "policy resolved to a node different from the oracle's target",
+            ));
+        }
+        per_target[z.index()] = outcome.queries;
+        seen[z.index()] = true;
+        total_queries += outcome.queries as u64;
+        max_cost = max_cost.max(outcome.queries);
+    }
+    for v in ctx.dag.nodes() {
+        if seen[v.index()] {
+            expected_cost += ctx.weights.get(v) * per_target[v.index()] as f64;
+        }
+    }
+    // Expected price: recoverable from the expected cost when prices are
+    // uniform; otherwise a second pass accumulates Σ p(z)·price(z) over the
+    // distinct evaluated targets.
+    let expected_price = if ctx.costs.is_uniform() {
+        expected_cost * ctx.costs.price(NodeId::new(0))
+    } else {
+        weighted_price_pass(policy, &ctx, &seen, &tree_intervals)?
+    };
+
+    Ok(EvalReport {
+        expected_cost,
+        expected_price,
+        mean_cost: if targets.is_empty() {
+            0.0
+        } else {
+            total_queries as f64 / targets.len() as f64
+        },
+        max_cost,
+        per_target,
+        targets: targets.len(),
+    })
+}
+
+/// Second pass for heterogeneous prices: expected price = Σ p(z)·price(z).
+fn weighted_price_pass(
+    policy: &mut dyn Policy,
+    ctx: &SearchContext<'_>,
+    seen: &[bool],
+    tree_intervals: &Option<(Vec<u32>, Vec<u32>)>,
+) -> Result<f64, CoreError> {
+    let mut expected = 0.0;
+    for z in ctx.dag.nodes() {
+        if !seen[z.index()] {
+            continue;
+        }
+        let outcome = run_for_target(policy, ctx, z, tree_intervals)?;
+        expected += ctx.weights.get(z) * outcome.price;
+    }
+    Ok(expected)
+}
+
+fn run_for_target(
+    policy: &mut dyn Policy,
+    ctx: &SearchContext<'_>,
+    z: NodeId,
+    tree_intervals: &Option<(Vec<u32>, Vec<u32>)>,
+) -> Result<SearchOutcome, CoreError> {
+    match (tree_intervals, ctx.closure) {
+        (Some((tin, tout)), _) => {
+            let mut oracle = IntervalOracle {
+                tin,
+                tout,
+                target: z,
+                asked: 0,
+            };
+            run_session(policy, ctx, &mut oracle, None)
+        }
+        (None, Some(closure)) => {
+            let mut oracle = crate::ClosureOracle::new(closure, z);
+            run_session(policy, ctx, &mut oracle, None)
+        }
+        (None, None) => {
+            let mut oracle = TargetOracle::new(ctx.dag, z);
+            run_session(policy, ctx, &mut oracle, None)
+        }
+    }
+}
+
+fn euler_intervals(ctx: &SearchContext<'_>) -> Option<(Vec<u32>, Vec<u32>)> {
+    if !ctx.dag.is_tree() {
+        return None;
+    }
+    let n = ctx.dag.node_count();
+    let mut tin = vec![0u32; n];
+    let mut tout = vec![0u32; n];
+    let mut clock = 0u32;
+    let mut stack: Vec<(NodeId, usize)> = vec![(ctx.dag.root(), 0)];
+    tin[ctx.dag.root().index()] = clock;
+    clock += 1;
+    while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+        let kids = ctx.dag.children(u);
+        if *ci < kids.len() {
+            let c = kids[*ci];
+            *ci += 1;
+            tin[c.index()] = clock;
+            clock += 1;
+            stack.push((c, 0));
+        } else {
+            tout[u.index()] = clock;
+            stack.pop();
+        }
+    }
+    Some((tin, tout))
+}
+
+/// Runs an exhaustive evaluation split across `threads` OS threads, each
+/// driving its own clone of the policy over a contiguous chunk of targets.
+/// Falls back to the sequential path for single-threaded requests or tiny
+/// instances. Deterministic: per-target costs are independent of the split.
+pub fn evaluate_exhaustive_parallel(
+    policy: &mut dyn Policy,
+    ctx: &SearchContext<'_>,
+    threads: usize,
+) -> Result<EvalReport, CoreError> {
+    let n = ctx.dag.node_count();
+    if threads <= 1 || n < 2048 {
+        return evaluate_exhaustive(policy, ctx);
+    }
+    let ctx = if ctx.cache_token == 0 {
+        ctx.with_cache_token(fresh_cache_token())
+    } else {
+        *ctx
+    };
+    let targets: Vec<NodeId> = ctx.dag.nodes().collect();
+    let tree_intervals = euler_intervals(&ctx);
+    let chunk = targets.len().div_ceil(threads);
+
+    let partials: Vec<Result<Vec<(NodeId, SearchOutcome)>, CoreError>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for slice in targets.chunks(chunk) {
+                let mut worker = policy.clone_box();
+                let ctx_ref = &ctx;
+                let intervals_ref = &tree_intervals;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::with_capacity(slice.len());
+                    for &z in slice {
+                        let outcome =
+                            run_for_target(worker.as_mut(), ctx_ref, z, intervals_ref)?;
+                        out.push((z, outcome));
+                    }
+                    Ok(out)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        });
+
+    let mut per_target = vec![0u32; n];
+    let mut total_queries: u64 = 0;
+    let mut max_cost = 0u32;
+    let mut expected_cost = 0.0;
+    let mut expected_price = 0.0;
+    for part in partials {
+        for (z, outcome) in part? {
+            if outcome.target != z {
+                return Err(CoreError::PolicyInvariant(
+                    "policy resolved to a node different from the oracle's target",
+                ));
+            }
+            per_target[z.index()] = outcome.queries;
+            total_queries += outcome.queries as u64;
+            max_cost = max_cost.max(outcome.queries);
+            expected_cost += ctx.weights.get(z) * outcome.queries as f64;
+            expected_price += ctx.weights.get(z) * outcome.price;
+        }
+    }
+    Ok(EvalReport {
+        expected_cost,
+        expected_price,
+        mean_cost: total_queries as f64 / n as f64,
+        max_cost,
+        per_target,
+        targets: n,
+    })
+}
+
+/// Evaluates several policies on the same instance, reusing one closure for
+/// all of them when the hierarchy is a DAG, spreading target batches over
+/// the machine's cores. Returns `(name, report)` pairs in roster order —
+/// one row of the paper's cost tables.
+pub fn evaluate_roster(
+    roster: &mut [Box<dyn Policy + Send>],
+    dag: &aigs_graph::Dag,
+    weights: &crate::NodeWeights,
+) -> Result<Vec<(String, EvalReport)>, CoreError> {
+    let costs = crate::QueryCosts::Uniform;
+    let closure = if dag.is_tree() {
+        None
+    } else {
+        Some(ReachClosure::build(dag))
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut out = Vec::with_capacity(roster.len());
+    for policy in roster.iter_mut() {
+        let base = SearchContext::new(dag, weights).with_costs(&costs);
+        let ctx = match &closure {
+            Some(c) => base.with_closure(c),
+            None => base,
+        };
+        let report = evaluate_exhaustive_parallel(policy.as_mut(), &ctx, threads)?;
+        out.push((policy.name().to_owned(), report));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedyTreePolicy, TopDownPolicy, WigsPolicy};
+    use crate::{NodeWeights, QueryCosts};
+    use aigs_graph::dag_from_edges;
+
+    fn vehicle() -> aigs_graph::Dag {
+        dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap()
+    }
+
+    #[test]
+    fn session_outcome_matches_target() {
+        let g = vehicle();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyTreePolicy::new();
+        for z in g.nodes() {
+            let mut oracle = TargetOracle::new(&g, z);
+            let out = run_session(&mut p, &ctx, &mut oracle, None).unwrap();
+            assert_eq!(out.target, z);
+            assert_eq!(out.queries, oracle.queries_asked());
+            assert_eq!(out.price, out.queries as f64);
+        }
+    }
+
+    #[test]
+    fn query_cap_triggers_diverged() {
+        let g = vehicle();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = TopDownPolicy::new();
+        let mut oracle = TargetOracle::new(&g, NodeId::new(6));
+        let err = run_session(&mut p, &ctx, &mut oracle, Some(1)).unwrap_err();
+        assert!(matches!(err, CoreError::Diverged { limit: 1, .. }));
+    }
+
+    #[test]
+    fn exhaustive_report_consistency() {
+        let g = vehicle();
+        let w = NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyTreePolicy::new();
+        let r = evaluate_exhaustive(&mut p, &ctx).unwrap();
+        assert_eq!(r.targets, 7);
+        assert!(r.expected_cost > 0.0);
+        assert!(r.max_cost as f64 >= r.expected_cost);
+        // Expected cost equals the manual weighted sum.
+        let manual: f64 = g
+            .nodes()
+            .map(|v| w.get(v) * r.per_target[v.index()] as f64)
+            .sum();
+        assert!((manual - r.expected_cost).abs() < 1e-12);
+        assert!((r.expected_price - r.expected_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_beats_wigs_on_skewed_mass() {
+        // The headline effect of the paper (Example 2): under a skewed
+        // distribution the average-case greedy beats the worst-case policy.
+        let g = vehicle();
+        let w = NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        let mut greedy = GreedyTreePolicy::new();
+        let mut wigs = WigsPolicy::new();
+        let rg = evaluate_exhaustive(&mut greedy, &ctx).unwrap();
+        let rw = evaluate_exhaustive(&mut wigs, &ctx).unwrap();
+        assert!(
+            rg.expected_cost < rw.expected_cost,
+            "greedy {} vs wigs {}",
+            rg.expected_cost,
+            rw.expected_cost
+        );
+    }
+
+    #[test]
+    fn heterogeneous_prices_reported() {
+        let g = dag_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let w = NodeWeights::uniform(4);
+        let costs = QueryCosts::PerNode(vec![1.0, 1.0, 5.0, 1.0]);
+        let ctx = SearchContext::new(&g, &w).with_costs(&costs);
+        let mut p = crate::policy::CostSensitivePolicy::new();
+        let r = evaluate_exhaustive(&mut p, &ctx).unwrap();
+        // Example 4: the cost-sensitive greedy pays expected price 4.25.
+        assert!((r.expected_price - 4.25).abs() < 1e-9, "{}", r.expected_price);
+    }
+
+    #[test]
+    fn roster_evaluation_runs_all_columns() {
+        let g = vehicle();
+        let w = NodeWeights::uniform(7);
+        let mut roster = crate::policy::paper_roster(true);
+        let rows = evaluate_roster(&mut roster, &g, &w).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|(_, r)| r.expected_cost > 0.0));
+    }
+}

@@ -1,0 +1,53 @@
+//! Parallel evaluation must agree exactly with sequential evaluation.
+
+use aigs_core::policy::{GreedyDagPolicy, GreedyTreePolicy, TopDownPolicy, WigsPolicy};
+use aigs_core::{evaluate_exhaustive, evaluate_exhaustive_parallel, NodeWeights, Policy, SearchContext};
+use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn parallel_matches_sequential_tree() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = random_tree(&TreeConfig::bushy(2500), &mut rng);
+    let w = NodeWeights::from_masses((0..2500).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap();
+    let ctx = SearchContext::new(&g, &w);
+    let policies: Vec<Box<dyn Policy + Send>> = vec![
+        Box::new(GreedyTreePolicy::new()),
+        Box::new(TopDownPolicy::new()),
+        Box::new(WigsPolicy::new()),
+    ];
+    for mut p in policies {
+        let seq = evaluate_exhaustive(p.as_mut(), &ctx).unwrap();
+        let par = evaluate_exhaustive_parallel(p.as_mut(), &ctx, 4).unwrap();
+        assert_eq!(seq.per_target, par.per_target, "{}", p.name());
+        assert!((seq.expected_cost - par.expected_cost).abs() < 1e-9);
+        assert_eq!(seq.max_cost, par.max_cost);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_dag() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = random_dag(&DagConfig::bushy(2500, 0.1), &mut rng);
+    let n = g.node_count();
+    let w = NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap();
+    let closure = aigs_graph::ReachClosure::build(&g);
+    let ctx = SearchContext::new(&g, &w).with_closure(&closure);
+    let mut p = GreedyDagPolicy::new();
+    let seq = evaluate_exhaustive(&mut p, &ctx).unwrap();
+    let par = evaluate_exhaustive_parallel(&mut p, &ctx, 8).unwrap();
+    assert_eq!(seq.per_target, par.per_target);
+    assert!((seq.expected_cost - par.expected_cost).abs() < 1e-9);
+}
+
+#[test]
+fn small_instances_fall_back_to_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let g = random_tree(&TreeConfig::bushy(50), &mut rng);
+    let w = NodeWeights::uniform(50);
+    let ctx = SearchContext::new(&g, &w);
+    let mut p = GreedyTreePolicy::new();
+    let par = evaluate_exhaustive_parallel(&mut p, &ctx, 8).unwrap();
+    assert_eq!(par.targets, 50);
+}

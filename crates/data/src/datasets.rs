@@ -1,0 +1,236 @@
+//! The two evaluation datasets, synthesised to the paper's Table II shape.
+//!
+//! | Dataset  | #nodes | Height | Max Deg. | Type | #objects   |
+//! |----------|--------|--------|----------|------|------------|
+//! | Amazon   | 29,240 | 10     | 225      | Tree | 13,886,889 |
+//! | ImageNet | 27,714 | 13     | 402      | DAG  | 12,656,970 |
+//!
+//! The originals are a product-category dump and the WordNet-aligned
+//! ImageNet XML; neither ships here, so [`amazon_like`] / [`imagenet_like`]
+//! generate hierarchies matched on every Table II column, and
+//! [`synthesize_object_counts`] produces the labelled-object multiset the
+//! cost experiments average over (leaf-heavy, Zipf-popular — the skew that
+//! drives the paper's headline gap between greedy and WIGS). `Scale`
+//! switches between paper-size instances and laptop-quick ones with the
+//! same shape.
+
+use aigs_core::NodeWeights;
+use aigs_graph::{Dag, NodeId};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+use crate::distributions::sample_zipf;
+use crate::taxonomy::{generate_taxonomy, overlay_cross_edges, TaxonomyConfig};
+
+/// Instance sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// A few thousand nodes: same shape, seconds-fast experiments.
+    #[default]
+    Small,
+    /// The paper's Table II sizes (tens of thousands of nodes).
+    Full,
+}
+
+/// A synthesised dataset: hierarchy plus labelled-object multiset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name ("amazon" / "imagenet").
+    pub name: &'static str,
+    /// The category hierarchy.
+    pub dag: Dag,
+    /// Labelled objects per category (the "real data distribution").
+    pub object_counts: Vec<u64>,
+}
+
+impl Dataset {
+    /// Total number of labelled objects.
+    pub fn object_total(&self) -> u64 {
+        self.object_counts.iter().sum()
+    }
+
+    /// The empirical target distribution of the object multiset.
+    pub fn empirical_weights(&self) -> NodeWeights {
+        NodeWeights::from_counts(&self.object_counts).expect("non-empty multiset")
+    }
+}
+
+/// Amazon-like product tree (Table II row 1).
+pub fn amazon_like(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (nodes, max_children, objects) = match scale {
+        Scale::Small => (3_000, 80, 200_000),
+        Scale::Full => (29_240, 225, 2_000_000),
+    };
+    let mut cfg = TaxonomyConfig::new(nodes, 10, max_children);
+    cfg.label_prefix = "amazon";
+    let dag = generate_taxonomy(&cfg, &mut rng);
+    let object_counts = synthesize_object_counts(&dag, objects, &mut rng);
+    Dataset {
+        name: "amazon",
+        dag,
+        object_counts,
+    }
+}
+
+/// ImageNet-like concept DAG (Table II row 2).
+pub fn imagenet_like(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (nodes, max_children, objects) = match scale {
+        Scale::Small => (3_000, 120, 200_000),
+        Scale::Full => (27_714, 402, 2_000_000),
+    };
+    let mut cfg = TaxonomyConfig::new(nodes, 13, max_children);
+    cfg.label_prefix = "synset";
+    let tree = generate_taxonomy(&cfg, &mut rng);
+    // ~6% of synsets get a second hypernym, the WordNet signature.
+    let dag = overlay_cross_edges(&tree, 0.06, &mut rng);
+    let object_counts = synthesize_object_counts(&dag, objects, &mut rng);
+    Dataset {
+        name: "imagenet",
+        dag,
+        object_counts,
+    }
+}
+
+/// Synthesises the labelled-object multiset: every category draws a
+/// Zipf(2.5) popularity capped at 500 — a long-tailed but finite-mean skew,
+/// so the head categories carry a few percent of the mass each rather than
+/// a degenerate majority — leaves are boosted 8× (real objects
+/// overwhelmingly live in leaf categories, though internal labels do occur,
+/// cf. the paper's "a Nissan but neither a Maxima nor a Sentra"), and
+/// `total` objects are apportioned by expectation with largest-remainder
+/// rounding so the counts sum exactly to `total`.
+pub fn synthesize_object_counts<R: Rng>(dag: &Dag, total: u64, rng: &mut R) -> Vec<u64> {
+    let n = dag.node_count();
+    let mut popularity: Vec<f64> = (0..n)
+        .map(|_| sample_zipf(2.5, rng).min(500) as f64)
+        .collect();
+    let depths = dag.depths();
+    for v in dag.nodes() {
+        if dag.is_leaf(v) {
+            popularity[v.index()] *= 4.0;
+        }
+        // Objects concentrate in the deep, specific categories (a product
+        // is a "DSLR lens cap", rarely a generic "Electronics"): cubic
+        // depth tilt pushes mass into the nested bulk, which is what makes
+        // halving policies (WIGS, greedy) beat per-level linear scans.
+        let d = depths[v.index()] as f64;
+        popularity[v.index()] *= (1.0 + d).powi(3);
+    }
+    let mass: f64 = popularity.iter().sum();
+    // Largest-remainder apportionment.
+    let mut counts: Vec<u64> = Vec::with_capacity(n);
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(n);
+    let mut assigned: u64 = 0;
+    for (i, &p) in popularity.iter().enumerate() {
+        let exact = p / mass * total as f64;
+        let floor = exact.floor() as u64;
+        counts.push(floor);
+        assigned += floor;
+        remainders.push((exact - floor as f64, i));
+    }
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut leftover = total - assigned;
+    for &(_, i) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    counts
+}
+
+/// Builds a shuffled labelling trace from object counts: the stream of
+/// target nodes the online-learning experiment (Fig. 4) replays.
+pub fn object_trace<R: Rng>(counts: &[u64], limit: usize, rng: &mut R) -> Vec<NodeId> {
+    use rand::seq::SliceRandom;
+    let total: u64 = counts.iter().sum();
+    let take = (limit as u64).min(total) as usize;
+    // Sample without materialising all objects: draw with replacement from
+    // the empirical distribution (indistinguishable from a shuffled prefix
+    // for trace-scale ≪ total), then shuffle for stream order.
+    let weights = NodeWeights::from_counts(counts).expect("non-empty");
+    let mut trace = crate::distributions::sample_targets(&weights, take, rng);
+    trace.shuffle(rng);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amazon_small_matches_table2_shape() {
+        let d = amazon_like(Scale::Small, 42);
+        let stats = d.dag.stats();
+        assert_eq!(stats.nodes, 3_000);
+        assert_eq!(stats.height, 10);
+        assert!(stats.is_tree);
+        assert!(stats.max_out_degree <= 80 && stats.max_out_degree >= 30);
+        assert_eq!(d.object_total(), 200_000);
+        assert_eq!(d.name, "amazon");
+    }
+
+    #[test]
+    fn imagenet_small_matches_table2_shape() {
+        let d = imagenet_like(Scale::Small, 42);
+        let stats = d.dag.stats();
+        assert_eq!(stats.nodes, 3_000);
+        assert_eq!(stats.height, 13);
+        assert!(!stats.is_tree);
+        assert!(stats.edges > stats.nodes - 1);
+        assert_eq!(d.name, "imagenet");
+    }
+
+    #[test]
+    fn object_counts_sum_exactly() {
+        let d = amazon_like(Scale::Small, 7);
+        assert_eq!(d.object_counts.iter().sum::<u64>(), 200_000);
+        // Leaf-heavy: leaves hold the majority of objects.
+        let leaf_objects: u64 = d
+            .dag
+            .nodes()
+            .filter(|&v| d.dag.is_leaf(v))
+            .map(|v| d.object_counts[v.index()])
+            .sum();
+        assert!(leaf_objects * 2 > d.object_total());
+    }
+
+    #[test]
+    fn empirical_weights_are_skewed() {
+        let d = amazon_like(Scale::Small, 7);
+        let w = d.empirical_weights();
+        let uniform_entropy = (d.dag.node_count() as f64).log2();
+        assert!(
+            w.entropy_bits() < uniform_entropy - 0.5,
+            "object multiset should be skewed: H = {} vs log2 n = {uniform_entropy}",
+            w.entropy_bits()
+        );
+    }
+
+    #[test]
+    fn datasets_are_deterministic_per_seed() {
+        let a = amazon_like(Scale::Small, 9);
+        let b = amazon_like(Scale::Small, 9);
+        assert_eq!(a.dag, b.dag);
+        assert_eq!(a.object_counts, b.object_counts);
+        let c = amazon_like(Scale::Small, 10);
+        assert_ne!(a.object_counts, c.object_counts);
+    }
+
+    #[test]
+    fn trace_is_a_plausible_stream() {
+        let d = amazon_like(Scale::Small, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = object_trace(&d.object_counts, 5_000, &mut rng);
+        assert_eq!(trace.len(), 5_000);
+        assert!(trace.iter().all(|t| t.index() < d.dag.node_count()));
+        // Nodes with zero objects never appear.
+        for &t in &trace {
+            assert!(d.object_counts[t.index()] > 0);
+        }
+    }
+}

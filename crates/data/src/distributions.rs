@@ -1,0 +1,204 @@
+//! Synthetic node-weight distributions (Section V-B of the paper).
+//!
+//! The paper evaluates four probability settings: *Equal* (`p(v) = 1/n`),
+//! and three weighted settings where each node draws an i.i.d. mass `x_v`
+//! which is then normalised — Uniform(0,1), Exp(1), and Zipf(a) with
+//! density `f(x; a) = x^{-a}/ζ(a)` (default `a = 2`). Zipf sampling uses
+//! Devroye's rejection method, valid for all `a > 1`.
+
+use aigs_core::NodeWeights;
+use aigs_graph::NodeId;
+use rand::Rng;
+
+/// The synthetic weight settings of Tables IV/V and Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightSetting {
+    /// `p(v) = 1/n` (the unweighted setting).
+    Equal,
+    /// i.i.d. masses from Uniform(0, 1).
+    Uniform,
+    /// i.i.d. masses from Exp(1).
+    Exponential,
+    /// i.i.d. masses from the Zipf distribution with parameter `a > 1`.
+    Zipf(f64),
+}
+
+impl WeightSetting {
+    /// Short label used in harness output (matches the paper's tables).
+    pub fn label(&self) -> String {
+        match self {
+            WeightSetting::Equal => "Equal".to_owned(),
+            WeightSetting::Uniform => "Uniform".to_owned(),
+            WeightSetting::Exponential => "Exponential".to_owned(),
+            WeightSetting::Zipf(a) => format!("Zipf(a={a})"),
+        }
+    }
+
+    /// Draws a weight vector for `n` nodes.
+    pub fn assign<R: Rng>(&self, n: usize, rng: &mut R) -> NodeWeights {
+        assert!(n > 0);
+        match self {
+            WeightSetting::Equal => NodeWeights::uniform(n),
+            WeightSetting::Uniform => {
+                let masses: Vec<f64> = (0..n).map(|_| rng.gen_range(1e-9..1.0)).collect();
+                NodeWeights::from_masses(masses).expect("positive masses")
+            }
+            WeightSetting::Exponential => {
+                let masses: Vec<f64> = (0..n).map(|_| sample_exp1(rng)).collect();
+                NodeWeights::from_masses(masses).expect("positive masses")
+            }
+            WeightSetting::Zipf(a) => {
+                let masses: Vec<f64> = (0..n).map(|_| sample_zipf(*a, rng) as f64).collect();
+                NodeWeights::from_masses(masses).expect("positive masses")
+            }
+        }
+    }
+}
+
+/// Exp(1) via inverse CDF.
+pub fn sample_exp1<R: Rng>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+/// Zipf(a) over positive integers, Devroye's rejection method (`a > 1`).
+///
+/// Returns values capped at 10^12 so downstream f64 mass arithmetic stays
+/// well-conditioned; the cap hits with probability < 10^-12 for `a ≥ 1.5`.
+pub fn sample_zipf<R: Rng>(a: f64, rng: &mut R) -> u64 {
+    assert!(a > 1.0, "Zipf sampling requires a > 1, got {a}");
+    let b = 2f64.powf(a - 1.0);
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let v: f64 = rng.gen();
+        let x = u.powf(-1.0 / (a - 1.0)).floor();
+        if !(1.0..=1e12).contains(&x) {
+            continue;
+        }
+        let t = (1.0 + 1.0 / x).powf(a - 1.0);
+        if v * x * (t - 1.0) / (b - 1.0) <= t / b {
+            return x as u64;
+        }
+    }
+}
+
+/// Samples `count` target nodes i.i.d. from `weights` by inverse-CDF binary
+/// search over prefix sums.
+pub fn sample_targets<R: Rng>(
+    weights: &NodeWeights,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let prefix = prefix_sums(weights);
+    (0..count)
+        .map(|_| sample_one(&prefix, rng))
+        .collect()
+}
+
+/// Cumulative distribution over node ids.
+pub fn prefix_sums(weights: &NodeWeights) -> Vec<f64> {
+    let mut acc = 0.0;
+    weights
+        .as_slice()
+        .iter()
+        .map(|&p| {
+            acc += p;
+            acc
+        })
+        .collect()
+}
+
+fn sample_one<R: Rng>(prefix: &[f64], rng: &mut R) -> NodeId {
+    let total = *prefix.last().expect("non-empty");
+    let ticket = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    let idx = prefix.partition_point(|&c| c <= ticket);
+    NodeId::new(idx.min(prefix.len() - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn settings_produce_normalised_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for setting in [
+            WeightSetting::Equal,
+            WeightSetting::Uniform,
+            WeightSetting::Exponential,
+            WeightSetting::Zipf(2.0),
+        ] {
+            let w = setting.assign(500, &mut rng);
+            let total: f64 = w.as_slice().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", setting.label());
+            assert!(w.as_slice().iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn skewness_ordering_matches_the_paper() {
+        // The paper: Zipf is more skewed than Exponential, which is more
+        // skewed than Uniform, which is more skewed than Equal. Entropy
+        // (lower = more skewed) must reproduce that ordering.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 4000;
+        let equal = WeightSetting::Equal.assign(n, &mut rng).entropy_bits();
+        let uniform = WeightSetting::Uniform.assign(n, &mut rng).entropy_bits();
+        let exp = WeightSetting::Exponential.assign(n, &mut rng).entropy_bits();
+        let zipf = WeightSetting::Zipf(2.0).assign(n, &mut rng).entropy_bits();
+        assert!(equal > uniform, "{equal} vs {uniform}");
+        assert!(uniform > exp, "{uniform} vs {exp}");
+        assert!(exp > zipf, "{exp} vs {zipf}");
+    }
+
+    #[test]
+    fn zipf_parameter_controls_skew() {
+        // Smaller a = heavier tail = lower entropy (Fig. 5's x-axis).
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 4000;
+        let h15 = WeightSetting::Zipf(1.5).assign(n, &mut rng).entropy_bits();
+        let h40 = WeightSetting::Zipf(4.0).assign(n, &mut rng).entropy_bits();
+        assert!(h15 < h40, "Zipf(1.5) {h15} should be more skewed than Zipf(4) {h40}");
+    }
+
+    #[test]
+    fn zipf_mean_sanity() {
+        // For a = 3, E[X] = ζ(2)/ζ(3) ≈ 1.3684.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let samples = 200_000;
+        let mean: f64 =
+            (0..samples).map(|_| sample_zipf(3.0, &mut rng) as f64).sum::<f64>() / samples as f64;
+        assert!((mean - 1.3684).abs() < 0.02, "Zipf(3) mean {mean}");
+    }
+
+    #[test]
+    fn exp_mean_sanity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let samples = 200_000;
+        let mean: f64 = (0..samples).map(|_| sample_exp1(&mut rng)).sum::<f64>() / samples as f64;
+        assert!((mean - 1.0).abs() < 0.02, "Exp(1) mean {mean}");
+    }
+
+    #[test]
+    fn target_sampler_tracks_distribution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let w = NodeWeights::from_masses(vec![0.5, 0.0, 0.25, 0.25]).unwrap();
+        let targets = sample_targets(&w, 40_000, &mut rng);
+        let mut counts = [0usize; 4];
+        for t in targets {
+            counts[t.index()] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-probability node must never be drawn");
+        let f0 = counts[0] as f64 / 40_000.0;
+        assert!((f0 - 0.5).abs() < 0.02, "node 0 frequency {f0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "a > 1")]
+    fn zipf_rejects_bad_parameter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = sample_zipf(1.0, &mut rng);
+    }
+}

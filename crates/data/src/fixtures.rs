@@ -1,0 +1,95 @@
+//! Hand-built fixtures reproducing the paper's worked examples.
+
+use aigs_core::{NodeWeights, QueryCosts};
+use aigs_graph::{Dag, HierarchyBuilder, NodeId};
+
+/// Fig. 1 / Fig. 2(a): the vehicle hierarchy with its image proportions.
+///
+/// Node ids: 0 vehicle, 1 car, 2 honda, 3 nissan, 4 mercedes, 5 maxima,
+/// 6 sentra. Weights: 4%, 2%, 4%, 8%, 2%, 40%, 40%.
+pub fn vehicle() -> (Dag, NodeWeights) {
+    let mut b = HierarchyBuilder::new();
+    for label in ["vehicle", "car", "honda", "nissan", "mercedes", "maxima", "sentra"] {
+        b.add_node(label).expect("unique");
+    }
+    for (p, c) in [(0u32, 1u32), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)] {
+        b.add_edge(NodeId(p), NodeId(c)).expect("valid");
+    }
+    let dag = b.build().expect("fixture is valid");
+    let weights =
+        NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).expect("valid");
+    (dag, weights)
+}
+
+/// The same hierarchy with equal weights `1/7` — Example 3's setting.
+pub fn vehicle_equal() -> (Dag, NodeWeights) {
+    let (dag, _) = vehicle();
+    let w = NodeWeights::uniform(7);
+    (dag, w)
+}
+
+/// Fig. 3(a): the 4-node chain for the CAIGS example, with query prices
+/// `c = [1, 1, 5, 1]` (the paper's node 3, here id 2, is expensive).
+pub fn caigs_chain() -> (Dag, NodeWeights, QueryCosts) {
+    let mut b = HierarchyBuilder::new();
+    for label in ["c1", "c2", "c3", "c4"] {
+        b.add_node(label).expect("unique");
+    }
+    for (p, c) in [(0u32, 1u32), (1, 2), (2, 3)] {
+        b.add_edge(NodeId(p), NodeId(c)).expect("valid");
+    }
+    let dag = b.build().expect("fixture is valid");
+    (
+        dag,
+        NodeWeights::uniform(4),
+        QueryCosts::PerNode(vec![1.0, 1.0, 5.0, 1.0]),
+    )
+}
+
+/// Example 2's object batch: 100 images with the Fig. 1 proportions.
+pub fn vehicle_object_counts() -> Vec<u64> {
+    vec![4, 2, 4, 8, 2, 40, 40]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vehicle_matches_figure_one() {
+        let (dag, w) = vehicle();
+        assert_eq!(dag.node_count(), 7);
+        assert!(dag.is_tree());
+        assert_eq!(dag.node_by_label("sentra"), Some(NodeId::new(6)));
+        assert_eq!(dag.children(NodeId::new(3)).len(), 2);
+        let total: f64 = w.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((w.get(NodeId::new(5)) - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_variant_is_uniform() {
+        let (_, w) = vehicle_equal();
+        assert!((w.get(NodeId::new(0)) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caigs_chain_prices() {
+        let (dag, w, c) = caigs_chain();
+        assert_eq!(dag.node_count(), 4);
+        assert_eq!(dag.max_out_degree(), 1);
+        assert_eq!(c.price(NodeId::new(2)), 5.0);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn object_counts_match_example_two() {
+        let counts = vehicle_object_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+        let (_, w) = vehicle();
+        let emp = NodeWeights::from_counts(&counts).unwrap();
+        for i in 0..7 {
+            assert!((emp.get(NodeId::new(i)) - w.get(NodeId::new(i))).abs() < 1e-12);
+        }
+    }
+}

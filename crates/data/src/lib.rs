@@ -1,0 +1,36 @@
+//! # aigs-data — dataset synthesis and paper fixtures for AIGS
+//!
+//! The paper evaluates on two proprietary-ish corpora (an Amazon product
+//! dump and the ImageNet structure XML). This crate substitutes synthetic
+//! datasets matched to every column of the paper's Table II — node count,
+//! height, maximum out-degree, tree/DAG type — plus a leaf-heavy,
+//! Zipf-popular object multiset standing in for the 13M labelled objects.
+//! See DESIGN.md §6 for why the substitution preserves the evaluation's
+//! behaviour.
+//!
+//! * [`datasets`] — [`amazon_like`] / [`imagenet_like`] at small or paper
+//!   scale.
+//! * [`taxonomy`] — the underlying preferential-attachment taxonomy grower.
+//! * [`distributions`] — the Equal/Uniform/Exponential/Zipf weight settings
+//!   of Tables IV/V and Fig. 5, plus target samplers.
+//! * [`fixtures`] — hand-built graphs for the paper's worked examples
+//!   (Fig. 1, Fig. 2, Fig. 3).
+//! * [`paths`] — loader for *real* category-path dumps (the construction
+//!   the paper applies to the Amazon `categories` field), so owners of the
+//!   original data can run every experiment on it.
+//! * [`loader`] — on-disk dataset caching for the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod distributions;
+pub mod fixtures;
+pub mod loader;
+pub mod paths;
+pub mod taxonomy;
+
+pub use datasets::{amazon_like, imagenet_like, object_trace, Dataset, Scale};
+pub use paths::dataset_from_paths;
+pub use distributions::{sample_targets, WeightSetting};
+pub use taxonomy::{generate_taxonomy, overlay_cross_edges, TaxonomyConfig};

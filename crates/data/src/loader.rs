@@ -1,0 +1,133 @@
+//! On-disk caching of generated datasets.
+//!
+//! Full-scale instances take a little while to synthesise; the harness
+//! caches them under a directory so repeated table/figure runs are instant.
+//! Hierarchies use the `aigs-graph` text format; object counts use a
+//! sibling `counts` file with `count <node-id> <objects>` records.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use aigs_graph::{Dag, GraphError};
+
+use crate::datasets::Dataset;
+
+/// Saves a dataset as `<stem>.hierarchy` + `<stem>.counts`.
+pub fn save_dataset(dataset: &Dataset, dir: &Path, stem: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut h = BufWriter::new(File::create(dir.join(format!("{stem}.hierarchy")))?);
+    aigs_graph::io::write_hierarchy(&dataset.dag, &mut h)?;
+    h.flush()?;
+    let mut c = BufWriter::new(File::create(dir.join(format!("{stem}.counts")))?);
+    writeln!(c, "# aigs object counts v1")?;
+    for (i, &n) in dataset.object_counts.iter().enumerate() {
+        if n > 0 {
+            writeln!(c, "count {i} {n}")?;
+        }
+    }
+    c.flush()
+}
+
+/// Loads a dataset saved by [`save_dataset`]. Returns `Ok(None)` when the
+/// files are absent (cache miss).
+pub fn load_dataset(
+    dir: &Path,
+    stem: &str,
+    name: &'static str,
+) -> Result<Option<Dataset>, GraphError> {
+    let h_path = dir.join(format!("{stem}.hierarchy"));
+    let c_path = dir.join(format!("{stem}.counts"));
+    if !h_path.exists() || !c_path.exists() {
+        return Ok(None);
+    }
+    let dag = read_dag(&h_path)?;
+    let counts = read_counts(&c_path, dag.node_count())?;
+    Ok(Some(Dataset {
+        name,
+        dag,
+        object_counts: counts,
+    }))
+}
+
+fn read_dag(path: &Path) -> Result<Dag, GraphError> {
+    let file = File::open(path).map_err(|e| GraphError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    aigs_graph::io::read_hierarchy(BufReader::new(file))
+}
+
+fn read_counts(path: &Path, n: usize) -> Result<Vec<u64>, GraphError> {
+    let file = File::open(path).map_err(|e| GraphError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    let mut counts = vec![0u64; n];
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse {
+            line: lineno + 1,
+            message: e.to_string(),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = || GraphError::Parse {
+            line: lineno + 1,
+            message: "expected `count <node-id> <objects>`".into(),
+        };
+        if parts.next() != Some("count") {
+            return Err(bad());
+        }
+        let id: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let c: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        if id >= n {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("node id {id} out of range for {n} nodes"),
+            });
+        }
+        counts[id] = c;
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{amazon_like, Scale};
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join("aigs-loader-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = amazon_like(Scale::Small, 5);
+        save_dataset(&d, &dir, "amazon-s5").unwrap();
+        let loaded = load_dataset(&dir, "amazon-s5", "amazon").unwrap().unwrap();
+        assert_eq!(loaded.dag, d.dag);
+        assert_eq!(loaded.object_counts, d.object_counts);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_miss_is_none() {
+        let dir = std::env::temp_dir().join("aigs-loader-miss");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_dataset(&dir, "nope", "amazon").unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_counts_rejected() {
+        let dir = std::env::temp_dir().join("aigs-loader-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = amazon_like(Scale::Small, 6);
+        save_dataset(&d, &dir, "x").unwrap();
+        std::fs::write(dir.join("x.counts"), "count 999999999 5\n").unwrap();
+        assert!(load_dataset(&dir, "x", "amazon").is_err());
+        std::fs::write(dir.join("x.counts"), "frobnicate\n").unwrap();
+        assert!(load_dataset(&dir, "x", "amazon").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

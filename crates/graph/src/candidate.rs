@@ -1,0 +1,350 @@
+//! Mutable candidate-set bookkeeping with undo.
+//!
+//! `FrameworkIGS` (Alg. 1) shrinks the candidate graph after every answer:
+//! *yes* at `q` keeps `G_q`, *no* removes `G_q`. [`CandidateSet`] implements
+//! both updates over an alive bitmap, and journals every mutation so the
+//! exact decision-tree builder can roll the state back when it switches from
+//! the *yes* branch to the *no* branch of a query.
+
+use crate::traversal::BfsScratch;
+use crate::{Dag, NodeId};
+
+/// The set of still-possible target nodes, with LIFO undo.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// One frame per applied update: the nodes that update killed.
+    frames: Vec<Vec<NodeId>>,
+    scratch: BfsScratch,
+}
+
+impl CandidateSet {
+    /// All `n` nodes alive.
+    pub fn new(n: usize) -> Self {
+        CandidateSet {
+            alive: vec![true; n],
+            alive_count: n,
+            frames: Vec::new(),
+            scratch: BfsScratch::new(n),
+        }
+    }
+
+    /// Number of alive candidates.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// True when `u` is still a candidate.
+    #[inline]
+    pub fn is_alive(&self, u: NodeId) -> bool {
+        self.alive[u.index()]
+    }
+
+    /// The single remaining candidate, when the search has converged.
+    pub fn sole(&self) -> Option<NodeId> {
+        if self.alive_count != 1 {
+            return None;
+        }
+        self.alive
+            .iter()
+            .position(|&a| a)
+            .map(NodeId::new)
+    }
+
+    /// Iterates over alive candidates in id order.
+    pub fn iter_alive(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Σ `weight[u]` over alive `u` reachable from `q` — the
+    /// `GetReachableSetWeight` subroutine (Alg. 3), one BFS.
+    pub fn reachable_weight(&mut self, dag: &Dag, q: NodeId, weight: &[f64]) -> f64 {
+        let alive = &self.alive;
+        let mut total = 0.0;
+        self.scratch
+            .bfs_forward(dag, q, |u| alive[u.index()], |u| total += weight[u.index()]);
+        total
+    }
+
+    /// Number of alive nodes reachable from `q`, one BFS.
+    pub fn reachable_count(&mut self, dag: &Dag, q: NodeId) -> usize {
+        let alive = &self.alive;
+        self.scratch.bfs_forward(dag, q, |u| alive[u.index()], |_| {})
+    }
+
+    /// Both Σ `weight[u]` and the node count over alive `u` reachable from
+    /// `q`, in a single BFS — the per-candidate evaluation of `GreedyNaive`
+    /// (Alg. 2 line 5) fused with the informativeness check.
+    pub fn reachable_weight_count(
+        &mut self,
+        dag: &Dag,
+        q: NodeId,
+        weight: &[f64],
+    ) -> (f64, usize) {
+        let alive = &self.alive;
+        let mut total = 0.0;
+        let count = self.scratch.bfs_forward(
+            dag,
+            q,
+            |u| alive[u.index()],
+            |u| total += weight[u.index()],
+        );
+        (total, count)
+    }
+
+    /// Applies a *no* answer at `q`: removes every alive node of `G_q`.
+    /// Returns how many nodes died. Journals a frame for [`CandidateSet::undo`].
+    ///
+    /// `q` must be alive. Queries on eliminated nodes carry no information
+    /// (their answer is deducible), and for alive `q` the BFS-through-alive
+    /// update used here coincides with intersecting against the *original*
+    /// descendant set `G_q` — because descendant sets are downward closed,
+    /// any original path from an alive `q` to an alive node stays alive.
+    pub fn apply_no(&mut self, dag: &Dag, q: NodeId) -> usize {
+        debug_assert!(self.is_alive(q), "queries must target alive candidates");
+        let mut killed = Vec::new();
+        {
+            let alive = &self.alive;
+            self.scratch
+                .bfs_forward(dag, q, |u| alive[u.index()], |u| killed.push(u));
+        }
+        for &u in &killed {
+            self.alive[u.index()] = false;
+        }
+        self.alive_count -= killed.len();
+        let n = killed.len();
+        self.frames.push(killed);
+        n
+    }
+
+    /// Applies a *yes* answer at `q`: keeps only alive nodes of `G_q`.
+    /// Returns how many nodes died. Same alive-`q` precondition as
+    /// [`CandidateSet::apply_no`].
+    pub fn apply_yes(&mut self, dag: &Dag, q: NodeId) -> usize {
+        debug_assert!(self.is_alive(q), "queries must target alive candidates");
+        // Mark the survivors, then sweep the rest.
+        {
+            let alive = &self.alive;
+            self.scratch.bfs_forward(dag, q, |u| alive[u.index()], |_| {});
+        }
+        let mut killed = Vec::new();
+        for (i, slot) in self.alive.iter_mut().enumerate() {
+            if *slot && !self.scratch.visited.contains(NodeId::new(i)) {
+                *slot = false;
+                killed.push(NodeId::new(i));
+            }
+        }
+        self.alive_count -= killed.len();
+        let n = killed.len();
+        self.frames.push(killed);
+        n
+    }
+
+    /// Applies `answer` at `q` ([`CandidateSet::apply_yes`] /
+    /// [`CandidateSet::apply_no`]).
+    pub fn apply(&mut self, dag: &Dag, q: NodeId, answer: bool) -> usize {
+        if answer {
+            self.apply_yes(dag, q)
+        } else {
+            self.apply_no(dag, q)
+        }
+    }
+
+    /// Like [`CandidateSet::apply`] but intersects/subtracts against the
+    /// **original-graph** descendant set `G_q`, with no aliveness
+    /// precondition on `q`. For alive `q` the two coincide; for eliminated
+    /// `q` only this variant is exact. Used by the decision-tree builder,
+    /// which must judge the consistency of *any* answer a wasteful policy
+    /// might probe.
+    pub fn apply_original(&mut self, dag: &Dag, q: NodeId, answer: bool) -> usize {
+        // Full-graph BFS: traverse everything, kill/keep by aliveness.
+        {
+            let always = |_u: NodeId| true;
+            self.scratch.bfs_forward(dag, q, always, |_| {});
+        }
+        let mut killed = Vec::new();
+        for (i, slot) in self.alive.iter_mut().enumerate() {
+            if !*slot {
+                continue;
+            }
+            let in_gq = self.scratch.visited.contains(NodeId::new(i));
+            if in_gq != answer {
+                *slot = false;
+                killed.push(NodeId::new(i));
+            }
+        }
+        self.alive_count -= killed.len();
+        let n = killed.len();
+        self.frames.push(killed);
+        n
+    }
+
+    /// Reverts the most recent update. Returns `false` when no update is
+    /// left to revert.
+    pub fn undo(&mut self) -> bool {
+        match self.frames.pop() {
+            None => false,
+            Some(frame) => {
+                self.alive_count += frame.len();
+                for u in frame {
+                    self.alive[u.index()] = true;
+                }
+                true
+            }
+        }
+    }
+
+    /// Number of journalled updates.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Forgets the journal (keeps the current alive state). Useful when a
+    /// session will never backtrack and memory matters.
+    pub fn forget_history(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    fn diamond() -> Dag {
+        // 0 -> {1,2}; 1 -> 3; 2 -> 3; 3 -> 4; 2 -> 5
+        dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap()
+    }
+
+    #[test]
+    fn no_answer_kills_subgraph() {
+        let g = diamond();
+        let mut c = CandidateSet::new(g.node_count());
+        let killed = c.apply_no(&g, NodeId::new(1));
+        // G_1 = {1, 3, 4}
+        assert_eq!(killed, 3);
+        assert_eq!(c.count(), 3);
+        assert!(c.is_alive(NodeId::new(0)));
+        assert!(!c.is_alive(NodeId::new(3)));
+        assert!(c.is_alive(NodeId::new(5)));
+    }
+
+    #[test]
+    fn yes_answer_keeps_subgraph() {
+        let g = diamond();
+        let mut c = CandidateSet::new(g.node_count());
+        let killed = c.apply_yes(&g, NodeId::new(2));
+        // G_2 = {2, 3, 4, 5}; killed = {0, 1}
+        assert_eq!(killed, 2);
+        assert_eq!(c.count(), 4);
+        let alive: Vec<usize> = c.iter_alive().map(|u| u.index()).collect();
+        assert_eq!(alive, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn updates_compose_with_dag_semantics() {
+        let g = diamond();
+        let mut c = CandidateSet::new(g.node_count());
+        c.apply_yes(&g, NodeId::new(2)); // {2,3,4,5}
+        c.apply_no(&g, NodeId::new(3)); // kill {3,4} -> {2,5}
+        let alive: Vec<usize> = c.iter_alive().map(|u| u.index()).collect();
+        assert_eq!(alive, vec![2, 5]);
+        c.apply_no(&g, NodeId::new(5)); // -> {2}
+        assert_eq!(c.sole(), Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn undo_roundtrip() {
+        let g = diamond();
+        let mut c = CandidateSet::new(g.node_count());
+        let before: Vec<NodeId> = c.iter_alive().collect();
+        c.apply_yes(&g, NodeId::new(1));
+        c.apply_no(&g, NodeId::new(3));
+        assert_eq!(c.depth(), 2);
+        assert!(c.undo());
+        assert!(c.undo());
+        assert!(!c.undo());
+        let after: Vec<NodeId> = c.iter_alive().collect();
+        assert_eq!(before, after);
+        assert_eq!(c.count(), g.node_count());
+    }
+
+    #[test]
+    fn reachable_weight_counts_alive_only() {
+        let g = diamond();
+        let mut c = CandidateSet::new(g.node_count());
+        let w = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        // G_2 ∩ alive = {2,3,4,5} -> 4+8+16+32 = 60
+        assert_eq!(c.reachable_weight(&g, NodeId::new(2), &w), 60.0);
+        c.apply_no(&g, NodeId::new(3)); // kill 3,4
+        assert_eq!(c.reachable_weight(&g, NodeId::new(2), &w), 36.0);
+        assert_eq!(c.reachable_count(&g, NodeId::new(2)), 2);
+        // Dead start node -> zero.
+        assert_eq!(c.reachable_weight(&g, NodeId::new(3), &w), 0.0);
+    }
+
+    #[test]
+    fn sole_requires_exactly_one() {
+        let g = diamond();
+        let mut c = CandidateSet::new(g.node_count());
+        assert_eq!(c.sole(), None);
+        c.apply_no(&g, NodeId::new(1));
+        c.apply_no(&g, NodeId::new(2));
+        // Remaining: {0}
+        assert_eq!(c.sole(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn apply_original_handles_dead_queries() {
+        // 0 -> {1,2}; 1 -> 3; 2 -> 3: node 3 has two parents.
+        let g = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut c = CandidateSet::new(4);
+        // Yes at 2 keeps {2, 3}; node 1 is now dead but its original
+        // descendant set still contains the alive node 3.
+        c.apply_yes(&g, NodeId::new(2));
+        assert!(!c.is_alive(NodeId::new(1)));
+        assert!(c.is_alive(NodeId::new(3)));
+        // A *no* on the dead node 1 must still eliminate 3 under
+        // original-graph semantics.
+        c.apply_original(&g, NodeId::new(1), false);
+        assert!(!c.is_alive(NodeId::new(3)));
+        assert_eq!(c.sole(), Some(NodeId::new(2)));
+        // And undo restores both frames.
+        assert!(c.undo());
+        assert!(c.is_alive(NodeId::new(3)));
+        assert!(c.undo());
+        assert_eq!(c.count(), 4);
+    }
+
+    #[test]
+    fn apply_original_matches_apply_for_alive_queries() {
+        let g = dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap();
+        for q in 1..6u32 {
+            for ans in [true, false] {
+                let mut a = CandidateSet::new(6);
+                let mut b = CandidateSet::new(6);
+                a.apply(&g, NodeId(q), ans);
+                b.apply_original(&g, NodeId(q), ans);
+                let alive_a: Vec<NodeId> = a.iter_alive().collect();
+                let alive_b: Vec<NodeId> = b.iter_alive().collect();
+                assert_eq!(alive_a, alive_b, "q={q} ans={ans}");
+            }
+        }
+    }
+
+    #[test]
+    fn forget_history_blocks_undo() {
+        let g = diamond();
+        let mut c = CandidateSet::new(g.node_count());
+        c.apply_no(&g, NodeId::new(1));
+        c.forget_history();
+        assert!(!c.undo());
+        assert_eq!(c.count(), 3);
+    }
+}

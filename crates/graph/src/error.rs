@@ -1,0 +1,104 @@
+//! Typed errors for hierarchy construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors raised while building or validating a hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The edge set contains a directed cycle, so the input is not a DAG.
+    /// Carries one node that participates in a cycle.
+    CycleDetected(NodeId),
+    /// The graph has no root (every node has an incoming edge), which can
+    /// only happen together with a cycle, or the graph is empty.
+    NoRoot,
+    /// The graph has several roots and the builder was configured to reject
+    /// that instead of adding a virtual root. Carries the roots found.
+    MultipleRoots(Vec<NodeId>),
+    /// An edge endpoint referenced a node that was never declared.
+    UnknownNode(NodeId),
+    /// A self-loop `u -> u` was supplied.
+    SelfLoop(NodeId),
+    /// The same label was registered twice with [`crate::HierarchyBuilder::add_node`].
+    DuplicateLabel(String),
+    /// The graph is empty.
+    Empty,
+    /// A parse error from the text hierarchy format.
+    Parse {
+        /// 1-based line number (0 for whole-file errors).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::CycleDetected(n) => {
+                write!(f, "hierarchy contains a directed cycle through {n}")
+            }
+            GraphError::NoRoot => write!(f, "hierarchy has no root node"),
+            GraphError::MultipleRoots(roots) => {
+                write!(f, "hierarchy has {} roots: ", roots.len())?;
+                for (i, r) in roots.iter().take(8).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                if roots.len() > 8 {
+                    write!(f, ", …")?;
+                }
+                Ok(())
+            }
+            GraphError::UnknownNode(n) => write!(f, "edge references unknown node {n}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            GraphError::DuplicateLabel(l) => write!(f, "duplicate node label {l:?}"),
+            GraphError::Empty => write!(f, "hierarchy is empty"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::CycleDetected(NodeId::new(3));
+        assert!(e.to_string().contains("cycle"));
+        assert!(e.to_string().contains("n3"));
+
+        let e = GraphError::MultipleRoots(vec![NodeId::new(0), NodeId::new(5)]);
+        let s = e.to_string();
+        assert!(s.contains("2 roots"));
+        assert!(s.contains("n0") && s.contains("n5"));
+
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad edge".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn multiple_roots_display_truncates() {
+        let roots: Vec<NodeId> = (0..20).map(NodeId::new).collect();
+        let s = GraphError::MultipleRoots(roots).to_string();
+        assert!(s.contains("…"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::Empty);
+        assert_eq!(e.to_string(), "hierarchy is empty");
+    }
+}

@@ -1,0 +1,320 @@
+//! Random hierarchy generators.
+//!
+//! Used by tests, property tests, the dataset-synthesis crate and the
+//! benchmark harness. All generators are deterministic given a seeded RNG.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Dag, HierarchyBuilder, NodeId};
+
+/// Where a new node attaches when growing a random tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttachBias {
+    /// Uniformly over existing nodes: produces bushy, log-depth trees.
+    Uniform,
+    /// Prefer recently added nodes with geometric decay `0 < p <= 1`
+    /// (`p = 1` degenerates to a path): produces deep trees.
+    PreferRecent(f64),
+    /// Preferential attachment (probability ∝ current out-degree + 1):
+    /// produces a few very-high-degree hubs, like category taxonomies.
+    Preferential,
+}
+
+/// Configuration for [`random_tree`].
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Total node count (≥ 1).
+    pub nodes: usize,
+    /// Reject attachments that would exceed this out-degree.
+    pub max_out_degree: Option<usize>,
+    /// Reject attachments that would exceed this depth.
+    pub max_depth: Option<u32>,
+    /// Attachment bias.
+    pub bias: AttachBias,
+}
+
+impl TreeConfig {
+    /// A bushy tree of `n` nodes with no degree/depth caps.
+    pub fn bushy(n: usize) -> Self {
+        TreeConfig {
+            nodes: n,
+            max_out_degree: None,
+            max_depth: None,
+            bias: AttachBias::Uniform,
+        }
+    }
+}
+
+/// Grows a random tree node by node.
+///
+/// Every node `i > 0` picks an existing parent according to the configured
+/// bias, retrying (bounded) when degree/depth caps are violated and falling
+/// back to the root if necessary (the root is exempt from the degree cap so
+/// generation always succeeds).
+pub fn random_tree<R: Rng>(cfg: &TreeConfig, rng: &mut R) -> Dag {
+    assert!(cfg.nodes >= 1, "tree must have at least one node");
+    let n = cfg.nodes;
+    let mut parent_of = vec![u32::MAX; n];
+    let mut out_deg = vec![0u32; n];
+    let mut depth = vec![0u32; n];
+
+    for i in 1..n {
+        let pick = |rng: &mut R, i: usize, out_deg: &[u32]| -> usize {
+            match cfg.bias {
+                AttachBias::Uniform => rng.gen_range(0..i),
+                AttachBias::PreferRecent(p) => {
+                    // Geometric walk back from the newest node.
+                    let mut j = i - 1;
+                    while j > 0 && rng.gen::<f64>() > p {
+                        j -= 1;
+                    }
+                    j
+                }
+                AttachBias::Preferential => {
+                    // Weight ∝ out_degree + 1; linear scan is fine at the
+                    // scales used in tests and dataset synthesis.
+                    let total: u64 = out_deg[..i].iter().map(|&d| d as u64 + 1).sum();
+                    let mut ticket = rng.gen_range(0..total);
+                    for (j, &d) in out_deg[..i].iter().enumerate() {
+                        let w = d as u64 + 1;
+                        if ticket < w {
+                            return j;
+                        }
+                        ticket -= w;
+                    }
+                    i - 1
+                }
+            }
+        };
+
+        let mut parent = 0usize;
+        let mut ok = false;
+        for _ in 0..32 {
+            let cand = pick(rng, i, &out_deg);
+            let deg_ok = cfg
+                .max_out_degree
+                .is_none_or(|cap| (out_deg[cand] as usize) < cap || cand == 0);
+            let depth_ok = cfg.max_depth.is_none_or(|cap| depth[cand] < cap);
+            if deg_ok && depth_ok {
+                parent = cand;
+                ok = true;
+                break;
+            }
+        }
+        if !ok {
+            parent = 0; // root absorbs the overflow
+        }
+        parent_of[i] = parent as u32;
+        out_deg[parent] += 1;
+        depth[i] = depth[parent] + 1;
+    }
+
+    let mut b = HierarchyBuilder::new();
+    for i in 0..n {
+        b.add_node(format!("v{i}")).expect("labels are unique");
+    }
+    for (i, &p) in parent_of.iter().enumerate().skip(1) {
+        b.add_edge(NodeId(p), NodeId::new(i))
+            .expect("edge endpoints exist");
+    }
+    b.build().expect("generated tree is a valid hierarchy")
+}
+
+/// Configuration for [`random_dag`].
+#[derive(Debug, Clone)]
+pub struct DagConfig {
+    /// The base tree.
+    pub tree: TreeConfig,
+    /// Fraction of nodes (0..1) that receive one extra parent, turning the
+    /// tree into a proper DAG while staying acyclic and single-rooted.
+    pub extra_parent_fraction: f64,
+}
+
+impl DagConfig {
+    /// A DAG over a bushy base tree with `frac` extra-parent nodes.
+    pub fn bushy(n: usize, frac: f64) -> Self {
+        DagConfig {
+            tree: TreeConfig::bushy(n),
+            extra_parent_fraction: frac,
+        }
+    }
+}
+
+/// Generates a random single-rooted DAG: a random tree plus extra
+/// cross-parent edges that respect the tree's topological (id) order, so no
+/// cycle can form and the root stays unique.
+pub fn random_dag<R: Rng>(cfg: &DagConfig, rng: &mut R) -> Dag {
+    let tree = random_tree(&cfg.tree, rng);
+    let n = tree.node_count();
+    if n < 3 || cfg.extra_parent_fraction <= 0.0 {
+        return tree;
+    }
+    let extra = ((n as f64) * cfg.extra_parent_fraction).round() as usize;
+
+    // Node ids are a topological order by construction of `random_tree`
+    // (every node attaches to an earlier node), so any edge small -> large
+    // keeps acyclicity.
+    let mut b = HierarchyBuilder::new().dedup_edges(true);
+    for i in 0..n {
+        b.add_node(tree.label(NodeId::new(i))).expect("unique");
+    }
+    for u in tree.nodes() {
+        for &c in tree.children(u) {
+            b.add_edge(u, c).expect("valid");
+        }
+    }
+    let mut targets: Vec<usize> = (2..n).collect();
+    targets.shuffle(rng);
+    for &t in targets.iter().take(extra) {
+        let p = rng.gen_range(0..t.max(1));
+        // Skip if p is already t's tree parent; dedup handles exact repeats.
+        if tree.parents(NodeId::new(t)).contains(&NodeId::new(p)) {
+            continue;
+        }
+        b.add_edge(NodeId::new(p), NodeId::new(t)).expect("valid");
+    }
+    b.build().expect("generated DAG is valid")
+}
+
+/// A path (chain) hierarchy of `n` nodes — the best case for binary search.
+pub fn path_graph(n: usize) -> Dag {
+    assert!(n >= 1);
+    let mut b = HierarchyBuilder::new();
+    for i in 0..n {
+        b.add_node(format!("v{i}")).unwrap();
+    }
+    for i in 1..n {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A star: root with `n - 1` leaf children — the worst case for any policy
+/// (every query eliminates at most one leaf).
+pub fn star_graph(n: usize) -> Dag {
+    assert!(n >= 1);
+    let mut b = HierarchyBuilder::new();
+    for i in 0..n {
+        b.add_node(format!("v{i}")).unwrap();
+    }
+    for i in 1..n {
+        b.add_edge(NodeId::new(0), NodeId::new(i)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A complete `k`-ary tree of the given depth (depth 0 = single node).
+pub fn complete_kary_tree(k: usize, depth: u32) -> Dag {
+    assert!(k >= 1);
+    let mut b = HierarchyBuilder::new();
+    let root = b.add_node("v0").unwrap();
+    let mut frontier = vec![root];
+    let mut next_id = 1usize;
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * k);
+        for &u in &frontier {
+            for _ in 0..k {
+                let c = b.add_node(format!("v{next_id}")).unwrap();
+                next_id += 1;
+                b.add_edge(u, c).unwrap();
+                next.push(c);
+            }
+        }
+        frontier = next;
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_tree_is_a_valid_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for bias in [
+            AttachBias::Uniform,
+            AttachBias::PreferRecent(0.5),
+            AttachBias::Preferential,
+        ] {
+            let cfg = TreeConfig {
+                nodes: 200,
+                max_out_degree: Some(8),
+                max_depth: Some(12),
+                bias,
+            };
+            let g = random_tree(&cfg, &mut rng);
+            assert_eq!(g.node_count(), 200);
+            assert!(g.is_tree(), "{bias:?}");
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_tree_determinism() {
+        let cfg = TreeConfig::bushy(64);
+        let a = random_tree(&cfg, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = random_tree(&cfg, &mut ChaCha8Rng::seed_from_u64(1));
+        let c = random_tree(&cfg, &mut ChaCha8Rng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_cap_respected_except_root() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cfg = TreeConfig {
+            nodes: 300,
+            max_out_degree: Some(3),
+            max_depth: None,
+            bias: AttachBias::Preferential,
+        };
+        let g = random_tree(&cfg, &mut rng);
+        for u in g.nodes() {
+            if u != g.root() {
+                assert!(g.out_degree(u) <= 3, "{u} exceeded degree cap");
+            }
+        }
+    }
+
+    #[test]
+    fn random_dag_is_valid_and_not_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = random_dag(&DagConfig::bushy(300, 0.2), &mut rng);
+        g.validate().unwrap();
+        assert!(!g.is_tree());
+        assert!(g.edge_count() > 299);
+        // Root still reaches everything.
+        assert_eq!(g.descendants(g.root()).len(), g.node_count());
+    }
+
+    #[test]
+    fn random_dag_zero_fraction_is_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = random_dag(&DagConfig::bushy(100, 0.0), &mut rng);
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn fixed_shapes() {
+        let p = path_graph(5);
+        assert_eq!(p.height(), 4);
+        assert_eq!(p.max_out_degree(), 1);
+
+        let s = star_graph(6);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.max_out_degree(), 5);
+        assert_eq!(s.leaf_count(), 5);
+
+        let k = complete_kary_tree(3, 2);
+        assert_eq!(k.node_count(), 1 + 3 + 9);
+        assert_eq!(k.height(), 2);
+        assert!(k.is_tree());
+
+        let single = complete_kary_tree(4, 0);
+        assert_eq!(single.node_count(), 1);
+    }
+}

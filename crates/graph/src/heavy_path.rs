@@ -1,0 +1,214 @@
+//! Weighted heavy paths (Definition 10 of the paper).
+//!
+//! For an internal node `u`, the *heavy* child is the one whose subtree
+//! carries the largest weight (ties broken towards the smallest node id, to
+//! keep every policy deterministic). A weighted heavy path is a maximal chain
+//! of heavy edges. Theorem 5 proves the middle point of a tree always lies on
+//! the weighted heavy path containing the root — the fact `GreedyTree`
+//! exploits — while `WIGS` binary-searches the *size*-weighted heavy path.
+
+use crate::{Dag, NodeId, Tree};
+
+/// Extracts the weighted heavy path starting at `start` in a tree-shaped
+/// hierarchy: repeatedly steps to the child maximising `subtree_weight`,
+/// until a leaf (under the `alive_child` filter) is reached.
+///
+/// `subtree_weight(c)` must return the current (possibly pruned) subtree
+/// weight of `c`; `alive_child(c)` must reject children whose subtrees have
+/// been eliminated by earlier *no* answers.
+pub fn heavy_path_from<W, A>(
+    dag: &Dag,
+    start: NodeId,
+    mut subtree_weight: W,
+    mut alive_child: A,
+) -> Vec<NodeId>
+where
+    W: FnMut(NodeId) -> f64,
+    A: FnMut(NodeId) -> bool,
+{
+    let mut path = vec![start];
+    let mut u = start;
+    loop {
+        let mut best: Option<(NodeId, f64)> = None;
+        for &c in dag.children(u) {
+            if !alive_child(c) {
+                continue;
+            }
+            let w = subtree_weight(c);
+            match best {
+                None => best = Some((c, w)),
+                Some((bc, bw)) => {
+                    if w > bw || (w == bw && c < bc) {
+                        best = Some((c, w));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((c, _)) => {
+                path.push(c);
+                u = c;
+            }
+            None => return path,
+        }
+    }
+}
+
+/// A full heavy-path decomposition of a tree: every node belongs to exactly
+/// one path; paths are stored root-of-path-first.
+#[derive(Debug, Clone)]
+pub struct HeavyPathDecomposition {
+    /// `path_of[u]` = index of the path containing `u`.
+    path_of: Vec<u32>,
+    /// The paths, each a top-down chain of nodes.
+    paths: Vec<Vec<NodeId>>,
+}
+
+impl HeavyPathDecomposition {
+    /// Decomposes `tree` using per-node weights (`None` means size weights).
+    pub fn new(tree: &Tree<'_>, weights: Option<&[f64]>) -> Self {
+        let dag = tree.dag();
+        let n = dag.node_count();
+        let subtree: Vec<f64> = match weights {
+            Some(w) => tree.subtree_weights(w),
+            None => (0..n)
+                .map(|i| tree.subtree_size(NodeId::new(i)) as f64)
+                .collect(),
+        };
+        let mut path_of = vec![u32::MAX; n];
+        let mut paths: Vec<Vec<NodeId>> = Vec::new();
+
+        // Heads of heavy paths: the root, plus every node whose edge from its
+        // parent is light. Walk pre-order; start a new path at each head.
+        for &u in tree.preorder() {
+            if path_of[u.index()] != u32::MAX {
+                continue;
+            }
+            let id = paths.len() as u32;
+            let chain = heavy_path_from(dag, u, |c| subtree[c.index()], |_| true);
+            for &v in &chain {
+                path_of[v.index()] = id;
+            }
+            paths.push(chain);
+        }
+        HeavyPathDecomposition { path_of, paths }
+    }
+
+    /// Number of heavy paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The path containing `u` (`H(T, u)` in the paper's notation).
+    pub fn path_containing(&self, u: NodeId) -> &[NodeId] {
+        &self.paths[self.path_of[u.index()] as usize]
+    }
+
+    /// All paths.
+    pub fn paths(&self) -> &[Vec<NodeId>] {
+        &self.paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    fn sample() -> Dag {
+        // 0 -> 1; 1 -> {2, 3, 4}; 3 -> {5, 6}
+        dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap()
+    }
+
+    #[test]
+    fn size_heavy_path_follows_biggest_subtree() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        let path = heavy_path_from(
+            &g,
+            g.root(),
+            |c| t.subtree_size(c) as f64,
+            |_| true,
+        );
+        // Subtree sizes: 1:6, 3:3 (largest among 2,3,4), then 5 (tie -> min id).
+        let ids: Vec<usize> = path.iter().map(|u| u.index()).collect();
+        assert_eq!(ids, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn weight_heavy_path_tracks_probability_mass() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        // Put all mass on node 4: the weighted heavy path leaves the size path.
+        let mut w = vec![0.0; 7];
+        w[4] = 1.0;
+        let sub = t.subtree_weights(&w);
+        let path = heavy_path_from(&g, g.root(), |c| sub[c.index()], |_| true);
+        let ids: Vec<usize> = path.iter().map(|u| u.index()).collect();
+        assert_eq!(ids, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn alive_filter_skips_pruned_children() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        // Node 3's subtree eliminated: path detours to next-heaviest child.
+        let path = heavy_path_from(
+            &g,
+            NodeId::new(1),
+            |c| t.subtree_size(c) as f64,
+            |c| c != NodeId::new(3),
+        );
+        let ids: Vec<usize> = path.iter().map(|u| u.index()).collect();
+        assert_eq!(ids, vec![1, 2]); // ties 2 vs 4 broken to smallest id
+    }
+
+    #[test]
+    fn decomposition_partitions_nodes() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        let hpd = HeavyPathDecomposition::new(&t, None);
+        let mut seen = vec![0u32; g.node_count()];
+        for p in hpd.paths() {
+            assert!(!p.is_empty());
+            for &u in p {
+                seen[u.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each node on exactly one path");
+        // Every node's reported path actually contains it.
+        for u in g.nodes() {
+            assert!(hpd.path_containing(u).contains(&u));
+        }
+    }
+
+    #[test]
+    fn decomposition_heavy_edges_at_most_one_per_node() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        let hpd = HeavyPathDecomposition::new(&t, None);
+        // Known decomposition for the sample: [0,1,3,5], [2], [4], [6].
+        assert_eq!(hpd.path_count(), 4);
+        let main: Vec<usize> = hpd
+            .path_containing(NodeId::new(0))
+            .iter()
+            .map(|u| u.index())
+            .collect();
+        assert_eq!(main, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn weighted_decomposition_differs_from_size() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        let mut w = vec![0.01; 7];
+        w[4] = 5.0;
+        let hpd = HeavyPathDecomposition::new(&t, Some(&w));
+        let main: Vec<usize> = hpd
+            .path_containing(NodeId::new(0))
+            .iter()
+            .map(|u| u.index())
+            .collect();
+        assert_eq!(main, vec![0, 1, 4]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Compact node identifiers.
+//!
+//! Hierarchies in interactive graph search are bounded by crowd-scale
+//! taxonomies (tens of thousands of categories), so nodes are addressed with
+//! `u32` indices into contiguous arrays rather than pointers or hash keys.
+
+use std::fmt;
+
+/// Identifier of a node inside a [`crate::Dag`].
+///
+/// A `NodeId` is an index into the owning graph's node arrays. Ids are dense:
+/// a graph with `n` nodes uses exactly the ids `0..n`. Ids are only meaningful
+/// relative to the graph that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Largest representable id, used as a sentinel for "no node".
+    pub const SENTINEL: NodeId = NodeId(u32::MAX);
+
+    /// Creates an id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`, which would mean a hierarchy
+    /// of more than 4 billion categories.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index < u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True when this id is the "no node" sentinel.
+    #[inline]
+    pub fn is_sentinel(self) -> bool {
+        self == Self::SENTINEL
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_sentinel() {
+            write!(f, "n⊥")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn sentinel_is_detectable() {
+        assert!(NodeId::SENTINEL.is_sentinel());
+        assert!(!NodeId::new(0).is_sentinel());
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(NodeId::new(2) < NodeId::SENTINEL);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", NodeId::new(7)), "n7");
+        assert_eq!(format!("{}", NodeId::SENTINEL), "n⊥");
+    }
+}

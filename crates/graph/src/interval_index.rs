@@ -1,0 +1,238 @@
+//! GRAIL-style interval reachability index for large DAGs.
+//!
+//! [`crate::ReachClosure`] answers `reach` in O(1) but costs n²/8 bytes —
+//! ~100 MB at the paper's scale and unaffordable well before 10⁶ nodes.
+//! [`IntervalIndex`] is the classic middle ground (Yıldırım, Chelaru,
+//! Saraiya: *GRAIL*, VLDB 2010): `k` randomised post-order labelings assign
+//! each node an interval that *contains* all its descendants' intervals.
+//! Interval containment in every labeling is a necessary condition for
+//! reachability, so a failed containment refutes `reach` in O(k); positive
+//! candidates are confirmed by a pruned DFS that skips any subtree whose
+//! interval already fails. Exactness is preserved; only the time/memory
+//! trade-off changes: O(k·n) memory, O(1) negative answers (the common case
+//! in search sessions — most queries answer *no*), and pruned-DFS positives.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Dag, NodeId};
+
+/// Exact reachability index with O(k·n) memory.
+#[derive(Debug, Clone)]
+pub struct IntervalIndex {
+    /// `k` labelings; each stores `(low, post)` per node with the GRAIL
+    /// invariant `low(u) = min(post(u), min over children's low)` and
+    /// `interval(u) = [low(u), post(u)]ᵏ ⊇ interval(descendant)`.
+    labelings: Vec<Labeling>,
+}
+
+#[derive(Debug, Clone)]
+struct Labeling {
+    low: Vec<u32>,
+    post: Vec<u32>,
+}
+
+impl Labeling {
+    #[inline]
+    fn may_reach(&self, u: NodeId, v: NodeId) -> bool {
+        self.low[u.index()] <= self.low[v.index()] && self.post[v.index()] <= self.post[u.index()]
+    }
+}
+
+impl IntervalIndex {
+    /// Builds `k` randomised labelings (k = 2–5 is typical; more labelings
+    /// refute more negatives immediately at k extra words per node).
+    pub fn build<R: Rng>(dag: &Dag, k: usize, rng: &mut R) -> Self {
+        assert!(k >= 1, "at least one labeling");
+        let labelings = (0..k).map(|_| Self::one_labeling(dag, rng)).collect();
+        IntervalIndex { labelings }
+    }
+
+    /// One post-order labeling with a random child-visit order.
+    fn one_labeling<R: Rng>(dag: &Dag, rng: &mut R) -> Labeling {
+        let n = dag.node_count();
+        let mut low = vec![u32::MAX; n];
+        let mut post = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut clock = 0u32;
+
+        // Iterative DFS from the root with shuffled child order. A DAG node
+        // is labelled once (first visit); its interval still contains every
+        // descendant because post-order numbers of descendants are assigned
+        // before (or low-propagated into) the ancestor's.
+        let mut order_buf: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<(NodeId, usize, Vec<NodeId>)> = Vec::new();
+        let root = dag.root();
+        visited[root.index()] = true;
+        let mut kids: Vec<NodeId> = dag.children(root).to_vec();
+        kids.shuffle(rng);
+        stack.push((root, 0, kids));
+        while let Some((u, ci, kids)) = stack.last_mut() {
+            if *ci < kids.len() {
+                let c = kids[*ci];
+                *ci += 1;
+                if !visited[c.index()] {
+                    visited[c.index()] = true;
+                    order_buf.clear();
+                    order_buf.extend_from_slice(dag.children(c));
+                    let mut ck = std::mem::take(&mut order_buf);
+                    ck.shuffle(rng);
+                    stack.push((c, 0, ck));
+                } else {
+                    // Cross edge to an already-labelled node: fold its low
+                    // into ours at pop time via the child scan below.
+                }
+            } else {
+                let u = *u;
+                post[u.index()] = clock;
+                let mut lo = clock;
+                for &c in dag.children(u) {
+                    lo = lo.min(low[c.index()]);
+                }
+                low[u.index()] = lo;
+                clock += 1;
+                stack.pop();
+            }
+        }
+        debug_assert!(visited.iter().all(|&v| v), "root reaches every node");
+        Labeling { low, post }
+    }
+
+    /// Number of labelings `k`.
+    pub fn labelings(&self) -> usize {
+        self.labelings.len()
+    }
+
+    /// Exact reachability test: O(k) when any labeling refutes, pruned DFS
+    /// otherwise.
+    pub fn reaches(&self, dag: &Dag, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        if !self.may_reach(u, v) {
+            return false;
+        }
+        // Pruned DFS: skip children whose intervals already refute.
+        let mut visited = crate::VisitedSet::new(dag.node_count());
+        let mut stack = vec![u];
+        visited.insert(u);
+        while let Some(x) = stack.pop() {
+            for &c in dag.children(x) {
+                if c == v {
+                    return true;
+                }
+                if self.may_reach(c, v) && visited.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// The O(k) necessary condition alone (no DFS confirmation). Useful for
+    /// bulk pruning; `false` is definitive, `true` is only "maybe".
+    #[inline]
+    pub fn may_reach(&self, u: NodeId, v: NodeId) -> bool {
+        self.labelings.iter().all(|l| l.may_reach(u, v))
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.labelings
+            .iter()
+            .map(|l| (l.low.len() + l.post.len()) * std::mem::size_of::<u32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+    use crate::generate::{random_dag, DagConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_on_diamond() {
+        let g = dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let idx = IntervalIndex::build(&g, 3, &mut rng);
+        assert_eq!(idx.labelings(), 3);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(idx.reaches(&g, u, v), g.reaches(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_random_dags() {
+        for seed in 0..20u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = random_dag(&DagConfig::bushy(120, 0.25), &mut rng);
+            let idx = IntervalIndex::build(&g, 2, &mut rng);
+            for u in g.nodes() {
+                let truth = g.descendants(u);
+                for v in g.nodes() {
+                    assert_eq!(
+                        idx.reaches(&g, u, v),
+                        truth.contains(&v),
+                        "seed {seed}, ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn may_reach_never_false_negative() {
+        // The interval condition must be NECESSARY: whenever reach holds,
+        // may_reach holds in every labeling.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = random_dag(&DagConfig::bushy(200, 0.2), &mut rng);
+        let idx = IntervalIndex::build(&g, 4, &mut rng);
+        for u in g.nodes() {
+            for v in g.descendants(u) {
+                assert!(idx.may_reach(u, v), "false negative ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_linear() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = random_dag(&DagConfig::bushy(1000, 0.1), &mut rng);
+        let idx = IntervalIndex::build(&g, 3, &mut rng);
+        // 3 labelings × 2 arrays × 4 bytes × n.
+        assert_eq!(idx.memory_bytes(), 3 * 2 * 4 * 1000);
+        // Far below the closure's n²/8.
+        let closure = crate::ReachClosure::build(&g);
+        assert!(idx.memory_bytes() * 4 < closure.memory_bytes());
+    }
+
+    #[test]
+    fn pruning_actually_rejects_most_negatives() {
+        // On a taxonomy-shaped DAG, the O(k) filter should settle the vast
+        // majority of non-reachable pairs without any DFS.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = random_dag(&DagConfig::bushy(400, 0.1), &mut rng);
+        let idx = IntervalIndex::build(&g, 3, &mut rng);
+        let mut filtered = 0usize;
+        let mut negatives = 0usize;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if !g.reaches(u, v) {
+                    negatives += 1;
+                    if !idx.may_reach(u, v) {
+                        filtered += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            filtered * 10 >= negatives * 9,
+            "only {filtered}/{negatives} negatives filtered"
+        );
+    }
+}

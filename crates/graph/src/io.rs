@@ -1,0 +1,207 @@
+//! Plain-text hierarchy exchange format.
+//!
+//! One self-describing format so generated datasets can be cached on disk
+//! and inspected by hand:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! node <id> <label>
+//! edge <parent-id> <child-id>
+//! ```
+//!
+//! Ids must be dense `0..n`. The format intentionally carries no
+//! probabilities — weights travel separately, since one hierarchy is reused
+//! under many distributions (Tables III–V all share a graph).
+
+use std::io::{BufRead, Write};
+
+use crate::{Dag, GraphError, HierarchyBuilder, NodeId};
+
+/// Serialises `dag` into the text format.
+pub fn write_hierarchy<W: Write>(dag: &Dag, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "# aigs hierarchy v1: {} nodes, {} edges", dag.node_count(), dag.edge_count())?;
+    for u in dag.nodes() {
+        writeln!(out, "node {} {}", u.index(), dag.label(u))?;
+    }
+    for u in dag.nodes() {
+        for &c in dag.children(u) {
+            writeln!(out, "edge {} {}", u.index(), c.index())?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses the text format back into a [`Dag`].
+pub fn read_hierarchy<R: BufRead>(input: R) -> Result<Dag, GraphError> {
+    let mut nodes: Vec<(usize, String)> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse {
+            line: lineno + 1,
+            message: e.to_string(),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let kind = parts.next().unwrap_or("");
+        match kind {
+            "node" => {
+                let id: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: lineno + 1,
+                        message: "expected `node <id> <label>`".into(),
+                    })?;
+                let label = parts.next().unwrap_or("").to_owned();
+                nodes.push((id, label));
+            }
+            "edge" => {
+                let p: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: lineno + 1,
+                        message: "expected `edge <parent> <child>`".into(),
+                    })?;
+                let c: usize = parts
+                    .next()
+                    .and_then(|s| s.trim().parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: lineno + 1,
+                        message: "expected `edge <parent> <child>`".into(),
+                    })?;
+                edges.push((p, c));
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("unknown record kind {other:?}"),
+                })
+            }
+        }
+    }
+
+    nodes.sort_by_key(|&(id, _)| id);
+    for (expect, &(id, _)) in nodes.iter().enumerate() {
+        if id != expect {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("node ids must be dense 0..n; missing or duplicate id {expect}"),
+            });
+        }
+    }
+
+    let mut b = HierarchyBuilder::new();
+    for (_, label) in nodes {
+        b.add_node(label)?;
+    }
+    let n = b.node_count();
+    for (p, c) in edges {
+        if p >= n {
+            return Err(GraphError::UnknownNode(NodeId::new(p)));
+        }
+        if c >= n {
+            return Err(GraphError::UnknownNode(NodeId::new(c)));
+        }
+        b.add_edge(NodeId::new(p), NodeId::new(c))?;
+    }
+    b.build()
+}
+
+/// Renders the hierarchy in Graphviz DOT, optionally annotating each node
+/// with a probability weight. For debugging and the examples.
+pub fn to_dot(dag: &Dag, weights: Option<&[f64]>) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph hierarchy {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    for u in dag.nodes() {
+        match weights {
+            Some(w) => {
+                let _ = writeln!(
+                    s,
+                    "  n{} [label=\"{}\\np={:.3}\"];",
+                    u.index(),
+                    dag.label(u),
+                    w[u.index()]
+                );
+            }
+            None => {
+                let _ = writeln!(s, "  n{} [label=\"{}\"];", u.index(), dag.label(u));
+            }
+        }
+    }
+    for u in dag.nodes() {
+        for &c in dag.children(u) {
+            let _ = writeln!(s, "  n{} -> n{};", u.index(), c.index());
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip() {
+        let g = dag_from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let mut buf = Vec::new();
+        write_hierarchy(&g, &mut buf).unwrap();
+        let g2 = read_hierarchy(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = read_hierarchy(BufReader::new("frob 1 2\n".as_bytes())).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_sparse_ids() {
+        let text = "node 0 a\nnode 2 b\n";
+        let err = read_hierarchy(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_edge_endpoint() {
+        let text = "node 0 a\nnode 1 b\nedge 0 1\nedge 0 7\n";
+        let err = read_hierarchy(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\nnode 0 root\nnode 1 kid\nedge 0 1\n";
+        let g = read_hierarchy(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.label(NodeId::new(1)), "kid");
+    }
+
+    #[test]
+    fn labels_may_contain_spaces() {
+        let text = "node 0 digital cameras\nnode 1 point and shoot\nedge 0 1\n";
+        let g = read_hierarchy(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.label(NodeId::new(0)), "digital cameras");
+        assert_eq!(g.label(NodeId::new(1)), "point and shoot");
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let dot = to_dot(&g, None);
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("digraph"));
+        let w = vec![0.5, 0.25, 0.25];
+        let dot_w = to_dot(&g, Some(&w));
+        assert!(dot_w.contains("p=0.500"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # aigs-graph — hierarchy substrate for interactive graph search
+//!
+//! This crate provides the graph-side machinery shared by every algorithm in
+//! the AIGS reproduction (Cong et al., *Cost-Effective Algorithms for
+//! Average-Case Interactive Graph Search*, ICDE 2022):
+//!
+//! * [`Dag`] — the immutable single-rooted hierarchy (CSR in both directions),
+//!   built and validated by [`HierarchyBuilder`].
+//! * [`Tree`] — Euler-tour view for tree-shaped hierarchies: O(1) subtree
+//!   membership, subtree sizes and weights (Alg. 5 `SetWeightDFS`).
+//! * [`heavy_path`] — weighted heavy paths (Definition 10, Theorem 5).
+//! * [`CandidateSet`] — alive-set bookkeeping with LIFO undo, implementing
+//!   the candidate updates of `FrameworkIGS` (Alg. 1).
+//! * [`reach`] — reachability indexes: per-target [`AncestorSet`]s and the
+//!   transitive-closure bitsets ([`ReachClosure`]) used by DAG policies;
+//!   [`IntervalIndex`] is the O(k·n)-memory GRAIL-style tier for DAGs too
+//!   large for the quadratic closure.
+//! * [`generate`] — seeded random trees/DAGs and fixed shapes (path, star,
+//!   complete k-ary) for tests and benchmarks.
+//! * [`io`] — a plain-text exchange format plus Graphviz export.
+//!
+//! The crate is `no_std`-adjacent in spirit (no I/O besides [`io`], no
+//! threads, no interior mutability) and deterministic end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod candidate;
+mod dag;
+mod error;
+pub mod generate;
+pub mod heavy_path;
+mod id;
+pub mod interval_index;
+pub mod io;
+pub mod reach;
+pub mod traversal;
+mod tree;
+
+pub use builder::{dag_from_edges, HierarchyBuilder, MultiRootPolicy};
+pub use candidate::CandidateSet;
+pub use dag::{Dag, DagStats};
+pub use error::GraphError;
+pub use heavy_path::{heavy_path_from, HeavyPathDecomposition};
+pub use id::NodeId;
+pub use interval_index::IntervalIndex;
+pub use reach::{AncestorSet, NodeBitSet, ReachClosure};
+pub use traversal::{BfsScratch, VisitedSet};
+pub use tree::Tree;

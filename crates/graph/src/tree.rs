@@ -1,0 +1,265 @@
+//! Accelerated view for tree-shaped hierarchies.
+//!
+//! When the hierarchy is a tree (every non-root node has exactly one parent),
+//! subtree membership reduces to an interval test on DFS entry/exit times,
+//! which gives the O(1) `reach` oracle and the O(n) subtree-weight
+//! initialisation used by `GreedyTree` (Alg. 4–5 of the paper).
+
+use crate::{Dag, GraphError, NodeId};
+
+/// Euler-tour view over a tree-shaped [`Dag`].
+#[derive(Debug, Clone)]
+pub struct Tree<'a> {
+    dag: &'a Dag,
+    parent: Vec<NodeId>,
+    depth: Vec<u32>,
+    /// DFS entry time of each node.
+    tin: Vec<u32>,
+    /// DFS exit time; subtree(u) == nodes v with tin[u] <= tin[v] < tout[u].
+    tout: Vec<u32>,
+    /// Subtree sizes |T_u| of the full (un-pruned) tree.
+    size: Vec<u32>,
+    /// Nodes in DFS pre-order (also a topological order of the tree).
+    preorder: Vec<NodeId>,
+}
+
+impl<'a> Tree<'a> {
+    /// Builds the view. Fails with [`GraphError::MultipleRoots`] carrying the
+    /// offending node when some non-root node has more than one parent
+    /// (i.e. the hierarchy is a proper DAG, not a tree).
+    pub fn new(dag: &'a Dag) -> Result<Self, GraphError> {
+        for u in dag.nodes() {
+            if u != dag.root() && dag.in_degree(u) != 1 {
+                // A DAG node with >1 parent: not a tree.
+                return Err(GraphError::MultipleRoots(vec![u]));
+            }
+        }
+        let n = dag.node_count();
+        let mut parent = vec![NodeId::SENTINEL; n];
+        let mut depth = vec![0u32; n];
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut size = vec![1u32; n];
+        let mut preorder = Vec::with_capacity(n);
+
+        let mut clock = 0u32;
+        // Iterative DFS with explicit enter/exit to fill Euler times.
+        let mut stack: Vec<(NodeId, usize)> = vec![(dag.root(), 0)];
+        tin[dag.root().index()] = clock;
+        clock += 1;
+        preorder.push(dag.root());
+        while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+            let kids = dag.children(u);
+            if *ci < kids.len() {
+                let c = kids[*ci];
+                *ci += 1;
+                parent[c.index()] = u;
+                depth[c.index()] = depth[u.index()] + 1;
+                tin[c.index()] = clock;
+                clock += 1;
+                preorder.push(c);
+                stack.push((c, 0));
+            } else {
+                tout[u.index()] = clock;
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    size[p.index()] += size[u.index()];
+                }
+            }
+        }
+        debug_assert_eq!(clock as usize, n, "tree DFS must reach every node");
+        Ok(Tree {
+            dag,
+            parent,
+            depth,
+            tin,
+            tout,
+            size,
+            preorder,
+        })
+    }
+
+    /// The underlying DAG.
+    #[inline]
+    pub fn dag(&self) -> &'a Dag {
+        self.dag
+    }
+
+    /// Parent of `u`, or the sentinel for the root.
+    #[inline]
+    pub fn parent(&self, u: NodeId) -> NodeId {
+        self.parent[u.index()]
+    }
+
+    /// Depth of `u` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, u: NodeId) -> u32 {
+        self.depth[u.index()]
+    }
+
+    /// Size of the full subtree `|T_u|`.
+    #[inline]
+    pub fn subtree_size(&self, u: NodeId) -> u32 {
+        self.size[u.index()]
+    }
+
+    /// O(1) test: is `v` inside the subtree rooted at `u` (inclusive)?
+    /// Exactly the oracle predicate `reach(u)` for target `v` on a tree.
+    #[inline]
+    pub fn in_subtree(&self, u: NodeId, v: NodeId) -> bool {
+        self.tin[u.index()] <= self.tin[v.index()] && self.tin[v.index()] < self.tout[u.index()]
+    }
+
+    /// Nodes in DFS pre-order.
+    #[inline]
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.preorder
+    }
+
+    /// Walks up from `u` to the root, yielding `u` first.
+    pub fn path_to_root(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = u;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let out = cur;
+            let p = self.parent[cur.index()];
+            if p.is_sentinel() {
+                done = true;
+            } else {
+                cur = p;
+            }
+            Some(out)
+        })
+    }
+
+    /// Aggregates an arbitrary per-node weight into per-subtree totals in a
+    /// single reverse pre-order pass (the `SetWeightDFS` of Alg. 5, run
+    /// bottom-up without recursion).
+    pub fn subtree_weights(&self, node_weight: &[f64]) -> Vec<f64> {
+        assert_eq!(node_weight.len(), self.dag.node_count());
+        let mut acc = node_weight.to_vec();
+        for &u in self.preorder.iter().rev() {
+            let p = self.parent[u.index()];
+            if !p.is_sentinel() {
+                acc[p.index()] += acc[u.index()];
+            }
+        }
+        acc
+    }
+
+    /// Integer-weight variant of [`Tree::subtree_weights`], used with the
+    /// rounded weights of Eq. (1).
+    pub fn subtree_weights_u64(&self, node_weight: &[u64]) -> Vec<u64> {
+        assert_eq!(node_weight.len(), self.dag.node_count());
+        let mut acc = node_weight.to_vec();
+        for &u in self.preorder.iter().rev() {
+            let p = self.parent[u.index()];
+            if !p.is_sentinel() {
+                acc[p.index()] += acc[u.index()];
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    fn sample() -> Dag {
+        // Fig. 2(a): 0 -> 1; 1 -> {2, 3, 4}; 3 -> {5, 6}
+        dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_tree() {
+        let g = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert!(Tree::new(&g).is_err());
+    }
+
+    #[test]
+    fn parent_depth_size() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        assert!(t.parent(NodeId::new(0)).is_sentinel());
+        assert_eq!(t.parent(NodeId::new(5)), NodeId::new(3));
+        assert_eq!(t.depth(NodeId::new(0)), 0);
+        assert_eq!(t.depth(NodeId::new(6)), 3);
+        assert_eq!(t.subtree_size(NodeId::new(0)), 7);
+        assert_eq!(t.subtree_size(NodeId::new(1)), 6);
+        assert_eq!(t.subtree_size(NodeId::new(3)), 3);
+        assert_eq!(t.subtree_size(NodeId::new(6)), 1);
+    }
+
+    #[test]
+    fn in_subtree_matches_bfs_reachability() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(t.in_subtree(u, v), g.reaches(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn path_to_root_walks_ancestry() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        let path: Vec<usize> = t.path_to_root(NodeId::new(6)).map(|u| u.index()).collect();
+        assert_eq!(path, vec![6, 3, 1, 0]);
+        let path: Vec<usize> = t.path_to_root(NodeId::new(0)).map(|u| u.index()).collect();
+        assert_eq!(path, vec![0]);
+    }
+
+    #[test]
+    fn preorder_starts_at_root_and_covers_all() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        assert_eq!(t.preorder()[0], g.root());
+        let mut seen = t.preorder().to_vec();
+        seen.sort();
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn subtree_weights_sum_children() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        let w = vec![1.0; 7];
+        let acc = t.subtree_weights(&w);
+        for u in g.nodes() {
+            assert_eq!(acc[u.index()], t.subtree_size(u) as f64);
+        }
+        let wu: Vec<u64> = vec![2; 7];
+        let accu = t.subtree_weights_u64(&wu);
+        assert_eq!(accu[0], 14);
+        assert_eq!(accu[3], 6);
+    }
+
+    #[test]
+    fn weighted_subtree_nonuniform() {
+        let g = sample();
+        let t = Tree::new(&g).unwrap();
+        let mut w = vec![0.0; 7];
+        w[5] = 0.4; // maxima
+        w[6] = 0.4; // sentra
+        w[3] = 0.08;
+        let acc = t.subtree_weights(&w);
+        assert!((acc[3] - 0.88).abs() < 1e-12);
+        assert!((acc[1] - 0.88).abs() < 1e-12);
+        assert!((acc[0] - 0.88).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = dag_from_edges(1, &[]).unwrap();
+        let t = Tree::new(&g).unwrap();
+        assert_eq!(t.subtree_size(NodeId::new(0)), 1);
+        assert!(t.in_subtree(NodeId::new(0), NodeId::new(0)));
+    }
+}

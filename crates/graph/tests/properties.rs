@@ -1,0 +1,251 @@
+//! Property-based tests for the graph substrate.
+
+use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
+use aigs_graph::{
+    heavy_path_from, AncestorSet, CandidateSet, HeavyPathDecomposition, NodeId, ReachClosure, Tree,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tree_from_seed(n: usize, seed: u64) -> aigs_graph::Dag {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_tree(&TreeConfig::bushy(n), &mut rng)
+}
+
+fn dag_from_seed(n: usize, frac: f64, seed: u64) -> aigs_graph::Dag {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_dag(&DagConfig::bushy(n, frac), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Euler intervals on trees agree with BFS reachability.
+    #[test]
+    fn tree_intervals_match_bfs(n in 1usize..60, seed in 0u64..1000) {
+        let g = tree_from_seed(n, seed);
+        let t = Tree::new(&g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(t.in_subtree(u, v), g.reaches(u, v));
+            }
+        }
+    }
+
+    /// Transitive-closure bitsets agree with BFS reachability on DAGs.
+    #[test]
+    fn closure_matches_bfs(n in 2usize..50, frac in 0.0f64..0.4, seed in 0u64..1000) {
+        let g = dag_from_seed(n, frac, seed);
+        let c = ReachClosure::build(&g);
+        for u in g.nodes() {
+            let desc = g.descendants(u);
+            prop_assert_eq!(c.descendants(u).count(), desc.len());
+            for v in g.nodes() {
+                prop_assert_eq!(c.reaches(u, v), g.reaches(u, v));
+            }
+        }
+    }
+
+    /// Ancestor sets answer `reach` exactly like a forward BFS would.
+    #[test]
+    fn ancestor_sets_match(n in 2usize..50, frac in 0.0f64..0.4, seed in 0u64..1000) {
+        let g = dag_from_seed(n, frac, seed);
+        for z in g.nodes() {
+            let a = AncestorSet::new(&g, z);
+            for q in g.nodes() {
+                prop_assert_eq!(a.reach(q), g.reaches(q, z));
+            }
+        }
+    }
+
+    /// Heavy-path decomposition is a partition, and every path is a real
+    /// downward chain whose edges are heavy.
+    #[test]
+    fn heavy_paths_partition(n in 1usize..80, seed in 0u64..1000) {
+        let g = tree_from_seed(n, seed);
+        let t = Tree::new(&g).unwrap();
+        let hpd = HeavyPathDecomposition::new(&t, None);
+        let mut count = vec![0u32; n];
+        for path in hpd.paths() {
+            for w in path.windows(2) {
+                // Consecutive nodes are parent/child …
+                prop_assert!(g.children(w[0]).contains(&w[1]));
+                // … and the child is (weakly) heaviest among its siblings.
+                let sz = t.subtree_size(w[1]);
+                for &sib in g.children(w[0]) {
+                    prop_assert!(t.subtree_size(sib) <= sz || sib == w[1]);
+                }
+            }
+            for &u in path {
+                count[u.index()] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    /// The root's weighted heavy path always ends at a leaf.
+    #[test]
+    fn heavy_path_reaches_leaf(n in 1usize..80, seed in 0u64..1000) {
+        let g = tree_from_seed(n, seed);
+        let t = Tree::new(&g).unwrap();
+        let path = heavy_path_from(&g, g.root(), |c| t.subtree_size(c) as f64, |_| true);
+        let last = *path.last().unwrap();
+        prop_assert!(g.is_leaf(last));
+        prop_assert_eq!(path[0], g.root());
+    }
+
+    /// Candidate-set updates mirror set algebra over *original-graph*
+    /// descendant sets — provided queries target alive nodes, which is the
+    /// framework's contract (eliminated nodes carry no information). Undo
+    /// restores the exact previous state.
+    #[test]
+    fn candidate_set_algebra(
+        n in 2usize..40,
+        frac in 0.0f64..0.4,
+        seed in 0u64..1000,
+        ops in prop::collection::vec((0u32..40, prop::bool::ANY), 1..12),
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let mut cand = CandidateSet::new(g.node_count());
+        let mut model: Vec<bool> = vec![true; g.node_count()];
+        let mut history: Vec<Vec<bool>> = Vec::new();
+
+        for (q_raw, yes) in ops {
+            if cand.count() == 0 {
+                break;
+            }
+            // Remap the raw pick onto the alive nodes only.
+            let alive: Vec<NodeId> = cand.iter_alive().collect();
+            let q = alive[(q_raw as usize) % alive.len()];
+            history.push(model.clone());
+            let desc = g.descendants(q);
+            for u in g.nodes() {
+                let in_gq = desc.contains(&u);
+                if yes { model[u.index()] &= in_gq; } else if in_gq { model[u.index()] = false; }
+            }
+            cand.apply(&g, q, yes);
+            for u in g.nodes() {
+                prop_assert_eq!(cand.is_alive(u), model[u.index()]);
+            }
+            prop_assert_eq!(cand.count(), model.iter().filter(|&&a| a).count());
+        }
+        // Unwind entirely.
+        while let Some(prev) = history.pop() {
+            prop_assert!(cand.undo());
+            model = prev;
+            for u in g.nodes() {
+                prop_assert_eq!(cand.is_alive(u), model[u.index()]);
+            }
+        }
+        prop_assert!(!cand.undo());
+    }
+
+    /// Text round-trip preserves the hierarchy exactly.
+    #[test]
+    fn io_roundtrip(n in 1usize..60, frac in 0.0f64..0.4, seed in 0u64..1000) {
+        let g = dag_from_seed(n.max(3), frac, seed);
+        let mut buf = Vec::new();
+        aigs_graph::io::write_hierarchy(&g, &mut buf).unwrap();
+        let g2 = aigs_graph::io::read_hierarchy(std::io::BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// NodeBitSet behaves exactly like a reference HashSet model under an
+    /// arbitrary op sequence.
+    #[test]
+    fn bitset_matches_set_model(
+        n in 1usize..200,
+        ops in prop::collection::vec((0u8..6, 0u32..200), 1..60),
+    ) {
+        use std::collections::BTreeSet;
+        let mut bits = aigs_graph::NodeBitSet::empty(n);
+        let mut other = aigs_graph::NodeBitSet::empty(n);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        let mut other_model: BTreeSet<usize> = BTreeSet::new();
+        for (op, raw) in ops {
+            let v = (raw as usize) % n;
+            match op {
+                0 => {
+                    bits.insert(NodeId::new(v));
+                    model.insert(v);
+                }
+                1 => {
+                    bits.remove(NodeId::new(v));
+                    model.remove(&v);
+                }
+                2 => {
+                    other.insert(NodeId::new(v));
+                    other_model.insert(v);
+                }
+                3 => {
+                    bits.intersect_with(&other);
+                    model = model.intersection(&other_model).cloned().collect();
+                }
+                4 => {
+                    bits.subtract(&other);
+                    model = model.difference(&other_model).cloned().collect();
+                }
+                _ => {
+                    bits.union_with(&other);
+                    model = model.union(&other_model).cloned().collect();
+                }
+            }
+            prop_assert_eq!(bits.count(), model.len());
+            let members: Vec<usize> = bits.iter().map(|u| u.index()).collect();
+            let expected: Vec<usize> = model.iter().cloned().collect();
+            prop_assert_eq!(members, expected);
+            prop_assert_eq!(
+                bits.intersection_count(&other),
+                model.intersection(&other_model).count()
+            );
+            match model.len() {
+                1 => prop_assert_eq!(
+                    bits.sole_member().map(|u| u.index()),
+                    model.iter().next().cloned()
+                ),
+                _ => prop_assert_eq!(bits.sole_member(), None),
+            }
+        }
+    }
+
+    /// Depths computed via topological relaxation equal longest-path depths
+    /// computed by brute-force DFS.
+    #[test]
+    fn depths_are_longest_paths(n in 2usize..40, frac in 0.0f64..0.4, seed in 0u64..1000) {
+        let g = dag_from_seed(n, frac, seed);
+        let depths = g.depths();
+        // Brute force: longest path from root via memoised recursion on the
+        // reverse graph.
+        fn longest(g: &aigs_graph::Dag, u: NodeId, memo: &mut [i64]) -> i64 {
+            if memo[u.index()] >= 0 {
+                return memo[u.index()];
+            }
+            let d = g
+                .parents(u)
+                .iter()
+                .map(|&p| longest(g, p, memo) + 1)
+                .max()
+                .unwrap_or(0);
+            memo[u.index()] = d;
+            d
+        }
+        let mut memo = vec![-1i64; g.node_count()];
+        for u in g.nodes() {
+            prop_assert_eq!(depths[u.index()] as i64, longest(&g, u, &mut memo));
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_roundtrip {
+    use super::*;
+
+    #[test]
+    fn dag_serde_json_roundtrip() {
+        let g = dag_from_seed(40, 0.2, 99);
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: aigs_graph::Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+}

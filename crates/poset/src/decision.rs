@@ -1,0 +1,150 @@
+//! The binary decision tree problem and the reduction of Lemma 3.
+//!
+//! Definition 5 of the paper: an `N × M` boolean table where rows are
+//! objects and columns are attribute tests; a decision tree identifies each
+//! object by a root-to-leaf test path, and the goal is to minimise the
+//! weighted sum of leaf depths. Lemma 3 reduces AIGS to this problem by
+//! taking nodes as objects and reachability as attributes. This module
+//! materialises that reduction so tests can check it mechanically.
+
+use aigs_graph::{Dag, ReachClosure};
+
+/// An instance of the binary decision tree problem (Definition 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTableInstance {
+    /// Number of objects (rows).
+    pub objects: usize,
+    /// Number of attributes (columns).
+    pub attributes: usize,
+    /// Row-major boolean table: `table[i * attributes + j]` is the outcome
+    /// of test `j` on object `i`.
+    pub table: Vec<bool>,
+    /// Per-object weights (the probability of each object).
+    pub weights: Vec<f64>,
+}
+
+impl DecisionTableInstance {
+    /// Table entry for object `i`, attribute `j`.
+    #[inline]
+    pub fn test(&self, i: usize, j: usize) -> bool {
+        self.table[i * self.attributes + j]
+    }
+
+    /// True when every pair of objects is separated by at least one
+    /// attribute — the condition for any decision tree to identify all
+    /// objects unambiguously.
+    pub fn is_separable(&self) -> bool {
+        for i in 0..self.objects {
+            for k in (i + 1)..self.objects {
+                let distinguished =
+                    (0..self.attributes).any(|j| self.test(i, j) != self.test(k, j));
+                if !distinguished {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The set of objects consistent with a partial assignment of attribute
+    /// answers: `constraints[j] = Some(v)` requires `test(i, j) == v`.
+    pub fn consistent_objects(&self, constraints: &[Option<bool>]) -> Vec<usize> {
+        assert_eq!(constraints.len(), self.attributes);
+        (0..self.objects)
+            .filter(|&i| {
+                constraints
+                    .iter()
+                    .enumerate()
+                    .all(|(j, c)| c.is_none_or(|v| self.test(i, j) == v))
+            })
+            .collect()
+    }
+}
+
+/// Lemma 3: reduces an AIGS instance (hierarchy + weights) to a binary
+/// decision table. Object `i` = node `i`; attribute `j` = the query
+/// `reach(j)`; `table[i][j] = true ⇔ node i is reachable from node j`.
+pub fn reduce_aigs_to_decision_table(dag: &Dag, weights: &[f64]) -> DecisionTableInstance {
+    let n = dag.node_count();
+    assert_eq!(weights.len(), n, "one weight per node");
+    let closure = ReachClosure::build(dag);
+    let mut table = vec![false; n * n];
+    for j in dag.nodes() {
+        for i in closure.descendants(j).iter() {
+            table[i.index() * n + j.index()] = true;
+        }
+    }
+    DecisionTableInstance {
+        objects: n,
+        attributes: n,
+        table,
+        weights: weights.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aigs_graph::dag_from_edges;
+
+    fn sample() -> Dag {
+        // Fig. 2(a): 0 -> 1; 1 -> {2,3,4}; 3 -> {5,6}
+        dag_from_edges(7, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)]).unwrap()
+    }
+
+    #[test]
+    fn reduction_matches_reachability() {
+        let g = sample();
+        let w = vec![1.0 / 7.0; 7];
+        let inst = reduce_aigs_to_decision_table(&g, &w);
+        assert_eq!(inst.objects, 7);
+        assert_eq!(inst.attributes, 7);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(
+                    inst.test(i.index(), j.index()),
+                    g.reaches(j, i),
+                    "object {i}, attribute {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aigs_instances_are_separable() {
+        // Every node has a distinct descendant set containing itself, so the
+        // diagonal attribute separates any pair — hierarchies are always
+        // identifiable.
+        let g = sample();
+        let inst = reduce_aigs_to_decision_table(&g, &[1.0 / 7.0; 7]);
+        assert!(inst.is_separable());
+    }
+
+    #[test]
+    fn consistent_objects_narrows_like_queries() {
+        let g = sample();
+        let inst = reduce_aigs_to_decision_table(&g, &[1.0 / 7.0; 7]);
+        let mut cons = vec![None; 7];
+        // Answer yes to reach(3): candidates = G_3 = {3, 5, 6}.
+        cons[3] = Some(true);
+        assert_eq!(inst.consistent_objects(&cons), vec![3, 5, 6]);
+        // Then no to reach(5): candidates = {3, 6}.
+        cons[5] = Some(false);
+        assert_eq!(inst.consistent_objects(&cons), vec![3, 6]);
+        // Then yes to reach(6): unique object 6.
+        cons[6] = Some(true);
+        assert_eq!(inst.consistent_objects(&cons), vec![6]);
+    }
+
+    #[test]
+    fn inseparable_table_detected() {
+        // Two identical rows cannot be told apart.
+        let inst = DecisionTableInstance {
+            objects: 2,
+            attributes: 1,
+            table: vec![true, true],
+            weights: vec![0.5, 0.5],
+        };
+        assert!(!inst.is_separable());
+    }
+}

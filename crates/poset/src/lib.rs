@@ -1,0 +1,21 @@
+//! # aigs-poset — order-theoretic foundations of interactive graph search
+//!
+//! The AIGS paper grounds its hardness results in two classic problems:
+//! search in a partially ordered set (Lemma 2) and the binary decision tree
+//! problem (Lemma 3). This crate turns both reductions into code so that the
+//! rest of the workspace — and its tests — can exercise them directly:
+//!
+//! * [`Poset`] — finite partial orders with axiom checking
+//!   (Definition 2), derivation from DAG reachability, cover relations and
+//!   Hasse-diagram reconstruction (the two directions of Lemma 2).
+//! * [`DecisionTableInstance`] / [`reduce_aigs_to_decision_table`] — the
+//!   objects×attributes view of Definition 5 and the Lemma 3 reduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decision;
+mod poset;
+
+pub use decision::{reduce_aigs_to_decision_table, DecisionTableInstance};
+pub use poset::{Poset, PosetViolation};

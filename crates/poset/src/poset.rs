@@ -1,0 +1,266 @@
+//! Partially ordered sets and their equivalence with IGS (Lemma 2).
+//!
+//! The paper grounds the hardness of AIGS in poset search: the reachability
+//! relation of a DAG is a partial order (Lemma 2), and searching a poset is
+//! exactly interactive graph search on the Hasse diagram of the order. This
+//! module makes both directions executable: [`Poset::from_dag`] derives the
+//! order from reachability, and [`Poset::hasse_diagram`] rebuilds a DAG whose
+//! reachability is the original order.
+
+use aigs_graph::{Dag, GraphError, HierarchyBuilder, MultiRootPolicy, NodeId, ReachClosure};
+
+/// A finite partially ordered set over elements `0..n`.
+///
+/// The relation is stored as a dense boolean matrix `leq[a][b] ⇔ a ≤ b`.
+/// Following the paper's Definition 3, "the target is related to x" maps to
+/// DAG reachability as: `z ≤ q ⇔ z ∈ G_q` (descendants are *below* their
+/// ancestors in the order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poset {
+    n: usize,
+    leq: Vec<bool>,
+}
+
+/// Which axiom a candidate relation violates, with a witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosetViolation {
+    /// `a ≤ a` fails for the witness.
+    Reflexivity(usize),
+    /// `a ≤ b ∧ b ≤ a` with `a ≠ b`.
+    Antisymmetry(usize, usize),
+    /// `a ≤ b ∧ b ≤ c` but not `a ≤ c`.
+    Transitivity(usize, usize, usize),
+}
+
+impl std::fmt::Display for PosetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PosetViolation::Reflexivity(a) => write!(f, "reflexivity fails at {a}"),
+            PosetViolation::Antisymmetry(a, b) => {
+                write!(f, "antisymmetry fails at ({a}, {b})")
+            }
+            PosetViolation::Transitivity(a, b, c) => {
+                write!(f, "transitivity fails at ({a}, {b}, {c})")
+            }
+        }
+    }
+}
+
+impl Poset {
+    /// Builds a poset from an explicit relation, validating the three axioms
+    /// of Definition 2 (reflexivity, antisymmetry, transitivity).
+    pub fn from_relation(n: usize, pairs: &[(usize, usize)]) -> Result<Self, PosetViolation> {
+        let mut leq = vec![false; n * n];
+        for i in 0..n {
+            leq[i * n + i] = true; // reflexive closure is implied
+        }
+        for &(a, b) in pairs {
+            assert!(a < n && b < n, "relation element out of range");
+            leq[a * n + b] = true;
+        }
+        let p = Poset { n, leq };
+        p.check_axioms()?;
+        Ok(p)
+    }
+
+    /// Derives the poset of Lemma 2 from a DAG: `a ≤ b ⇔ a ∈ G_b`
+    /// (reachability from `b` to `a`).
+    pub fn from_dag(dag: &Dag) -> Self {
+        let n = dag.node_count();
+        let closure = ReachClosure::build(dag);
+        let mut leq = vec![false; n * n];
+        for b in dag.nodes() {
+            for a in closure.descendants(b).iter() {
+                leq[a.index() * n + b.index()] = true;
+            }
+        }
+        let p = Poset { n, leq };
+        debug_assert!(p.check_axioms().is_ok(), "DAG reachability must be a partial order");
+        p
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the poset has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The order relation `a ≤ b`.
+    #[inline]
+    pub fn leq(&self, a: usize, b: usize) -> bool {
+        self.leq[a * self.n + b]
+    }
+
+    /// Verifies reflexivity, antisymmetry and transitivity, returning the
+    /// first violation found.
+    pub fn check_axioms(&self) -> Result<(), PosetViolation> {
+        let n = self.n;
+        for a in 0..n {
+            if !self.leq(a, a) {
+                return Err(PosetViolation::Reflexivity(a));
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && self.leq(a, b) && self.leq(b, a) {
+                    return Err(PosetViolation::Antisymmetry(a, b));
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if !self.leq(a, b) {
+                    continue;
+                }
+                for c in 0..n {
+                    if self.leq(b, c) && !self.leq(a, c) {
+                        return Err(PosetViolation::Transitivity(a, b, c));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `b` covers `a`: `a < b` with no element strictly between.
+    /// Cover pairs are exactly the edges of the Hasse diagram.
+    pub fn covers(&self, a: usize, b: usize) -> bool {
+        if a == b || !self.leq(a, b) {
+            return false;
+        }
+        for c in 0..self.n {
+            if c != a && c != b && self.leq(a, c) && self.leq(c, b) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The maximal elements (nothing strictly above them). A search
+    /// hierarchy derived from this poset is rooted at the unique maximal
+    /// element, or at a virtual root when there are several.
+    pub fn maximal_elements(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&a| (0..self.n).all(|b| b == a || !self.leq(a, b)))
+            .collect()
+    }
+
+    /// Builds the Hasse diagram as a [`Dag`] (the reverse direction of
+    /// Lemma 2): edge `b -> a` for every cover pair `a ⋖ b`, so DAG
+    /// reachability reproduces the order. Multiple maximal elements are
+    /// joined under a virtual root, mirroring the paper's dummy-root fix.
+    pub fn hasse_diagram(&self) -> Result<Dag, GraphError> {
+        let mut b = HierarchyBuilder::new().multi_root(MultiRootPolicy::AddVirtualRoot);
+        for i in 0..self.n {
+            b.add_node(format!("e{i}"))?;
+        }
+        for lo in 0..self.n {
+            for hi in 0..self.n {
+                if self.covers(lo, hi) {
+                    b.add_edge(NodeId::new(hi), NodeId::new(lo))?;
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aigs_graph::dag_from_edges;
+
+    #[test]
+    fn relation_axioms_enforced() {
+        // A valid chain 0 ≤ 1 ≤ 2 (with transitive pair supplied).
+        assert!(Poset::from_relation(3, &[(0, 1), (1, 2), (0, 2)]).is_ok());
+        // Missing transitive pair.
+        assert_eq!(
+            Poset::from_relation(3, &[(0, 1), (1, 2)]).unwrap_err(),
+            PosetViolation::Transitivity(0, 1, 2)
+        );
+        // Antisymmetry violation.
+        assert_eq!(
+            Poset::from_relation(2, &[(0, 1), (1, 0)]).unwrap_err(),
+            PosetViolation::Antisymmetry(0, 1)
+        );
+    }
+
+    #[test]
+    fn dag_reachability_is_partial_order() {
+        let g = dag_from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let p = Poset::from_dag(&g);
+        assert!(p.check_axioms().is_ok());
+        // a ≤ b ⇔ b reaches a.
+        assert!(p.leq(4, 0));
+        assert!(p.leq(3, 1));
+        assert!(!p.leq(1, 3));
+        assert!(!p.leq(1, 2));
+    }
+
+    #[test]
+    fn covers_skip_transitive_pairs() {
+        let g = dag_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let p = Poset::from_dag(&g);
+        assert!(p.covers(1, 0));
+        assert!(p.covers(2, 1));
+        assert!(!p.covers(2, 0), "2 < 0 is transitive, not a cover");
+    }
+
+    #[test]
+    fn maximal_elements_are_roots() {
+        let g = dag_from_edges(4, &[(0, 1), (0, 2), (1, 3)]).unwrap();
+        let p = Poset::from_dag(&g);
+        assert_eq!(p.maximal_elements(), vec![0]);
+    }
+
+    #[test]
+    fn hasse_roundtrip_preserves_reachability() {
+        let g = dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap();
+        let p = Poset::from_dag(&g);
+        let h = p.hasse_diagram().unwrap();
+        // Same node count (single maximal element, no virtual root needed).
+        assert_eq!(h.node_count(), g.node_count());
+        // Reachability in the Hasse diagram == original reachability.
+        // Hasse node ids coincide with poset element ids by construction.
+        for a in 0..p.len() {
+            for b in 0..p.len() {
+                assert_eq!(
+                    h.reaches(NodeId::new(b), NodeId::new(a)),
+                    g.reaches(NodeId::new(b), NodeId::new(a)),
+                    "({b} -> {a})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hasse_adds_virtual_root_for_antichain() {
+        // Two incomparable elements.
+        let p = Poset::from_relation(2, &[]).unwrap();
+        assert_eq!(p.maximal_elements(), vec![0, 1]);
+        let h = p.hasse_diagram().unwrap();
+        assert_eq!(h.node_count(), 3);
+        assert_eq!(h.label(h.root()), "__root__");
+    }
+
+    #[test]
+    fn violation_display() {
+        assert!(PosetViolation::Reflexivity(1).to_string().contains("reflexivity"));
+        assert!(PosetViolation::Antisymmetry(0, 1).to_string().contains("antisymmetry"));
+        assert!(PosetViolation::Transitivity(0, 1, 2).to_string().contains("transitivity"));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let p = Poset::from_relation(1, &[]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: DAG → poset → Hasse round-trip and decision-table
+//! reductions on random hierarchies.
+
+use aigs_graph::generate::{random_dag, DagConfig};
+use aigs_graph::NodeId;
+use aigs_poset::{reduce_aigs_to_decision_table, Poset};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn dag_from_seed(n: usize, frac: f64, seed: u64) -> aigs_graph::Dag {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_dag(&DagConfig::bushy(n, frac), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Lemma 2, forward: reachability of any DAG satisfies the poset axioms.
+    #[test]
+    fn dag_reachability_is_poset(n in 2usize..30, frac in 0.0f64..0.4, seed in 0u64..500) {
+        let g = dag_from_seed(n, frac, seed);
+        let p = Poset::from_dag(&g);
+        prop_assert!(p.check_axioms().is_ok());
+    }
+
+    /// Lemma 2, backward: the Hasse diagram of the derived poset has the
+    /// same reachability relation as the original DAG.
+    #[test]
+    fn hasse_roundtrip(n in 2usize..25, frac in 0.0f64..0.4, seed in 0u64..500) {
+        let g = dag_from_seed(n, frac, seed);
+        let p = Poset::from_dag(&g);
+        let h = p.hasse_diagram().unwrap();
+        // Single root in a generated hierarchy, so no virtual root is added
+        // and node ids correspond.
+        prop_assert_eq!(h.node_count(), g.node_count());
+        for a in g.nodes() {
+            for b in g.nodes() {
+                prop_assert_eq!(h.reaches(a, b), g.reaches(a, b));
+            }
+        }
+    }
+
+    /// Hasse diagrams are minimal: removing any edge changes reachability.
+    #[test]
+    fn hasse_is_transitive_reduction(n in 2usize..18, frac in 0.0f64..0.4, seed in 0u64..500) {
+        let g = dag_from_seed(n, frac, seed);
+        let h = Poset::from_dag(&g).hasse_diagram().unwrap();
+        for u in h.nodes() {
+            for &c in h.children(u) {
+                // An edge u -> c is redundant iff c is reachable from u
+                // through some other child.
+                let redundant = h
+                    .children(u)
+                    .iter()
+                    .any(|&other| other != c && h.reaches(other, c));
+                prop_assert!(!redundant, "edge {u} -> {c} is transitive");
+            }
+        }
+    }
+
+    /// Lemma 3: the decision-table reduction is separable and its columns
+    /// are exactly the reach predicate.
+    #[test]
+    fn decision_table_reduction(n in 2usize..25, frac in 0.0f64..0.4, seed in 0u64..500) {
+        let g = dag_from_seed(n, frac, seed);
+        let w = vec![1.0 / g.node_count() as f64; g.node_count()];
+        let inst = reduce_aigs_to_decision_table(&g, &w);
+        prop_assert!(inst.is_separable());
+        for i in 0..inst.objects {
+            for j in 0..inst.attributes {
+                prop_assert_eq!(
+                    inst.test(i, j),
+                    g.reaches(NodeId::new(j), NodeId::new(i))
+                );
+            }
+        }
+    }
+
+    /// Simulating a query sequence through the decision table narrows to the
+    /// same candidate set as DAG-side candidate updates.
+    #[test]
+    fn table_consistency_matches_candidates(
+        n in 2usize..20,
+        frac in 0.0f64..0.4,
+        seed in 0u64..500,
+        target_raw in 0u32..100,
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let target = NodeId::new((target_raw as usize) % nn);
+        let w = vec![1.0 / nn as f64; nn];
+        let inst = reduce_aigs_to_decision_table(&g, &w);
+        let mut cons: Vec<Option<bool>> = vec![None; nn];
+        let mut cand = aigs_graph::CandidateSet::new(nn);
+
+        // Drive a simple top-down search toward `target`, mirroring answers
+        // into both representations.
+        let mut frontier = g.root();
+        loop {
+            let mut advanced = false;
+            let children: Vec<NodeId> = g.children(frontier).to_vec();
+            for c in children {
+                if !cand.is_alive(c) {
+                    continue;
+                }
+                let yes = g.reaches(c, target);
+                cons[c.index()] = Some(yes);
+                cand.apply(&g, c, yes);
+                let consistent = inst.consistent_objects(&cons);
+                let alive: Vec<usize> = cand.iter_alive().map(|u| u.index()).collect();
+                prop_assert_eq!(consistent, alive);
+                if yes {
+                    frontier = c;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        prop_assert!(cand.is_alive(target));
+    }
+}

@@ -1,0 +1,73 @@
+//! A tour of the order-theoretic machinery behind the hardness results
+//! (Lemmas 1–3 of the paper).
+//!
+//! Interactive graph search *is* search in a partially ordered set, which
+//! *is* the binary decision tree problem — this example walks the vehicle
+//! hierarchy through both reductions and back, and shows the exact optimal
+//! decision tree the NP-hardness says we cannot find at scale.
+//!
+//! ```text
+//! cargo run --example poset_tour
+//! ```
+
+use aigs::core::policy::{optimal_expected_cost, optimal_worst_case_cost};
+use aigs::core::SearchContext;
+use aigs::data::fixtures::vehicle;
+use aigs::poset::{reduce_aigs_to_decision_table, Poset};
+
+fn main() {
+    let (dag, weights) = vehicle();
+    println!("Fig. 1 hierarchy: {}", dag.stats());
+
+    // Lemma 2, forward: reachability is a partial order.
+    let poset = Poset::from_dag(&dag);
+    poset
+        .check_axioms()
+        .expect("reachability satisfies reflexivity, antisymmetry, transitivity");
+    println!("\nLemma 2: reachability forms a valid partial order over {} elements.", poset.len());
+    println!(
+        "  e.g. sentra ≤ nissan: {}   nissan ≤ sentra: {}",
+        poset.leq(6, 3),
+        poset.leq(3, 6)
+    );
+
+    // Lemma 2, backward: the Hasse diagram reconstructs the hierarchy.
+    let hasse = poset.hasse_diagram().expect("valid poset");
+    let faithful = dag
+        .nodes()
+        .all(|a| dag.nodes().all(|b| hasse.reaches(a, b) == dag.reaches(a, b)));
+    println!(
+        "  Hasse diagram rebuilt with {} nodes; reachability preserved: {faithful}",
+        hasse.node_count()
+    );
+
+    // Lemma 3: the decision-table reduction.
+    let table = reduce_aigs_to_decision_table(&dag, weights.as_slice());
+    println!(
+        "\nLemma 3: reduced to a {}x{} boolean decision table (separable: {}).",
+        table.objects,
+        table.attributes,
+        table.is_separable()
+    );
+    print!("  attribute matrix (rows = objects, cols = reach tests):\n");
+    for i in 0..table.objects {
+        print!("    {} ", dag.label(aigs::graph::NodeId::new(i)));
+        for _ in dag.label(aigs::graph::NodeId::new(i)).len()..9 {
+            print!(" ");
+        }
+        for j in 0..table.attributes {
+            print!("{}", if table.test(i, j) { '1' } else { '0' });
+        }
+        println!();
+    }
+
+    // What NP-hardness forbids at scale, exact DP delivers at n = 7.
+    let ctx = SearchContext::new(&dag, &weights);
+    let opt_avg = optimal_expected_cost(&ctx).expect("tiny instance");
+    let opt_worst = optimal_worst_case_cost(&ctx).expect("tiny instance");
+    println!(
+        "\nExact optima (NP-hard in general, Lemma 1): expected {opt_avg:.4} queries, \
+         worst case {opt_worst:.0} queries."
+    );
+    println!("The paper's greedy achieves 2.04 — the optimum here — in O(nhd) time.");
+}

@@ -1,0 +1,87 @@
+//! Quickstart: interactive categorisation on the paper's Fig. 1 hierarchy.
+//!
+//! Recreates the opening example of the paper: labelling a vehicle image by
+//! asking reachability questions, first with the naive `TopDown` strategy,
+//! then with the average-case greedy policy, and finally comparing exact
+//! expected costs (Example 2's 2.60-vs-2.04 story).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use aigs::core::policy::{GreedyTreePolicy, TopDownPolicy, WigsPolicy};
+use aigs::core::{
+    evaluate_exhaustive, run_session, DecisionTreeBuilder, Policy, SearchContext, TargetOracle,
+    TranscriptOracle,
+};
+use aigs::data::fixtures::vehicle;
+use aigs::graph::NodeId;
+
+fn transcript_of(
+    policy: &mut dyn Policy,
+    ctx: &SearchContext<'_>,
+    target: NodeId,
+) -> (Vec<(String, bool)>, u32) {
+    let mut oracle = TranscriptOracle::new(TargetOracle::new(ctx.dag, target));
+    let outcome = run_session(policy, ctx, &mut oracle, None).expect("session converges");
+    assert_eq!(outcome.target, target);
+    let qa = oracle
+        .transcript
+        .iter()
+        .map(|&(q, a)| (ctx.dag.label(q).to_owned(), a))
+        .collect();
+    (qa, outcome.queries)
+}
+
+fn main() {
+    let (dag, weights) = vehicle();
+    let ctx = SearchContext::new(&dag, &weights);
+    let sentra = dag.node_by_label("sentra").expect("fixture label");
+
+    println!("The Fig. 1 vehicle hierarchy ({} nodes):", dag.node_count());
+    let tree = aigs::graph::Tree::new(&dag).expect("fixture is a tree");
+    for &v in tree.preorder() {
+        let indent = "  ".repeat(tree.depth(v) as usize);
+        println!("  {indent}{} (p = {:.2})", dag.label(v), weights.get(v));
+    }
+
+    println!("\n--- Labelling a Sentra image with TopDown ---");
+    let mut top_down = TopDownPolicy::new();
+    let (qa, queries) = transcript_of(&mut top_down, &ctx, sentra);
+    for (q, a) in &qa {
+        println!("  is it a {q}? -> {}", if *a { "yes" } else { "no" });
+    }
+    println!("  identified after {queries} questions");
+
+    println!("\n--- Same image with the greedy policy (GreedyTree) ---");
+    let mut greedy = GreedyTreePolicy::new();
+    let (qa, queries) = transcript_of(&mut greedy, &ctx, sentra);
+    for (q, a) in &qa {
+        println!("  is it a {q}? -> {}", if *a { "yes" } else { "no" });
+    }
+    println!("  identified after {queries} questions");
+
+    println!("\n--- Example 2: expected cost over the 100-image batch ---");
+    let mut wigs = WigsPolicy::new();
+    let greedy_report = evaluate_exhaustive(&mut greedy, &ctx).expect("sound policy");
+    let wigs_report = evaluate_exhaustive(&mut wigs, &ctx).expect("sound policy");
+    println!(
+        "  WIGS (worst-case oriented): expected {:.2} queries/image, worst case {}",
+        wigs_report.expected_cost, wigs_report.max_cost
+    );
+    println!(
+        "  Greedy (average-case):      expected {:.2} queries/image, worst case {}",
+        greedy_report.expected_cost, greedy_report.max_cost
+    );
+    println!(
+        "  -> for 100 images: {:.0} vs {:.0} total questions",
+        100.0 * wigs_report.expected_cost,
+        100.0 * greedy_report.expected_cost
+    );
+
+    println!("\n--- The greedy policy as a decision tree (Graphviz) ---");
+    let dt = DecisionTreeBuilder::new()
+        .build(&mut greedy, &ctx)
+        .expect("decision tree builds");
+    println!("{}", dt.to_dot(Some(&dag)));
+}

@@ -1,0 +1,42 @@
+//! # aigs — Cost-Effective Algorithms for Average-Case Interactive Graph Search
+//!
+//! A complete Rust implementation of the ICDE 2022 paper by Cong, Tang,
+//! Huang, Chen and Chee: greedy middle-point policies with provable
+//! guarantees for identifying an unknown target node in a category
+//! hierarchy via interactive reachability questions, plus every baseline
+//! and experiment from the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] ([`aigs_graph`]) — the hierarchy substrate: DAGs, trees,
+//!   reachability indexes, heavy paths, candidate sets, generators.
+//! * [`core`] ([`aigs_core`]) — policies (`GreedyTree`, `GreedyDAG`,
+//!   `TopDown`, `MIGS`, `WIGS`, cost-sensitive, exact optimal), oracles,
+//!   sessions, decision trees, online learning, batched search.
+//! * [`data`] ([`aigs_data`]) — synthetic Amazon-/ImageNet-like datasets and
+//!   the paper's worked-example fixtures.
+//! * [`poset`] ([`aigs_poset`]) — the order-theoretic reductions behind the
+//!   hardness results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use aigs::core::policy::GreedyTreePolicy;
+//! use aigs::core::{run_session, SearchContext, TargetOracle};
+//! use aigs::data::fixtures::vehicle;
+//! use aigs::graph::NodeId;
+//!
+//! let (dag, weights) = vehicle(); // Fig. 1 of the paper
+//! let ctx = SearchContext::new(&dag, &weights);
+//! let mut policy = GreedyTreePolicy::new();
+//! let mut oracle = TargetOracle::new(&dag, NodeId::new(6)); // a Sentra image
+//! let outcome = run_session(&mut policy, &ctx, &mut oracle, None).unwrap();
+//! assert_eq!(dag.label(outcome.target), "sentra");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use aigs_core as core;
+pub use aigs_data as data;
+pub use aigs_graph as graph;
+pub use aigs_poset as poset;

@@ -1,0 +1,132 @@
+//! Cross-crate checks of the theory: approximation ratios against the exact
+//! DP optimum (Theorems 1–3) and the poset/decision-table bridges
+//! (Lemmas 2–3) on synthetic taxonomies.
+
+use aigs::core::policy::{
+    optimal_expected_cost, optimal_worst_case_cost, GreedyDagPolicy, GreedyTreePolicy,
+    OptimalObjective, OptimalPolicy, WigsPolicy,
+};
+use aigs::core::{evaluate_exhaustive, NodeWeights, SearchContext};
+use aigs::data::{generate_taxonomy, overlay_cross_edges, TaxonomyConfig, WeightSetting};
+use aigs::poset::{reduce_aigs_to_decision_table, Poset};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn golden_ratio() -> f64 {
+    (1.0 + 5.0_f64.sqrt()) / 2.0
+}
+
+/// Theorem 2 over a batch of small taxonomy-shaped trees.
+#[test]
+fn greedy_tree_golden_ratio_on_taxonomies() {
+    for seed in 0..12u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = TaxonomyConfig::new(12, 4, 4);
+        let tree = generate_taxonomy(&cfg, &mut rng);
+        let w = WeightSetting::Zipf(2.0).assign(12, &mut rng);
+        let ctx = SearchContext::new(&tree, &w);
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        let mut greedy = GreedyTreePolicy::new();
+        let cost = evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+        assert!(
+            cost <= golden_ratio() * opt + 1e-9,
+            "seed {seed}: greedy {cost} vs opt {opt}"
+        );
+    }
+}
+
+/// Theorem 3's premise: under equal weights, greedy stays close to optimal
+/// (the paper proves O(log n / log log n); at n = 12 that allows a small
+/// constant, we check a 2× envelope empirically).
+#[test]
+fn greedy_equal_weights_near_optimal() {
+    for seed in 0..8u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(100 + seed);
+        let cfg = TaxonomyConfig::new(12, 5, 4);
+        let tree = generate_taxonomy(&cfg, &mut rng);
+        let w = NodeWeights::uniform(12);
+        let ctx = SearchContext::new(&tree, &w);
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        let mut greedy = GreedyTreePolicy::new();
+        let cost = evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+        assert!(cost <= 2.0 * opt + 1e-9, "seed {seed}: {cost} vs {opt}");
+    }
+}
+
+/// Theorem 1 on DAG overlays, plus the worst-case sanity: WIGS within the
+/// trivial factor of the worst-case optimum.
+#[test]
+fn dag_bounds_hold() {
+    for seed in 0..8u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(200 + seed);
+        let cfg = TaxonomyConfig::new(13, 5, 4);
+        let tree = generate_taxonomy(&cfg, &mut rng);
+        let dag = overlay_cross_edges(&tree, 0.15, &mut rng);
+        let n = dag.node_count() as f64;
+        let w = WeightSetting::Exponential.assign(dag.node_count(), &mut rng);
+        let ctx = SearchContext::new(&dag, &w);
+
+        let opt = optimal_expected_cost(&ctx).unwrap();
+        let mut greedy = GreedyDagPolicy::new();
+        let cost = evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+        let bound = 2.0 * (1.0 + 3.0 * n.ln());
+        assert!(
+            cost <= bound * opt.max(1.0),
+            "seed {seed}: {cost} vs opt {opt} (bound {bound})"
+        );
+
+        let wc_opt = optimal_worst_case_cost(&ctx).unwrap();
+        let mut wigs = WigsPolicy::new();
+        let wigs_worst = evaluate_exhaustive(&mut wigs, &ctx).unwrap().max_cost as f64;
+        assert!(
+            wigs_worst <= 3.0 * wc_opt + 2.0,
+            "seed {seed}: WIGS worst {wigs_worst} vs optimal worst {wc_opt}"
+        );
+    }
+}
+
+/// The exact optimal policy, driven interactively, achieves its own DP
+/// value on a taxonomy-shaped instance — for both objectives.
+#[test]
+fn optimal_policy_self_consistent() {
+    let mut rng = ChaCha8Rng::seed_from_u64(300);
+    let cfg = TaxonomyConfig::new(11, 4, 4);
+    let tree = generate_taxonomy(&cfg, &mut rng);
+    let w = WeightSetting::Uniform.assign(11, &mut rng);
+    let ctx = SearchContext::new(&tree, &w);
+
+    let mut exp = OptimalPolicy::with_objective(OptimalObjective::Expected);
+    let report = evaluate_exhaustive(&mut exp, &ctx).unwrap();
+    let opt = optimal_expected_cost(&ctx).unwrap();
+    assert!((report.expected_cost - opt).abs() < 1e-9);
+
+    let mut wc = OptimalPolicy::with_objective(OptimalObjective::WorstCase);
+    let report = evaluate_exhaustive(&mut wc, &ctx).unwrap();
+    let wc_opt = optimal_worst_case_cost(&ctx).unwrap();
+    assert!((report.max_cost as f64 - wc_opt).abs() < 1e-9);
+}
+
+/// Lemma 2 + Lemma 3 on a synthetic taxonomy DAG: reachability is a poset,
+/// its Hasse diagram recovers reachability, and the decision-table
+/// reduction is separable.
+#[test]
+fn poset_bridge_on_taxonomy() {
+    let mut rng = ChaCha8Rng::seed_from_u64(400);
+    let cfg = TaxonomyConfig::new(40, 6, 6);
+    let tree = generate_taxonomy(&cfg, &mut rng);
+    let dag = overlay_cross_edges(&tree, 0.1, &mut rng);
+
+    let poset = Poset::from_dag(&dag);
+    assert!(poset.check_axioms().is_ok());
+    let hasse = poset.hasse_diagram().unwrap();
+    assert_eq!(hasse.node_count(), dag.node_count());
+    for a in dag.nodes() {
+        for b in dag.nodes() {
+            assert_eq!(hasse.reaches(a, b), dag.reaches(a, b));
+        }
+    }
+
+    let w = NodeWeights::uniform(dag.node_count());
+    let table = reduce_aigs_to_decision_table(&dag, w.as_slice());
+    assert!(table.is_separable());
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the online-learning loop (Fig. 4) and the
+//! noisy-oracle harness (the paper's future-work section).
+
+use aigs::core::policy::{GreedyDagPolicy, GreedyTreePolicy};
+use aigs::core::{
+    evaluate_exhaustive, run_online_trace, run_session, MajorityVoteOracle, NoisyOracle, SearchContext, TargetOracle,
+};
+use aigs::data::{amazon_like, imagenet_like, object_trace, sample_targets, Scale};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Fig. 4's qualitative claim: the online-learned greedy converges towards
+/// the offline greedy's cost, ending well below WIGS.
+#[test]
+fn online_learning_converges_tree() {
+    let dataset = amazon_like(Scale::Small, 21);
+    let weights = dataset.empirical_weights();
+    let ctx = SearchContext::new(&dataset.dag, &weights);
+
+    let mut offline = GreedyTreePolicy::new();
+    let offline_cost = evaluate_exhaustive(&mut offline, &ctx).unwrap().expected_cost;
+    let mut wigs = aigs::core::policy::WigsPolicy::new();
+    let wigs_cost = evaluate_exhaustive(&mut wigs, &ctx).unwrap().expected_cost;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let trace = object_trace(&dataset.object_counts, 8_000, &mut rng);
+    let mut online = GreedyTreePolicy::new();
+    let points = run_online_trace(&dataset.dag, &trace, &mut online, 1_000, 1).unwrap();
+
+    let first = points.first().unwrap().avg_cost;
+    let last = points.last().unwrap().avg_cost;
+    assert!(last < first, "cost should fall as the estimate sharpens");
+    assert!(
+        last < wigs_cost,
+        "online greedy ({last}) must end below WIGS ({wigs_cost})"
+    );
+    // Within 35% of the offline bound after 8k objects (the paper reaches
+    // 3% after 50k objects on 29k categories; our trace is much shorter).
+    assert!(
+        last < offline_cost * 1.35,
+        "online {last} vs offline {offline_cost}"
+    );
+}
+
+/// Same on the DAG dataset with GreedyDAG.
+#[test]
+fn online_learning_converges_dag() {
+    let dataset = imagenet_like(Scale::Small, 22);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let trace = object_trace(&dataset.object_counts, 4_000, &mut rng);
+    let mut online = GreedyDagPolicy::new();
+    let points = run_online_trace(&dataset.dag, &trace, &mut online, 500, 1).unwrap();
+    assert!(points.len() >= 4);
+    let first = points.first().unwrap().avg_cost;
+    let last = points.last().unwrap().avg_cost;
+    assert!(
+        last <= first,
+        "DAG online cost should not grow: {first} -> {last}"
+    );
+}
+
+/// Noise breaks the plain search; 5-vote majority restores most accuracy
+/// at exactly 5× the query bill.
+#[test]
+fn majority_vote_restores_accuracy() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let cfg = aigs::data::TaxonomyConfig::new(500, 8, 40);
+    let dag = aigs::data::generate_taxonomy(&cfg, &mut rng);
+    let weights = aigs::core::NodeWeights::uniform(500);
+    let ctx = SearchContext::new(&dag, &weights);
+    let targets = sample_targets(&weights, 120, &mut rng);
+    let mut policy = GreedyTreePolicy::new();
+    // 10% noise: a 5-vote majority is wrong with probability ~0.9% per
+    // question, so a ~12-question session stays correct ~90% of the time,
+    // while the unaggregated search survives only ~0.9^12 ~ 28% of runs.
+    let noise = 0.10;
+
+    let mut plain_correct = 0;
+    let mut voted_correct = 0;
+    for (j, &z) in targets.iter().enumerate() {
+        let mut noisy = NoisyOracle::new(
+            TargetOracle::new(&dag, z),
+            noise,
+            ChaCha8Rng::seed_from_u64(j as u64),
+        );
+        if let Ok(out) = run_session(&mut policy, &ctx, &mut noisy, Some(2_000)) {
+            if out.target == z {
+                plain_correct += 1;
+            }
+        }
+        let mut voted = MajorityVoteOracle::new(
+            NoisyOracle::new(
+                TargetOracle::new(&dag, z),
+                noise,
+                ChaCha8Rng::seed_from_u64(j as u64 ^ 0xFACE),
+            ),
+            5,
+        );
+        if let Ok(out) = run_session(&mut policy, &ctx, &mut voted, Some(2_000)) {
+            if out.target == z {
+                voted_correct += 1;
+            }
+        }
+    }
+    assert!(
+        voted_correct > plain_correct,
+        "majority voting must help: {voted_correct} vs {plain_correct}"
+    );
+    assert!(
+        voted_correct as f64 >= 0.8 * targets.len() as f64,
+        "5-vote accuracy too low: {voted_correct}/{}",
+        targets.len()
+    );
+    assert!(
+        (plain_correct as f64) < 0.8 * targets.len() as f64,
+        "10% noise should break the plain search, got {plain_correct}/{}",
+        targets.len()
+    );
+}
+
+/// A zero-noise noisy oracle is indistinguishable from the truthful one.
+#[test]
+fn zero_noise_identity() {
+    let dataset = amazon_like(Scale::Small, 30);
+    let weights = dataset.empirical_weights();
+    let ctx = SearchContext::new(&dataset.dag, &weights);
+    let mut policy = GreedyTreePolicy::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    for &z in sample_targets(&weights, 40, &mut rng).iter() {
+        let mut truthful = TargetOracle::new(&dataset.dag, z);
+        let clean = run_session(&mut policy, &ctx, &mut truthful, None).unwrap();
+        let mut noisy = NoisyOracle::new(
+            TargetOracle::new(&dataset.dag, z),
+            0.0,
+            ChaCha8Rng::seed_from_u64(1),
+        );
+        let silent = run_session(&mut policy, &ctx, &mut noisy, None).unwrap();
+        assert_eq!(clean, silent);
+    }
+}

@@ -1,0 +1,126 @@
+//! The paper's worked examples, reproduced end to end with exact numbers.
+
+use aigs::core::policy::{
+    optimal_worst_case_cost, CostSensitivePolicy, GreedyNaivePolicy, GreedyTreePolicy,
+    TopDownPolicy, WigsPolicy,
+};
+use aigs::core::{
+    evaluate_exhaustive, run_session, DecisionTreeBuilder, NodeWeights, SearchContext,
+    TargetOracle,
+};
+use aigs::data::fixtures::{caigs_chain, vehicle, vehicle_equal, vehicle_object_counts};
+use aigs::graph::NodeId;
+
+/// Example 1: labelling a Sentra with TopDown asks car?/honda?/nissan?/
+/// maxima?/sentra? — the intro's walk-through (the paper's narration skips
+/// the failed honda probe; the question sequence below is the full run).
+#[test]
+fn example1_top_down_transcript() {
+    let (dag, weights) = vehicle();
+    let ctx = SearchContext::new(&dag, &weights);
+    let sentra = dag.node_by_label("sentra").unwrap();
+    let mut policy = TopDownPolicy::new();
+    let mut oracle = TargetOracle::new(&dag, sentra);
+    let out = run_session(&mut policy, &ctx, &mut oracle, None).unwrap();
+    assert_eq!(out.target, sentra);
+    assert_eq!(out.queries, 5);
+
+    // And "Honda" as target stops right after the two yes answers the
+    // example narrates ("car?" yes, "honda?" yes → label Honda).
+    let honda = dag.node_by_label("honda").unwrap();
+    let mut oracle = TargetOracle::new(&dag, honda);
+    let out = run_session(&mut policy, &ctx, &mut oracle, None).unwrap();
+    assert_eq!(out.target, honda);
+    assert_eq!(out.queries, 2);
+}
+
+/// Example 2: on the Fig. 1 distribution, the optimal worst-case policy
+/// needs 4 queries in the worst case and its average-optimal rival pays
+/// 2.04 expected queries — total 260 vs 204 for the 100-image batch.
+#[test]
+fn example2_worst_case_vs_average_case() {
+    let (dag, weights) = vehicle();
+    let ctx = SearchContext::new(&dag, &weights);
+
+    // Optimal WIGS requires exactly 4 queries in the worst case.
+    let (dag_eq, w_eq) = vehicle_equal();
+    let ctx_eq = SearchContext::new(&dag_eq, &w_eq);
+    assert_eq!(optimal_worst_case_cost(&ctx_eq).unwrap(), 4.0);
+
+    // Our heavy-path WIGS achieves that optimum here, at average 2.60.
+    let mut wigs = WigsPolicy::new();
+    let wigs_report = evaluate_exhaustive(&mut wigs, &ctx).unwrap();
+    assert_eq!(wigs_report.max_cost, 4);
+    assert!((wigs_report.expected_cost - 2.60).abs() < 1e-9);
+
+    // The greedy policy realises the example's alternative solution —
+    // per-target costs {Vehicle: 4, Car: 6, Honda: 5, Nissan: 3, Maxima: 1,
+    // Sentra: 2, Mercedes: 6} — totalling 204 queries over the 100-object
+    // batch, i.e. 2.04 expected.
+    let mut greedy = GreedyTreePolicy::new();
+    let greedy_report = evaluate_exhaustive(&mut greedy, &ctx).unwrap();
+    assert!((greedy_report.expected_cost - 2.04).abs() < 1e-9);
+    assert_eq!(greedy_report.max_cost, 6);
+
+    // Batch framing: 100 images with the Fig. 1 proportions.
+    let counts = vehicle_object_counts();
+    let total_wigs: f64 = dag
+        .nodes()
+        .map(|v| counts[v.index()] as f64 * wigs_report.per_target[v.index()] as f64)
+        .sum();
+    let total_greedy: f64 = dag
+        .nodes()
+        .map(|v| counts[v.index()] as f64 * greedy_report.per_target[v.index()] as f64)
+        .sum();
+    assert_eq!(total_wigs, 260.0);
+    assert_eq!(total_greedy, 204.0);
+}
+
+/// Example 3: with equal weights 1/7, the greedy decision tree of Fig. 2(b)
+/// costs (2·2 + 3·3 + 2·4)/7 = 3 expected queries.
+#[test]
+fn example3_decision_tree_cost() {
+    let (dag, w) = vehicle_equal();
+    let ctx = SearchContext::new(&dag, &w);
+    for mut policy in [
+        Box::new(GreedyNaivePolicy::new()) as Box<dyn aigs::core::Policy + Send>,
+        Box::new(GreedyTreePolicy::new()),
+    ] {
+        let dt = DecisionTreeBuilder::new().build(policy.as_mut(), &ctx).unwrap();
+        assert!((dt.expected_cost(&w) - 3.0).abs() < 1e-12);
+        // |D| ≤ 2|G| as the paper observes below Definition 6.
+        assert!(dt.nodes.len() <= 2 * dag.node_count());
+        // The first query of Fig. 2(b) is node 3 (nissan).
+        match &dt.nodes[0] {
+            aigs::core::DtNode::Query { q, .. } => assert_eq!(*q, NodeId::new(3)),
+            other => panic!("root must be a query, got {other:?}"),
+        }
+    }
+}
+
+/// Example 4: the Fig. 3 chain with c(3) = 5. Simple greedy pays expected
+/// price 6; the cost-sensitive greedy pays 4.25.
+#[test]
+fn example4_cost_sensitive_prices() {
+    let (dag, w, costs) = caigs_chain();
+    let ctx = SearchContext::new(&dag, &w).with_costs(&costs);
+
+    let mut plain = GreedyNaivePolicy::new();
+    let plain_report = evaluate_exhaustive(&mut plain, &ctx).unwrap();
+    assert!((plain_report.expected_price - 6.0).abs() < 1e-9);
+
+    let mut sensitive = CostSensitivePolicy::new();
+    let cs_report = evaluate_exhaustive(&mut sensitive, &ctx).unwrap();
+    assert!((cs_report.expected_price - 4.25).abs() < 1e-9);
+}
+
+/// The distribution of Fig. 1 sums to 1 and matches the object batch.
+#[test]
+fn figure1_distribution_consistency() {
+    let (dag, w) = vehicle();
+    let counts = vehicle_object_counts();
+    let empirical = NodeWeights::from_counts(&counts).unwrap();
+    for v in dag.nodes() {
+        assert!((w.get(v) - empirical.get(v)).abs() < 1e-12);
+    }
+}
