@@ -1,0 +1,161 @@
+//! Hot-path benches for the delta-undo journal work:
+//!
+//! * `undo_roundtrip` — one `select`/`observe`/`unobserve` cycle per policy
+//!   at growing n. With journal-based rollback the `unobserve` side is O(Δ)
+//!   — no O(n) snapshot restore — so the cycle cost tracks the *query's*
+//!   footprint, not the hierarchy size.
+//! * `leaf_undo` — the isolation measurement: a fixed leaf query's
+//!   `observe(no)`/`unobserve` pair touches O(depth) entries on trees, so
+//!   its cost must stay (near-)flat as n grows. This is the "unobserve cost
+//!   independent of n" acceptance gate; the committed baseline lives in
+//!   `BENCH_hotpath.json` (regenerate with
+//!   `CRITERION_JSON=BENCH_hotpath.json cargo bench -p aigs-bench --bench hotpath`).
+//! * `sweep_hetero` — full exhaustive evaluation under *non-uniform* prices:
+//!   single-pass now, so it costs the same as the uniform sweep instead of
+//!   double.
+
+use aigs_core::policy::{GreedyDagPolicy, GreedyTreePolicy, MigsPolicy, TopDownPolicy, WigsPolicy};
+use aigs_core::{
+    evaluate_exhaustive, fresh_cache_token, NodeWeights, Policy, QueryCosts, SearchContext,
+};
+use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
+use aigs_graph::{Dag, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn weights_for(n: usize, seed: u64) -> NodeWeights {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap()
+}
+
+fn deepest_leaf(dag: &Dag) -> NodeId {
+    let depths = dag.depths();
+    dag.nodes()
+        .filter(|&v| dag.is_leaf(v))
+        .max_by_key(|&v| depths[v.index()])
+        .expect("graphs under bench have leaves")
+}
+
+/// One select+observe(no)+unobserve cycle; q is re-selected every iteration
+/// so every policy's phase bookkeeping stays honest.
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("undo_roundtrip");
+    group.sample_size(20);
+    for n in [1024usize, 8192, 65536] {
+        let tree = random_tree(&TreeConfig::bushy(n), &mut ChaCha8Rng::seed_from_u64(7));
+        let w = weights_for(n, 11);
+        let token = fresh_cache_token();
+        let ctx = SearchContext::new(&tree, &w).with_cache_token(token);
+        let policies: Vec<Box<dyn Policy + Send>> = vec![
+            Box::new(GreedyTreePolicy::new()),
+            Box::new(GreedyDagPolicy::new()),
+            Box::new(WigsPolicy::new()),
+            Box::new(TopDownPolicy::new()),
+            Box::new(MigsPolicy::new()),
+        ];
+        for mut p in policies {
+            p.reset(&ctx);
+            let name = p.name();
+            group.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| {
+                    let q = p.select(&ctx);
+                    p.observe(&ctx, q, false);
+                    p.unobserve(&ctx);
+                })
+            });
+        }
+    }
+    // DAG mode (closure-backed WIGS, rounded-greedy ancestor repair);
+    // closure memory is quadratic, so cap n.
+    for n in [1024usize, 8192] {
+        let dag = random_dag(
+            &DagConfig::bushy(n, 0.1),
+            &mut ChaCha8Rng::seed_from_u64(13),
+        );
+        let nn = dag.node_count();
+        let w = weights_for(nn, 17);
+        let closure = aigs_graph::ReachClosure::build(&dag);
+        let token = fresh_cache_token();
+        let ctx = SearchContext::new(&dag, &w)
+            .with_closure(&closure)
+            .with_cache_token(token);
+        for mut p in [
+            Box::new(GreedyDagPolicy::new()) as Box<dyn Policy + Send>,
+            Box::new(WigsPolicy::new()),
+        ] {
+            p.reset(&ctx);
+            let name = p.name();
+            group.bench_function(BenchmarkId::new(format!("{name}-dag"), n), |b| {
+                b.iter(|| {
+                    let q = p.select(&ctx);
+                    p.observe(&ctx, q, false);
+                    p.unobserve(&ctx);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Fixed deep-leaf observe(no)+unobserve — the pure journal cost, O(depth):
+/// must stay flat as n grows.
+fn bench_leaf_undo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leaf_undo");
+    group.sample_size(20);
+    for n in [1024usize, 8192, 65536] {
+        let tree = random_tree(&TreeConfig::bushy(n), &mut ChaCha8Rng::seed_from_u64(7));
+        let w = weights_for(n, 11);
+        let token = fresh_cache_token();
+        let ctx = SearchContext::new(&tree, &w).with_cache_token(token);
+        let leaf = deepest_leaf(&tree);
+        for mut p in [
+            Box::new(GreedyTreePolicy::new()) as Box<dyn Policy + Send>,
+            Box::new(GreedyDagPolicy::new()),
+        ] {
+            p.reset(&ctx);
+            let name = p.name();
+            group.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| {
+                    p.observe(&ctx, leaf, false);
+                    p.unobserve(&ctx);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Exhaustive sweep under heterogeneous prices — exercised on the
+/// single-pass `evaluate_targets` path (one session per target, price
+/// accumulated in the same pass).
+fn bench_hetero_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_hetero");
+    group.sample_size(10);
+    for n in [1024usize, 8192] {
+        let tree = random_tree(&TreeConfig::bushy(n), &mut ChaCha8Rng::seed_from_u64(7));
+        let w = weights_for(n, 11);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let prices: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+        let costs = QueryCosts::PerNode(prices);
+        let ctx = SearchContext::new(&tree, &w).with_costs(&costs);
+        for mut p in [
+            Box::new(GreedyTreePolicy::new()) as Box<dyn Policy + Send>,
+            Box::new(WigsPolicy::new()),
+        ] {
+            let name = p.name();
+            group.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| evaluate_exhaustive(p.as_mut(), &ctx).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_roundtrip,
+    bench_leaf_undo,
+    bench_hetero_sweep
+);
+criterion_main!(benches);

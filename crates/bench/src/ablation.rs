@@ -14,9 +14,7 @@
 use std::time::Instant;
 
 use aigs_core::policy::{ChildOrder, ChildSelect, GreedyTreePolicy, MigsPolicy, TopDownPolicy};
-use aigs_core::{
-    evaluate_exhaustive, BatchedTreeSearch, Policy, SearchContext, TargetOracle,
-};
+use aigs_core::{evaluate_exhaustive, BatchedTreeSearch, Policy, SearchContext, TargetOracle};
 use aigs_data::{sample_targets, Dataset};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -38,8 +36,8 @@ pub fn greedy_child_select(cfg: &ExperimentConfig, dataset: &Dataset) -> (TextTa
         let start = Instant::now();
         for &z in &targets {
             let mut oracle = TargetOracle::new(&dataset.dag, z);
-            let out = aigs_core::run_session(&mut policy, &ctx, &mut oracle, None)
-                .expect("sound policy");
+            let out =
+                aigs_core::run_session(&mut policy, &ctx, &mut oracle, None).expect("sound policy");
             queries += out.queries as u64;
         }
         (

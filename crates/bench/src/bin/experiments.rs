@@ -116,10 +116,8 @@ fn main() {
 }
 
 fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
-    args.get(i)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} expects a number\n{USAGE}");
-            std::process::exit(2);
-        })
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a number\n{USAGE}");
+        std::process::exit(2);
+    })
 }

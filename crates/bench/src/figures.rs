@@ -60,8 +60,8 @@ pub fn fig4(cfg: &ExperimentConfig, dataset: &Dataset) -> (TextTable, Vec<Series
             ChaCha8Rng::seed_from_u64(cfg.sub_seed(&format!("fig4-{}-{trace_idx}", dataset.name)));
         let trace = object_trace(&dataset.object_counts, cfg.trace_len, &mut rng);
         let mut policy = greedy_for(dataset);
-        let points = run_online_trace(&dataset.dag, &trace, policy.as_mut(), window, 1)
-            .expect("online run");
+        let points =
+            run_online_trace(&dataset.dag, &trace, policy.as_mut(), window, 1).expect("online run");
         windows = windows.max(points.len());
         if window_sums.len() < points.len() {
             window_sums.resize(points.len(), 0.0);

@@ -34,7 +34,9 @@ impl CostRow {
 pub fn table2(cfg: &ExperimentConfig) -> TextTable {
     let mut t = TextTable::new(
         "Table II — statistics of datasets",
-        vec!["Dataset", "#nodes", "#edges", "Height", "Max Deg.", "Type", "#objects"],
+        vec![
+            "Dataset", "#nodes", "#edges", "Height", "Max Deg.", "Type", "#objects",
+        ],
     );
     for dataset in [cfg.amazon(), cfg.imagenet()] {
         let s = dataset.dag.stats();
@@ -121,9 +123,12 @@ fn synthetic_table(
             cfg.repetitions
         };
         for rep in 0..reps {
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                cfg.sub_seed(&format!("{}-{}-{}", dataset.name, setting.label(), rep)),
-            );
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.sub_seed(&format!(
+                "{}-{}-{}",
+                dataset.name,
+                setting.label(),
+                rep
+            )));
             let weights = setting.assign(dataset.dag.node_count(), &mut rng);
             let costs = roster_costs(dataset, &weights);
             if acc.is_empty() {

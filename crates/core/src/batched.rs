@@ -58,31 +58,13 @@ impl<'a> State<'a> {
     fn new(ctx: &'a SearchContext<'a>) -> Result<Self, CoreError> {
         let tree = Tree::new(ctx.dag).map_err(|_| CoreError::NotATree)?;
         let n = ctx.dag.node_count();
-        let mut tin = vec![0u32; n];
-        let mut tout = vec![0u32; n];
-        let mut clock = 0u32;
-        let mut stack: Vec<(NodeId, usize)> = vec![(ctx.dag.root(), 0)];
-        tin[ctx.dag.root().index()] = clock;
-        clock += 1;
-        while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
-            let kids = ctx.dag.children(u);
-            if *ci < kids.len() {
-                let c = kids[*ci];
-                *ci += 1;
-                tin[c.index()] = clock;
-                clock += 1;
-                stack.push((c, 0));
-            } else {
-                tout[u.index()] = clock;
-                stack.pop();
-            }
-        }
+        let (tin, tout) = tree.euler_intervals();
         Ok(State {
             ctx,
             parent: (0..n).map(|i| tree.parent(NodeId::new(i))).collect(),
             depth: (0..n).map(|i| tree.depth(NodeId::new(i))).collect(),
-            tin,
-            tout,
+            tin: tin.to_vec(),
+            tout: tout.to_vec(),
             wp: tree.subtree_weights(ctx.weights.as_slice()),
             size: (0..n).map(|i| tree.subtree_size(NodeId::new(i))).collect(),
             detached: vec![false; n],
@@ -91,8 +73,7 @@ impl<'a> State<'a> {
     }
 
     fn in_subtree(&self, anc: NodeId, v: NodeId) -> bool {
-        self.tin[anc.index()] <= self.tin[v.index()]
-            && self.tin[v.index()] < self.tout[anc.index()]
+        self.tin[anc.index()] <= self.tin[v.index()] && self.tin[v.index()] < self.tout[anc.index()]
     }
 
     fn weight(&self, v: NodeId, size_mode: bool) -> f64 {
@@ -385,7 +366,9 @@ mod tests {
         let ctx = SearchContext::new(&g, &w);
         let mut oracle = TargetOracle::new(&g, NodeId::new(3));
         assert_eq!(
-            BatchedTreeSearch::new(2).run(&ctx, &mut oracle).unwrap_err(),
+            BatchedTreeSearch::new(2)
+                .run(&ctx, &mut oracle)
+                .unwrap_err(),
             CoreError::NotATree
         );
     }

@@ -74,6 +74,69 @@ pub fn fresh_cache_token() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Per-instance state cached across sessions under a
+/// [`SearchContext::cache_token`].
+///
+/// Policies hold one `InstanceCache` per piece of expensive precomputation
+/// (a transitive closure, tree base arrays, child orderings). A non-zero
+/// token certifies that the `(dag, weights, costs)` triple is unchanged, so
+/// a matching token means the cached value — and any scratch buffers sized
+/// for it — can be reused verbatim; token `0` disables caching and rebuilds
+/// every reset, matching the pre-cache behaviour.
+#[derive(Debug, Clone)]
+pub struct InstanceCache<B> {
+    token: u64,
+    value: Option<B>,
+}
+
+impl<B> InstanceCache<B> {
+    /// An empty cache (never matches until first populated).
+    pub const fn new() -> Self {
+        InstanceCache {
+            token: 0,
+            value: None,
+        }
+    }
+
+    /// True when a value cached under the same non-zero `token` is present.
+    #[inline]
+    pub fn matches(&self, token: u64) -> bool {
+        token != 0 && self.token == token && self.value.is_some()
+    }
+
+    /// The cached value when [`InstanceCache::matches`], else `None`.
+    pub fn get(&self, token: u64) -> Option<&B> {
+        if self.matches(token) {
+            self.value.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The most recently stored value regardless of token — for callers
+    /// that populated the cache earlier in the same session (where the
+    /// token cannot have changed).
+    pub fn current(&self) -> Option<&B> {
+        self.value.as_ref()
+    }
+
+    /// Returns the cached value for `token`, building and storing it first
+    /// on a miss (always rebuilds when `token == 0`).
+    pub fn get_or_insert_with(&mut self, token: u64, build: impl FnOnce() -> B) -> &mut B {
+        if !self.matches(token) {
+            self.value = Some(build());
+            self.token = token;
+        }
+        self.value.as_mut().expect("just populated")
+    }
+}
+
+impl<B> Default for InstanceCache<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +170,39 @@ mod tests {
         let b = fresh_cache_token();
         assert_ne!(a, 0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn instance_cache_hits_only_matching_nonzero_tokens() {
+        let mut cache: InstanceCache<Vec<u32>> = InstanceCache::new();
+        assert!(!cache.matches(7));
+        assert!(cache.get(7).is_none());
+        let mut builds = 0;
+        cache.get_or_insert_with(7, || {
+            builds += 1;
+            vec![1, 2, 3]
+        });
+        cache.get_or_insert_with(7, || {
+            builds += 1;
+            vec![9]
+        });
+        assert_eq!(builds, 1, "matching token reuses");
+        assert_eq!(cache.get(7), Some(&vec![1, 2, 3]));
+        cache.get_or_insert_with(8, || {
+            builds += 1;
+            vec![4]
+        });
+        assert_eq!(builds, 2, "different token rebuilds");
+        // Token 0 always rebuilds and never matches.
+        cache.get_or_insert_with(0, || {
+            builds += 1;
+            vec![5]
+        });
+        cache.get_or_insert_with(0, || {
+            builds += 1;
+            vec![6]
+        });
+        assert_eq!(builds, 4);
+        assert!(!cache.matches(0));
     }
 }

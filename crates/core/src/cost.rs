@@ -58,7 +58,6 @@ impl QueryCosts {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -326,7 +326,9 @@ mod tests {
             Box::new(WigsPolicy::new()),
             Box::new(GreedyNaivePolicy::new()),
         ] {
-            let dt = DecisionTreeBuilder::new().build(policy.as_mut(), &ctx).unwrap();
+            let dt = DecisionTreeBuilder::new()
+                .build(policy.as_mut(), &ctx)
+                .unwrap();
             let exact = dt.expected_cost(&w);
             let simulated = evaluate_exhaustive(policy.as_mut(), &ctx)
                 .unwrap()
@@ -370,9 +372,7 @@ mod tests {
         let w = NodeWeights::uniform(7);
         let ctx = SearchContext::new(&g, &w);
         let mut p = GreedyTreePolicy::new();
-        let b = DecisionTreeBuilder {
-            max_nodes: Some(2),
-        };
+        let b = DecisionTreeBuilder { max_nodes: Some(2) };
         assert!(matches!(
             b.build(&mut p, &ctx),
             Err(CoreError::PolicyInvariant(_))

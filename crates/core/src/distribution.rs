@@ -125,10 +125,7 @@ impl NodeWeights {
             return vec![1; self.p.len()];
         }
         let scale = n * n / max;
-        self.p
-            .iter()
-            .map(|&x| (x * scale).ceil() as u64)
-            .collect()
+        self.p.iter().map(|&x| (x * scale).ceil() as u64).collect()
     }
 }
 
@@ -210,7 +207,10 @@ mod tests {
         assert!(NodeWeights::uniform(3).check_for(&dag).is_ok());
         assert!(matches!(
             NodeWeights::uniform(4).check_for(&dag),
-            Err(CoreError::WeightMismatch { nodes: 3, weights: 4 })
+            Err(CoreError::WeightMismatch {
+                nodes: 3,
+                weights: 4
+            })
         ));
     }
 }

@@ -95,6 +95,8 @@ mod tests {
         assert!(CoreError::TooLargeForExact { nodes: 30, cap: 24 }
             .to_string()
             .contains("24"));
-        assert!(CoreError::PolicyInvariant("boom").to_string().contains("boom"));
+        assert!(CoreError::PolicyInvariant("boom")
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -56,7 +56,7 @@ pub mod policy;
 mod session;
 
 pub use batched::{BatchedOutcome, BatchedTreeSearch};
-pub use context::{fresh_cache_token, SearchContext};
+pub use context::{fresh_cache_token, InstanceCache, SearchContext};
 pub use cost::QueryCosts;
 pub use decision_tree::{DecisionTree, DecisionTreeBuilder, DtNode};
 pub use distribution::NodeWeights;

@@ -9,9 +9,7 @@
 
 use aigs_graph::{Dag, NodeId};
 
-use crate::{
-    run_session, CoreError, NodeWeights, Policy, QueryCosts, SearchContext, TargetOracle,
-};
+use crate::{run_session, CoreError, NodeWeights, Policy, QueryCosts, SearchContext, TargetOracle};
 
 /// Empirical distribution learner.
 #[derive(Debug, Clone)]
@@ -159,7 +157,11 @@ mod tests {
         // 80% of objects are node 5, 20% node 6.
         let mut trace = Vec::new();
         for i in 0..400 {
-            trace.push(if i % 5 == 4 { NodeId::new(6) } else { NodeId::new(5) });
+            trace.push(if i % 5 == 4 {
+                NodeId::new(6)
+            } else {
+                NodeId::new(5)
+            });
         }
         let mut policy = GreedyTreePolicy::new();
         let points = run_online_trace(&g, &trace, &mut policy, 100, 1).unwrap();

@@ -39,7 +39,11 @@ pub struct TargetOracle {
 #[derive(Debug, Clone)]
 enum AnswerIndex {
     Ancestors(AncestorSet),
-    Euler { tin: Vec<u32>, tout: Vec<u32>, target: NodeId },
+    Euler {
+        tin: Vec<u32>,
+        tout: Vec<u32>,
+        target: NodeId,
+    },
 }
 
 impl TargetOracle {
@@ -52,37 +56,18 @@ impl TargetOracle {
         }
     }
 
-    /// Oracle for `target` backed by a tree's Euler intervals — O(1) setup
-    /// per target once the [`Tree`] exists, used by exhaustive evaluation.
+    /// Oracle for `target` backed by a tree's Euler intervals — one copy of
+    /// the interval arrays the [`Tree`] already computed, used by
+    /// exhaustive evaluation.
     pub fn for_tree(tree: &Tree<'_>, target: NodeId) -> Self {
-        let dag = tree.dag();
-        let n = dag.node_count();
-        let mut tin = vec![0u32; n];
-        let mut tout = vec![0u32; n];
-        // Rebuild the interval arrays from the tree view. `Tree` does not
-        // expose raw intervals, so recover them via in_subtree on children —
-        // cheaper: recompute a DFS here once; the evaluation loop shares one
-        // `EulerIntervals` via `from_intervals` instead.
-        let mut clock = 0u32;
-        let mut stack: Vec<(NodeId, usize)> = vec![(dag.root(), 0)];
-        tin[dag.root().index()] = clock;
-        clock += 1;
-        while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
-            let kids = dag.children(u);
-            if *ci < kids.len() {
-                let c = kids[*ci];
-                *ci += 1;
-                tin[c.index()] = clock;
-                clock += 1;
-                stack.push((c, 0));
-            } else {
-                tout[u.index()] = clock;
-                stack.pop();
-            }
-        }
+        let (tin, tout) = tree.euler_intervals();
         TargetOracle {
             target,
-            answers: AnswerIndex::Euler { tin, tout, target },
+            answers: AnswerIndex::Euler {
+                tin: tin.to_vec(),
+                tout: tout.to_vec(),
+                target,
+            },
             asked: 0,
         }
     }

@@ -21,6 +21,8 @@ pub struct CostSensitivePolicy {
     sum: f64,
     undo_sums: Vec<f64>,
     resolved: Option<NodeId>,
+    /// Scratch: alive candidates of the current round (reused by `select`).
+    alive_buf: Vec<NodeId>,
 }
 
 impl CostSensitivePolicy {
@@ -32,6 +34,7 @@ impl CostSensitivePolicy {
             sum: 0.0,
             undo_sums: Vec::new(),
             resolved: None,
+            alive_buf: Vec::new(),
         }
     }
 }
@@ -48,8 +51,10 @@ impl Policy for CostSensitivePolicy {
     }
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
-        self.cand = CandidateSet::new(ctx.dag.node_count());
-        self.w = ctx.weights.rounded().iter().map(|&x| x as f64).collect();
+        self.cand.reset(ctx.dag.node_count());
+        self.w.clear();
+        self.w
+            .extend(ctx.weights.rounded().iter().map(|&x| x as f64));
         self.sum = self.w.iter().sum();
         self.undo_sums.clear();
         self.resolved = self.cand.sole();
@@ -62,7 +67,9 @@ impl Policy for CostSensitivePolicy {
     fn select(&mut self, ctx: &SearchContext<'_>) -> NodeId {
         debug_assert!(self.resolved.is_none());
         let total_count = self.cand.count();
-        let alive: Vec<NodeId> = self.cand.iter_alive().collect();
+        let mut alive = std::mem::take(&mut self.alive_buf);
+        alive.clear();
+        alive.extend(self.cand.iter_alive());
 
         // Primary: weighted split product per price. Secondary: count split
         // product per price, which takes over inside zero-weight regions.
@@ -85,17 +92,22 @@ impl Policy for CostSensitivePolicy {
                 best = Some((score, count_score, u));
             }
         }
-        best.expect("unresolved search always has an informative query").2
+        self.alive_buf = alive;
+        best.expect("unresolved search always has an informative query")
+            .2
     }
 
     fn observe(&mut self, ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
         self.undo_sums.push(self.sum);
         self.cand.apply(ctx.dag, q, yes);
-        self.sum = self
+        // O(Δ): subtract the killed mass; undo restores the exact old sum.
+        let killed: f64 = self
             .cand
-            .iter_alive()
+            .last_frame()
+            .iter()
             .map(|u| self.w[u.index()])
             .sum();
+        self.sum -= killed;
         self.resolved = self.cand.sole();
     }
 

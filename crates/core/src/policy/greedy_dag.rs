@@ -14,31 +14,23 @@ use std::collections::VecDeque;
 
 use aigs_graph::{NodeId, VisitedSet};
 
+use crate::policy::StepJournal;
 use crate::{Policy, SearchContext};
 
-#[derive(Debug, Clone)]
-enum Frame {
-    Yes {
-        prev_root: NodeId,
-    },
-    No {
-        deleted: Vec<NodeId>,
-        /// `(ancestor, weight-delta)` pairs; the count delta is always 1.
-        adjusts: Vec<(NodeId, u64)>,
-    },
-}
-
-/// Cached per-instance precomputation, reusable across sessions when the
-/// caller provides a stable [`SearchContext::cache_token`].
-#[derive(Debug, Clone)]
-struct BaseState {
-    token: u64,
-    w: Vec<u64>,
-    wt: Vec<u64>,
-    cnt: Vec<u32>,
+/// Per-step scalar payload: the only non-array state a step mutates.
+#[derive(Debug, Clone, Copy)]
+struct DagStep {
+    prev_root: NodeId,
 }
 
 /// Efficient rounded-greedy policy for DAGs (also correct on trees).
+///
+/// Rollback state lives in a [`StepJournal`]: `observe` records only the
+/// `(index, old value)` deltas it writes (ancestor `w̃`/`ñ` repairs, alive
+/// flips), `unobserve` replays them — O(Δ) per query, no allocation on the
+/// hot path. Under a stable [`SearchContext::cache_token`], `reset` unwinds
+/// the previous session's journal instead of recomputing (or cloning) the
+/// O(n·m) base state.
 #[derive(Debug, Clone)]
 pub struct GreedyDagPolicy {
     /// Rounded node weights `w(v)` (Eq. 1).
@@ -49,10 +41,14 @@ pub struct GreedyDagPolicy {
     cnt: Vec<u32>,
     alive: Vec<bool>,
     root: NodeId,
-    undo: Vec<Frame>,
+    journal: StepJournal<DagStep>,
+    /// Token the current base state (`w`/`wt`/`cnt`) was derived under.
+    base_token: u64,
     visited: VisitedSet,
     queue: VecDeque<NodeId>,
-    cache: Option<BaseState>,
+    /// Scratch for the doomed-subgraph BFS in `observe` (reused, never
+    /// stored in undo frames).
+    deleted: Vec<NodeId>,
 }
 
 impl GreedyDagPolicy {
@@ -64,41 +60,65 @@ impl GreedyDagPolicy {
             cnt: Vec::new(),
             alive: Vec::new(),
             root: NodeId::SENTINEL,
-            undo: Vec::new(),
+            journal: StepJournal::new(),
+            base_token: 0,
             visited: VisitedSet::new(0),
             queue: VecDeque::new(),
-            cache: None,
+            deleted: Vec::new(),
+        }
+    }
+
+    /// Replays one journal step; returns `false` on an empty journal.
+    fn unwind_one(&mut self) -> bool {
+        let wt = &mut self.wt;
+        let cnt = &mut self.cnt;
+        let alive = &mut self.alive;
+        match self.journal.pop_with(
+            |slot, old| wt[slot] = old,
+            |slot, old| cnt[slot] = old,
+            |slot| alive[slot] = !alive[slot],
+            |_| {},
+        ) {
+            Some(step) => {
+                self.root = step.prev_root;
+                true
+            }
+            None => false,
         }
     }
 
     /// Initial `w̃` / `ñ`: one forward BFS per node over the full graph
-    /// (the O(n·m) initialisation the paper prescribes).
-    fn compute_base(ctx: &SearchContext<'_>, w: &[u64]) -> (Vec<u64>, Vec<u32>) {
+    /// (the O(n·m) initialisation the paper prescribes). Writes into the
+    /// policy's own arrays, reusing their capacity.
+    fn compute_base(&mut self, ctx: &SearchContext<'_>) {
         let dag = ctx.dag;
         let n = dag.node_count();
-        let mut wt = vec![0u64; n];
-        let mut cnt = vec![0u32; n];
-        let mut visited = VisitedSet::new(n);
-        let mut queue = VecDeque::new();
+        let w = &self.w;
+        self.wt.clear();
+        self.wt.resize(n, 0);
+        self.cnt.clear();
+        self.cnt.resize(n, 0);
+        if self.visited.capacity() != n {
+            self.visited = VisitedSet::new(n);
+        }
         for v in dag.nodes() {
-            visited.clear();
-            queue.clear();
-            visited.insert(v);
-            queue.push_back(v);
+            self.visited.clear();
+            self.queue.clear();
+            self.visited.insert(v);
+            self.queue.push_back(v);
             let (mut wsum, mut csum) = (0u64, 0u32);
-            while let Some(u) = queue.pop_front() {
+            while let Some(u) = self.queue.pop_front() {
                 wsum += w[u.index()];
                 csum += 1;
                 for &c in dag.children(u) {
-                    if visited.insert(c) {
-                        queue.push_back(c);
+                    if self.visited.insert(c) {
+                        self.queue.push_back(c);
                     }
                 }
             }
-            wt[v.index()] = wsum;
-            cnt[v.index()] = csum;
+            self.wt[v.index()] = wsum;
+            self.cnt[v.index()] = csum;
         }
-        (wt, cnt)
     }
 }
 
@@ -115,36 +135,21 @@ impl Policy for GreedyDagPolicy {
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
         let n = ctx.dag.node_count();
-        let cached = ctx.cache_token != 0
-            && self
-                .cache
-                .as_ref()
-                .is_some_and(|c| c.token == ctx.cache_token);
-        if cached {
-            let c = self.cache.as_ref().unwrap();
-            self.w.clone_from(&c.w);
-            self.wt.clone_from(&c.wt);
-            self.cnt.clone_from(&c.cnt);
-        } else {
-            self.w = ctx.weights.rounded();
-            let (wt, cnt) = Self::compute_base(ctx, &self.w);
-            self.wt = wt;
-            self.cnt = cnt;
-            if ctx.cache_token != 0 {
-                self.cache = Some(BaseState {
-                    token: ctx.cache_token,
-                    w: self.w.clone(),
-                    wt: self.wt.clone(),
-                    cnt: self.cnt.clone(),
-                });
-            }
+        if ctx.cache_token != 0 && self.base_token == ctx.cache_token && self.wt.len() == n {
+            // Same instance as the previous session: unwinding the journal
+            // restores the exact base state in O(previous session's deltas)
+            // instead of an O(n) clone (or O(n·m) recompute).
+            while self.unwind_one() {}
+            self.root = ctx.dag.root();
+            return;
         }
-        self.alive = vec![true; n];
+        self.w = ctx.weights.rounded();
+        self.compute_base(ctx);
+        self.alive.clear();
+        self.alive.resize(n, true);
         self.root = ctx.dag.root();
-        self.undo.clear();
-        if self.visited.capacity() != n {
-            self.visited = VisitedSet::new(n);
-        }
+        self.journal.clear();
+        self.base_token = ctx.cache_token;
     }
 
     fn resolved(&self) -> Option<NodeId> {
@@ -205,22 +210,22 @@ impl Policy for GreedyDagPolicy {
     }
 
     fn observe(&mut self, ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
+        self.journal.begin(DagStep {
+            prev_root: self.root,
+        });
         if yes {
-            self.undo.push(Frame::Yes {
-                prev_root: self.root,
-            });
             self.root = q;
             return;
         }
-        // Collect the doomed subgraph D = alive ∩ G_q.
-        let mut deleted = Vec::new();
+        // Collect the doomed subgraph D = alive ∩ G_q into reusable scratch.
+        self.deleted.clear();
         self.visited.clear();
         self.queue.clear();
         debug_assert!(self.alive[q.index()]);
         self.visited.insert(q);
         self.queue.push_back(q);
         while let Some(u) = self.queue.pop_front() {
-            deleted.push(u);
+            self.deleted.push(u);
             for &c in ctx.dag.children(u) {
                 if self.alive[c.index()] && self.visited.insert(c) {
                     self.queue.push_back(c);
@@ -228,10 +233,12 @@ impl Policy for GreedyDagPolicy {
             }
         }
         // AdjustWeight (Alg. 7): for each doomed node, one reverse BFS over
-        // still-alive ancestors subtracting its own weight. All adjusts run
-        // against the *pre-deletion* alive set, then the nodes die.
-        let mut adjusts = Vec::new();
-        for &d in &deleted {
+        // still-alive ancestors subtracting its own weight, journalling each
+        // ancestor's old `w̃`/`ñ` before the write. All adjusts run against
+        // the *pre-deletion* alive set, then the nodes die (one journalled
+        // flip each).
+        for di in 0..self.deleted.len() {
+            let d = self.deleted[di];
             let dw = self.w[d.index()];
             self.visited.clear();
             self.queue.clear();
@@ -240,33 +247,24 @@ impl Policy for GreedyDagPolicy {
             while let Some(u) = self.queue.pop_front() {
                 for &p in ctx.dag.parents(u) {
                     if self.alive[p.index()] && self.visited.insert(p) {
+                        self.journal.log_u64(p.index(), self.wt[p.index()]);
+                        self.journal.log_u32(p.index(), self.cnt[p.index()]);
                         self.wt[p.index()] -= dw;
                         self.cnt[p.index()] -= 1;
-                        adjusts.push((p, dw));
                         self.queue.push_back(p);
                     }
                 }
             }
         }
-        for &d in &deleted {
+        for i in 0..self.deleted.len() {
+            let d = self.deleted[i];
+            self.journal.log_flip(d.index());
             self.alive[d.index()] = false;
         }
-        self.undo.push(Frame::No { deleted, adjusts });
     }
 
     fn unobserve(&mut self, _ctx: &SearchContext<'_>) {
-        match self.undo.pop().expect("nothing to unobserve") {
-            Frame::Yes { prev_root } => self.root = prev_root,
-            Frame::No { deleted, adjusts } => {
-                for d in deleted {
-                    self.alive[d.index()] = true;
-                }
-                for (a, dw) in adjusts.into_iter().rev() {
-                    self.wt[a.index()] += dw;
-                    self.cnt[a.index()] += 1;
-                }
-            }
-        }
+        assert!(self.unwind_one(), "nothing to unobserve");
     }
 
     fn clone_box(&self) -> Box<dyn Policy + Send> {

@@ -19,6 +19,8 @@ pub struct GreedyNaivePolicy {
     sum: f64,
     undo_sums: Vec<f64>,
     resolved: Option<NodeId>,
+    /// Scratch: alive candidates of the current round (reused by `select`).
+    alive_buf: Vec<NodeId>,
 }
 
 impl GreedyNaivePolicy {
@@ -29,6 +31,7 @@ impl GreedyNaivePolicy {
             sum: 0.0,
             undo_sums: Vec::new(),
             resolved: None,
+            alive_buf: Vec::new(),
         }
     }
 
@@ -49,7 +52,7 @@ impl Policy for GreedyNaivePolicy {
     }
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
-        self.cand = CandidateSet::new(ctx.dag.node_count());
+        self.cand.reset(ctx.dag.node_count());
         self.sum = ctx.weights.as_slice().iter().sum();
         self.undo_sums.clear();
         self.refresh_resolution();
@@ -69,7 +72,9 @@ impl Policy for GreedyNaivePolicy {
         // and skipped — this is where Definition 4's implicit "u must split
         // G" becomes explicit code.
         let mut best: Option<(f64, usize, NodeId)> = None;
-        let alive: Vec<NodeId> = self.cand.iter_alive().collect();
+        let mut alive = std::mem::take(&mut self.alive_buf);
+        alive.clear();
+        alive.extend(self.cand.iter_alive());
         for &u in &alive {
             let (wu, cu) = self.cand.reachable_weight_count(ctx.dag, u, weights);
             if cu == total_count {
@@ -84,33 +89,31 @@ impl Policy for GreedyNaivePolicy {
             let better = match best {
                 None => true,
                 Some((bb, bc, _)) => {
-                    balance < bb - 1e-12
-                        || ((balance - bb).abs() <= 1e-12 && count_balance < bc)
+                    balance < bb - 1e-12 || ((balance - bb).abs() <= 1e-12 && count_balance < bc)
                 }
             };
             if better {
                 best = Some((balance, count_balance, u));
             }
         }
-        best.expect("unresolved search always has an informative query").2
+        self.alive_buf = alive;
+        best.expect("unresolved search always has an informative query")
+            .2
     }
 
     fn observe(&mut self, ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
         self.undo_sums.push(self.sum);
         self.cand.apply(ctx.dag, q, yes);
-        // Recompute the alive mass from the killed delta.
+        // Subtract exactly the killed delta from the alive mass — O(Δ);
+        // `undo_sums` restores the exact previous value on rollback, so no
+        // drift survives an undo.
         let weights = ctx.weights.as_slice();
-        let killed: f64 = {
-            // The most recent frame is what apply() just recorded; rather
-            // than expose journal internals, recompute alive mass directly —
-            // one O(n) pass, dwarfed by the O(n·m) selection scan.
-            let alive_mass: f64 = self
-                .cand
-                .iter_alive()
-                .map(|u| weights[u.index()])
-                .sum();
-            self.sum - alive_mass
-        };
+        let killed: f64 = self
+            .cand
+            .last_frame()
+            .iter()
+            .map(|u| weights[u.index()])
+            .sum();
         self.sum -= killed;
         self.refresh_resolution();
     }

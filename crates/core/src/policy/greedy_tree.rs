@@ -14,6 +14,7 @@
 
 use aigs_graph::{NodeId, Tree};
 
+use crate::policy::StepJournal;
 use crate::{Policy, SearchContext};
 
 /// Weight below which the candidate mass is treated as zero and the policy
@@ -32,13 +33,19 @@ pub enum ChildSelect {
     Heap,
 }
 
-#[derive(Debug, Clone)]
-enum Frame {
-    Yes { prev_root: NodeId },
-    No { q: NodeId, dp: f64, dsize: u32 },
+/// Per-step scalar payload for the delta journal.
+#[derive(Debug, Clone, Copy)]
+struct TreeStep {
+    prev_root: NodeId,
 }
 
 /// Efficient greedy middle-point policy for trees.
+///
+/// Undo goes through a [`StepJournal`]: a *no* answer logs the old
+/// `p̃`/`size` of each repaired ancestor (bit-exact, no float drift on
+/// rollback) plus the detached flip; a *yes* answer is payload-only. Under
+/// a stable [`SearchContext::cache_token`], `reset` unwinds the journal in
+/// O(Δ) instead of re-deriving the tree base arrays in O(n).
 #[derive(Debug, Clone)]
 pub struct GreedyTreePolicy {
     select_mode: ChildSelect,
@@ -50,7 +57,9 @@ pub struct GreedyTreePolicy {
     /// Subtree roots eliminated by *no* answers.
     detached: Vec<bool>,
     root: NodeId,
-    undo: Vec<Frame>,
+    journal: StepJournal<TreeStep>,
+    /// Token the base arrays were derived under.
+    base_token: u64,
     /// Lazy heaps: per node, a max-heap of `(weight, child)` entries;
     /// entries are validated against current `wp` on pop.
     heaps: Vec<Vec<(f64, NodeId)>>,
@@ -71,8 +80,38 @@ impl GreedyTreePolicy {
             size: Vec::new(),
             detached: Vec::new(),
             root: NodeId::SENTINEL,
-            undo: Vec::new(),
+            journal: StepJournal::new(),
+            base_token: 0,
             heaps: Vec::new(),
+        }
+    }
+
+    /// Replays one journal step; returns `false` on an empty journal.
+    fn unwind_one(&mut self) -> bool {
+        let wp = &mut self.wp;
+        let size = &mut self.size;
+        let detached = &mut self.detached;
+        let heaps = &mut self.heaps;
+        let heap_mode = self.select_mode == ChildSelect::Heap;
+        match self.journal.pop_with(
+            |slot, old| {
+                wp[slot] = f64::from_bits(old);
+                // Weights *increase* on rollback, which invalidates the lazy
+                // heaps' stale-entries-are-upper-bounds invariant along the
+                // repaired path — force a rebuild there.
+                if heap_mode {
+                    heaps[slot].clear();
+                }
+            },
+            |slot, old| size[slot] = old,
+            |slot| detached[slot] = !detached[slot],
+            |_| {},
+        ) {
+            Some(step) => {
+                self.root = step.prev_root;
+                true
+            }
+            None => false,
         }
     }
 
@@ -130,9 +169,7 @@ impl GreedyTreePolicy {
                         }
                         // Max at the end for cheap pop; ties prefer small id
                         // (placed last).
-                        entries.sort_by(|a, b| {
-                            a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1))
-                        });
+                        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
                         self.heaps[v.index()] = entries;
                     }
                     let &(w, c) = self.heaps[v.index()].last().unwrap();
@@ -175,16 +212,33 @@ impl Policy for GreedyTreePolicy {
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
         let dag = ctx.dag;
+        let n = dag.node_count();
+        if ctx.cache_token != 0 && self.base_token == ctx.cache_token && self.wp.len() == n {
+            // Same instance: unwind the last session's deltas (O(Δ)) instead
+            // of rebuilding the Euler view and base arrays (O(n)).
+            while self.unwind_one() {}
+            self.root = dag.root();
+            return;
+        }
         let tree = Tree::new(dag)
             .expect("GreedyTreePolicy requires a tree hierarchy; use GreedyDagPolicy for DAGs");
-        let n = dag.node_count();
-        self.parent = (0..n).map(|i| tree.parent(NodeId::new(i))).collect();
+        self.parent.clear();
+        self.parent
+            .extend((0..n).map(|i| tree.parent(NodeId::new(i))));
         self.wp = tree.subtree_weights(ctx.weights.as_slice());
-        self.size = (0..n).map(|i| tree.subtree_size(NodeId::new(i))).collect();
-        self.detached = vec![false; n];
+        self.size.clear();
+        self.size
+            .extend((0..n).map(|i| tree.subtree_size(NodeId::new(i))));
+        self.detached.clear();
+        self.detached.resize(n, false);
         self.root = dag.root();
-        self.undo.clear();
-        self.heaps = vec![Vec::new(); n];
+        self.journal.clear();
+        self.heaps.truncate(n);
+        for h in &mut self.heaps {
+            h.clear();
+        }
+        self.heaps.resize(n, Vec::new());
+        self.base_token = ctx.cache_token;
     }
 
     fn resolved(&self) -> Option<NodeId> {
@@ -237,19 +291,22 @@ impl Policy for GreedyTreePolicy {
     }
 
     fn observe(&mut self, _ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
+        self.journal.begin(TreeStep {
+            prev_root: self.root,
+        });
         if yes {
-            self.undo.push(Frame::Yes {
-                prev_root: self.root,
-            });
             self.root = q;
         } else {
             let dp = self.wp[q.index()];
             let dsize = self.size[q.index()];
             // Subtract the eliminated subtree from every ancestor up to the
-            // current root (Alg. 4 lines 11–14).
+            // current root (Alg. 4 lines 11–14), journalling each old value
+            // so rollback is bit-exact.
             let mut x = self.parent[q.index()];
             loop {
                 assert!(!x.is_sentinel(), "query must lie under the current root");
+                self.journal.log_f64(x.index(), self.wp[x.index()]);
+                self.journal.log_u32(x.index(), self.size[x.index()]);
                 self.wp[x.index()] -= dp;
                 self.size[x.index()] -= dsize;
                 if x == self.root {
@@ -257,32 +314,13 @@ impl Policy for GreedyTreePolicy {
                 }
                 x = self.parent[x.index()];
             }
+            self.journal.log_flip(q.index());
             self.detached[q.index()] = true;
-            self.undo.push(Frame::No { q, dp, dsize });
         }
     }
 
     fn unobserve(&mut self, _ctx: &SearchContext<'_>) {
-        match self.undo.pop().expect("nothing to unobserve") {
-            Frame::Yes { prev_root } => self.root = prev_root,
-            Frame::No { q, dp, dsize } => {
-                self.detached[q.index()] = false;
-                let mut x = self.parent[q.index()];
-                loop {
-                    self.wp[x.index()] += dp;
-                    self.size[x.index()] += dsize;
-                    // Weights *increase* here, which invalidates the lazy
-                    // heaps' stale-entries-are-upper-bounds invariant, and
-                    // `q` itself may have been dropped from its parent's
-                    // heap while detached — force a rebuild along the path.
-                    self.heaps[x.index()].clear();
-                    if x == self.root {
-                        break;
-                    }
-                    x = self.parent[x.index()];
-                }
-            }
-        }
+        assert!(self.unwind_one(), "nothing to unobserve");
     }
 
     fn clone_box(&self) -> Box<dyn Policy + Send> {

@@ -18,9 +18,7 @@
 //! hop. We implement precisely that: input-ordered descent plus
 //! chain-end jumping (falling back to stepping when the jump probe fails).
 
-use std::collections::HashSet;
-
-use aigs_graph::NodeId;
+use aigs_graph::{NodeId, VisitedSet};
 
 use crate::{Policy, SearchContext};
 
@@ -46,8 +44,9 @@ pub struct MigsPolicy {
     node: NodeId,
     phase: Phase,
     /// Chain ends already refuted, so a failed jump is not re-probed while
-    /// stepping through the same chain.
-    known_no: HashSet<NodeId>,
+    /// stepping through the same chain. Epoch-stamped set: O(1) insert,
+    /// remove (undo) and per-session clear, no hashing or allocation.
+    known_no: VisitedSet,
     undo: Vec<Frame>,
     resolved: Option<NodeId>,
 }
@@ -58,7 +57,7 @@ impl MigsPolicy {
         MigsPolicy {
             node: NodeId::SENTINEL,
             phase: Phase::Scan(0),
-            known_no: HashSet::new(),
+            known_no: VisitedSet::new(0),
             undo: Vec::new(),
             resolved: None,
         }
@@ -77,7 +76,7 @@ impl MigsPolicy {
             end = ctx.dag.children(end)[0];
             len += 1;
         }
-        if len >= 2 && !self.known_no.contains(&end) {
+        if len >= 2 && !self.known_no.contains(end) {
             Some(end)
         } else {
             None
@@ -107,6 +106,9 @@ impl Policy for MigsPolicy {
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
         self.node = ctx.dag.root();
+        if self.known_no.capacity() != ctx.dag.node_count() {
+            self.known_no = VisitedSet::new(ctx.dag.node_count());
+        }
         self.known_no.clear();
         self.undo.clear();
         self.phase = match self.jump_target(ctx, self.node) {
@@ -173,7 +175,7 @@ impl Policy for MigsPolicy {
     fn unobserve(&mut self, ctx: &SearchContext<'_>) {
         let frame = self.undo.pop().expect("nothing to unobserve");
         if let Some(banned) = frame.banned {
-            self.known_no.remove(&banned);
+            self.known_no.remove(banned);
         }
         self.node = frame.node;
         self.phase = frame.phase;
@@ -269,7 +271,16 @@ mod tests {
     fn never_worse_than_top_down_on_dags() {
         let g = dag_from_edges(
             8,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (2, 7)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (2, 7),
+            ],
         )
         .unwrap();
         let w = NodeWeights::uniform(8);

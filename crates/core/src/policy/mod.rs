@@ -22,6 +22,7 @@ mod cost_sensitive;
 mod greedy_dag;
 mod greedy_naive;
 mod greedy_tree;
+pub mod journal;
 mod migs;
 mod optimal;
 mod random;
@@ -32,6 +33,7 @@ pub use cost_sensitive::CostSensitivePolicy;
 pub use greedy_dag::GreedyDagPolicy;
 pub use greedy_naive::GreedyNaivePolicy;
 pub use greedy_tree::{ChildSelect, GreedyTreePolicy};
+pub use journal::StepJournal;
 pub use migs::MigsPolicy;
 pub use optimal::{
     optimal_expected_cost, optimal_worst_case_cost, OptimalObjective, OptimalPolicy,

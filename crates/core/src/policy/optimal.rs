@@ -192,8 +192,7 @@ impl Policy for OptimalPolicy {
         };
         if rebuild {
             self.solver = Some(
-                Solver::build(ctx, self.objective)
-                    .unwrap_or_else(|e| panic!("OptimalPolicy: {e}")),
+                Solver::build(ctx, self.objective).unwrap_or_else(|e| panic!("OptimalPolicy: {e}")),
             );
         }
         self.mask = full_mask(ctx.dag.node_count());
@@ -329,7 +328,10 @@ mod tests {
         let c = QueryCosts::PerNode(vec![1.0, 1.0, 5.0, 1.0]);
         let ctx = SearchContext::new(&g, &w).with_costs(&c);
         let opt = optimal_expected_cost(&ctx).unwrap();
-        assert!(opt <= 4.25 + 1e-9, "optimum {opt} must not exceed Example 4's greedy");
+        assert!(
+            opt <= 4.25 + 1e-9,
+            "optimum {opt} must not exceed Example 4's greedy"
+        );
         assert!(opt > opt_uniform);
     }
 

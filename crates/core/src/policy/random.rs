@@ -17,6 +17,8 @@ pub struct RandomPolicy {
     rng: ChaCha8Rng,
     cand: CandidateSet,
     resolved: Option<NodeId>,
+    /// Scratch: alive candidates of the current round (reused by `select`).
+    alive_buf: Vec<NodeId>,
 }
 
 impl RandomPolicy {
@@ -27,6 +29,7 @@ impl RandomPolicy {
             rng: ChaCha8Rng::seed_from_u64(seed),
             cand: CandidateSet::new(0),
             resolved: None,
+            alive_buf: Vec::new(),
         }
     }
 }
@@ -38,7 +41,7 @@ impl Policy for RandomPolicy {
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
         self.rng = ChaCha8Rng::seed_from_u64(self.seed);
-        self.cand = CandidateSet::new(ctx.dag.node_count());
+        self.cand.reset(ctx.dag.node_count());
         self.resolved = self.cand.sole();
     }
 
@@ -49,12 +52,15 @@ impl Policy for RandomPolicy {
     fn select(&mut self, ctx: &SearchContext<'_>) -> NodeId {
         debug_assert!(self.resolved.is_none());
         let total = self.cand.count();
-        let alive: Vec<NodeId> = self.cand.iter_alive().collect();
+        let mut alive = std::mem::take(&mut self.alive_buf);
+        alive.clear();
+        alive.extend(self.cand.iter_alive());
         // Rejection-sample an informative candidate; every unresolved state
         // has one (any alive node with an alive non-descendant).
         loop {
             let u = alive[self.rng.gen_range(0..alive.len())];
             if self.cand.reachable_count(ctx.dag, u) < total {
+                self.alive_buf = alive;
                 return u;
             }
         }

@@ -26,6 +26,11 @@ pub enum ChildOrder {
 }
 
 /// Top-down descent policy.
+///
+/// The default `Input` ordering reads children straight out of the
+/// hierarchy's CSR arrays — no per-node map, no allocation at all. The
+/// metric orderings cache their sorted child arrays across sessions under a
+/// stable [`crate::SearchContext::cache_token`].
 #[derive(Debug, Clone)]
 pub struct TopDownPolicy {
     name: &'static str,
@@ -34,12 +39,15 @@ pub struct TopDownPolicy {
     node: NodeId,
     /// Next child position to probe at `node`.
     idx: usize,
-    /// Ordered children of each visited node, computed lazily.
+    /// Ordered children of each visited node, computed lazily (unused for
+    /// `ChildOrder::Input`).
     ordered: HashMap<NodeId, Vec<NodeId>>,
     /// Subtree metric per node when the hierarchy is a tree (computed once
-    /// per reset); on DAGs metrics are computed lazily per child.
+    /// per instance); on DAGs metrics are computed lazily per child.
     tree_metric: Option<Vec<f64>>,
     lazy_metric: HashMap<NodeId, f64>,
+    /// Token the ordering caches were derived under.
+    base_token: u64,
     undo: Vec<(NodeId, usize)>,
     resolved: Option<NodeId>,
     started: bool,
@@ -61,6 +69,7 @@ impl TopDownPolicy {
             ordered: HashMap::new(),
             tree_metric: None,
             lazy_metric: HashMap::new(),
+            base_token: 0,
             undo: Vec::new(),
             resolved: None,
             started: false,
@@ -84,12 +93,7 @@ impl TopDownPolicy {
                 let w = ctx.weights.as_slice();
                 match ctx.closure {
                     Some(cl) => cl.descendants(c).iter().map(|u| w[u.index()]).sum(),
-                    None => ctx
-                        .dag
-                        .descendants(c)
-                        .iter()
-                        .map(|u| w[u.index()])
-                        .sum(),
+                    None => ctx.dag.descendants(c).iter().map(|u| w[u.index()]).sum(),
                 }
             }
         };
@@ -97,18 +101,22 @@ impl TopDownPolicy {
         m
     }
 
-    fn ordered_children(&mut self, ctx: &SearchContext<'_>, u: NodeId) -> &[NodeId] {
+    fn ordered_children<'s>(&'s mut self, ctx: &SearchContext<'s>, u: NodeId) -> &'s [NodeId] {
+        if self.order == ChildOrder::Input {
+            // Plain TopDown probes in hierarchy order: read the CSR slice
+            // directly, no map and no allocation.
+            return ctx.dag.children(u);
+        }
         if !self.ordered.contains_key(&u) {
-            let mut kids: Vec<NodeId> = ctx.dag.children(u).to_vec();
-            if self.order != ChildOrder::Input {
-                let mut keyed: Vec<(f64, NodeId)> = kids
-                    .iter()
-                    .map(|&c| (self.metric(ctx, c), c))
-                    .collect();
-                // Descending metric, ties towards smaller id for determinism.
-                keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-                kids = keyed.into_iter().map(|(_, c)| c).collect();
-            }
+            let mut keyed: Vec<(f64, NodeId)> = ctx
+                .dag
+                .children(u)
+                .iter()
+                .map(|&c| (self.metric(ctx, c), c))
+                .collect();
+            // Descending metric, ties towards smaller id for determinism.
+            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            let kids: Vec<NodeId> = keyed.into_iter().map(|(_, c)| c).collect();
             self.ordered.insert(u, kids);
         }
         &self.ordered[&u]
@@ -139,25 +147,33 @@ impl Policy for TopDownPolicy {
         self.node = ctx.dag.root();
         self.idx = 0;
         self.undo.clear();
-        self.ordered.clear();
-        self.lazy_metric.clear();
         self.started = true;
-        self.tree_metric = match self.order {
-            ChildOrder::Input => None,
-            _ if ctx.dag.is_tree() => {
-                let tree = Tree::new(ctx.dag).expect("is_tree checked");
-                Some(match self.order {
-                    ChildOrder::SubtreeSizeDesc => (0..ctx.dag.node_count())
-                        .map(|i| tree.subtree_size(NodeId::new(i)) as f64)
-                        .collect(),
-                    ChildOrder::SubtreeWeightDesc => {
-                        tree.subtree_weights(ctx.weights.as_slice())
-                    }
-                    ChildOrder::Input => unreachable!(),
-                })
-            }
-            _ => None,
-        };
+        // The ordering caches depend only on (dag, weights): keep them
+        // across sessions when the cache token certifies the same instance.
+        let cached = self.order != ChildOrder::Input
+            && ctx.cache_token != 0
+            && self.base_token == ctx.cache_token;
+        if !cached {
+            self.ordered.clear();
+            self.lazy_metric.clear();
+            self.tree_metric = match self.order {
+                ChildOrder::Input => None,
+                _ if ctx.dag.is_tree() => {
+                    let tree = Tree::new(ctx.dag).expect("is_tree checked");
+                    Some(match self.order {
+                        ChildOrder::SubtreeSizeDesc => (0..ctx.dag.node_count())
+                            .map(|i| tree.subtree_size(NodeId::new(i)) as f64)
+                            .collect(),
+                        ChildOrder::SubtreeWeightDesc => {
+                            tree.subtree_weights(ctx.weights.as_slice())
+                        }
+                        ChildOrder::Input => unreachable!(),
+                    })
+                }
+                _ => None,
+            };
+            self.base_token = ctx.cache_token;
+        }
         self.refresh_resolution(ctx);
     }
 

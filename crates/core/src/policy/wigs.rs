@@ -17,15 +17,27 @@
 
 use aigs_graph::{NodeBitSet, NodeId, ReachClosure, Tree};
 
-use crate::{Policy, SearchContext};
+use crate::policy::StepJournal;
+use crate::{InstanceCache, Policy, SearchContext};
 
 /// Heavy-path binary search policy (worst-case oriented baseline).
+///
+/// Undo is delta-journalled in both modes: tree mode logs only the repaired
+/// ancestor sizes and the detached flip, DAG mode logs only the *words* of
+/// the candidate bitset an answer actually changed
+/// ([`NodeBitSet::set_word`]/[`NodeBitSet::restore_word`]) — no O(n) chain
+/// or bitset clones per query. Chains are journalled at rebuild granularity:
+/// a `select` that re-extracts the heavy chain stashes the old chain into
+/// the *next* step's spill area, so the common binary-search steps carry no
+/// chain copy at all.
 #[derive(Debug, Clone, Default)]
 pub struct WigsPolicy {
     mode: Mode,
     /// Closure built by the policy itself when the context does not share
     /// one (kept across resets under a matching cache token).
-    own_closure: Option<(u64, ReachClosure)>,
+    own_closure: InstanceCache<ReachClosure>,
+    /// Token the current mode state was derived under (journal-unwind reset).
+    base_token: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -34,6 +46,21 @@ enum Mode {
     Unset,
     Tree(TreeState),
     Dag(DagState),
+}
+
+/// Per-step scalar payload shared by both modes.
+#[derive(Debug, Clone, Copy)]
+struct WigsStep {
+    prev_root: NodeId,
+    prev_lo: u32,
+    prev_hi: u32,
+    prev_active: bool,
+    /// DAG mode: candidate count before the step (unused in tree mode).
+    prev_count: u32,
+    /// Whether a `select` *after* this observe rebuilt the chain; the
+    /// pre-rebuild chain then sits in this step's spill area and undo
+    /// restores it (set post-hoc via [`StepJournal::last_payload_mut`]).
+    chain_spilled: bool,
 }
 
 // ---------------------------------------------------------------- tree mode
@@ -48,18 +75,7 @@ struct TreeState {
     lo: usize,
     hi: usize,
     active: bool,
-    undo: Vec<TreeFrame>,
-}
-
-#[derive(Debug, Clone)]
-struct TreeFrame {
-    prev_root: NodeId,
-    prev_chain: Vec<NodeId>,
-    prev_lo: usize,
-    prev_hi: usize,
-    prev_active: bool,
-    /// For *no* answers: the detached node and its subtracted size.
-    detach: Option<(NodeId, u32)>,
+    journal: StepJournal<WigsStep>,
 }
 
 impl TreeState {
@@ -75,7 +91,7 @@ impl TreeState {
             lo: 0,
             hi: 0,
             active: false,
-            undo: Vec::new(),
+            journal: StepJournal::new(),
         }
     }
 
@@ -102,6 +118,16 @@ impl TreeState {
         if self.active {
             return;
         }
+        // This rebuild clobbers the chain the *previous* observe's undo must
+        // come back to, so spill it into that step (the journal top). After
+        // a reset the journal is empty and nothing can unwind past here.
+        if let Some(step) = self.journal.last_payload_mut() {
+            debug_assert!(!step.chain_spilled, "at most one rebuild per step");
+            step.chain_spilled = true;
+            let chain = std::mem::take(&mut self.chain);
+            self.journal.spill_nodes(&chain);
+            self.chain = chain;
+        }
         self.chain.clear();
         self.chain.push(self.root);
         let mut u = self.root;
@@ -119,36 +145,33 @@ impl TreeState {
         (self.lo + self.hi).div_ceil(2)
     }
 
-    fn snapshot(&self, detach: Option<(NodeId, u32)>) -> TreeFrame {
-        TreeFrame {
-            prev_root: self.root,
-            prev_chain: self.chain.clone(),
-            prev_lo: self.lo,
-            prev_hi: self.hi,
-            prev_active: self.active,
-            detach,
-        }
-    }
-
     fn observe(&mut self, q: NodeId, yes: bool) {
         debug_assert!(self.active && q == self.chain[self.mid()]);
         let mid = self.mid();
+        self.journal.begin(WigsStep {
+            prev_root: self.root,
+            prev_lo: self.lo as u32,
+            prev_hi: self.hi as u32,
+            prev_active: self.active,
+            prev_count: 0,
+            chain_spilled: false,
+        });
         if yes {
-            self.undo.push(self.snapshot(None));
             self.root = q;
             self.lo = mid;
         } else {
             let ds = self.size[q.index()];
-            self.undo.push(self.snapshot(Some((q, ds))));
             let mut x = self.parent[q.index()];
             loop {
                 debug_assert!(!x.is_sentinel());
+                self.journal.log_u32(x.index(), self.size[x.index()]);
                 self.size[x.index()] -= ds;
                 if x == self.root {
                     break;
                 }
                 x = self.parent[x.index()];
             }
+            self.journal.log_flip(q.index());
             self.detached[q.index()] = true;
             self.hi = mid - 1;
         }
@@ -157,24 +180,36 @@ impl TreeState {
         }
     }
 
-    fn unobserve(&mut self) {
-        let f = self.undo.pop().expect("nothing to unobserve");
-        if let Some((q, ds)) = f.detach {
-            self.detached[q.index()] = false;
-            let mut x = self.parent[q.index()];
-            loop {
-                self.size[x.index()] += ds;
-                if x == f.prev_root {
-                    break;
+    /// Undoes one step; returns `false` on an empty journal.
+    fn unwind_one(&mut self) -> bool {
+        let size = &mut self.size;
+        let detached = &mut self.detached;
+        let chain = &mut self.chain;
+        let Some(step) = self.journal.pop_with(
+            |_, _| unreachable!("tree mode logs no u64 entries"),
+            |slot, old| size[slot] = old,
+            |slot| detached[slot] = !detached[slot],
+            |spill| {
+                // Non-empty spill = a later select rebuilt the chain; put
+                // the pre-rebuild chain back.
+                if !spill.is_empty() {
+                    chain.clear();
+                    chain.extend(spill.iter().map(|&v| NodeId(v)));
                 }
-                x = self.parent[x.index()];
-            }
-        }
-        self.root = f.prev_root;
-        self.chain = f.prev_chain;
-        self.lo = f.prev_lo;
-        self.hi = f.prev_hi;
-        self.active = f.prev_active;
+            },
+        ) else {
+            return false;
+        };
+        debug_assert!(!step.chain_spilled || !chain.is_empty());
+        self.root = step.prev_root;
+        self.lo = step.prev_lo as usize;
+        self.hi = step.prev_hi as usize;
+        self.active = step.prev_active;
+        true
+    }
+
+    fn unobserve(&mut self) {
+        assert!(self.unwind_one(), "nothing to unobserve");
     }
 }
 
@@ -189,18 +224,7 @@ struct DagState {
     lo: usize,
     hi: usize,
     active: bool,
-    undo: Vec<DagFrame>,
-}
-
-#[derive(Debug, Clone)]
-struct DagFrame {
-    prev_root: NodeId,
-    prev_chain: Vec<NodeId>,
-    prev_lo: usize,
-    prev_hi: usize,
-    prev_active: bool,
-    prev_count: usize,
-    killed: NodeBitSet,
+    journal: StepJournal<WigsStep>,
 }
 
 impl DagState {
@@ -214,13 +238,22 @@ impl DagState {
             lo: 0,
             hi: 0,
             active: false,
-            undo: Vec::new(),
+            journal: StepJournal::new(),
         }
     }
 
     fn ensure_chain(&mut self, ctx: &SearchContext<'_>, closure: &ReachClosure) {
         if self.active {
             return;
+        }
+        // See `TreeState::ensure_chain`: the clobbered chain belongs to the
+        // journal's top step.
+        if let Some(step) = self.journal.last_payload_mut() {
+            debug_assert!(!step.chain_spilled, "at most one rebuild per step");
+            step.chain_spilled = true;
+            let chain = std::mem::take(&mut self.chain);
+            self.journal.spill_nodes(&chain);
+            self.chain = chain;
         }
         self.chain.clear();
         self.chain.push(self.root);
@@ -249,7 +282,10 @@ impl DagState {
                 None => break,
             }
         }
-        debug_assert!(self.chain.len() >= 2, "unresolved root carries candidates below");
+        debug_assert!(
+            self.chain.len() >= 2,
+            "unresolved root carries candidates below"
+        );
         self.lo = 0;
         self.hi = self.chain.len() - 1;
         self.active = true;
@@ -262,26 +298,32 @@ impl DagState {
     fn observe(&mut self, closure: &ReachClosure, q: NodeId, yes: bool) {
         debug_assert!(self.active && q == self.chain[self.mid()]);
         let mid = self.mid();
-        let gq = closure.descendants(q);
-        let mut killed = self.alive.clone();
-        if yes {
-            killed.subtract(gq); // killed = alive ∖ G_q
-            self.alive.intersect_with(gq);
-        } else {
-            killed.intersect_with(gq); // killed = alive ∩ G_q
-            self.alive.subtract(gq);
-        }
-        let prev_count = self.count;
-        self.count -= killed.count();
-        self.undo.push(DagFrame {
+        self.journal.begin(WigsStep {
             prev_root: self.root,
-            prev_chain: self.chain.clone(),
-            prev_lo: self.lo,
-            prev_hi: self.hi,
+            prev_lo: self.lo as u32,
+            prev_hi: self.hi as u32,
             prev_active: self.active,
-            prev_count,
-            killed,
+            prev_count: self.count as u32,
+            chain_spilled: false,
         });
+        // Word-granular candidate update: journal only the blocks the answer
+        // changes instead of cloning the whole bitset.
+        let gq = closure.descendants(q);
+        let mut killed = 0u32;
+        for i in 0..self.alive.word_count() {
+            let old = self.alive.word(i);
+            let new = if yes {
+                old & gq.word(i) // keep G_q
+            } else {
+                old & !gq.word(i) // drop G_q
+            };
+            if new != old {
+                self.journal.log_u64(i, old);
+                self.alive.set_word(i, new);
+                killed += (old ^ new).count_ones();
+            }
+        }
+        self.count -= killed as usize;
         if yes {
             self.root = q;
             self.lo = mid;
@@ -293,15 +335,34 @@ impl DagState {
         }
     }
 
+    /// Undoes one step; returns `false` on an empty journal.
+    fn unwind_one(&mut self) -> bool {
+        let alive = &mut self.alive;
+        let chain = &mut self.chain;
+        let Some(step) = self.journal.pop_with(
+            |slot, old| alive.restore_word(slot, old),
+            |_, _| unreachable!("dag mode logs no u32 entries"),
+            |_| unreachable!("dag mode logs no flips"),
+            |spill| {
+                if !spill.is_empty() {
+                    chain.clear();
+                    chain.extend(spill.iter().map(|&v| NodeId(v)));
+                }
+            },
+        ) else {
+            return false;
+        };
+        debug_assert!(!step.chain_spilled || !chain.is_empty());
+        self.count = step.prev_count as usize;
+        self.root = step.prev_root;
+        self.lo = step.prev_lo as usize;
+        self.hi = step.prev_hi as usize;
+        self.active = step.prev_active;
+        true
+    }
+
     fn unobserve(&mut self) {
-        let f = self.undo.pop().expect("nothing to unobserve");
-        self.alive.union_with(&f.killed);
-        self.count = f.prev_count;
-        self.root = f.prev_root;
-        self.chain = f.prev_chain;
-        self.lo = f.prev_lo;
-        self.hi = f.prev_hi;
-        self.active = f.prev_active;
+        assert!(self.unwind_one(), "nothing to unobserve");
     }
 
     fn resolved(&self) -> Option<NodeId> {
@@ -327,15 +388,13 @@ impl WigsPolicy {
 /// the borrow checker can split it from a simultaneous `&mut mode` borrow.
 fn pick_closure<'s>(
     ctx_closure: Option<&'s ReachClosure>,
-    own: &'s Option<(u64, ReachClosure)>,
+    own: &'s InstanceCache<ReachClosure>,
 ) -> &'s ReachClosure {
     match ctx_closure {
         Some(c) => c,
-        None => {
-            &own.as_ref()
-                .expect("reset() builds a closure when the context lacks one")
-                .1
-        }
+        None => own
+            .current()
+            .expect("reset() builds a closure when the context lacks one"),
     }
 }
 
@@ -345,21 +404,38 @@ impl Policy for WigsPolicy {
     }
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
+        let n = ctx.dag.node_count();
+        let reusable = ctx.cache_token != 0 && self.base_token == ctx.cache_token;
         if ctx.dag.is_tree() {
+            if reusable {
+                if let Mode::Tree(t) = &mut self.mode {
+                    if t.size.len() == n {
+                        // Unwind the previous session's deltas instead of
+                        // rebuilding the Euler view: O(Δ) per reset. A full
+                        // unwind lands on the exact pre-first-observe state.
+                        while t.unwind_one() {}
+                        return;
+                    }
+                }
+            }
             self.mode = Mode::Tree(TreeState::new(ctx));
+            self.base_token = ctx.cache_token;
             return;
         }
         if ctx.closure.is_none() {
-            let reusable = ctx.cache_token != 0
-                && self
-                    .own_closure
-                    .as_ref()
-                    .is_some_and(|(t, _)| *t == ctx.cache_token);
-            if !reusable {
-                self.own_closure = Some((ctx.cache_token, ReachClosure::build(ctx.dag)));
+            self.own_closure
+                .get_or_insert_with(ctx.cache_token, || ReachClosure::build(ctx.dag));
+        }
+        if reusable {
+            if let Mode::Dag(d) = &mut self.mode {
+                if d.alive.universe() == n {
+                    while d.unwind_one() {}
+                    return;
+                }
             }
         }
         self.mode = Mode::Dag(DagState::new(ctx));
+        self.base_token = ctx.cache_token;
     }
 
     fn resolved(&self) -> Option<NodeId> {
@@ -420,8 +496,8 @@ impl Policy for WigsPolicy {
 mod tests {
     use super::*;
     use crate::{NodeWeights, SearchContext};
-    use aigs_graph::generate::path_graph;
     use aigs_graph::dag_from_edges;
+    use aigs_graph::generate::path_graph;
 
     fn drive(p: &mut dyn Policy, ctx: &SearchContext<'_>, z: NodeId) -> (NodeId, u32) {
         p.reset(ctx);

@@ -8,9 +8,7 @@
 
 use aigs_graph::{NodeId, ReachClosure};
 
-use crate::{
-    fresh_cache_token, CoreError, Oracle, Policy, SearchContext, TargetOracle,
-};
+use crate::{fresh_cache_token, CoreError, Oracle, Policy, SearchContext, TargetOracle};
 
 /// Borrowed-interval oracle used internally by the evaluation loops so that
 /// thousands of per-target oracles share one pair of Euler arrays.
@@ -92,17 +90,59 @@ pub struct EvalReport {
     /// Probability-weighted expected query count (Definition 7).
     pub expected_cost: f64,
     /// Probability-weighted expected price (Definition 8; equals
-    /// `expected_cost` under uniform costs).
+    /// `expected_cost` under uniform costs). Accumulated in the same single
+    /// pass as `expected_cost` — heterogeneous prices cost no extra sweep.
     pub expected_price: f64,
-    /// Unweighted mean query count over evaluated targets.
+    /// Unweighted mean query count over the evaluated target list.
     pub mean_cost: f64,
     /// Worst query count over evaluated targets (the WIGS objective).
     pub max_cost: u32,
     /// Query count per target node (indexed by node id; only targets that
     /// were evaluated are meaningful).
     pub per_target: Vec<u32>,
+    /// Total price paid per target node (indexed by node id, same validity
+    /// rule as `per_target`).
+    pub per_target_price: Vec<f64>,
     /// Number of targets evaluated.
     pub targets: usize,
+}
+
+/// Folds per-target outcomes into an [`EvalReport`].
+///
+/// Both the sequential and the parallel evaluation paths funnel through
+/// this single accumulation loop (fixed node-id order), so their reports
+/// are **bit-identical** — float summation order included.
+fn aggregate_report(
+    ctx: &SearchContext<'_>,
+    per_target: Vec<u32>,
+    per_target_price: Vec<f64>,
+    seen: &[bool],
+    total_queries: u64,
+    max_cost: u32,
+    targets: usize,
+) -> EvalReport {
+    let mut expected_cost = 0.0;
+    let mut expected_price = 0.0;
+    for v in ctx.dag.nodes() {
+        if seen[v.index()] {
+            let p = ctx.weights.get(v);
+            expected_cost += p * per_target[v.index()] as f64;
+            expected_price += p * per_target_price[v.index()];
+        }
+    }
+    EvalReport {
+        expected_cost,
+        expected_price,
+        mean_cost: if targets == 0 {
+            0.0
+        } else {
+            total_queries as f64 / targets as f64
+        },
+        max_cost,
+        per_target,
+        per_target_price,
+        targets,
+    }
 }
 
 /// Runs `policy` once for **every node as target** and aggregates costs
@@ -140,11 +180,14 @@ pub fn evaluate_targets(
     let tree_intervals = euler_intervals(&ctx);
 
     let mut per_target = vec![0u32; n];
+    let mut per_target_price = vec![0.0f64; n];
     let mut seen = vec![false; n];
     let mut total_queries: u64 = 0;
     let mut max_cost = 0u32;
-    let mut expected_cost = 0.0;
 
+    // Single pass: each listed target runs exactly once; the outcome's
+    // `price` already carries the (possibly heterogeneous) session price,
+    // so no second sweep is ever needed.
     for &z in targets {
         let outcome = run_for_target(policy, &ctx, z, &tree_intervals)?;
         if outcome.target != z {
@@ -153,54 +196,20 @@ pub fn evaluate_targets(
             ));
         }
         per_target[z.index()] = outcome.queries;
+        per_target_price[z.index()] = outcome.price;
         seen[z.index()] = true;
         total_queries += outcome.queries as u64;
         max_cost = max_cost.max(outcome.queries);
     }
-    for v in ctx.dag.nodes() {
-        if seen[v.index()] {
-            expected_cost += ctx.weights.get(v) * per_target[v.index()] as f64;
-        }
-    }
-    // Expected price: recoverable from the expected cost when prices are
-    // uniform; otherwise a second pass accumulates Σ p(z)·price(z) over the
-    // distinct evaluated targets.
-    let expected_price = if ctx.costs.is_uniform() {
-        expected_cost * ctx.costs.price(NodeId::new(0))
-    } else {
-        weighted_price_pass(policy, &ctx, &seen, &tree_intervals)?
-    };
-
-    Ok(EvalReport {
-        expected_cost,
-        expected_price,
-        mean_cost: if targets.is_empty() {
-            0.0
-        } else {
-            total_queries as f64 / targets.len() as f64
-        },
-        max_cost,
+    Ok(aggregate_report(
+        &ctx,
         per_target,
-        targets: targets.len(),
-    })
-}
-
-/// Second pass for heterogeneous prices: expected price = Σ p(z)·price(z).
-fn weighted_price_pass(
-    policy: &mut dyn Policy,
-    ctx: &SearchContext<'_>,
-    seen: &[bool],
-    tree_intervals: &Option<(Vec<u32>, Vec<u32>)>,
-) -> Result<f64, CoreError> {
-    let mut expected = 0.0;
-    for z in ctx.dag.nodes() {
-        if !seen[z.index()] {
-            continue;
-        }
-        let outcome = run_for_target(policy, ctx, z, tree_intervals)?;
-        expected += ctx.weights.get(z) * outcome.price;
-    }
-    Ok(expected)
+        per_target_price,
+        &seen,
+        total_queries,
+        max_cost,
+        targets.len(),
+    ))
 }
 
 fn run_for_target(
@@ -234,27 +243,8 @@ fn euler_intervals(ctx: &SearchContext<'_>) -> Option<(Vec<u32>, Vec<u32>)> {
     if !ctx.dag.is_tree() {
         return None;
     }
-    let n = ctx.dag.node_count();
-    let mut tin = vec![0u32; n];
-    let mut tout = vec![0u32; n];
-    let mut clock = 0u32;
-    let mut stack: Vec<(NodeId, usize)> = vec![(ctx.dag.root(), 0)];
-    tin[ctx.dag.root().index()] = clock;
-    clock += 1;
-    while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
-        let kids = ctx.dag.children(u);
-        if *ci < kids.len() {
-            let c = kids[*ci];
-            *ci += 1;
-            tin[c.index()] = clock;
-            clock += 1;
-            stack.push((c, 0));
-        } else {
-            tout[u.index()] = clock;
-            stack.pop();
-        }
-    }
-    Some((tin, tout))
+    let tree = aigs_graph::Tree::new(ctx.dag).expect("is_tree checked");
+    Some(tree.into_intervals())
 }
 
 /// Runs an exhaustive evaluation split across `threads` OS threads, each
@@ -289,8 +279,7 @@ pub fn evaluate_exhaustive_parallel(
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::with_capacity(slice.len());
                     for &z in slice {
-                        let outcome =
-                            run_for_target(worker.as_mut(), ctx_ref, z, intervals_ref)?;
+                        let outcome = run_for_target(worker.as_mut(), ctx_ref, z, intervals_ref)?;
                         out.push((z, outcome));
                     }
                     Ok(out)
@@ -303,10 +292,10 @@ pub fn evaluate_exhaustive_parallel(
         });
 
     let mut per_target = vec![0u32; n];
+    let mut per_target_price = vec![0.0f64; n];
+    let mut seen = vec![false; n];
     let mut total_queries: u64 = 0;
     let mut max_cost = 0u32;
-    let mut expected_cost = 0.0;
-    let mut expected_price = 0.0;
     for part in partials {
         for (z, outcome) in part? {
             if outcome.target != z {
@@ -315,20 +304,23 @@ pub fn evaluate_exhaustive_parallel(
                 ));
             }
             per_target[z.index()] = outcome.queries;
+            per_target_price[z.index()] = outcome.price;
+            seen[z.index()] = true;
             total_queries += outcome.queries as u64;
             max_cost = max_cost.max(outcome.queries);
-            expected_cost += ctx.weights.get(z) * outcome.queries as f64;
-            expected_price += ctx.weights.get(z) * outcome.price;
         }
     }
-    Ok(EvalReport {
-        expected_cost,
-        expected_price,
-        mean_cost: total_queries as f64 / n as f64,
-        max_cost,
+    // Same deterministic accumulation as the sequential path: reports are
+    // bit-identical regardless of thread count or chunking.
+    Ok(aggregate_report(
+        &ctx,
         per_target,
-        targets: n,
-    })
+        per_target_price,
+        &seen,
+        total_queries,
+        max_cost,
+        n,
+    ))
 }
 
 /// Evaluates several policies on the same instance, reusing one closure for
@@ -444,7 +436,11 @@ mod tests {
         let mut p = crate::policy::CostSensitivePolicy::new();
         let r = evaluate_exhaustive(&mut p, &ctx).unwrap();
         // Example 4: the cost-sensitive greedy pays expected price 4.25.
-        assert!((r.expected_price - 4.25).abs() < 1e-9, "{}", r.expected_price);
+        assert!(
+            (r.expected_price - 4.25).abs() < 1e-9,
+            "{}",
+            r.expected_price
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Parallel evaluation must agree exactly with sequential evaluation.
 
 use aigs_core::policy::{GreedyDagPolicy, GreedyTreePolicy, TopDownPolicy, WigsPolicy};
-use aigs_core::{evaluate_exhaustive, evaluate_exhaustive_parallel, NodeWeights, Policy, SearchContext};
+use aigs_core::{
+    evaluate_exhaustive, evaluate_exhaustive_parallel, NodeWeights, Policy, SearchContext,
+};
 use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -10,7 +12,8 @@ use rand_chacha::ChaCha8Rng;
 fn parallel_matches_sequential_tree() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let g = random_tree(&TreeConfig::bushy(2500), &mut rng);
-    let w = NodeWeights::from_masses((0..2500).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap();
+    let w =
+        NodeWeights::from_masses((0..2500).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap();
     let ctx = SearchContext::new(&g, &w);
     let policies: Vec<Box<dyn Policy + Send>> = vec![
         Box::new(GreedyTreePolicy::new()),
@@ -39,6 +42,101 @@ fn parallel_matches_sequential_dag() {
     let par = evaluate_exhaustive_parallel(&mut p, &ctx, 8).unwrap();
     assert_eq!(seq.per_target, par.per_target);
     assert!((seq.expected_cost - par.expected_cost).abs() < 1e-9);
+}
+
+/// Wrapper counting how many sessions (resets) the evaluation loop spends.
+struct CountingPolicy<P> {
+    inner: P,
+    resets: std::cell::Cell<u32>,
+}
+
+impl<P: Policy + Clone + Send + 'static> Policy for CountingPolicy<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn reset(&mut self, ctx: &SearchContext<'_>) {
+        self.resets.set(self.resets.get() + 1);
+        self.inner.reset(ctx);
+    }
+    fn resolved(&self) -> Option<aigs_graph::NodeId> {
+        self.inner.resolved()
+    }
+    fn select(&mut self, ctx: &SearchContext<'_>) -> aigs_graph::NodeId {
+        self.inner.select(ctx)
+    }
+    fn observe(&mut self, ctx: &SearchContext<'_>, q: aigs_graph::NodeId, yes: bool) {
+        self.inner.observe(ctx, q, yes)
+    }
+    fn unobserve(&mut self, ctx: &SearchContext<'_>) {
+        self.inner.unobserve(ctx)
+    }
+    fn clone_box(&self) -> Box<dyn Policy + Send> {
+        Box::new(CountingPolicy {
+            inner: self.inner.clone(),
+            resets: self.resets.clone(),
+        })
+    }
+}
+
+/// Heterogeneous prices must not trigger a second sweep: exactly one
+/// session per listed target, with the price folded into the same pass.
+#[test]
+fn non_uniform_costs_run_one_session_per_target() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let g = random_tree(&TreeConfig::bushy(300), &mut rng);
+    let w = NodeWeights::uniform(300);
+    let prices: Vec<f64> = (0..300).map(|_| rng.gen_range(0.5..4.0)).collect();
+    let costs = aigs_core::QueryCosts::PerNode(prices.clone());
+    let ctx = SearchContext::new(&g, &w).with_costs(&costs);
+    let mut p = CountingPolicy {
+        inner: GreedyTreePolicy::new(),
+        resets: std::cell::Cell::new(0),
+    };
+    let report = aigs_core::evaluate_targets(&mut p, &ctx, &g.nodes().collect::<Vec<_>>()).unwrap();
+    assert_eq!(p.resets.get(), 300, "one session per target, no price pass");
+    // And the single-pass expected price is the exact weighted sum of the
+    // per-target prices it recorded.
+    let manual: f64 = g
+        .nodes()
+        .map(|z| w.get(z) * report.per_target_price[z.index()])
+        .sum();
+    assert_eq!(manual.to_bits(), report.expected_price.to_bits());
+    assert!(report.expected_price > report.expected_cost * 0.5);
+}
+
+/// The parallel path must return a **bit-identical** report — same float
+/// summation order, same mean definition — under non-uniform prices too.
+#[test]
+fn parallel_report_is_bit_identical() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = random_tree(&TreeConfig::bushy(3000), &mut rng);
+    let n = g.node_count();
+    let w = NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap();
+    let prices: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+    let costs = aigs_core::QueryCosts::PerNode(prices);
+    let ctx = SearchContext::new(&g, &w).with_costs(&costs);
+    for mut p in [
+        Box::new(GreedyTreePolicy::new()) as Box<dyn Policy + Send>,
+        Box::new(WigsPolicy::new()),
+    ] {
+        let seq = evaluate_exhaustive(p.as_mut(), &ctx).unwrap();
+        for threads in [2, 5, 8] {
+            let par = evaluate_exhaustive_parallel(p.as_mut(), &ctx, threads).unwrap();
+            assert_eq!(seq, par, "{} with {threads} threads", p.name());
+            assert_eq!(
+                seq.expected_price.to_bits(),
+                par.expected_price.to_bits(),
+                "{}",
+                p.name()
+            );
+            assert_eq!(
+                seq.mean_cost.to_bits(),
+                par.mean_cost.to_bits(),
+                "{}",
+                p.name()
+            );
+        }
+    }
 }
 
 #[test]

@@ -8,7 +8,8 @@ use aigs_core::policy::{
     GreedyTreePolicy, MigsPolicy, TopDownPolicy, WigsPolicy,
 };
 use aigs_core::{
-    evaluate_exhaustive, DecisionTreeBuilder, NodeWeights, Policy, QueryCosts, SearchContext,
+    evaluate_exhaustive, fresh_cache_token, DecisionTreeBuilder, NodeWeights, Policy, QueryCosts,
+    SearchContext,
 };
 use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
 use aigs_graph::{Dag, NodeId};
@@ -35,6 +36,87 @@ fn generic_weights(n: usize, seed: u64) -> NodeWeights {
 
 fn golden_ratio() -> f64 {
     (1.0 + 5.0_f64.sqrt()) / 2.0
+}
+
+/// Every deterministic policy, for a given hierarchy shape.
+fn deterministic_roster(is_tree: bool) -> Vec<Box<dyn Policy + Send>> {
+    let mut v: Vec<Box<dyn Policy + Send>> = vec![
+        Box::new(TopDownPolicy::new()),
+        Box::new(MigsPolicy::new()),
+        Box::new(WigsPolicy::new()),
+        Box::new(GreedyNaivePolicy::new()),
+        Box::new(GreedyDagPolicy::new()),
+        Box::new(CostSensitivePolicy::new()),
+    ];
+    if is_tree {
+        v.push(Box::new(GreedyTreePolicy::new()));
+    }
+    v
+}
+
+/// Shared delta-undo harness (the `undo_roundtrip_tree_and_dag` unit test
+/// from `wigs.rs`, generalised to every policy and arbitrary interleaving):
+/// drives `policy` through the `script` of (undo?, advance) ops with answers
+/// truthful for `witness`, maintaining the surviving answer prefix, then
+/// checks at every step that a fresh replay of the prefix reaches the same
+/// resolution and the same next query — i.e. journal-based rollback
+/// reproduces the exact pre-snapshot semantics.
+fn assert_rollback_matches_replay(
+    policy: &mut dyn Policy,
+    ctx: &SearchContext<'_>,
+    witness: NodeId,
+    script: &[bool],
+) -> Result<(), TestCaseError> {
+    let g = ctx.dag;
+    policy.reset(ctx);
+    let mut prefix: Vec<(NodeId, bool)> = Vec::new();
+    for &do_undo in script {
+        if do_undo && !prefix.is_empty() {
+            policy.unobserve(ctx);
+            prefix.pop();
+        } else if policy.resolved().is_none() {
+            let q = policy.select(ctx);
+            let ans = g.reaches(q, witness);
+            policy.observe(ctx, q, ans);
+            prefix.push((q, ans));
+        }
+        // Invariant after every op: a fresh policy replaying the prefix is
+        // indistinguishable from the undone/advanced one.
+        let mut fresh = policy.clone_box();
+        fresh.reset(ctx);
+        for &(q, ans) in &prefix {
+            prop_assert_eq!(fresh.resolved(), None, "{}", policy.name());
+            let fq = fresh.select(ctx);
+            prop_assert_eq!(fq, q, "{}: replay diverged", policy.name());
+            fresh.observe(ctx, fq, ans);
+        }
+        prop_assert_eq!(fresh.resolved(), policy.resolved(), "{}", policy.name());
+        if policy.resolved().is_none() {
+            prop_assert_eq!(
+                policy.select(ctx),
+                fresh.select(ctx),
+                "{}: next query diverged",
+                policy.name()
+            );
+        }
+    }
+    // Full unwind must land on the exact fresh-reset state.
+    while !prefix.is_empty() {
+        policy.unobserve(ctx);
+        prefix.pop();
+    }
+    let mut fresh = policy.clone_box();
+    fresh.reset(ctx);
+    prop_assert_eq!(fresh.resolved(), policy.resolved(), "{}", policy.name());
+    if policy.resolved().is_none() {
+        prop_assert_eq!(
+            policy.select(ctx),
+            fresh.select(ctx),
+            "{}: post-unwind query diverged",
+            policy.name()
+        );
+    }
+    Ok(())
 }
 
 proptest! {
@@ -188,6 +270,84 @@ proptest! {
                 "{}: decision tree {exact} vs simulation {sim}",
                 p.name()
             );
+        }
+    }
+
+    /// The shared delta-undo harness over every deterministic policy on
+    /// random trees: truthful answers for a random witness target explore
+    /// both yes and no branches, interleaved with undos at every depth.
+    #[test]
+    fn journal_rollback_exact_on_trees(
+        n in 2usize..25,
+        seed in 0u64..10_000,
+        witness_raw in 0u32..100,
+        script in prop::collection::vec(prop::bool::ANY, 1..24),
+    ) {
+        let g = tree_from_seed(n, seed);
+        let w = generic_weights(n, seed);
+        let ctx = SearchContext::new(&g, &w);
+        let witness = NodeId::new(witness_raw as usize % n);
+        for mut p in deterministic_roster(true) {
+            assert_rollback_matches_replay(p.as_mut(), &ctx, witness, &script)?;
+        }
+    }
+
+    /// Same harness on random DAGs (shared-descendant candidate updates,
+    /// closure-backed WIGS, rounded-greedy ancestor repairs).
+    #[test]
+    fn journal_rollback_exact_on_dags(
+        n in 2usize..25,
+        frac in 0.05f64..0.4,
+        seed in 0u64..10_000,
+        witness_raw in 0u32..100,
+        script in prop::collection::vec(prop::bool::ANY, 1..24),
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let w = generic_weights(nn, seed);
+        let ctx = SearchContext::new(&g, &w);
+        let witness = NodeId::new(witness_raw as usize % nn);
+        for mut p in deterministic_roster(false) {
+            assert_rollback_matches_replay(p.as_mut(), &ctx, witness, &script)?;
+        }
+    }
+
+    /// Journal-unwind `reset` under a cache token is indistinguishable from
+    /// a from-scratch policy: after an abandoned partial session, a token
+    /// reset must produce the identical exhaustive report.
+    #[test]
+    fn cached_reset_equals_fresh_policy(
+        n in 2usize..25,
+        frac in 0.0f64..0.4,
+        seed in 0u64..10_000,
+        witness_raw in 0u32..100,
+        abandon_after in 1usize..6,
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let w = generic_weights(nn, seed);
+        let token = fresh_cache_token();
+        let ctx = SearchContext::new(&g, &w).with_cache_token(token);
+        let witness = NodeId::new(witness_raw as usize % nn);
+        for mut p in deterministic_roster(g.is_tree()) {
+            // Warm the caches, then abandon a session mid-flight.
+            p.reset(&ctx);
+            for _ in 0..abandon_after {
+                if p.resolved().is_some() {
+                    break;
+                }
+                let q = p.select(&ctx);
+                p.observe(&ctx, q, g.reaches(q, witness));
+            }
+            // The next reset unwinds the journal; results must be identical
+            // to a policy that never saw the abandoned session.
+            let reused = evaluate_exhaustive(p.as_mut(), &ctx).unwrap();
+            let mut virgin = p.clone_box();
+            let ctx2 = SearchContext::new(&g, &w).with_cache_token(fresh_cache_token());
+            virgin.reset(&ctx2); // force rebuild under a different token
+            let fresh = evaluate_exhaustive(virgin.as_mut(), &ctx2).unwrap();
+            prop_assert_eq!(&reused.per_target, &fresh.per_target, "{}", p.name());
+            prop_assert_eq!(reused.expected_cost.to_bits(), fresh.expected_cost.to_bits(), "{}", p.name());
         }
     }
 

@@ -17,8 +17,8 @@
 use aigs_core::NodeWeights;
 use aigs_graph::{Dag, NodeId};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::distributions::sample_zipf;
 use crate::taxonomy::{generate_taxonomy, overlay_cross_edges, TaxonomyConfig};

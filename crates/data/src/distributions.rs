@@ -84,15 +84,9 @@ pub fn sample_zipf<R: Rng>(a: f64, rng: &mut R) -> u64 {
 
 /// Samples `count` target nodes i.i.d. from `weights` by inverse-CDF binary
 /// search over prefix sums.
-pub fn sample_targets<R: Rng>(
-    weights: &NodeWeights,
-    count: usize,
-    rng: &mut R,
-) -> Vec<NodeId> {
+pub fn sample_targets<R: Rng>(weights: &NodeWeights, count: usize, rng: &mut R) -> Vec<NodeId> {
     let prefix = prefix_sums(weights);
-    (0..count)
-        .map(|_| sample_one(&prefix, rng))
-        .collect()
+    (0..count).map(|_| sample_one(&prefix, rng)).collect()
 }
 
 /// Cumulative distribution over node ids.
@@ -146,7 +140,9 @@ mod tests {
         let n = 4000;
         let equal = WeightSetting::Equal.assign(n, &mut rng).entropy_bits();
         let uniform = WeightSetting::Uniform.assign(n, &mut rng).entropy_bits();
-        let exp = WeightSetting::Exponential.assign(n, &mut rng).entropy_bits();
+        let exp = WeightSetting::Exponential
+            .assign(n, &mut rng)
+            .entropy_bits();
         let zipf = WeightSetting::Zipf(2.0).assign(n, &mut rng).entropy_bits();
         assert!(equal > uniform, "{equal} vs {uniform}");
         assert!(uniform > exp, "{uniform} vs {exp}");
@@ -160,7 +156,10 @@ mod tests {
         let n = 4000;
         let h15 = WeightSetting::Zipf(1.5).assign(n, &mut rng).entropy_bits();
         let h40 = WeightSetting::Zipf(4.0).assign(n, &mut rng).entropy_bits();
-        assert!(h15 < h40, "Zipf(1.5) {h15} should be more skewed than Zipf(4) {h40}");
+        assert!(
+            h15 < h40,
+            "Zipf(1.5) {h15} should be more skewed than Zipf(4) {h40}"
+        );
     }
 
     #[test]
@@ -168,8 +167,10 @@ mod tests {
         // For a = 3, E[X] = ζ(2)/ζ(3) ≈ 1.3684.
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let samples = 200_000;
-        let mean: f64 =
-            (0..samples).map(|_| sample_zipf(3.0, &mut rng) as f64).sum::<f64>() / samples as f64;
+        let mean: f64 = (0..samples)
+            .map(|_| sample_zipf(3.0, &mut rng) as f64)
+            .sum::<f64>()
+            / samples as f64;
         assert!((mean - 1.3684).abs() < 0.02, "Zipf(3) mean {mean}");
     }
 

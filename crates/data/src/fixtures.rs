@@ -9,7 +9,9 @@ use aigs_graph::{Dag, HierarchyBuilder, NodeId};
 /// 6 sentra. Weights: 4%, 2%, 4%, 8%, 2%, 40%, 40%.
 pub fn vehicle() -> (Dag, NodeWeights) {
     let mut b = HierarchyBuilder::new();
-    for label in ["vehicle", "car", "honda", "nissan", "mercedes", "maxima", "sentra"] {
+    for label in [
+        "vehicle", "car", "honda", "nissan", "mercedes", "maxima", "sentra",
+    ] {
         b.add_node(label).expect("unique");
     }
     for (p, c) in [(0u32, 1u32), (1, 2), (1, 3), (1, 4), (3, 5), (3, 6)] {

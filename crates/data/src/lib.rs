@@ -31,6 +31,6 @@ pub mod paths;
 pub mod taxonomy;
 
 pub use datasets::{amazon_like, imagenet_like, object_trace, Dataset, Scale};
-pub use paths::dataset_from_paths;
 pub use distributions::{sample_targets, WeightSetting};
+pub use paths::dataset_from_paths;
 pub use taxonomy::{generate_taxonomy, overlay_cross_edges, TaxonomyConfig};

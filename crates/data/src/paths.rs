@@ -75,9 +75,7 @@ pub fn dataset_from_paths<R: BufRead>(
             if let Some(p) = prev {
                 if p != id {
                     // Builder dedups repeated edges.
-                    builder
-                        .add_edge(p, id)
-                        .expect("interned endpoints exist");
+                    builder.add_edge(p, id).expect("interned endpoints exist");
                 }
             }
             prev = Some(id);
@@ -136,7 +134,12 @@ Books
             .dag
             .nodes()
             .filter(|&v| d.object_counts[v.index()] > 0)
-            .map(|v| (display_label(&d.dag, v).to_owned(), d.object_counts[v.index()]))
+            .map(|v| {
+                (
+                    display_label(&d.dag, v).to_owned(),
+                    d.object_counts[v.index()],
+                )
+            })
             .collect();
         assert!(counts.contains(&("Digital Cameras".to_owned(), 2)));
         assert!(counts.contains(&("Camera & Photo".to_owned(), 1)));

@@ -169,7 +169,10 @@ pub fn overlay_cross_edges<R: Rng>(tree: &Dag, fraction: f64, rng: &mut R) -> Da
         attempts += 1;
         let child = rng.gen_range(2..n);
         let parent = rng.gen_range(1..child);
-        if tree.parents(NodeId::new(child)).contains(&NodeId::new(parent)) {
+        if tree
+            .parents(NodeId::new(child))
+            .contains(&NodeId::new(parent))
+        {
             continue;
         }
         // Every edge (tree or cross) must strictly increase tree depth:

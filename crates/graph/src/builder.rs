@@ -214,10 +214,8 @@ impl HierarchyBuilder {
         // Kahn's algorithm: topological order + cycle detection.
         let mut topo = Vec::with_capacity(n);
         let mut deg = in_deg.clone();
-        let mut queue: std::collections::VecDeque<NodeId> = (0..n)
-            .filter(|&i| deg[i] == 0)
-            .map(NodeId::new)
-            .collect();
+        let mut queue: std::collections::VecDeque<NodeId> =
+            (0..n).filter(|&i| deg[i] == 0).map(NodeId::new).collect();
         while let Some(u) = queue.pop_front() {
             topo.push(u);
             let lo = child_off[u.index()] as usize;
@@ -325,7 +323,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(HierarchyBuilder::new().build().unwrap_err(), GraphError::Empty);
+        assert_eq!(
+            HierarchyBuilder::new().build().unwrap_err(),
+            GraphError::Empty
+        );
     }
 
     #[test]

@@ -10,12 +10,18 @@ use crate::traversal::BfsScratch;
 use crate::{Dag, NodeId};
 
 /// The set of still-possible target nodes, with LIFO undo.
+///
+/// Undo state is a flat arena journal: killed nodes append to one shared
+/// `entries` vector and `frame_starts` marks each update's slice, so
+/// applying an answer never allocates once the buffers are warm.
 #[derive(Debug, Clone)]
 pub struct CandidateSet {
     alive: Vec<bool>,
     alive_count: usize,
-    /// One frame per applied update: the nodes that update killed.
-    frames: Vec<Vec<NodeId>>,
+    /// Killed nodes of every live frame, concatenated.
+    entries: Vec<NodeId>,
+    /// Start offset of each frame inside `entries`.
+    frame_starts: Vec<u32>,
     scratch: BfsScratch,
 }
 
@@ -25,8 +31,23 @@ impl CandidateSet {
         CandidateSet {
             alive: vec![true; n],
             alive_count: n,
-            frames: Vec::new(),
+            entries: Vec::new(),
+            frame_starts: Vec::new(),
             scratch: BfsScratch::new(n),
+        }
+    }
+
+    /// Re-initialises to all `n` nodes alive, reusing every buffer — the
+    /// allocation-free equivalent of `*self = CandidateSet::new(n)` that
+    /// policy `reset()` implementations call once per session.
+    pub fn reset(&mut self, n: usize) {
+        self.alive.clear();
+        self.alive.resize(n, true);
+        self.alive_count = n;
+        self.entries.clear();
+        self.frame_starts.clear();
+        if self.scratch.visited.capacity() != n {
+            self.scratch = BfsScratch::new(n);
         }
     }
 
@@ -47,10 +68,7 @@ impl CandidateSet {
         if self.alive_count != 1 {
             return None;
         }
-        self.alive
-            .iter()
-            .position(|&a| a)
-            .map(NodeId::new)
+        self.alive.iter().position(|&a| a).map(NodeId::new)
     }
 
     /// Iterates over alive candidates in id order.
@@ -75,26 +93,19 @@ impl CandidateSet {
     /// Number of alive nodes reachable from `q`, one BFS.
     pub fn reachable_count(&mut self, dag: &Dag, q: NodeId) -> usize {
         let alive = &self.alive;
-        self.scratch.bfs_forward(dag, q, |u| alive[u.index()], |_| {})
+        self.scratch
+            .bfs_forward(dag, q, |u| alive[u.index()], |_| {})
     }
 
     /// Both Σ `weight[u]` and the node count over alive `u` reachable from
     /// `q`, in a single BFS — the per-candidate evaluation of `GreedyNaive`
     /// (Alg. 2 line 5) fused with the informativeness check.
-    pub fn reachable_weight_count(
-        &mut self,
-        dag: &Dag,
-        q: NodeId,
-        weight: &[f64],
-    ) -> (f64, usize) {
+    pub fn reachable_weight_count(&mut self, dag: &Dag, q: NodeId, weight: &[f64]) -> (f64, usize) {
         let alive = &self.alive;
         let mut total = 0.0;
-        let count = self.scratch.bfs_forward(
-            dag,
-            q,
-            |u| alive[u.index()],
-            |u| total += weight[u.index()],
-        );
+        let count =
+            self.scratch
+                .bfs_forward(dag, q, |u| alive[u.index()], |u| total += weight[u.index()]);
         (total, count)
     }
 
@@ -108,18 +119,19 @@ impl CandidateSet {
     /// any original path from an alive `q` to an alive node stays alive.
     pub fn apply_no(&mut self, dag: &Dag, q: NodeId) -> usize {
         debug_assert!(self.is_alive(q), "queries must target alive candidates");
-        let mut killed = Vec::new();
+        let start = self.entries.len();
         {
             let alive = &self.alive;
+            let entries = &mut self.entries;
             self.scratch
-                .bfs_forward(dag, q, |u| alive[u.index()], |u| killed.push(u));
+                .bfs_forward(dag, q, |u| alive[u.index()], |u| entries.push(u));
         }
-        for &u in &killed {
-            self.alive[u.index()] = false;
+        let n = self.entries.len() - start;
+        for i in start..self.entries.len() {
+            self.alive[self.entries[i].index()] = false;
         }
-        self.alive_count -= killed.len();
-        let n = killed.len();
-        self.frames.push(killed);
+        self.alive_count -= n;
+        self.frame_starts.push(start as u32);
         n
     }
 
@@ -131,18 +143,19 @@ impl CandidateSet {
         // Mark the survivors, then sweep the rest.
         {
             let alive = &self.alive;
-            self.scratch.bfs_forward(dag, q, |u| alive[u.index()], |_| {});
+            self.scratch
+                .bfs_forward(dag, q, |u| alive[u.index()], |_| {});
         }
-        let mut killed = Vec::new();
+        let start = self.entries.len();
         for (i, slot) in self.alive.iter_mut().enumerate() {
             if *slot && !self.scratch.visited.contains(NodeId::new(i)) {
                 *slot = false;
-                killed.push(NodeId::new(i));
+                self.entries.push(NodeId::new(i));
             }
         }
-        self.alive_count -= killed.len();
-        let n = killed.len();
-        self.frames.push(killed);
+        let n = self.entries.len() - start;
+        self.alive_count -= n;
+        self.frame_starts.push(start as u32);
         n
     }
 
@@ -168,7 +181,7 @@ impl CandidateSet {
             let always = |_u: NodeId| true;
             self.scratch.bfs_forward(dag, q, always, |_| {});
         }
-        let mut killed = Vec::new();
+        let start = self.entries.len();
         for (i, slot) in self.alive.iter_mut().enumerate() {
             if !*slot {
                 continue;
@@ -176,25 +189,37 @@ impl CandidateSet {
             let in_gq = self.scratch.visited.contains(NodeId::new(i));
             if in_gq != answer {
                 *slot = false;
-                killed.push(NodeId::new(i));
+                self.entries.push(NodeId::new(i));
             }
         }
-        self.alive_count -= killed.len();
-        let n = killed.len();
-        self.frames.push(killed);
+        let n = self.entries.len() - start;
+        self.alive_count -= n;
+        self.frame_starts.push(start as u32);
         n
+    }
+
+    /// The nodes killed by the most recent (not yet undone) update. Lets
+    /// callers maintain derived aggregates (e.g. alive probability mass) in
+    /// O(Δ) instead of rescanning all candidates.
+    pub fn last_frame(&self) -> &[NodeId] {
+        match self.frame_starts.last() {
+            None => &[],
+            Some(&start) => &self.entries[start as usize..],
+        }
     }
 
     /// Reverts the most recent update. Returns `false` when no update is
     /// left to revert.
     pub fn undo(&mut self) -> bool {
-        match self.frames.pop() {
+        match self.frame_starts.pop() {
             None => false,
-            Some(frame) => {
-                self.alive_count += frame.len();
-                for u in frame {
+            Some(start) => {
+                let start = start as usize;
+                for &u in &self.entries[start..] {
                     self.alive[u.index()] = true;
                 }
+                self.alive_count += self.entries.len() - start;
+                self.entries.truncate(start);
                 true
             }
         }
@@ -202,13 +227,14 @@ impl CandidateSet {
 
     /// Number of journalled updates.
     pub fn depth(&self) -> usize {
-        self.frames.len()
+        self.frame_starts.len()
     }
 
     /// Forgets the journal (keeps the current alive state). Useful when a
     /// session will never backtrack and memory matters.
     pub fn forget_history(&mut self) {
-        self.frames.clear();
+        self.entries.clear();
+        self.frame_starts.clear();
     }
 }
 

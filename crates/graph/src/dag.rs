@@ -106,10 +106,7 @@ impl Dag {
     /// Finds a node by exact label. Linear scan; intended for tests,
     /// examples and small fixtures, not hot paths.
     pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
-        self.labels
-            .iter()
-            .position(|l| l == label)
-            .map(NodeId::new)
+        self.labels.iter().position(|l| l == label).map(NodeId::new)
     }
 
     /// A topological order (every parent precedes its children).
@@ -362,10 +359,12 @@ mod tests {
     /// (0-based ids here.)
     fn vehicle() -> crate::Dag {
         let mut b = HierarchyBuilder::new();
-        let v: Vec<NodeId> = ["vehicle", "car", "honda", "nissan", "mercedes", "maxima", "sentra"]
-            .iter()
-            .map(|l| b.add_node(*l).unwrap())
-            .collect();
+        let v: Vec<NodeId> = [
+            "vehicle", "car", "honda", "nissan", "mercedes", "maxima", "sentra",
+        ]
+        .iter()
+        .map(|l| b.add_node(*l).unwrap())
+        .collect();
         b.add_edge(v[0], v[1]).unwrap();
         b.add_edge(v[1], v[2]).unwrap();
         b.add_edge(v[1], v[3]).unwrap();
@@ -398,7 +397,15 @@ mod tests {
         assert_eq!(d, vec![NodeId::new(3), NodeId::new(5), NodeId::new(6)]);
         let mut a = g.ancestors(NodeId::new(6));
         a.sort();
-        assert_eq!(a, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(6)]);
+        assert_eq!(
+            a,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(6)
+            ]
+        );
     }
 
     #[test]

@@ -124,12 +124,7 @@ mod tests {
     fn size_heavy_path_follows_biggest_subtree() {
         let g = sample();
         let t = Tree::new(&g).unwrap();
-        let path = heavy_path_from(
-            &g,
-            g.root(),
-            |c| t.subtree_size(c) as f64,
-            |_| true,
-        );
+        let path = heavy_path_from(&g, g.root(), |c| t.subtree_size(c) as f64, |_| true);
         // Subtree sizes: 1:6, 3:3 (largest among 2,3,4), then 5 (tie -> min id).
         let ids: Vec<usize> = path.iter().map(|u| u.index()).collect();
         assert_eq!(ids, vec![0, 1, 3, 5]);
@@ -175,7 +170,10 @@ mod tests {
                 seen[u.index()] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each node on exactly one path");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each node on exactly one path"
+        );
         // Every node's reported path actually contains it.
         for u in g.nodes() {
             assert!(hpd.path_containing(u).contains(&u));

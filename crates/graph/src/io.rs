@@ -19,7 +19,12 @@ use crate::{Dag, GraphError, HierarchyBuilder, NodeId};
 
 /// Serialises `dag` into the text format.
 pub fn write_hierarchy<W: Write>(dag: &Dag, out: &mut W) -> std::io::Result<()> {
-    writeln!(out, "# aigs hierarchy v1: {} nodes, {} edges", dag.node_count(), dag.edge_count())?;
+    writeln!(
+        out,
+        "# aigs hierarchy v1: {} nodes, {} edges",
+        dag.node_count(),
+        dag.edge_count()
+    )?;
     for u in dag.nodes() {
         writeln!(out, "node {} {}", u.index(), dag.label(u))?;
     }
@@ -48,24 +53,26 @@ pub fn read_hierarchy<R: BufRead>(input: R) -> Result<Dag, GraphError> {
         let kind = parts.next().unwrap_or("");
         match kind {
             "node" => {
-                let id: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| GraphError::Parse {
-                        line: lineno + 1,
-                        message: "expected `node <id> <label>`".into(),
-                    })?;
+                let id: usize =
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| GraphError::Parse {
+                            line: lineno + 1,
+                            message: "expected `node <id> <label>`".into(),
+                        })?;
                 let label = parts.next().unwrap_or("").to_owned();
                 nodes.push((id, label));
             }
             "edge" => {
-                let p: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| GraphError::Parse {
-                        line: lineno + 1,
-                        message: "expected `edge <parent> <child>`".into(),
-                    })?;
+                let p: usize =
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| GraphError::Parse {
+                            line: lineno + 1,
+                            message: "expected `edge <parent> <child>`".into(),
+                        })?;
                 let c: usize = parts
                     .next()
                     .and_then(|s| s.trim().parse().ok())

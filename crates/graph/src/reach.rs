@@ -79,10 +79,19 @@ impl NodeBitSet {
     /// Full set over `n` ids.
     pub fn full(n: usize) -> Self {
         let mut s = Self::empty(n);
-        for i in 0..n {
-            s.insert(NodeId::new(i));
-        }
+        s.fill();
         s
+    }
+
+    /// Resets to the full set without reallocating.
+    pub fn fill(&mut self) {
+        let n = self.n;
+        self.bits.fill(u64::MAX);
+        if !n.is_multiple_of(64) {
+            if let Some(last) = self.bits.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
     }
 
     /// Number of ids the set ranges over.
@@ -112,6 +121,33 @@ impl NodeBitSet {
     /// Number of members.
     pub fn count(&self) -> usize {
         self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Number of `u64` blocks backing the set.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The `i`-th block.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.bits[i]
+    }
+
+    /// Overwrites the `i`-th block, returning its previous value — the
+    /// word-granular write used by delta-undo journals: policies record
+    /// `(i, old)` pairs instead of cloning the whole set.
+    #[inline]
+    pub fn set_word(&mut self, i: usize, word: u64) -> u64 {
+        std::mem::replace(&mut self.bits[i], word)
+    }
+
+    /// Writes a previously journalled block back (inverse of
+    /// [`NodeBitSet::set_word`]).
+    #[inline]
+    pub fn restore_word(&mut self, i: usize, word: u64) {
+        self.bits[i] = word;
     }
 
     /// `self ∩= other`.

@@ -57,6 +57,13 @@ impl VisitedSet {
     pub fn contains(&self, u: NodeId) -> bool {
         self.stamp[u.index()] == self.epoch
     }
+
+    /// Unmarks `u` (no-op when `u` is not marked). Stamps start at epoch 1,
+    /// so writing 0 is always "absent".
+    #[inline]
+    pub fn remove(&mut self, u: NodeId) {
+        self.stamp[u.index()] = 0;
+    }
 }
 
 /// Scratch buffers for repeated BFS passes: a queue plus a [`VisitedSet`].
@@ -211,11 +218,21 @@ mod tests {
         let mut scratch = BfsScratch::new(g.node_count());
         // Kill node 1: 3 is still reachable via 2.
         let mut seen = Vec::new();
-        scratch.bfs_forward(&g, NodeId::new(0), |u| u != NodeId::new(1), |u| seen.push(u));
+        scratch.bfs_forward(
+            &g,
+            NodeId::new(0),
+            |u| u != NodeId::new(1),
+            |u| seen.push(u),
+        );
         seen.sort();
         assert_eq!(
             seen,
-            vec![NodeId::new(0), NodeId::new(2), NodeId::new(3), NodeId::new(4)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(2),
+                NodeId::new(3),
+                NodeId::new(4)
+            ]
         );
         // Kill both 1 and 2: nothing below 0 remains reachable.
         let mut seen = Vec::new();
@@ -237,7 +254,12 @@ mod tests {
         seen.sort();
         assert_eq!(
             seen,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 
@@ -254,7 +276,9 @@ mod tests {
         // Chain 0 -> 1 -> 2.
         let g = dag_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let mut events = Vec::new();
-        dfs_events(&g, NodeId::new(0), |u, enter| events.push((u.index(), enter)));
+        dfs_events(&g, NodeId::new(0), |u, enter| {
+            events.push((u.index(), enter))
+        });
         assert_eq!(
             events,
             vec![

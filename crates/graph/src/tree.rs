@@ -116,6 +116,20 @@ impl<'a> Tree<'a> {
         &self.preorder
     }
 
+    /// The raw Euler interval arrays `(tin, tout)`:
+    /// `subtree(u) = { v : tin[u] <= tin[v] < tout[u] }`.
+    #[inline]
+    pub fn euler_intervals(&self) -> (&[u32], &[u32]) {
+        (&self.tin, &self.tout)
+    }
+
+    /// Consumes the view, yielding owned `(tin, tout)` arrays — the shared
+    /// answer index used by exhaustive evaluation (one DFS for thousands of
+    /// per-target oracles).
+    pub fn into_intervals(self) -> (Vec<u32>, Vec<u32>) {
+        (self.tin, self.tout)
+    }
+
     /// Walks up from `u` to the root, yielding `u` first.
     pub fn path_to_root(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         let mut cur = u;

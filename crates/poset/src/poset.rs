@@ -75,7 +75,10 @@ impl Poset {
             }
         }
         let p = Poset { n, leq };
-        debug_assert!(p.check_axioms().is_ok(), "DAG reachability must be a partial order");
+        debug_assert!(
+            p.check_axioms().is_ok(),
+            "DAG reachability must be a partial order"
+        );
         p
     }
 
@@ -252,9 +255,15 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        assert!(PosetViolation::Reflexivity(1).to_string().contains("reflexivity"));
-        assert!(PosetViolation::Antisymmetry(0, 1).to_string().contains("antisymmetry"));
-        assert!(PosetViolation::Transitivity(0, 1, 2).to_string().contains("transitivity"));
+        assert!(PosetViolation::Reflexivity(1)
+            .to_string()
+            .contains("reflexivity"));
+        assert!(PosetViolation::Antisymmetry(0, 1)
+            .to_string()
+            .contains("antisymmetry"));
+        assert!(PosetViolation::Transitivity(0, 1, 2)
+            .to_string()
+            .contains("transitivity"));
     }
 
     #[test]

@@ -17,7 +17,12 @@ fn main() {
     let (dag, weights, costs) = caigs_chain();
     println!("Fig. 3 chain hierarchy with prices:");
     for v in dag.nodes() {
-        println!("  {}  c({}) = {}", dag.label(v), dag.label(v), costs.price(v));
+        println!(
+            "  {}  c({}) = {}",
+            dag.label(v),
+            dag.label(v),
+            costs.price(v)
+        );
     }
 
     // Example 4: plain greedy ignores prices, cost-sensitive greedy avoids
@@ -40,7 +45,10 @@ fn main() {
     // Sweep the expensive node's price: at c = 1 both policies agree; as
     // the middle question gets pricier the cost-sensitive greedy detours.
     println!("\nPrice sweep for the middle question c(c3):");
-    println!("  {:>6}  {:>14}  {:>21}", "price", "simple greedy", "cost-sensitive greedy");
+    println!(
+        "  {:>6}  {:>14}  {:>21}",
+        "price", "simple greedy", "cost-sensitive greedy"
+    );
     for price in [1.0, 2.0, 3.0, 5.0, 8.0, 13.0] {
         let costs = QueryCosts::PerNode(vec![1.0, 1.0, price, 1.0]);
         let ctx = SearchContext::new(&dag, &weights).with_costs(&costs);

@@ -43,7 +43,10 @@ fn main() {
         .expect("online run converges");
 
     println!("Average questions per image (window of 2,000 images):");
-    println!("  {:>8}  {:>14}  {:>15}  {:>6}", "#images", "online greedy", "offline greedy", "WIGS");
+    println!(
+        "  {:>8}  {:>14}  {:>15}  {:>6}",
+        "#images", "online greedy", "offline greedy", "WIGS"
+    );
     for p in &points {
         println!(
             "  {:>8}  {:>14.2}  {:>15.2}  {:>6.2}",

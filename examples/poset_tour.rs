@@ -24,7 +24,10 @@ fn main() {
     poset
         .check_axioms()
         .expect("reachability satisfies reflexivity, antisymmetry, transitivity");
-    println!("\nLemma 2: reachability forms a valid partial order over {} elements.", poset.len());
+    println!(
+        "\nLemma 2: reachability forms a valid partial order over {} elements.",
+        poset.len()
+    );
     println!(
         "  e.g. sentra ≤ nissan: {}   nissan ≤ sentra: {}",
         poset.leq(6, 3),
@@ -33,9 +36,10 @@ fn main() {
 
     // Lemma 2, backward: the Hasse diagram reconstructs the hierarchy.
     let hasse = poset.hasse_diagram().expect("valid poset");
-    let faithful = dag
-        .nodes()
-        .all(|a| dag.nodes().all(|b| hasse.reaches(a, b) == dag.reaches(a, b)));
+    let faithful = dag.nodes().all(|a| {
+        dag.nodes()
+            .all(|b| hasse.reaches(a, b) == dag.reaches(a, b))
+    });
     println!(
         "  Hasse diagram rebuilt with {} nodes; reachability preserved: {faithful}",
         hasse.node_count()
@@ -49,7 +53,7 @@ fn main() {
         table.attributes,
         table.is_separable()
     );
-    print!("  attribute matrix (rows = objects, cols = reach tests):\n");
+    println!("  attribute matrix (rows = objects, cols = reach tests):");
     for i in 0..table.objects {
         print!("    {} ", dag.label(aigs::graph::NodeId::new(i)));
         for _ in dag.label(aigs::graph::NodeId::new(i)).len()..9 {

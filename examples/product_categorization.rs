@@ -34,7 +34,10 @@ fn main() {
                 baseline = Some(report.expected_cost);
                 String::new()
             }
-            Some(b) => format!("  ({:.1}% saved vs TopDown)", 100.0 * (1.0 - report.expected_cost / b)),
+            Some(b) => format!(
+                "  ({:.1}% saved vs TopDown)",
+                100.0 * (1.0 - report.expected_cost / b)
+            ),
         };
         println!(
             "  {name:<12} expected {:>6.2}   worst case {:>4}{note}",
@@ -54,7 +57,10 @@ fn main() {
     }
 
     let greedy = rows.last().expect("roster non-empty");
-    let wigs = rows.iter().find(|(n, _)| n == "wigs").expect("wigs in roster");
+    let wigs = rows
+        .iter()
+        .find(|(n, _)| n == "wigs")
+        .expect("wigs in roster");
     println!(
         "\nThe average-case greedy saves {:.1}% of the crowdsourcing bill over WIGS.",
         100.0 * (1.0 - greedy.1.expected_cost / wigs.1.expected_cost)

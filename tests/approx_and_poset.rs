@@ -27,7 +27,9 @@ fn greedy_tree_golden_ratio_on_taxonomies() {
         let ctx = SearchContext::new(&tree, &w);
         let opt = optimal_expected_cost(&ctx).unwrap();
         let mut greedy = GreedyTreePolicy::new();
-        let cost = evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+        let cost = evaluate_exhaustive(&mut greedy, &ctx)
+            .unwrap()
+            .expected_cost;
         assert!(
             cost <= golden_ratio() * opt + 1e-9,
             "seed {seed}: greedy {cost} vs opt {opt}"
@@ -48,7 +50,9 @@ fn greedy_equal_weights_near_optimal() {
         let ctx = SearchContext::new(&tree, &w);
         let opt = optimal_expected_cost(&ctx).unwrap();
         let mut greedy = GreedyTreePolicy::new();
-        let cost = evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+        let cost = evaluate_exhaustive(&mut greedy, &ctx)
+            .unwrap()
+            .expected_cost;
         assert!(cost <= 2.0 * opt + 1e-9, "seed {seed}: {cost} vs {opt}");
     }
 }
@@ -68,7 +72,9 @@ fn dag_bounds_hold() {
 
         let opt = optimal_expected_cost(&ctx).unwrap();
         let mut greedy = GreedyDagPolicy::new();
-        let cost = evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+        let cost = evaluate_exhaustive(&mut greedy, &ctx)
+            .unwrap()
+            .expected_cost;
         let bound = 2.0 * (1.0 + 3.0 * n.ln());
         assert!(
             cost <= bound * opt.max(1.0),

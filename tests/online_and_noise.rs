@@ -3,7 +3,8 @@
 
 use aigs::core::policy::{GreedyDagPolicy, GreedyTreePolicy};
 use aigs::core::{
-    evaluate_exhaustive, run_online_trace, run_session, MajorityVoteOracle, NoisyOracle, SearchContext, TargetOracle,
+    evaluate_exhaustive, run_online_trace, run_session, MajorityVoteOracle, NoisyOracle,
+    SearchContext, TargetOracle,
 };
 use aigs::data::{amazon_like, imagenet_like, object_trace, sample_targets, Scale};
 use rand::SeedableRng;
@@ -18,7 +19,9 @@ fn online_learning_converges_tree() {
     let ctx = SearchContext::new(&dataset.dag, &weights);
 
     let mut offline = GreedyTreePolicy::new();
-    let offline_cost = evaluate_exhaustive(&mut offline, &ctx).unwrap().expected_cost;
+    let offline_cost = evaluate_exhaustive(&mut offline, &ctx)
+        .unwrap()
+        .expected_cost;
     let mut wigs = aigs::core::policy::WigsPolicy::new();
     let wigs_cost = evaluate_exhaustive(&mut wigs, &ctx).unwrap().expected_cost;
 

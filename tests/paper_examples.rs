@@ -5,8 +5,7 @@ use aigs::core::policy::{
     TopDownPolicy, WigsPolicy,
 };
 use aigs::core::{
-    evaluate_exhaustive, run_session, DecisionTreeBuilder, NodeWeights, SearchContext,
-    TargetOracle,
+    evaluate_exhaustive, run_session, DecisionTreeBuilder, NodeWeights, SearchContext, TargetOracle,
 };
 use aigs::data::fixtures::{caigs_chain, vehicle, vehicle_equal, vehicle_object_counts};
 use aigs::graph::NodeId;
@@ -86,7 +85,9 @@ fn example3_decision_tree_cost() {
         Box::new(GreedyNaivePolicy::new()) as Box<dyn aigs::core::Policy + Send>,
         Box::new(GreedyTreePolicy::new()),
     ] {
-        let dt = DecisionTreeBuilder::new().build(policy.as_mut(), &ctx).unwrap();
+        let dt = DecisionTreeBuilder::new()
+            .build(policy.as_mut(), &ctx)
+            .unwrap();
         assert!((dt.expected_cost(&w) - 3.0).abs() < 1e-12);
         // |D| ≤ 2|G| as the paper observes below Definition 6.
         assert!(dt.nodes.len() <= 2 * dag.node_count());

@@ -36,10 +36,16 @@ fn tree_dataset_cost_ordering() {
     // MIGS tracks TopDown within a few percent (the paper reports ~3-5%),
     // never exceeding it.
     assert!(migs <= td, "migs {migs} vs top-down {td}");
-    assert!((td - migs) / td < 0.15, "migs {migs} vs top-down {td} diverge");
+    assert!(
+        (td - migs) / td < 0.15,
+        "migs {migs} vs top-down {td} diverge"
+    );
     // Magnitudes: WIGS beats the linear scanners by >2x (paper: ~2.5x) and
     // greedy is at least 30% cheaper than WIGS (paper: 26-44%).
-    assert!(2.0 * wigs < td, "wigs {wigs} vs top-down {td} gap too small");
+    assert!(
+        2.0 * wigs < td,
+        "wigs {wigs} vs top-down {td} gap too small"
+    );
     assert!(greedy < 0.7 * wigs, "greedy {greedy} vs wigs {wigs}");
 }
 
@@ -86,7 +92,9 @@ fn greedy_benefits_from_skew_wigs_does_not() {
             let w = setting.assign(n, &mut rng);
             let ctx = SearchContext::new(&dataset.dag, &w);
             let mut greedy = GreedyTreePolicy::new();
-            g_acc += evaluate_exhaustive(&mut greedy, &ctx).unwrap().expected_cost;
+            g_acc += evaluate_exhaustive(&mut greedy, &ctx)
+                .unwrap()
+                .expected_cost;
             let mut wigs = aigs::core::policy::WigsPolicy::new();
             w_acc += evaluate_exhaustive(&mut wigs, &ctx).unwrap().expected_cost;
         }
@@ -103,13 +111,13 @@ fn greedy_benefits_from_skew_wigs_does_not() {
     // WIGS: comparatively flat across distributions — it never reads the
     // weights; only the weighting of its fixed per-target costs varies,
     // which averages out over repetitions for finite-mean settings.
-    let spread = (wigs_costs
-        .iter()
-        .cloned()
-        .fold(f64::MIN, f64::max)
+    let spread = (wigs_costs.iter().cloned().fold(f64::MIN, f64::max)
         - wigs_costs.iter().cloned().fold(f64::MAX, f64::min))
         / wigs_costs[0];
-    assert!(spread < 0.15, "WIGS spread {spread} too high: {wigs_costs:?}");
+    assert!(
+        spread < 0.15,
+        "WIGS spread {spread} too high: {wigs_costs:?}"
+    );
 }
 
 /// Decision trees of the headline policies on a mid-sized DAG instance:
@@ -130,7 +138,9 @@ fn decision_trees_on_synthetic_dag() {
     let dt = DecisionTreeBuilder::new().build(&mut policy, &ctx).unwrap();
     assert_eq!(dt.leaf_count(), dag.node_count());
     let exact = dt.expected_cost(&w);
-    let sim = evaluate_exhaustive(&mut policy, &ctx).unwrap().expected_cost;
+    let sim = evaluate_exhaustive(&mut policy, &ctx)
+        .unwrap()
+        .expected_cost;
     assert!((exact - sim).abs() < 1e-9);
 }
 
@@ -147,7 +157,9 @@ fn all_policies_beat_random() {
     let ctx = SearchContext::new(&dag, &w);
 
     let mut random = RandomPolicy::new(99);
-    let random_cost = evaluate_exhaustive(&mut random, &ctx).unwrap().expected_cost;
+    let random_cost = evaluate_exhaustive(&mut random, &ctx)
+        .unwrap()
+        .expected_cost;
     let mut roster = paper_roster(true);
     for policy in roster.iter_mut() {
         let cost = evaluate_exhaustive(policy.as_mut(), &ctx)

@@ -1,0 +1,312 @@
+//! Offline shim for `criterion`: same macro + builder surface the workspace
+//! benches use (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkId`, groups with `sample_size`/`bench_function`, `Bencher::iter`)
+//! backed by a simple median-of-samples wall-clock harness.
+//!
+//! Each sample runs the closure a batch of iterations and divides; the
+//! reported figure is the median per-iteration time over `sample_size`
+//! samples. Set `CRITERION_JSON=<path>` to additionally write all results of
+//! the process as a JSON array — the workspace uses that to commit baseline
+//! files like `BENCH_hotpath.json`.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement, collected for the optional JSON dump.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` or bare function id.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Maximum per-iteration time in nanoseconds.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    samples: Vec<f64>,
+    sample_count: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, taking `sample_count` samples of an adaptively sized
+    /// batch each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and size the batch so one sample lasts ≥ ~1ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= (1 << 20) {
+                break;
+            }
+            batch *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+fn record(id: String, samples: &[f64]) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[sorted.len() / 2]
+    };
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let max = sorted.last().copied().unwrap_or(0.0);
+    println!("{id:<56} median {median:>12.1} ns/iter (min {min:.1}, max {max:.1})");
+    RESULTS.lock().unwrap().push(BenchResult {
+        id,
+        median_ns: median,
+        min_ns: min,
+        max_ns: max,
+        samples: sorted.len(),
+    });
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        record(format!("{}/{}", self.name, id.into_id()), &b.samples);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b, input);
+        record(format!("{}/{}", self.name, id.into_id()), &b.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.default_sample_size,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        record(id.into_id(), &b.samples);
+        self
+    }
+}
+
+/// Writes every recorded result as JSON to `$CRITERION_JSON`, when set.
+/// Called automatically by [`criterion_main!`].
+pub fn flush_json() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{comma}",
+            r.id.replace('"', "'"),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples
+        );
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip measuring.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+            $crate::flush_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        let r = results
+            .iter()
+            .find(|r| r.id == "shim/noop_sum")
+            .expect("recorded");
+        assert!(r.median_ns >= 0.0);
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 32).into_id(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+        assert_eq!("plain".into_id(), "plain");
+    }
+}
