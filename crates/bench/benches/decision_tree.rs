@@ -4,7 +4,7 @@
 use aigs_core::policy::{GreedyDagPolicy, GreedyTreePolicy, TopDownPolicy, WigsPolicy};
 use aigs_core::{DecisionTreeBuilder, SearchContext};
 use aigs_data::{amazon_like, imagenet_like, Scale};
-use aigs_graph::ReachClosure;
+use aigs_graph::ReachIndex;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_decision_tree(c: &mut Criterion) {
@@ -12,7 +12,7 @@ fn bench_decision_tree(c: &mut Criterion) {
     let aw = amazon.empirical_weights();
     let imagenet = imagenet_like(Scale::Small, 42);
     let iw = imagenet.empirical_weights();
-    let closure = ReachClosure::build(&imagenet.dag);
+    let reach = ReachIndex::closure_for(&imagenet.dag);
 
     let mut group = c.benchmark_group("decision_tree_build");
     group.sample_size(10);
@@ -46,7 +46,7 @@ fn bench_decision_tree(c: &mut Criterion) {
     let mut greedy_dag = GreedyDagPolicy::new();
     group.bench_function(BenchmarkId::new("dag", "greedy_dag"), |b| {
         b.iter(|| {
-            let ctx = SearchContext::new(&imagenet.dag, &iw).with_closure(&closure);
+            let ctx = SearchContext::new(&imagenet.dag, &iw).with_reach(&reach);
             builder.build(&mut greedy_dag, &ctx).unwrap()
         })
     });

@@ -75,10 +75,10 @@ fn bench_roundtrip(c: &mut Criterion) {
         );
         let nn = dag.node_count();
         let w = weights_for(nn, 17);
-        let closure = aigs_graph::ReachClosure::build(&dag);
+        let reach = aigs_graph::ReachIndex::closure_for(&dag);
         let token = fresh_cache_token();
         let ctx = SearchContext::new(&dag, &w)
-            .with_closure(&closure)
+            .with_reach(&reach)
             .with_cache_token(token);
         for mut p in [
             Box::new(GreedyDagPolicy::new()) as Box<dyn Policy + Send>,

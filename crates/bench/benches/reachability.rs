@@ -1,11 +1,30 @@
-//! Reachability-substrate benches: oracle answer latency across the three
-//! index tiers (Euler intervals / ancestor sets / closure rows) and the
-//! one-off closure build (the WIGS-on-DAG ablation: shared closure vs none).
+//! Reachability-substrate benches.
+//!
+//! Two halves:
+//!
+//! * the original oracle-tier latencies (Euler intervals / ancestor sets /
+//!   closure rows) plus the one-off closure build;
+//! * the `ReachIndex` backend comparison — closure vs GRAIL interval at
+//!   n = 1k → 256k: index build time, point-query latency, and a full
+//!   WIGS DAG-mode session per backend. The closure legs stop at 16k
+//!   (32 MiB of rows; by 256k they would need 8 GiB), while the interval
+//!   legs keep scaling — the point of the pluggable backend.
+//!
+//! Set `AIGS_BENCH_SMOKE=1` to cap the sweep at 4k for CI smoke runs, and
+//! `CRITERION_JSON=<path>` to dump the measurements (the committed baseline
+//! is `BENCH_reachability.json`).
 
-use aigs_core::{Oracle, TargetOracle};
+use aigs_core::policy::WigsPolicy;
+use aigs_core::{
+    fresh_cache_token, run_session, NodeWeights, Oracle, ReachIndexOracle, SearchContext,
+    TargetOracle,
+};
 use aigs_data::{imagenet_like, Scale};
-use aigs_graph::{AncestorSet, NodeId, ReachClosure, Tree};
+use aigs_graph::generate::{random_dag, DagConfig};
+use aigs_graph::{AncestorSet, IntervalIndex, NodeId, ReachClosure, ReachIndex, Tree};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 
 fn bench_reachability(c: &mut Criterion) {
@@ -49,5 +68,98 @@ fn bench_reachability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reachability);
+/// Largest n the closure legs run at: 16384 nodes = 32 MiB of rows. The
+/// interval legs continue to 262144, where the closure would need 8 GiB.
+const CLOSURE_MAX_N: usize = 16_384;
+
+fn scale_sizes() -> &'static [usize] {
+    if std::env::var("AIGS_BENCH_SMOKE").is_ok() {
+        &[1024, 4096]
+    } else {
+        &[1024, 4096, 16_384, 65_536, 262_144]
+    }
+}
+
+/// One full WIGS DAG-mode session against the given backend, answering
+/// from the same backend (so the whole loop exercises only that index).
+fn wigs_session(
+    dag: &aigs_graph::Dag,
+    w: &NodeWeights,
+    reach: &ReachIndex,
+    policy: &mut WigsPolicy,
+    token: u64,
+    z: NodeId,
+) -> u32 {
+    let ctx = SearchContext::new(dag, w)
+        .with_reach(reach)
+        .with_cache_token(token);
+    let mut oracle = ReachIndexOracle::new(reach, dag, z);
+    run_session(policy, &ctx, &mut oracle, None)
+        .expect("session resolves")
+        .queries
+}
+
+fn bench_backend_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reach_backend");
+    group.sample_size(10);
+    for &n in scale_sizes() {
+        let dag = random_dag(
+            &DagConfig::bushy(n, 0.02),
+            &mut ChaCha8Rng::seed_from_u64(21),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let w =
+            NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap();
+        let depths = dag.depths();
+        let deep = dag
+            .nodes()
+            .max_by_key(|v| (depths[v.index()], v.index()))
+            .unwrap();
+
+        group.bench_function(BenchmarkId::new("interval_build", n), |b| {
+            b.iter(|| IntervalIndex::build(black_box(&dag), 3, &mut ChaCha8Rng::seed_from_u64(1)))
+        });
+        let interval = ReachIndex::interval_for(&dag, 3, 1);
+        let mut scratch = aigs_graph::ReachScratch::new(dag.node_count());
+        group.bench_function(BenchmarkId::new("interval_query_neg", n), |b| {
+            // Deep node → root: refuted by the interval filter in O(k)
+            // (scratch held outside the loop, as the oracles hold it).
+            b.iter(|| {
+                black_box(&interval).reaches_with(black_box(&dag), deep, dag.root(), &mut scratch)
+            })
+        });
+        {
+            let mut policy = WigsPolicy::new();
+            let token = fresh_cache_token();
+            group.bench_function(BenchmarkId::new("wigs_session_interval", n), |b| {
+                b.iter(|| wigs_session(&dag, &w, &interval, &mut policy, token, deep))
+            });
+        }
+
+        if n <= CLOSURE_MAX_N {
+            group.bench_function(BenchmarkId::new("closure_build", n), |b| {
+                b.iter(|| ReachClosure::build(black_box(&dag)))
+            });
+            let closure = ReachIndex::closure_for(&dag);
+            group.bench_function(BenchmarkId::new("closure_query_neg", n), |b| {
+                b.iter(|| {
+                    black_box(&closure).reaches_with(
+                        black_box(&dag),
+                        deep,
+                        dag.root(),
+                        &mut scratch,
+                    )
+                })
+            });
+            let mut policy = WigsPolicy::new();
+            let token = fresh_cache_token();
+            group.bench_function(BenchmarkId::new("wigs_session_closure", n), |b| {
+                b.iter(|| wigs_session(&dag, &w, &closure, &mut policy, token, deep))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_backend_scale);
 criterion_main!(benches);

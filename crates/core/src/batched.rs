@@ -206,9 +206,13 @@ impl BatchedTreeSearch {
                     .iter_mut()
                     .filter(|(_, splittable)| *splittable)
                     .max_by(|a, b| {
+                        // `total_cmp`, not `partial_cmp`: a NaN slipping out
+                        // of a degenerate weight vector must not panic (or
+                        // silently reorder) the batch — batched and
+                        // sequential selection stay in agreement on
+                        // edge-case weights.
                         st.weight(a.0, size_mode)
-                            .partial_cmp(&st.weight(b.0, size_mode))
-                            .expect("weights are finite")
+                            .total_cmp(&st.weight(b.0, size_mode))
                     });
                 let Some(part) = heaviest else { break };
                 let part_root = part.0;
@@ -356,6 +360,47 @@ mod tests {
             let out = search.run(&ctx, &mut oracle).unwrap();
             assert_eq!(out.target, z);
             assert!(out.queries <= 8, "{} queries", out.queries);
+        }
+    }
+
+    #[test]
+    fn k1_selection_agrees_with_sequential_greedy_on_edge_case_weights() {
+        // `total_cmp` guarantees the heaviest-part pick is the exact same
+        // node the sequential greedy descends to, even when weights are
+        // degenerate (all-zero masses except one, forcing 0.0-tie floods
+        // and the size-mode fallback). Assert full transcript agreement:
+        // same queries, same answers, same order, for every target.
+        use crate::policy::GreedyTreePolicy;
+        use crate::{Policy, TranscriptOracle};
+        let g = fig2a();
+        let distributions = [
+            NodeWeights::from_masses(vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1e-300]).unwrap(),
+            NodeWeights::from_masses(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap(),
+            NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap(),
+        ];
+        for w in &distributions {
+            let ctx = SearchContext::new(&g, w);
+            let search = BatchedTreeSearch::new(1);
+            for z in g.nodes() {
+                let mut oracle = TranscriptOracle::new(TargetOracle::new(&g, z));
+                let out = search.run(&ctx, &mut oracle).unwrap();
+                assert_eq!(out.target, z);
+
+                let mut sequential = Vec::new();
+                let mut p = GreedyTreePolicy::new();
+                p.reset(&ctx);
+                while p.resolved().is_none() {
+                    let q = p.select(&ctx);
+                    let ans = g.reaches(q, z);
+                    p.observe(&ctx, q, ans);
+                    sequential.push((q, ans));
+                    assert!(sequential.len() < 100);
+                }
+                assert_eq!(
+                    oracle.transcript, sequential,
+                    "batched k=1 diverged from sequential greedy (target {z})"
+                );
+            }
         }
     }
 

@@ -1,6 +1,6 @@
 //! The immutable inputs a policy sees during one search.
 
-use aigs_graph::{Dag, ReachClosure};
+use aigs_graph::{Dag, ReachClosure, ReachIndex};
 
 use crate::{CoreError, NodeWeights, QueryCosts};
 
@@ -14,10 +14,17 @@ pub struct SearchContext<'a> {
     pub weights: &'a NodeWeights,
     /// Query prices (uniform for plain AIGS).
     pub costs: &'a QueryCosts,
-    /// Optional shared transitive closure. DAG policies use it both for
-    /// O(n/64) candidate-set updates and to avoid an O(Σ|G_v|) rebuild per
-    /// session. Policies fall back to BFS when absent.
-    pub closure: Option<&'a ReachClosure>,
+    /// Optional shared reachability backend. DAG policies use it for exact
+    /// candidate-set updates and to avoid an O(Σ|G_v|) rebuild per session;
+    /// every backend yields the identical query transcript (the backends
+    /// are all exact), only time/memory change. When absent, policies that
+    /// need one build their own via [`ReachIndex::auto`], which picks the
+    /// O(1)-query transitive closure up to
+    /// [`aigs_graph::AUTO_CLOSURE_MAX_NODES`] (8192) nodes — ≤ 8 MiB of
+    /// closure rows — and the O(k·n)-memory GRAIL [`ReachIndex::Interval`]
+    /// tier beyond, where the quadratic closure could not even allocate
+    /// (> 2 GiB past 131072 nodes).
+    pub reach: Option<&'a ReachIndex>,
     /// Cache token: a non-zero value promises that *every* reset carrying
     /// the same token refers to an identical `(dag, weights, costs)` triple,
     /// letting policies reuse expensive per-instance precomputation across
@@ -28,14 +35,15 @@ pub struct SearchContext<'a> {
 }
 
 impl<'a> SearchContext<'a> {
-    /// Context with uniform costs, no closure, no caching.
+    /// Context with uniform costs, no shared reachability backend, no
+    /// caching.
     pub fn new(dag: &'a Dag, weights: &'a NodeWeights) -> Self {
         const UNIFORM: &QueryCosts = &QueryCosts::Uniform;
         SearchContext {
             dag,
             weights,
             costs: UNIFORM,
-            closure: None,
+            reach: None,
             cache_token: 0,
         }
     }
@@ -46,10 +54,19 @@ impl<'a> SearchContext<'a> {
         self
     }
 
-    /// Attaches a shared transitive closure.
-    pub fn with_closure(mut self, closure: &'a ReachClosure) -> Self {
-        self.closure = Some(closure);
+    /// Attaches a shared reachability backend (successor of the old
+    /// `with_closure`: wrap a closure in [`ReachIndex::Closure`], or let
+    /// [`ReachIndex::auto`] pick the affordable tier).
+    pub fn with_reach(mut self, reach: &'a ReachIndex) -> Self {
+        self.reach = Some(reach);
         self
+    }
+
+    /// The shared closure rows, when the attached backend is
+    /// closure-backed — the O(n/64) word-level fast path. Interval/BFS
+    /// backends return `None` and callers fall back to traversal.
+    pub fn closure(&self) -> Option<&'a ReachClosure> {
+        self.reach.and_then(ReachIndex::as_closure)
     }
 
     /// Enables cross-session caching under `token` (must be non-zero and
@@ -147,14 +164,26 @@ mod tests {
         let dag = dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap();
         let w = NodeWeights::uniform(3);
         let costs = QueryCosts::PerNode(vec![1.0, 2.0, 3.0]);
-        let closure = ReachClosure::build(&dag);
+        let reach = ReachIndex::closure_for(&dag);
         let ctx = SearchContext::new(&dag, &w)
             .with_costs(&costs)
-            .with_closure(&closure)
+            .with_reach(&reach)
             .with_cache_token(7);
         assert_eq!(ctx.cache_token, 7);
-        assert!(ctx.closure.is_some());
+        assert!(ctx.reach.is_some());
+        assert!(ctx.closure().is_some(), "closure-backed index exposes rows");
         ctx.validate().unwrap();
+    }
+
+    #[test]
+    fn non_closure_backends_expose_no_rows() {
+        let dag = dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let w = NodeWeights::uniform(3);
+        let bfs = ReachIndex::Bfs;
+        let ctx = SearchContext::new(&dag, &w).with_reach(&bfs);
+        assert!(ctx.reach.is_some());
+        assert!(ctx.closure().is_none());
+        assert!(SearchContext::new(&dag, &w).closure().is_none());
     }
 
     #[test]

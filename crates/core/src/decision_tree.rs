@@ -185,7 +185,7 @@ impl DecisionTreeBuilder {
         // Wasteful baselines (TopDown) ask up to Σ out-degree queries along a
         // root path, so allow a generous multiple of n before bailing.
         let cap = self.max_nodes.unwrap_or(64 * n + 1024);
-        policy.reset(ctx);
+        policy.try_reset(ctx)?;
 
         // The builder tracks ground-truth candidate sets alongside the
         // policy: branches whose answer no target can produce become

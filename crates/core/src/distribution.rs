@@ -43,10 +43,13 @@ impl NodeWeights {
             }
             total += m;
         }
-        if total <= 0.0 {
+        if total <= 0.0 || !total.is_finite() {
+            // A non-finite total (finite masses overflowing their sum) would
+            // silently normalise every entry to 0 — degenerate weights that
+            // downstream policies must never see.
             return Err(CoreError::InvalidWeight {
                 node: NodeId::new(0),
-                value: 0.0,
+                value: total,
             });
         }
         Ok(NodeWeights {

@@ -63,8 +63,8 @@ pub use distribution::NodeWeights;
 pub use error::CoreError;
 pub use online::{run_online_trace, OnlineEstimator, WindowPoint};
 pub use oracle::{
-    ClosureOracle, MajorityVoteOracle, NoisyOracle, Oracle, PersistentNoisyOracle, TargetOracle,
-    TranscriptOracle,
+    ClosureOracle, MajorityVoteOracle, NoisyOracle, Oracle, PersistentNoisyOracle,
+    ReachIndexOracle, TargetOracle, TranscriptOracle,
 };
 pub use policy::Policy;
 pub use policy::{paper_roster, MAX_EXACT_NODES};

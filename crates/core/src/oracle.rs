@@ -5,7 +5,7 @@
 //! section of the paper raises noisy workers — [`NoisyOracle`] and
 //! [`MajorityVoteOracle`] provide the harness for that extension.
 
-use aigs_graph::{AncestorSet, Dag, NodeId, ReachClosure, Tree};
+use aigs_graph::{AncestorSet, Dag, NodeId, ReachClosure, ReachIndex, ReachScratch, Tree};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -131,6 +131,49 @@ impl Oracle for ClosureOracle<'_> {
     fn reach(&mut self, q: NodeId) -> bool {
         self.asked += 1;
         self.closure.reaches(q, self.target)
+    }
+
+    fn queries_asked(&self) -> u32 {
+        self.asked
+    }
+
+    fn ground_truth(&self) -> Option<NodeId> {
+        Some(self.target)
+    }
+}
+
+/// A truthful oracle answering from any shared [`ReachIndex`] backend —
+/// O(1) on closure rows, O(k) for interval-refuted negatives (the common
+/// case in search sessions), pruned DFS otherwise. Holds its own scratch,
+/// so repeated queries never allocate; this is what lets evaluation drive
+/// sessions on DAGs far past closure-feasible sizes.
+#[derive(Debug, Clone)]
+pub struct ReachIndexOracle<'a> {
+    index: &'a ReachIndex,
+    dag: &'a Dag,
+    target: NodeId,
+    scratch: ReachScratch,
+    asked: u32,
+}
+
+impl<'a> ReachIndexOracle<'a> {
+    /// Oracle for `target` answering from `index`.
+    pub fn new(index: &'a ReachIndex, dag: &'a Dag, target: NodeId) -> Self {
+        ReachIndexOracle {
+            index,
+            dag,
+            target,
+            scratch: ReachScratch::new(dag.node_count()),
+            asked: 0,
+        }
+    }
+}
+
+impl Oracle for ReachIndexOracle<'_> {
+    fn reach(&mut self, q: NodeId) -> bool {
+        self.asked += 1;
+        self.index
+            .reaches_with(self.dag, q, self.target, &mut self.scratch)
     }
 
     fn queries_asked(&self) -> u32 {

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use aigs_graph::{NodeId, VisitedSet};
+use aigs_graph::{NodeId, ReachIndex, ReachScratch, VisitedSet};
 
 use crate::policy::StepJournal;
 use crate::{Policy, SearchContext};
@@ -87,9 +87,14 @@ impl GreedyDagPolicy {
         }
     }
 
-    /// Initial `w̃` / `ñ`: one forward BFS per node over the full graph
-    /// (the O(n·m) initialisation the paper prescribes). Writes into the
-    /// policy's own arrays, reusing their capacity.
+    /// Initial `w̃` / `ñ`: the per-node descendant aggregation the paper
+    /// prescribes (O(n·m) worst case), delegated to the shared
+    /// [`aigs_graph::ReachIndex`] — a closure-backed index does one
+    /// word-level row walk per node, interval/BFS backends (and an absent
+    /// index) traverse. The sums are rounded `u64` weights, so every
+    /// backend produces bit-identical base arrays (and hence identical
+    /// transcripts). Writes into the policy's own arrays, reusing their
+    /// capacity.
     fn compute_base(&mut self, ctx: &SearchContext<'_>) {
         let dag = ctx.dag;
         let n = dag.node_count();
@@ -101,21 +106,11 @@ impl GreedyDagPolicy {
         if self.visited.capacity() != n {
             self.visited = VisitedSet::new(n);
         }
+        let index = ctx.reach.unwrap_or(&ReachIndex::Bfs);
+        // Cold path (per instance, not per query): a fresh scratch is fine.
+        let mut scratch = ReachScratch::new(n);
         for v in dag.nodes() {
-            self.visited.clear();
-            self.queue.clear();
-            self.visited.insert(v);
-            self.queue.push_back(v);
-            let (mut wsum, mut csum) = (0u64, 0u32);
-            while let Some(u) = self.queue.pop_front() {
-                wsum += w[u.index()];
-                csum += 1;
-                for &c in dag.children(u) {
-                    if self.visited.insert(c) {
-                        self.queue.push_back(c);
-                    }
-                }
-            }
+            let (wsum, csum) = index.descendant_weight_count(dag, v, w, &mut scratch);
             self.wt[v.index()] = wsum;
             self.cnt[v.index()] = csum;
         }

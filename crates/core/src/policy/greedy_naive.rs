@@ -6,6 +6,14 @@
 //! the node minimising `|2·p(G_u) − p(G)|` (Definition 4). O(n·m) per round,
 //! O(n²·m) per search — this is the baseline the efficient `GreedyTree` /
 //! `GreedyDAG` instantiations are benchmarked against (Fig. 6).
+//!
+//! The policy deliberately reads **nothing** from the context's shared
+//! [`aigs_graph::ReachIndex`]: its per-round BFS sums float weights in
+//! traversal order, and swapping in closure-row iteration (id order) would
+//! change summation order and with it near-tie selections. Staying
+//! index-free makes it the backend-independent reference transcript that
+//! the backend-equality property tests compare every accelerated DAG
+//! policy against.
 
 use aigs_graph::{CandidateSet, NodeId};
 

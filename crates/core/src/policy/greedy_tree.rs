@@ -168,8 +168,10 @@ impl GreedyTreePolicy {
                             return None;
                         }
                         // Max at the end for cheap pop; ties prefer small id
-                        // (placed last).
-                        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
+                        // (placed last). `total_cmp` keeps the order total
+                        // on degenerate weights (a NaN would panic the old
+                        // `partial_cmp(..).unwrap()` mid-session).
+                        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
                         self.heaps[v.index()] = entries;
                     }
                     let &(w, c) = self.heaps[v.index()].last().unwrap();
@@ -181,11 +183,7 @@ impl GreedyTreePolicy {
                             let heap = &mut self.heaps[v.index()];
                             let pos = heap
                                 .binary_search_by(|probe| {
-                                    probe
-                                        .0
-                                        .partial_cmp(&fresh.0)
-                                        .unwrap()
-                                        .then(fresh.1.cmp(&probe.1))
+                                    probe.0.total_cmp(&fresh.0).then(fresh.1.cmp(&probe.1))
                                 })
                                 .unwrap_or_else(|p| p);
                             heap.insert(pos, fresh);
@@ -435,6 +433,66 @@ mod tests {
         let w = NodeWeights::uniform(4);
         let ctx = SearchContext::new(&g, &w);
         GreedyTreePolicy::new().reset(&ctx);
+    }
+
+    #[test]
+    fn degenerate_distributions_never_panic_the_heap_sort() {
+        // Regression for the `partial_cmp(..).unwrap()` in the lazy-heap
+        // child ordering: zero-mass regions produce walls of exact 0.0 ties
+        // (the NaN-adjacent corner of `total_cmp`), and every select must
+        // stay deterministic and panic-free in both variants — including
+        // after undo traffic, which rebuilds heaps along the repaired path.
+        let g = dag_from_edges(
+            9,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (2, 6),
+                (5, 7),
+                (5, 8),
+            ],
+        )
+        .unwrap();
+        let degenerate = [
+            NodeWeights::from_masses(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap(),
+            NodeWeights::from_masses(vec![0.0, 0.0, 0.0, 0.0, 1e-300, 0.0, 0.0, 0.0, 0.0]).unwrap(),
+        ];
+        for w in &degenerate {
+            let ctx = SearchContext::new(&g, w);
+            for z in g.nodes() {
+                let mut scan = GreedyTreePolicy::with_child_select(ChildSelect::Scan);
+                let mut heap = GreedyTreePolicy::with_child_select(ChildSelect::Heap);
+                scan.reset(&ctx);
+                heap.reset(&ctx);
+                let mut steps = 0;
+                while scan.resolved().is_none() {
+                    let qs = scan.select(&ctx);
+                    let qh = heap.select(&ctx);
+                    assert_eq!(qs, qh, "target {z}");
+                    let ans = g.reaches(qs, z);
+                    scan.observe(&ctx, qs, ans);
+                    heap.observe(&ctx, qh, ans);
+                    // Exercise the undo → heap-rebuild path too.
+                    heap.unobserve(&ctx);
+                    heap.observe(&ctx, qh, ans);
+                    steps += 1;
+                    assert!(steps < 50);
+                }
+                assert_eq!(scan.resolved(), Some(z));
+                assert_eq!(heap.resolved(), Some(z));
+            }
+        }
+    }
+
+    #[test]
+    fn overflowing_masses_are_rejected_not_normalised_to_zero() {
+        // Two finite masses whose sum overflows to +inf used to normalise
+        // into an all-zero distribution (the degenerate-weights source the
+        // NaN hardening guards against); construction now refuses.
+        assert!(NodeWeights::from_masses(vec![1e308, 1e308, 1.0]).is_err());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use wigs::WigsPolicy;
 
 use aigs_graph::NodeId;
 
-use crate::SearchContext;
+use crate::{CoreError, SearchContext};
 
 /// An interactive query policy (Definition 1's "query policy").
 ///
@@ -69,6 +69,17 @@ pub trait Policy {
 
     /// Begins a new search.
     fn reset(&mut self, ctx: &SearchContext<'_>);
+
+    /// Fallible [`Policy::reset`]: policies whose per-instance construction
+    /// can fail (e.g. [`OptimalPolicy`]'s exact-solver size cap) override
+    /// this to surface a [`CoreError`] instead of panicking, so evaluation
+    /// sweeps report the error rather than aborting. The default simply
+    /// delegates to `reset` and returns `Ok(())`. Drivers (sessions,
+    /// evaluation helpers, the decision-tree builder) call this variant.
+    fn try_reset(&mut self, ctx: &SearchContext<'_>) -> Result<(), CoreError> {
+        self.reset(ctx);
+        Ok(())
+    }
 
     /// `Some(target)` once a single candidate remains.
     fn resolved(&self) -> Option<NodeId>;

@@ -162,6 +162,19 @@ impl OptimalPolicy {
             undo: Vec::new(),
         }
     }
+
+    /// Fallible construction: builds the solver for `ctx` up front and
+    /// returns [`CoreError::TooLargeForExact`] instead of panicking on
+    /// oversized instances. The returned policy is already reset for `ctx`
+    /// (and later `reset`s on the same instance reuse the memo).
+    pub fn try_build(
+        ctx: &SearchContext<'_>,
+        objective: OptimalObjective,
+    ) -> Result<Self, CoreError> {
+        let mut policy = Self::with_objective(objective);
+        policy.try_reset(ctx)?;
+        Ok(policy)
+    }
 }
 
 impl Default for OptimalPolicy {
@@ -179,6 +192,14 @@ impl Policy for OptimalPolicy {
     }
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
+        // The infallible trait entry point; evaluation helpers go through
+        // `try_reset` and report the error instead of unwinding a sweep.
+        self.try_reset(ctx).unwrap_or_else(|e| {
+            panic!("OptimalPolicy::reset: {e} (use try_reset or OptimalPolicy::try_build)")
+        });
+    }
+
+    fn try_reset(&mut self, ctx: &SearchContext<'_>) -> Result<(), CoreError> {
         // Rebuilding the solver discards the memo; keep it when the instance
         // is unchanged (cheap fingerprint: same n and same weights pointer
         // contents — exact solves are test-scale, so compare directly).
@@ -191,12 +212,11 @@ impl Policy for OptimalPolicy {
             }
         };
         if rebuild {
-            self.solver = Some(
-                Solver::build(ctx, self.objective).unwrap_or_else(|e| panic!("OptimalPolicy: {e}")),
-            );
+            self.solver = Some(Solver::build(ctx, self.objective)?);
         }
         self.mask = full_mask(ctx.dag.node_count());
         self.undo.clear();
+        Ok(())
     }
 
     fn resolved(&self) -> Option<NodeId> {
@@ -312,6 +332,55 @@ mod tests {
             optimal_expected_cost(&ctx),
             Err(CoreError::TooLargeForExact { .. })
         ));
+    }
+
+    #[test]
+    fn oversized_instances_surface_core_error_instead_of_aborting() {
+        // Regression for the `panic!` inside `reset()`: a sweep that feeds
+        // an oversized instance to the exact policy must get a `CoreError`
+        // out of the evaluation helpers, not a process abort.
+        let g = aigs_graph::generate::path_graph(MAX_EXACT_NODES + 1);
+        let w = NodeWeights::uniform(MAX_EXACT_NODES + 1);
+        let ctx = SearchContext::new(&g, &w);
+
+        // Explicit fallible construction…
+        assert!(matches!(
+            OptimalPolicy::try_build(&ctx, OptimalObjective::Expected),
+            Err(CoreError::TooLargeForExact { .. })
+        ));
+        // …the trait-level fallible reset…
+        let mut p = OptimalPolicy::new();
+        assert!(matches!(
+            p.try_reset(&ctx),
+            Err(CoreError::TooLargeForExact { .. })
+        ));
+        // …and the evaluation helpers, which route through `try_reset`.
+        assert!(matches!(
+            crate::evaluate_exhaustive(&mut p, &ctx),
+            Err(CoreError::TooLargeForExact { .. })
+        ));
+        assert!(matches!(
+            crate::DecisionTreeBuilder::new().build(&mut p, &ctx),
+            Err(CoreError::TooLargeForExact { .. })
+        ));
+    }
+
+    #[test]
+    fn try_build_yields_a_ready_policy() {
+        let g = vehicle();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = OptimalPolicy::try_build(&ctx, OptimalObjective::Expected).unwrap();
+        // Already reset: drives to resolution without an explicit reset().
+        let z = NodeId::new(5);
+        let mut queries = 0;
+        while p.resolved().is_none() {
+            let q = p.select(&ctx);
+            p.observe(&ctx, q, g.reaches(q, z));
+            queries += 1;
+            assert!(queries < 20);
+        }
+        assert_eq!(p.resolved(), Some(z));
     }
 
     #[test]

@@ -85,15 +85,27 @@ impl TopDownPolicy {
         }
         let m = match self.order {
             ChildOrder::Input => 0.0,
-            ChildOrder::SubtreeSizeDesc => match ctx.closure {
+            // `ctx.closure()` is the word-level fast path of a
+            // closure-backed `ReachIndex`; other backends fall back to a
+            // BFS. Counts are integers and the weight sum visits nodes in
+            // ascending id order on both paths, so the metric — and the
+            // resulting child order — is identical across backends.
+            ChildOrder::SubtreeSizeDesc => match ctx.closure() {
                 Some(cl) => cl.descendants(c).count() as f64,
                 None => ctx.dag.descendants(c).len() as f64,
             },
             ChildOrder::SubtreeWeightDesc => {
                 let w = ctx.weights.as_slice();
-                match ctx.closure {
+                match ctx.closure() {
                     Some(cl) => cl.descendants(c).iter().map(|u| w[u.index()]).sum(),
-                    None => ctx.dag.descendants(c).iter().map(|u| w[u.index()]).sum(),
+                    None => {
+                        // Sum in ascending id order (the closure row's
+                        // order): float addition is order-sensitive, and the
+                        // metric must not depend on the backend.
+                        let mut desc = ctx.dag.descendants(c);
+                        desc.sort_unstable();
+                        desc.iter().map(|u| w[u.index()]).sum()
+                    }
                 }
             }
         };
@@ -115,7 +127,10 @@ impl TopDownPolicy {
                 .map(|&c| (self.metric(ctx, c), c))
                 .collect();
             // Descending metric, ties towards smaller id for determinism.
-            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            // `total_cmp` keeps the sort total even if a degenerate weight
+            // vector ever produced a NaN metric (a NaN sorts as "heaviest"
+            // instead of panicking mid-session).
+            keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
             let kids: Vec<NodeId> = keyed.into_iter().map(|(_, c)| c).collect();
             self.ordered.insert(u, kids);
         }
@@ -323,6 +338,35 @@ mod tests {
             for z in g.nodes() {
                 let (found, _) = drive(&mut p, &ctx, z);
                 assert_eq!(found, z, "order {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_distributions_keep_metric_orders_deterministic() {
+        // Regression for the `partial_cmp(..).unwrap()` child sort: a
+        // zero-mass-everywhere-but-one distribution makes every subtree
+        // metric an exact 0.0 tie (the NaN-adjacent corner `total_cmp`
+        // hardens), and the metric orderings must neither panic nor become
+        // order-unstable — ties must resolve to ascending ids.
+        let g = vehicle();
+        let w = NodeWeights::from_masses(vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1e-300]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        for order in [ChildOrder::SubtreeSizeDesc, ChildOrder::SubtreeWeightDesc] {
+            let mut p = TopDownPolicy::with_order(order);
+            for z in g.nodes() {
+                let (found, _) = drive(&mut p, &ctx, z);
+                assert_eq!(found, z, "order {order:?}");
+            }
+            // All-tied children of node 1 under weight order: 2 then 3 then
+            // 4 — except node 6's mass pulls subtree {3,5,6} first.
+            p.reset(&ctx);
+            let q = p.select(&ctx);
+            p.observe(&ctx, q, true);
+            if order == ChildOrder::SubtreeWeightDesc {
+                assert_eq!(p.select(&ctx), NodeId::new(3), "mass-bearing subtree first");
+                p.observe(&ctx, NodeId::new(3), false);
+                assert_eq!(p.select(&ctx), NodeId::new(2), "0.0 ties in id order");
             }
         }
     }

@@ -12,10 +12,15 @@
 //!
 //! On DAGs the same chain/binary-search skeleton runs over exact candidate
 //! bitsets: the chain steps to the child carrying the most alive candidates
-//! (`|G_c ∩ alive|` via closure rows), and answers intersect/subtract
-//! closure rows so DAG semantics stay exact.
+//! (`|G_c ∩ alive|`), and answers intersect/subtract the descendant row
+//! `G_q` so DAG semantics stay exact. Both operations go through the
+//! pluggable [`ReachIndex`] backend: closure rows give the O(n/64) word
+//! fast path, the GRAIL interval tier and plain BFS derive the *identical*
+//! row by DFS — so the journalled candidate words (and hence the whole
+//! query transcript) are bit-equal across backends, at sizes where the
+//! quadratic closure cannot even allocate.
 
-use aigs_graph::{NodeBitSet, NodeId, ReachClosure, Tree};
+use aigs_graph::{NodeBitSet, NodeId, ReachIndex, ReachScratch, Tree};
 
 use crate::policy::StepJournal;
 use crate::{InstanceCache, Policy, SearchContext};
@@ -33,9 +38,10 @@ use crate::{InstanceCache, Policy, SearchContext};
 #[derive(Debug, Clone, Default)]
 pub struct WigsPolicy {
     mode: Mode,
-    /// Closure built by the policy itself when the context does not share
-    /// one (kept across resets under a matching cache token).
-    own_closure: InstanceCache<ReachClosure>,
+    /// Reachability backend built by the policy itself when the context
+    /// does not share one — [`ReachIndex::auto`] picks closure vs interval
+    /// by size (kept across resets under a matching cache token).
+    own_index: InstanceCache<ReachIndex>,
     /// Token the current mode state was derived under (journal-unwind reset).
     base_token: u64,
 }
@@ -225,6 +231,9 @@ struct DagState {
     hi: usize,
     active: bool,
     journal: StepJournal<WigsStep>,
+    /// DFS scratch for the non-closure backends (untouched by the closure
+    /// fast path; never part of undo state).
+    scratch: ReachScratch,
 }
 
 impl DagState {
@@ -239,10 +248,11 @@ impl DagState {
             hi: 0,
             active: false,
             journal: StepJournal::new(),
+            scratch: ReachScratch::new(n),
         }
     }
 
-    fn ensure_chain(&mut self, ctx: &SearchContext<'_>, closure: &ReachClosure) {
+    fn ensure_chain(&mut self, ctx: &SearchContext<'_>, index: &ReachIndex) {
         if self.active {
             return;
         }
@@ -261,7 +271,7 @@ impl DagState {
         loop {
             let mut best: Option<(usize, NodeId)> = None;
             for &c in ctx.dag.children(u) {
-                let carried = closure.descendants(c).intersection_count(&self.alive);
+                let carried = index.intersection_count(ctx.dag, c, &self.alive, &mut self.scratch);
                 if carried == 0 {
                     continue;
                 }
@@ -295,7 +305,7 @@ impl DagState {
         (self.lo + self.hi).div_ceil(2)
     }
 
-    fn observe(&mut self, closure: &ReachClosure, q: NodeId, yes: bool) {
+    fn observe(&mut self, dag: &aigs_graph::Dag, index: &ReachIndex, q: NodeId, yes: bool) {
         debug_assert!(self.active && q == self.chain[self.mid()]);
         let mid = self.mid();
         self.journal.begin(WigsStep {
@@ -307,19 +317,24 @@ impl DagState {
             chain_spilled: false,
         });
         // Word-granular candidate update: journal only the blocks the answer
-        // changes instead of cloning the whole bitset.
-        let gq = closure.descendants(q);
+        // changes instead of cloning the whole bitset. The closure backend
+        // hands out its stored row; interval/BFS backends derive the same
+        // row by DFS into the scratch — either way `gq` is identical, so the
+        // journalled `(word, old)` deltas are bit-equal across backends.
+        let gq = index.descendants(dag, q, &mut self.scratch);
+        let alive = &mut self.alive;
+        let journal = &mut self.journal;
         let mut killed = 0u32;
-        for i in 0..self.alive.word_count() {
-            let old = self.alive.word(i);
+        for i in 0..alive.word_count() {
+            let old = alive.word(i);
             let new = if yes {
                 old & gq.word(i) // keep G_q
             } else {
                 old & !gq.word(i) // drop G_q
             };
             if new != old {
-                self.journal.log_u64(i, old);
-                self.alive.set_word(i, new);
+                journal.log_u64(i, old);
+                alive.set_word(i, new);
                 killed += (old ^ new).count_ones();
             }
         }
@@ -383,18 +398,19 @@ impl WigsPolicy {
     }
 }
 
-/// Resolves the closure to use: the context's shared one, or the policy's
-/// own copy built at reset. Free function over the `own_closure` field so
-/// the borrow checker can split it from a simultaneous `&mut mode` borrow.
-fn pick_closure<'s>(
-    ctx_closure: Option<&'s ReachClosure>,
-    own: &'s InstanceCache<ReachClosure>,
-) -> &'s ReachClosure {
-    match ctx_closure {
+/// Resolves the reachability backend to use: the context's shared one, or
+/// the policy's own auto-selected index built at reset. Free function over
+/// the `own_index` field so the borrow checker can split it from a
+/// simultaneous `&mut mode` borrow.
+fn pick_index<'s>(
+    ctx_reach: Option<&'s ReachIndex>,
+    own: &'s InstanceCache<ReachIndex>,
+) -> &'s ReachIndex {
+    match ctx_reach {
         Some(c) => c,
         None => own
             .current()
-            .expect("reset() builds a closure when the context lacks one"),
+            .expect("reset() builds a reach index when the context lacks one"),
     }
 }
 
@@ -422,9 +438,9 @@ impl Policy for WigsPolicy {
             self.base_token = ctx.cache_token;
             return;
         }
-        if ctx.closure.is_none() {
-            self.own_closure
-                .get_or_insert_with(ctx.cache_token, || ReachClosure::build(ctx.dag));
+        if ctx.reach.is_none() {
+            self.own_index
+                .get_or_insert_with(ctx.cache_token, || ReachIndex::auto(ctx.dag));
         }
         if reusable {
             if let Mode::Dag(d) = &mut self.mode {
@@ -461,8 +477,8 @@ impl Policy for WigsPolicy {
                 t.chain[t.mid()]
             }
             Mode::Dag(d) => {
-                let closure = pick_closure(ctx.closure, &self.own_closure);
-                d.ensure_chain(ctx, closure);
+                let index = pick_index(ctx.reach, &self.own_index);
+                d.ensure_chain(ctx, index);
                 d.chain[d.mid()]
             }
         }
@@ -473,8 +489,8 @@ impl Policy for WigsPolicy {
             Mode::Unset => panic!("observe() before reset()"),
             Mode::Tree(t) => t.observe(q, yes),
             Mode::Dag(d) => {
-                let closure = pick_closure(ctx.closure, &self.own_closure);
-                d.observe(closure, q, yes);
+                let index = pick_index(ctx.reach, &self.own_index);
+                d.observe(ctx.dag, index, q, yes);
             }
         }
     }
@@ -538,13 +554,21 @@ mod tests {
     }
 
     #[test]
-    fn finds_all_targets_on_dag_with_and_without_shared_closure() {
+    fn finds_all_targets_on_dag_under_every_backend() {
         let g = dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap();
         let w = NodeWeights::uniform(6);
-        let closure = aigs_graph::ReachClosure::build(&g);
-        let shared = SearchContext::new(&g, &w).with_closure(&closure);
-        let own = SearchContext::new(&g, &w);
-        for ctx in [shared, own] {
+        let backends = [
+            Some(aigs_graph::ReachIndex::closure_for(&g)),
+            Some(aigs_graph::ReachIndex::interval_for(&g, 2, 3)),
+            Some(aigs_graph::ReachIndex::Bfs),
+            None, // policy builds its own auto index
+        ];
+        for backend in &backends {
+            let base = SearchContext::new(&g, &w);
+            let ctx = match backend {
+                Some(ix) => base.with_reach(ix),
+                None => base,
+            };
             let mut p = WigsPolicy::new();
             for z in g.nodes() {
                 assert_eq!(drive(&mut p, &ctx, z).0, z);

@@ -6,7 +6,7 @@
 //! — exactly the metric of Definition 7 — along with worst-case and
 //! per-depth breakdowns used by the experiment harness.
 
-use aigs_graph::{NodeId, ReachClosure};
+use aigs_graph::{NodeId, ReachIndex};
 
 use crate::{fresh_cache_token, CoreError, Oracle, Policy, SearchContext, TargetOracle};
 
@@ -59,7 +59,7 @@ pub fn run_session(
 ) -> Result<SearchOutcome, CoreError> {
     let hard_cap = 4 * ctx.dag.node_count() as u32 + 64;
     let cap = max_queries.map_or(hard_cap, |m| m.min(hard_cap));
-    policy.reset(ctx);
+    policy.try_reset(ctx)?;
     let mut queries = 0u32;
     let mut price = 0.0;
     loop {
@@ -218,25 +218,31 @@ fn run_for_target(
     z: NodeId,
     tree_intervals: &Option<(Vec<u32>, Vec<u32>)>,
 ) -> Result<SearchOutcome, CoreError> {
-    match (tree_intervals, ctx.closure) {
-        (Some((tin, tout)), _) => {
-            let mut oracle = IntervalOracle {
-                tin,
-                tout,
-                target: z,
-                asked: 0,
-            };
-            run_session(policy, ctx, &mut oracle, None)
-        }
-        (None, Some(closure)) => {
-            let mut oracle = crate::ClosureOracle::new(closure, z);
-            run_session(policy, ctx, &mut oracle, None)
-        }
-        (None, None) => {
-            let mut oracle = TargetOracle::new(ctx.dag, z);
-            run_session(policy, ctx, &mut oracle, None)
-        }
+    // Cheapest truthful index first: O(1) Euler intervals on trees, O(1)
+    // closure rows when the shared backend stores them, the shared
+    // interval/BFS index (O(k) negatives) next, and a per-target reverse
+    // BFS ancestor set as the fallback.
+    if let Some((tin, tout)) = tree_intervals {
+        let mut oracle = IntervalOracle {
+            tin,
+            tout,
+            target: z,
+            asked: 0,
+        };
+        return run_session(policy, ctx, &mut oracle, None);
     }
+    if let Some(closure) = ctx.closure() {
+        let mut oracle = crate::ClosureOracle::new(closure, z);
+        return run_session(policy, ctx, &mut oracle, None);
+    }
+    if let Some(index @ ReachIndex::Interval(_)) = ctx.reach {
+        let mut oracle = crate::ReachIndexOracle::new(index, ctx.dag, z);
+        return run_session(policy, ctx, &mut oracle, None);
+    }
+    // No backend, or the index-free `Bfs` one: a per-target ancestor set
+    // (one reverse BFS, then O(1) answers) beats a DFS per query.
+    let mut oracle = TargetOracle::new(ctx.dag, z);
+    run_session(policy, ctx, &mut oracle, None)
 }
 
 fn euler_intervals(ctx: &SearchContext<'_>) -> Option<(Vec<u32>, Vec<u32>)> {
@@ -323,27 +329,30 @@ pub fn evaluate_exhaustive_parallel(
     ))
 }
 
-/// Evaluates several policies on the same instance, reusing one closure for
-/// all of them when the hierarchy is a DAG, spreading target batches over
-/// the machine's cores. Returns `(name, report)` pairs in roster order —
-/// one row of the paper's cost tables.
+/// Evaluates several policies on the same instance, reusing one
+/// auto-selected [`ReachIndex`] for all of them when the hierarchy is a
+/// DAG (closure below the [`aigs_graph::AUTO_CLOSURE_MAX_NODES`] threshold,
+/// the GRAIL interval tier above it — so rosters run on DAGs where the
+/// closure could not even allocate), spreading target batches over the
+/// machine's cores. Returns `(name, report)` pairs in roster order — one
+/// row of the paper's cost tables.
 pub fn evaluate_roster(
     roster: &mut [Box<dyn Policy + Send>],
     dag: &aigs_graph::Dag,
     weights: &crate::NodeWeights,
 ) -> Result<Vec<(String, EvalReport)>, CoreError> {
     let costs = crate::QueryCosts::Uniform;
-    let closure = if dag.is_tree() {
+    let reach = if dag.is_tree() {
         None
     } else {
-        Some(ReachClosure::build(dag))
+        Some(ReachIndex::auto(dag))
     };
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = Vec::with_capacity(roster.len());
     for policy in roster.iter_mut() {
         let base = SearchContext::new(dag, weights).with_costs(&costs);
-        let ctx = match &closure {
-            Some(c) => base.with_closure(c),
+        let ctx = match &reach {
+            Some(r) => base.with_reach(r),
             None => base,
         };
         let report = evaluate_exhaustive_parallel(policy.as_mut(), &ctx, threads)?;

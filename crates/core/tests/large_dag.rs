@@ -1,0 +1,136 @@
+//! Closure-infeasible scale: DAG-mode policies must complete sessions on
+//! hierarchies where the O(n²/8)-byte transitive closure cannot reasonably
+//! be allocated, by riding the GRAIL interval tier of [`ReachIndex`] — and
+//! at sizes where both backends fit, they must issue identical transcripts.
+
+use aigs_core::policy::{GreedyDagPolicy, WigsPolicy};
+use aigs_core::{
+    fresh_cache_token, run_session, NodeWeights, Policy, ReachIndexOracle, SearchContext,
+};
+use aigs_graph::generate::{random_dag, DagConfig};
+use aigs_graph::{NodeId, ReachIndex, AUTO_CLOSURE_MAX_NODES};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The acceptance scale: 2^17 nodes. One closure row is n/64 words, so the
+/// full closure would take n²/8 = 2 GiB — past any sane allocation here —
+/// while the k-labeling interval index stays at 8·k·n bytes (~3 MiB).
+const BIG_N: usize = 131_072;
+
+fn big_dag(seed: u64) -> aigs_graph::Dag {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_dag(&DagConfig::bushy(BIG_N, 0.02), &mut rng)
+}
+
+fn sample_targets(dag: &aigs_graph::Dag) -> Vec<NodeId> {
+    let depths = dag.depths();
+    let deepest = dag
+        .nodes()
+        .max_by_key(|v| (depths[v.index()], v.index()))
+        .unwrap();
+    vec![dag.root(), NodeId::new(dag.node_count() / 2), deepest]
+}
+
+#[test]
+fn wigs_and_greedy_dag_complete_on_closure_infeasible_dag() {
+    let dag = big_dag(42);
+    assert!(dag.node_count() >= BIG_N && !dag.is_tree());
+
+    // The closure this graph would need, without building it: > 2 GB.
+    let closure_bytes = dag.node_count() * dag.node_count().div_ceil(64) * 8;
+    assert!(
+        closure_bytes > 2_000_000_000,
+        "closure would need {closure_bytes} bytes"
+    );
+
+    // Auto-selection must route this size to the interval tier …
+    assert!(dag.node_count() > AUTO_CLOSURE_MAX_NODES);
+    let reach = ReachIndex::auto(&dag);
+    assert_eq!(reach.backend_name(), "interval");
+    // … whose footprint is ~5 orders of magnitude below the closure's.
+    assert!(
+        reach.memory_bytes() < 16 << 20,
+        "interval index took {} bytes",
+        reach.memory_bytes()
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let w = NodeWeights::from_masses(
+        (0..dag.node_count())
+            .map(|_| rng.gen_range(0.01..1.0))
+            .collect(),
+    )
+    .unwrap();
+    let ctx = SearchContext::new(&dag, &w)
+        .with_reach(&reach)
+        .with_cache_token(fresh_cache_token());
+
+    let log2_n = (dag.node_count() as f64).log2();
+    for mut policy in [
+        Box::new(WigsPolicy::new()) as Box<dyn Policy + Send>,
+        Box::new(GreedyDagPolicy::new()),
+    ] {
+        for &z in &sample_targets(&dag) {
+            // Answer from the shared interval index too: the whole session —
+            // policy and oracle — runs without any closure.
+            let mut oracle = ReachIndexOracle::new(&reach, &dag, z);
+            let out = run_session(policy.as_mut(), &ctx, &mut oracle, None).unwrap();
+            assert_eq!(out.target, z, "{}", policy.name());
+            // Both policies are balanced searches: a 2^17-node session must
+            // stay within a small multiple of log₂ n queries, far below n.
+            assert!(
+                (out.queries as f64) < 12.0 * log2_n,
+                "{} took {} queries on target {z}",
+                policy.name(),
+                out.queries
+            );
+        }
+    }
+}
+
+/// At a size where both backends are affordable, closure- and
+/// interval-backed sessions must select the identical query sequence —
+/// the word-granular candidate updates are bit-equal by construction.
+#[test]
+fn closure_and_interval_transcripts_agree_at_mid_scale() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let dag = random_dag(&DagConfig::bushy(4096, 0.05), &mut rng);
+    let w = NodeWeights::from_masses(
+        (0..dag.node_count())
+            .map(|_| rng.gen_range(0.01..1.0))
+            .collect(),
+    )
+    .unwrap();
+    let closure = ReachIndex::closure_for(&dag);
+    let interval = ReachIndex::interval_for(&dag, 3, 99);
+
+    let makers: [fn() -> Box<dyn Policy + Send>; 2] = [
+        || Box::new(WigsPolicy::new()),
+        || Box::new(GreedyDagPolicy::new()),
+    ];
+    for make_policy in makers {
+        for &z in &sample_targets(&dag) {
+            let truth = aigs_graph::AncestorSet::new(&dag, z);
+            let mut transcripts = Vec::new();
+            for reach in [&closure, &interval] {
+                let ctx = SearchContext::new(&dag, &w).with_reach(reach);
+                let mut p = make_policy();
+                p.reset(&ctx);
+                let mut transcript = Vec::new();
+                while p.resolved().is_none() {
+                    let q = p.select(&ctx);
+                    let ans = truth.reach(q);
+                    p.observe(&ctx, q, ans);
+                    transcript.push((q, ans));
+                    assert!(transcript.len() < 4 * dag.node_count());
+                }
+                assert_eq!(p.resolved(), Some(z), "{}", p.name());
+                transcripts.push(transcript);
+            }
+            assert_eq!(
+                transcripts[0], transcripts[1],
+                "closure vs interval transcripts diverged (target {z})"
+            );
+        }
+    }
+}

@@ -35,13 +35,19 @@ fn parallel_matches_sequential_dag() {
     let g = random_dag(&DagConfig::bushy(2500, 0.1), &mut rng);
     let n = g.node_count();
     let w = NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap();
-    let closure = aigs_graph::ReachClosure::build(&g);
-    let ctx = SearchContext::new(&g, &w).with_closure(&closure);
-    let mut p = GreedyDagPolicy::new();
-    let seq = evaluate_exhaustive(&mut p, &ctx).unwrap();
-    let par = evaluate_exhaustive_parallel(&mut p, &ctx, 8).unwrap();
-    assert_eq!(seq.per_target, par.per_target);
-    assert!((seq.expected_cost - par.expected_cost).abs() < 1e-9);
+    // Parallel and sequential must agree under every reachability backend,
+    // not just the closure fast path.
+    for reach in [
+        aigs_graph::ReachIndex::closure_for(&g),
+        aigs_graph::ReachIndex::interval_for(&g, 3, 17),
+    ] {
+        let ctx = SearchContext::new(&g, &w).with_reach(&reach);
+        let mut p = GreedyDagPolicy::new();
+        let seq = evaluate_exhaustive(&mut p, &ctx).unwrap();
+        let par = evaluate_exhaustive_parallel(&mut p, &ctx, 8).unwrap();
+        assert_eq!(seq.per_target, par.per_target, "{}", reach.backend_name());
+        assert!((seq.expected_cost - par.expected_cost).abs() < 1e-9);
+    }
 }
 
 /// Wrapper counting how many sessions (resets) the evaluation loop spends.

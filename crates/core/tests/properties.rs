@@ -12,7 +12,7 @@ use aigs_core::{
     SearchContext,
 };
 use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
-use aigs_graph::{Dag, NodeId};
+use aigs_graph::{Dag, NodeId, ReachIndex};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -406,6 +406,73 @@ proptest! {
             prop_assert_eq!(fresh.resolved(), p.resolved(), "{}", p.name());
             if p.resolved().is_none() {
                 prop_assert_eq!(p.select(&ctx), fresh.select(&ctx), "{}", p.name());
+            }
+        }
+    }
+
+    /// Backend interchangeability: every DAG policy issues the *identical*
+    /// query transcript whether the shared `ReachIndex` is the transitive
+    /// closure, the GRAIL interval tier, plain BFS, or absent entirely —
+    /// for every target. (All backends are exact, and the policies derive
+    /// the same candidate words from each; this is what licenses swapping
+    /// the closure out at sizes where it cannot allocate.)
+    #[test]
+    fn dag_policy_transcripts_identical_across_backends(
+        n in 2usize..30,
+        frac in 0.05f64..0.4,
+        seed in 0u64..10_000,
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let w = generic_weights(nn, seed);
+        let backends = [
+            Some(ReachIndex::closure_for(&g)),
+            Some(ReachIndex::interval_for(&g, 2, seed ^ 0xbeef)),
+            Some(ReachIndex::Bfs),
+            None,
+        ];
+        let makers: [fn() -> Box<dyn Policy + Send>; 4] = [
+            || Box::new(WigsPolicy::new()),
+            || Box::new(GreedyDagPolicy::new()),
+            || Box::new(GreedyNaivePolicy::new()),
+            || {
+                Box::new(TopDownPolicy::with_order(
+                    aigs_core::policy::ChildOrder::SubtreeWeightDesc,
+                ))
+            },
+        ];
+        for make in makers {
+            for z in g.nodes() {
+                let mut reference: Option<Vec<(NodeId, bool)>> = None;
+                for backend in &backends {
+                    let base = SearchContext::new(&g, &w);
+                    let ctx = match backend {
+                        Some(ix) => base.with_reach(ix),
+                        None => base,
+                    };
+                    let mut p = make();
+                    p.reset(&ctx);
+                    let mut transcript = Vec::new();
+                    while p.resolved().is_none() {
+                        let q = p.select(&ctx);
+                        let ans = g.reaches(q, z);
+                        p.observe(&ctx, q, ans);
+                        transcript.push((q, ans));
+                        prop_assert!(transcript.len() < 4 * nn + 64);
+                    }
+                    prop_assert_eq!(p.resolved(), Some(z), "{}", p.name());
+                    match &reference {
+                        None => reference = Some(transcript),
+                        Some(want) => prop_assert_eq!(
+                            want,
+                            &transcript,
+                            "{} diverged under {} (target {})",
+                            p.name(),
+                            backend.as_ref().map_or("none", |b| b.backend_name()),
+                            z
+                        ),
+                    }
+                }
             }
         }
     }

@@ -104,8 +104,33 @@ impl IntervalIndex {
     }
 
     /// Exact reachability test: O(k) when any labeling refutes, pruned DFS
-    /// otherwise.
+    /// otherwise. Allocates DFS scratch for the (rare) unfiltered case;
+    /// hot paths should hold buffers and call
+    /// [`IntervalIndex::reaches_with`] instead.
     pub fn reaches(&self, dag: &Dag, u: NodeId, v: NodeId) -> bool {
+        // The O(k) settles-most-queries checks come before any allocation.
+        if u == v {
+            return true;
+        }
+        if !self.may_reach(u, v) {
+            return false;
+        }
+        let mut visited = crate::VisitedSet::new(dag.node_count());
+        let mut stack = Vec::new();
+        self.reaches_with(dag, u, v, &mut visited, &mut stack)
+    }
+
+    /// Allocation-free [`IntervalIndex::reaches`]: the caller provides a
+    /// [`crate::VisitedSet`] sized for the graph plus a stack buffer, both
+    /// cleared here, so repeated queries never allocate once warm.
+    pub fn reaches_with(
+        &self,
+        dag: &Dag,
+        u: NodeId,
+        v: NodeId,
+        visited: &mut crate::VisitedSet,
+        stack: &mut Vec<NodeId>,
+    ) -> bool {
         if u == v {
             return true;
         }
@@ -113,9 +138,10 @@ impl IntervalIndex {
             return false;
         }
         // Pruned DFS: skip children whose intervals already refute.
-        let mut visited = crate::VisitedSet::new(dag.node_count());
-        let mut stack = vec![u];
+        visited.clear();
+        stack.clear();
         visited.insert(u);
+        stack.push(u);
         while let Some(x) = stack.pop() {
             for &c in dag.children(x) {
                 if c == v {

@@ -15,6 +15,9 @@
 //!   transitive-closure bitsets ([`ReachClosure`]) used by DAG policies;
 //!   [`IntervalIndex`] is the O(k·n)-memory GRAIL-style tier for DAGs too
 //!   large for the quadratic closure.
+//! * [`ReachIndex`] — the pluggable backend (closure / interval / plain
+//!   BFS) behind those tiers, with a uniform `reaches` / descendant-row /
+//!   candidate-restrict surface and an [`ReachIndex::auto`] size policy.
 //! * [`generate`] — seeded random trees/DAGs and fixed shapes (path, star,
 //!   complete k-ary) for tests and benchmarks.
 //! * [`io`] — a plain-text exchange format plus Graphviz export.
@@ -35,6 +38,7 @@ mod id;
 pub mod interval_index;
 pub mod io;
 pub mod reach;
+pub mod reach_index;
 pub mod traversal;
 mod tree;
 
@@ -46,5 +50,6 @@ pub use heavy_path::{heavy_path_from, HeavyPathDecomposition};
 pub use id::NodeId;
 pub use interval_index::IntervalIndex;
 pub use reach::{AncestorSet, NodeBitSet, ReachClosure};
+pub use reach_index::{ReachIndex, ReachScratch, AUTO_CLOSURE_MAX_NODES};
 pub use traversal::{BfsScratch, VisitedSet};
 pub use tree::Tree;

@@ -83,6 +83,11 @@ impl NodeBitSet {
         s
     }
 
+    /// Resets to the empty set without reallocating.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
     /// Resets to the full set without reallocating.
     pub fn fill(&mut self) {
         let n = self.n;
@@ -198,6 +203,13 @@ impl NodeBitSet {
             }
         }
         total
+    }
+
+    /// Σ `weight[u]` over all members `u`. Weights are the rounded integer
+    /// weights of Eq. (1); `u64` addition is exactly commutative, so the
+    /// result is independent of iteration order (unlike an `f64` sum).
+    pub fn weight_sum_u64(&self, weight: &[u64]) -> u64 {
+        self.iter().map(|u| weight[u.index()]).sum()
     }
 
     /// Iterates over members in increasing id order.

@@ -1,0 +1,427 @@
+//! `ReachIndex` — the pluggable reachability backend behind DAG policies.
+//!
+//! The search policies need three reachability primitives over a [`Dag`]:
+//! point queries `reach(u, v)`, the descendant row `G_u` as a bitset (the
+//! candidate-set update of `FrameworkIGS`), and `|G_u ∩ S|` counts (heavy
+//! chain extraction). Three backends cover the whole size spectrum:
+//!
+//! | backend | memory | `reach` | row / count |
+//! |---|---|---|---|
+//! | [`ReachClosure`] | n²/8 bytes | O(1) | O(n/64) row AND |
+//! | [`IntervalIndex`] (GRAIL) | 2·k·4·n bytes | O(k) negative, pruned DFS positive | DFS over `G_u` |
+//! | BFS (no index) | 0 | DFS | DFS over `G_u` |
+//!
+//! All three are **exact** — only the time/memory trade-off changes — so a
+//! policy produces the *identical query transcript* under every backend
+//! (the `u64` candidate words it derives are equal bit for bit; the
+//! property-test suites assert this). The closure disqualifies itself
+//! around 10⁵ nodes (~100 MB and growing quadratically), which is exactly
+//! where the million-node scenarios live; [`ReachIndex::auto`] picks the
+//! closure below [`AUTO_CLOSURE_MAX_NODES`] and the interval tier above.
+//!
+//! Set operations on the DFS backends need scratch buffers; callers hold a
+//! [`ReachScratch`] (one per policy/session, reused across queries) so the
+//! hot path stays allocation-free, matching the `StepJournal` discipline of
+//! the policy layer.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Dag, IntervalIndex, NodeBitSet, NodeId, ReachClosure, VisitedSet};
+
+/// Node-count threshold of [`ReachIndex::auto`]: at or below this size the
+/// transitive closure is built (≤ n²/8 = 8 MiB of rows at the threshold),
+/// above it the GRAIL interval index (O(k·n) memory) is used instead.
+pub const AUTO_CLOSURE_MAX_NODES: usize = 8192;
+
+/// Labelings `k` used by auto-built interval indexes: each extra labeling
+/// refutes more negatives in O(1) at 8 bytes per node; 3 settles the vast
+/// majority of non-reachable pairs on taxonomy-shaped DAGs.
+pub const AUTO_INTERVAL_LABELINGS: usize = 3;
+
+/// Seed for the randomised labelings of auto-built interval indexes, fixed
+/// so that `auto` is deterministic for a given hierarchy.
+const AUTO_INTERVAL_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// An exact reachability backend over a [`Dag`] (see the module docs for
+/// the tier table). Policies receive one through
+/// `SearchContext` and stay backend-agnostic; the closure variant is still
+/// reachable via [`ReachIndex::as_closure`] for word-level fast paths.
+#[derive(Debug, Clone)]
+pub enum ReachIndex {
+    /// Full transitive closure: O(1) queries, O(n/64) row ops, n²/8 bytes.
+    Closure(ReachClosure),
+    /// GRAIL interval labelings: O(k·n) memory, O(k) negative answers,
+    /// pruned-DFS positives and set operations.
+    Interval(IntervalIndex),
+    /// No index at all: every operation traverses the graph.
+    Bfs,
+}
+
+/// Reusable buffers for the DFS-based [`ReachIndex`] operations. One
+/// instance per policy/session; every operation clears what it uses, so the
+/// scratch carries no state between calls.
+#[derive(Debug, Clone)]
+pub struct ReachScratch {
+    /// Descendant-row output (doubles as the DFS visited set when filling).
+    row: NodeBitSet,
+    /// Epoch-cleared visited set for counting traversals.
+    visited: VisitedSet,
+    /// DFS stack.
+    stack: Vec<NodeId>,
+}
+
+impl ReachScratch {
+    /// Scratch sized for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ReachScratch {
+            row: NodeBitSet::empty(n),
+            visited: VisitedSet::new(n),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Number of node ids the buffers cover.
+    pub fn universe(&self) -> usize {
+        self.row.universe()
+    }
+
+    /// Re-sizes the buffers when the graph changed (no-op otherwise).
+    fn ensure(&mut self, n: usize) {
+        if self.row.universe() != n {
+            self.row = NodeBitSet::empty(n);
+            self.visited = VisitedSet::new(n);
+        }
+    }
+}
+
+impl ReachIndex {
+    /// Auto-selects a backend for `dag`: transitive closure at or below
+    /// [`AUTO_CLOSURE_MAX_NODES`] nodes, GRAIL interval index above (with
+    /// [`AUTO_INTERVAL_LABELINGS`] labelings and a fixed seed, so the choice
+    /// is deterministic).
+    pub fn auto(dag: &Dag) -> Self {
+        if dag.node_count() <= AUTO_CLOSURE_MAX_NODES {
+            Self::closure_for(dag)
+        } else {
+            Self::interval_for(dag, AUTO_INTERVAL_LABELINGS, AUTO_INTERVAL_SEED)
+        }
+    }
+
+    /// Builds the closure backend for `dag`.
+    pub fn closure_for(dag: &Dag) -> Self {
+        ReachIndex::Closure(ReachClosure::build(dag))
+    }
+
+    /// Builds the interval backend for `dag` with `k` labelings randomised
+    /// from `seed`.
+    pub fn interval_for(dag: &Dag, k: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        ReachIndex::Interval(IntervalIndex::build(dag, k, &mut rng))
+    }
+
+    /// Stable backend identifier: `"closure"`, `"interval"` or `"bfs"`.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            ReachIndex::Closure(_) => "closure",
+            ReachIndex::Interval(_) => "interval",
+            ReachIndex::Bfs => "bfs",
+        }
+    }
+
+    /// The closure rows, when this backend stores them — the O(n/64)
+    /// word-level fast path some policies special-case.
+    pub fn as_closure(&self) -> Option<&ReachClosure> {
+        match self {
+            ReachIndex::Closure(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Index memory in bytes (0 for the BFS backend).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            ReachIndex::Closure(c) => c.memory_bytes(),
+            ReachIndex::Interval(i) => i.memory_bytes(),
+            ReachIndex::Bfs => 0,
+        }
+    }
+
+    /// Exact `reach(u, v)`. Convenience form that allocates DFS scratch for
+    /// the non-closure backends; hot paths should use
+    /// [`ReachIndex::reaches_with`].
+    pub fn reaches(&self, dag: &Dag, u: NodeId, v: NodeId) -> bool {
+        match self {
+            ReachIndex::Closure(c) => c.reaches(u, v),
+            _ => {
+                let mut scratch = ReachScratch::new(dag.node_count());
+                self.reaches_with(dag, u, v, &mut scratch)
+            }
+        }
+    }
+
+    /// Exact `reach(u, v)` using caller-held scratch (allocation-free once
+    /// warm): O(1) on the closure, O(k) on interval-refuted negatives,
+    /// (pruned) DFS otherwise.
+    pub fn reaches_with(
+        &self,
+        dag: &Dag,
+        u: NodeId,
+        v: NodeId,
+        scratch: &mut ReachScratch,
+    ) -> bool {
+        match self {
+            ReachIndex::Closure(c) => c.reaches(u, v),
+            ReachIndex::Interval(i) => {
+                scratch.ensure(dag.node_count());
+                i.reaches_with(dag, u, v, &mut scratch.visited, &mut scratch.stack)
+            }
+            ReachIndex::Bfs => {
+                if u == v {
+                    return true;
+                }
+                scratch.ensure(dag.node_count());
+                scratch.visited.clear();
+                scratch.stack.clear();
+                scratch.visited.insert(u);
+                scratch.stack.push(u);
+                while let Some(x) = scratch.stack.pop() {
+                    for &c in dag.children(x) {
+                        if c == v {
+                            return true;
+                        }
+                        if scratch.visited.insert(c) {
+                            scratch.stack.push(c);
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// The descendant row `G_u` (original-graph descendants of `u`,
+    /// including `u`) as a bitset: the closure hands out its stored row,
+    /// the DFS backends fill `scratch` with one traversal. Either way the
+    /// returned set is identical, which is what keeps word-granular
+    /// candidate journaling bit-exact across backends.
+    pub fn descendants<'s>(
+        &'s self,
+        dag: &Dag,
+        u: NodeId,
+        scratch: &'s mut ReachScratch,
+    ) -> &'s NodeBitSet {
+        match self {
+            ReachIndex::Closure(c) => c.descendants(u),
+            _ => {
+                scratch.ensure(dag.node_count());
+                let row = &mut scratch.row;
+                let stack = &mut scratch.stack;
+                row.clear();
+                stack.clear();
+                row.insert(u);
+                stack.push(u);
+                while let Some(x) = stack.pop() {
+                    for &c in dag.children(x) {
+                        if !row.contains(c) {
+                            row.insert(c);
+                            stack.push(c);
+                        }
+                    }
+                }
+                row
+            }
+        }
+    }
+
+    /// `|G_u ∩ other|` without materialising the intersection: an O(n/64)
+    /// row AND on the closure, a counting DFS over `G_u` otherwise.
+    pub fn intersection_count(
+        &self,
+        dag: &Dag,
+        u: NodeId,
+        other: &NodeBitSet,
+        scratch: &mut ReachScratch,
+    ) -> usize {
+        match self {
+            ReachIndex::Closure(c) => c.descendants(u).intersection_count(other),
+            _ => {
+                scratch.ensure(dag.node_count());
+                let visited = &mut scratch.visited;
+                let stack = &mut scratch.stack;
+                visited.clear();
+                stack.clear();
+                visited.insert(u);
+                stack.push(u);
+                let mut count = usize::from(other.contains(u));
+                while let Some(x) = stack.pop() {
+                    for &c in dag.children(x) {
+                        if visited.insert(c) {
+                            count += usize::from(other.contains(c));
+                            stack.push(c);
+                        }
+                    }
+                }
+                count
+            }
+        }
+    }
+
+    /// `(Σ weight[v], |G_u|)` over the full descendant set `G_u` — the base
+    /// aggregation of the rounded greedy (`w̃`/`ñ` of Alg. 6). `u64` sums
+    /// are order-independent, so the closure row walk and the DFS produce
+    /// bit-identical results.
+    pub fn descendant_weight_count(
+        &self,
+        dag: &Dag,
+        u: NodeId,
+        weight: &[u64],
+        scratch: &mut ReachScratch,
+    ) -> (u64, u32) {
+        match self {
+            ReachIndex::Closure(c) => {
+                let row = c.descendants(u);
+                (row.weight_sum_u64(weight), row.count() as u32)
+            }
+            _ => {
+                scratch.ensure(dag.node_count());
+                let visited = &mut scratch.visited;
+                let stack = &mut scratch.stack;
+                visited.clear();
+                stack.clear();
+                visited.insert(u);
+                stack.push(u);
+                let mut wsum = weight[u.index()];
+                let mut count = 1u32;
+                while let Some(x) = stack.pop() {
+                    for &c in dag.children(x) {
+                        if visited.insert(c) {
+                            wsum += weight[c.index()];
+                            count += 1;
+                            stack.push(c);
+                        }
+                    }
+                }
+                (wsum, count)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+    use crate::generate::{random_dag, DagConfig};
+
+    fn diamond() -> Dag {
+        dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap()
+    }
+
+    fn backends(dag: &Dag) -> Vec<ReachIndex> {
+        vec![
+            ReachIndex::closure_for(dag),
+            ReachIndex::interval_for(dag, 2, 11),
+            ReachIndex::Bfs,
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree_on_reaches() {
+        let g = diamond();
+        let mut scratch = ReachScratch::new(g.node_count());
+        for index in backends(&g) {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let truth = g.reaches(u, v);
+                    assert_eq!(
+                        index.reaches(&g, u, v),
+                        truth,
+                        "{} ({u},{v})",
+                        index.backend_name()
+                    );
+                    assert_eq!(
+                        index.reaches_with(&g, u, v, &mut scratch),
+                        truth,
+                        "{} ({u},{v}) scratch",
+                        index.backend_name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_backends_produce_identical_rows() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let g = random_dag(&DagConfig::bushy(150, 0.2), &mut rng);
+        let closure = ReachIndex::closure_for(&g);
+        let mut closure_scratch = ReachScratch::new(g.node_count());
+        let mut scratch = ReachScratch::new(g.node_count());
+        for index in [ReachIndex::interval_for(&g, 3, 5), ReachIndex::Bfs] {
+            for u in g.nodes() {
+                let want = closure.descendants(&g, u, &mut closure_scratch).clone();
+                let got = index.descendants(&g, u, &mut scratch);
+                assert_eq!(&want, got, "{} row {u}", index.backend_name());
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_count_and_weights_match_rows() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let g = random_dag(&DagConfig::bushy(120, 0.15), &mut rng);
+        let n = g.node_count();
+        let mut alive = NodeBitSet::full(n);
+        for i in (0..n).step_by(3) {
+            alive.remove(NodeId::new(i));
+        }
+        let weight: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+        let closure = ReachIndex::closure_for(&g);
+        let mut s1 = ReachScratch::new(n);
+        let mut s2 = ReachScratch::new(n);
+        for index in [ReachIndex::interval_for(&g, 2, 1), ReachIndex::Bfs] {
+            for u in g.nodes() {
+                assert_eq!(
+                    closure.intersection_count(&g, u, &alive, &mut s1),
+                    index.intersection_count(&g, u, &alive, &mut s2),
+                    "{} count {u}",
+                    index.backend_name()
+                );
+                assert_eq!(
+                    closure.descendant_weight_count(&g, u, &weight, &mut s1),
+                    index.descendant_weight_count(&g, u, &weight, &mut s2),
+                    "{} weight {u}",
+                    index.backend_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_by_size() {
+        let g = diamond();
+        assert_eq!(ReachIndex::auto(&g).backend_name(), "closure");
+        assert!(ReachIndex::auto(&g).as_closure().is_some());
+        assert_eq!(ReachIndex::Bfs.memory_bytes(), 0);
+        assert!(ReachIndex::closure_for(&g).memory_bytes() > 0);
+    }
+
+    #[test]
+    fn scratch_resizes_across_graphs() {
+        let small = diamond();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let big = random_dag(&DagConfig::bushy(200, 0.1), &mut rng);
+        let mut scratch = ReachScratch::new(small.node_count());
+        let index = ReachIndex::Bfs;
+        assert!(index.reaches_with(&small, NodeId::new(0), NodeId::new(4), &mut scratch));
+        // Same scratch, bigger graph: must transparently regrow.
+        let root = big.root();
+        let deep = NodeId::new(big.node_count() - 1);
+        assert_eq!(
+            index.reaches_with(&big, root, deep, &mut scratch),
+            big.reaches(root, deep)
+        );
+        assert_eq!(scratch.universe(), big.node_count());
+    }
+}

@@ -2,7 +2,8 @@
 
 use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
 use aigs_graph::{
-    heavy_path_from, AncestorSet, CandidateSet, HeavyPathDecomposition, NodeId, ReachClosure, Tree,
+    heavy_path_from, AncestorSet, CandidateSet, HeavyPathDecomposition, IntervalIndex, NodeId,
+    ReachClosure, ReachIndex, ReachScratch, Tree,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -43,6 +44,73 @@ proptest! {
             prop_assert_eq!(c.descendants(u).count(), desc.len());
             for v in g.nodes() {
                 prop_assert_eq!(c.reaches(u, v), g.reaches(u, v));
+            }
+        }
+    }
+
+    /// The GRAIL interval index answers `reaches` exactly like the
+    /// transitive closure on randomized DAGs, for every labeling count
+    /// k ∈ {1, 2, 5} — the invariant that makes the backends freely
+    /// interchangeable inside DAG policies.
+    #[test]
+    fn interval_index_matches_closure(
+        n in 2usize..60,
+        frac in 0.0f64..0.4,
+        seed in 0u64..1000,
+        k_pick in 0usize..3,
+    ) {
+        let k = [1usize, 2, 5][k_pick];
+        let g = dag_from_seed(n, frac, seed);
+        let closure = ReachClosure::build(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1d7);
+        let idx = IntervalIndex::build(&g, k, &mut rng);
+        prop_assert_eq!(idx.labelings(), k);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    idx.reaches(&g, u, v),
+                    closure.reaches(u, v),
+                    "k={} ({},{})", k, u, v
+                );
+                // The interval condition stays necessary: no false negative
+                // may ever slip through the O(k) filter.
+                if closure.reaches(u, v) {
+                    prop_assert!(idx.may_reach(u, v));
+                }
+            }
+        }
+    }
+
+    /// Every `ReachIndex` backend derives identical descendant rows and
+    /// intersection counts — the word-for-word equality that keeps policy
+    /// journals bit-exact across backends.
+    #[test]
+    fn reach_index_backends_agree(
+        n in 2usize..50,
+        frac in 0.0f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let closure = ReachIndex::closure_for(&g);
+        let interval = ReachIndex::interval_for(&g, 2, seed ^ 0xa5a5);
+        let mut s0 = ReachScratch::new(nn);
+        let mut s1 = ReachScratch::new(nn);
+        // An arbitrary "alive" subset to intersect against.
+        let mut alive = aigs_graph::NodeBitSet::full(nn);
+        for i in (0..nn).step_by(2) {
+            alive.remove(NodeId::new(i));
+        }
+        for u in g.nodes() {
+            let want = closure.descendants(&g, u, &mut s0).clone();
+            for index in [&interval, &ReachIndex::Bfs] {
+                let got = index.descendants(&g, u, &mut s1);
+                prop_assert_eq!(&want, got, "{} row {}", index.backend_name(), u);
+                prop_assert_eq!(
+                    index.intersection_count(&g, u, &alive, &mut s1),
+                    want.intersection_count(&alive),
+                    "{} count {}", index.backend_name(), u
+                );
             }
         }
     }

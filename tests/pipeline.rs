@@ -6,7 +6,7 @@ use aigs::core::{
     evaluate_exhaustive, evaluate_roster, paper_roster, DecisionTreeBuilder, SearchContext,
 };
 use aigs::data::{amazon_like, imagenet_like, Scale, WeightSetting};
-use aigs::graph::ReachClosure;
+use aigs::graph::ReachIndex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -132,8 +132,8 @@ fn decision_trees_on_synthetic_dag() {
     let dag = aigs::data::overlay_cross_edges(&tree, 0.08, &mut rng);
     let _ = dataset;
     let w = WeightSetting::Zipf(2.0).assign(dag.node_count(), &mut rng);
-    let closure = ReachClosure::build(&dag);
-    let ctx = SearchContext::new(&dag, &w).with_closure(&closure);
+    let reach = ReachIndex::closure_for(&dag);
+    let ctx = SearchContext::new(&dag, &w).with_reach(&reach);
     let mut policy = GreedyDagPolicy::new();
     let dt = DecisionTreeBuilder::new().build(&mut policy, &ctx).unwrap();
     assert_eq!(dt.leaf_count(), dag.node_count());
