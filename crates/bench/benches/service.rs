@@ -1,0 +1,313 @@
+//! Serving-layer throughput: the `aigs-service` engine under an
+//! interleaved many-session load, across policies and reachability
+//! backends.
+//!
+//! * `service_step/{policy}-{backend}/{live}` — one engine step
+//!   (`next_question` + truthful `answer`, or `finish` + reopen on
+//!   resolution) with `live` concurrently suspended sessions advanced
+//!   round-robin. 10 000 live sessions in a full run; the median is the
+//!   per-step latency the engine sustains at that concurrency.
+//! * `service_churn/{policy}-{backend}` — one full session lifecycle
+//!   (open → drive to resolution → finish) with a warm policy pool:
+//!   sessions/sec = 1e9 / median_ns.
+//! * A manual tail-latency pass (printed, not in the criterion JSON)
+//!   reports p50/p90/p99/p99.9 single-step latency at full concurrency,
+//!   and a multi-threaded sweep reports aggregate steps/sec.
+//!
+//! Set `AIGS_BENCH_SMOKE=1` to cap concurrency at 512 live sessions for
+//! CI, and `CRITERION_JSON=<path>` to dump measurements (the committed
+//! baseline is `BENCH_service.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use aigs_core::{NodeWeights, SessionStep};
+use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
+use aigs_graph::{Dag, NodeId};
+use aigs_service::{
+    EngineConfig, PlanId, PlanSpec, PolicyKind, ReachChoice, SearchEngine, SessionId,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn smoke() -> bool {
+    std::env::var("AIGS_BENCH_SMOKE").is_ok()
+}
+
+fn live_sessions() -> usize {
+    if smoke() {
+        512
+    } else {
+        10_000
+    }
+}
+
+fn weights_for(n: usize, seed: u64) -> NodeWeights {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap()
+}
+
+/// One serving scenario: a plan (hierarchy shape + backend) and a policy.
+struct Scenario {
+    label: String,
+    dag: Arc<Dag>,
+    weights: Arc<NodeWeights>,
+    reach: ReachChoice,
+    kind: PolicyKind,
+}
+
+/// Policies × backends over a 1024-node bushy DAG, plus the tree-only
+/// greedy on a same-size tree — the roster a categorization service would
+/// actually run.
+fn scenarios() -> Vec<Scenario> {
+    let n = 1024;
+    let dag = Arc::new(random_dag(
+        &DagConfig::bushy(n, 0.1),
+        &mut ChaCha8Rng::seed_from_u64(13),
+    ));
+    let dag_w = Arc::new(weights_for(dag.node_count(), 17));
+    let tree = Arc::new(random_tree(
+        &TreeConfig::bushy(n),
+        &mut ChaCha8Rng::seed_from_u64(7),
+    ));
+    let tree_w = Arc::new(weights_for(n, 11));
+
+    let mut v = Vec::new();
+    for kind in [PolicyKind::TopDown, PolicyKind::Wigs, PolicyKind::GreedyDag] {
+        for reach in [
+            ReachChoice::Closure,
+            ReachChoice::Interval {
+                labelings: 2,
+                seed: 0xbeef,
+            },
+        ] {
+            let backend = match reach {
+                ReachChoice::Closure => "closure",
+                _ => "interval",
+            };
+            v.push(Scenario {
+                label: format!("{}-{backend}", kind.name()),
+                dag: dag.clone(),
+                weights: dag_w.clone(),
+                reach,
+                kind,
+            });
+        }
+    }
+    for kind in [PolicyKind::GreedyTree, PolicyKind::Migs] {
+        v.push(Scenario {
+            label: format!("{}-tree", kind.name()),
+            dag: tree.clone(),
+            weights: tree_w.clone(),
+            reach: ReachChoice::Auto,
+            kind,
+        });
+    }
+    v
+}
+
+fn engine_for(s: &Scenario, max_sessions: usize) -> (SearchEngine, PlanId) {
+    let engine = SearchEngine::new(EngineConfig {
+        max_sessions,
+        ..EngineConfig::default()
+    });
+    let plan = engine
+        .register_plan(PlanSpec::new(s.dag.clone(), s.weights.clone()).with_reach(s.reach))
+        .unwrap();
+    (engine, plan)
+}
+
+/// Deterministic target stream (multiplicative-hash cycle over node ids).
+fn target(dag: &Dag, i: usize) -> NodeId {
+    NodeId::new((i.wrapping_mul(2654435761)) % dag.node_count())
+}
+
+/// One engine step for the session at `cursor`: answer its pending
+/// question truthfully, or retire it and admit a replacement.
+fn step_one(
+    engine: &SearchEngine,
+    plan: PlanId,
+    kind: PolicyKind,
+    dag: &Dag,
+    sessions: &mut [(SessionId, NodeId)],
+    cursor: usize,
+    fresh: &mut usize,
+) {
+    let (id, z) = sessions[cursor];
+    match engine.next_question(id).unwrap() {
+        SessionStep::Ask(q) => engine.answer(id, dag.reaches(q, z)).unwrap(),
+        SessionStep::Resolved(got) => {
+            assert_eq!(got, z, "session resolved to a foreign target");
+            engine.finish(id).unwrap();
+            let nz = target(dag, *fresh);
+            *fresh += 1;
+            sessions[cursor] = (engine.open_session(plan, kind).unwrap().id(), nz);
+        }
+    }
+}
+
+/// Median step latency with `live_sessions()` concurrently suspended
+/// sessions, advanced round-robin.
+fn bench_step(c: &mut Criterion) {
+    let live = live_sessions();
+    let mut group = c.benchmark_group("service_step");
+    group.sample_size(20);
+    for s in scenarios() {
+        let (engine, plan) = engine_for(&s, live + 8);
+        let mut sessions: Vec<(SessionId, NodeId)> = (0..live)
+            .map(|i| {
+                let z = target(&s.dag, i);
+                (engine.open_session(plan, s.kind).unwrap().id(), z)
+            })
+            .collect();
+        assert_eq!(engine.live_sessions(), live);
+        let mut cursor = 0;
+        let mut fresh = live;
+        group.bench_function(BenchmarkId::new(&s.label, live), |b| {
+            b.iter(|| {
+                step_one(
+                    &engine,
+                    plan,
+                    s.kind,
+                    &s.dag,
+                    &mut sessions,
+                    cursor,
+                    &mut fresh,
+                );
+                cursor = (cursor + 1) % live;
+            })
+        });
+        for (id, _) in sessions {
+            let _ = engine.cancel(id);
+        }
+    }
+    group.finish();
+}
+
+/// Full session lifecycle against a warm pool: sessions/sec throughput.
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_churn");
+    group.sample_size(20);
+    for s in scenarios() {
+        let (engine, plan) = engine_for(&s, 64);
+        let mut i = 0usize;
+        group.bench_function(s.label.as_str(), |b| {
+            b.iter(|| {
+                let z = target(&s.dag, i);
+                i += 1;
+                let mut session = engine.open_session(plan, s.kind).unwrap();
+                loop {
+                    match session.next_question().unwrap() {
+                        SessionStep::Resolved(_) => break session.finish().unwrap(),
+                        SessionStep::Ask(q) => session.answer(s.dag.reaches(q, z)).unwrap(),
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Printed-only diagnostics at full concurrency: single-step tail
+/// latencies and multi-threaded aggregate throughput.
+fn report_tail_and_parallel(c: &mut Criterion) {
+    let _ = c; // criterion drives group ordering; this pass self-reports.
+    let live = live_sessions();
+    let steps = if smoke() { 20_000 } else { 200_000 };
+
+    // Tail latency: greedy-dag on the closure backend (the recommended
+    // DAG-serving configuration).
+    let s = scenarios()
+        .into_iter()
+        .find(|s| s.label == "greedy-dag-closure")
+        .expect("scenario exists");
+    let (engine, plan) = engine_for(&s, live + 8);
+    let mut sessions: Vec<(SessionId, NodeId)> = (0..live)
+        .map(|i| {
+            let z = target(&s.dag, i);
+            (engine.open_session(plan, s.kind).unwrap().id(), z)
+        })
+        .collect();
+    let mut fresh = live;
+    let mut lat = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let cursor = k % live;
+        let t0 = Instant::now();
+        step_one(
+            &engine,
+            plan,
+            s.kind,
+            &s.dag,
+            &mut sessions,
+            cursor,
+            &mut fresh,
+        );
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    println!(
+        "service_tail/greedy-dag-closure/{live}: p50 {} ns, p90 {} ns, p99 {} ns, p99.9 {} ns, max {} ns ({} steps)",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        pct(0.999),
+        lat[lat.len() - 1],
+        steps
+    );
+    for (id, _) in sessions {
+        let _ = engine.cancel(id);
+    }
+
+    // Aggregate multi-threaded throughput: shard the same live-session
+    // population over worker threads, each stepping its shard round-robin.
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+    let s = scenarios()
+        .into_iter()
+        .find(|s| s.label == "greedy-dag-closure")
+        .expect("scenario exists");
+    let (engine, plan) = engine_for(&s, live + threads * 8);
+    let shard = live / threads;
+    let per_thread_steps = steps / threads;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = &engine;
+            let s = &s;
+            scope.spawn(move || {
+                let mut sessions: Vec<(SessionId, NodeId)> = (0..shard)
+                    .map(|i| {
+                        let z = target(&s.dag, t * shard + i);
+                        (engine.open_session(plan, s.kind).unwrap().id(), z)
+                    })
+                    .collect();
+                let mut fresh = (t + 1) * 1_000_000;
+                for k in 0..per_thread_steps {
+                    step_one(
+                        engine,
+                        plan,
+                        s.kind,
+                        &s.dag,
+                        &mut sessions,
+                        k % shard,
+                        &mut fresh,
+                    );
+                }
+                for (id, _) in sessions {
+                    let _ = engine.cancel(id);
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total_steps = per_thread_steps * threads;
+    println!(
+        "service_parallel/greedy-dag-closure: {threads} threads x {shard} live sessions, {:.0} steps/sec aggregate ({total_steps} steps in {elapsed:.2}s), finished {} sessions",
+        total_steps as f64 / elapsed,
+        engine.stats().finished,
+    );
+}
+
+criterion_group!(benches, bench_step, bench_churn, report_tail_and_parallel);
+criterion_main!(benches);

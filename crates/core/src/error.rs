@@ -42,6 +42,9 @@ pub enum CoreError {
     },
     /// A policy reported an inconsistent state (internal invariant broken).
     PolicyInvariant(&'static str),
+    /// A stepwise session was driven out of protocol (e.g. `answer` with no
+    /// outstanding question, or `finish` before resolution).
+    SessionMisuse(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -64,6 +67,7 @@ impl fmt::Display for CoreError {
                 "exact solver handles at most {cap} nodes, instance has {nodes}"
             ),
             CoreError::PolicyInvariant(msg) => write!(f, "policy invariant violated: {msg}"),
+            CoreError::SessionMisuse(msg) => write!(f, "session protocol misuse: {msg}"),
         }
     }
 }
@@ -98,5 +102,8 @@ mod tests {
         assert!(CoreError::PolicyInvariant("boom")
             .to_string()
             .contains("boom"));
+        assert!(CoreError::SessionMisuse("no pending question")
+            .to_string()
+            .contains("pending"));
     }
 }

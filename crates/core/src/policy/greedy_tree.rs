@@ -86,6 +86,17 @@ impl GreedyTreePolicy {
         }
     }
 
+    /// Whether this instance's base arrays were built under `ctx`'s cache
+    /// token, i.e. `reset` will take the O(Δ) journal-unwind path. Shared
+    /// by `try_reset` and `reset`: the two MUST agree, or a warm
+    /// `try_reset` could skip the tree-shape validation while `reset`
+    /// takes the cold `Tree::new` path and panics on a DAG.
+    fn is_warm(&self, ctx: &SearchContext<'_>) -> bool {
+        ctx.cache_token != 0
+            && self.base_token == ctx.cache_token
+            && self.wp.len() == ctx.dag.node_count()
+    }
+
     /// Replays one journal step; returns `false` on an empty journal.
     fn unwind_one(&mut self) -> bool {
         let wp = &mut self.wp;
@@ -208,10 +219,20 @@ impl Policy for GreedyTreePolicy {
         "greedy-tree"
     }
 
+    fn try_reset(&mut self, ctx: &SearchContext<'_>) -> Result<(), crate::CoreError> {
+        // A warm instance already passed the tree check; only cold resets
+        // pay the O(n) shape validation.
+        if !self.is_warm(ctx) && !ctx.dag.is_tree() {
+            return Err(crate::CoreError::NotATree);
+        }
+        self.reset(ctx);
+        Ok(())
+    }
+
     fn reset(&mut self, ctx: &SearchContext<'_>) {
         let dag = ctx.dag;
         let n = dag.node_count();
-        if ctx.cache_token != 0 && self.base_token == ctx.cache_token && self.wp.len() == n {
+        if self.is_warm(ctx) {
             // Same instance: unwind the last session's deltas (O(Δ)) instead
             // of rebuilding the Euler view and base arrays (O(n)).
             while self.unwind_one() {}

@@ -46,41 +46,162 @@ pub struct SearchOutcome {
     pub price: f64,
 }
 
+/// What a suspended session needs next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStep {
+    /// Put this question to the oracle, then call
+    /// [`SessionStepper::answer`] with its verdict.
+    Ask(NodeId),
+    /// The search resolved to this target; [`SessionStepper::finish`] will
+    /// produce the [`SearchOutcome`].
+    Resolved(NodeId),
+}
+
+/// The inverted-control core of `FrameworkIGS` (Alg. 1): one interactive
+/// search as an externally driven state machine.
+///
+/// [`run_session`] is a thin loop over this stepper, so a stepped session
+/// produces the **bit-identical** query transcript, query count and price —
+/// the same `try_reset`/`resolved`/`select`/`observe` calls in the same
+/// order. What the stepper adds is *suspendability*: between
+/// [`next_question`](Self::next_question) and [`answer`](Self::answer) the
+/// session can sit idle for seconds or days (a crowd worker thinking),
+/// while thousands of sibling sessions make progress.
+///
+/// The stepper does not own the policy or the context; the caller passes
+/// them into every call (a service keeps pooled policy instances and shared
+/// `Arc`'d plan artifacts — see the `aigs-service` crate). Calls must use
+/// the same policy and an equivalent context throughout one session.
+///
+/// Repeated [`next_question`](Self::next_question) calls without an
+/// intervening answer return the same pending question without re-running
+/// `select`, so an at-least-once delivery loop cannot corrupt policy state.
+#[derive(Debug, Clone)]
+pub struct SessionStepper {
+    cap: u32,
+    queries: u32,
+    price: f64,
+    pending: Option<NodeId>,
+}
+
+impl SessionStepper {
+    /// Starts a session: resets `policy` for `ctx` (surfacing construction
+    /// errors such as [`CoreError::TooLargeForExact`]) and computes the
+    /// query cap. `max_queries` bounds the session; on top of it an
+    /// internal safety cap of `4·n + 64` guards against non-terminating
+    /// policies (every sound policy resolves within `n − 1` informative
+    /// queries).
+    pub fn start(
+        policy: &mut dyn Policy,
+        ctx: &SearchContext<'_>,
+        max_queries: Option<u32>,
+    ) -> Result<Self, CoreError> {
+        let hard_cap = 4 * ctx.dag.node_count() as u32 + 64;
+        let cap = max_queries.map_or(hard_cap, |m| m.min(hard_cap));
+        policy.try_reset(ctx)?;
+        Ok(SessionStepper {
+            cap,
+            queries: 0,
+            price: 0.0,
+            pending: None,
+        })
+    }
+
+    /// The next thing this session needs: a question to forward to the
+    /// oracle, or the resolved target. Errs with [`CoreError::Diverged`]
+    /// once the query cap is exhausted without resolution.
+    pub fn next_question(
+        &mut self,
+        policy: &mut dyn Policy,
+        ctx: &SearchContext<'_>,
+    ) -> Result<SessionStep, CoreError> {
+        if let Some(q) = self.pending {
+            return Ok(SessionStep::Ask(q));
+        }
+        if let Some(target) = policy.resolved() {
+            return Ok(SessionStep::Resolved(target));
+        }
+        if self.queries >= self.cap {
+            return Err(CoreError::Diverged {
+                queries: self.queries,
+                limit: self.cap,
+            });
+        }
+        let q = policy.select(ctx);
+        self.pending = Some(q);
+        Ok(SessionStep::Ask(q))
+    }
+
+    /// Feeds the oracle's answer to the pending question back into the
+    /// policy, billing the question's price. Errs with
+    /// [`CoreError::SessionMisuse`] when no question is outstanding.
+    pub fn answer(
+        &mut self,
+        policy: &mut dyn Policy,
+        ctx: &SearchContext<'_>,
+        yes: bool,
+    ) -> Result<(), CoreError> {
+        let q = self.pending.take().ok_or(CoreError::SessionMisuse(
+            "answer() with no pending question",
+        ))?;
+        self.price += ctx.costs.price(q);
+        self.queries += 1;
+        policy.observe(ctx, q, yes);
+        Ok(())
+    }
+
+    /// The finished session's outcome. Errs with
+    /// [`CoreError::SessionMisuse`] while the search is still unresolved.
+    pub fn finish(&self, policy: &dyn Policy) -> Result<SearchOutcome, CoreError> {
+        match policy.resolved() {
+            Some(target) => Ok(SearchOutcome {
+                target,
+                queries: self.queries,
+                price: self.price,
+            }),
+            None => Err(CoreError::SessionMisuse(
+                "finish() before the search resolved",
+            )),
+        }
+    }
+
+    /// Queries answered so far.
+    pub fn queries(&self) -> u32 {
+        self.queries
+    }
+
+    /// Price billed so far.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// The question awaiting an answer, if any.
+    pub fn pending(&self) -> Option<NodeId> {
+        self.pending
+    }
+}
+
 /// Drives `policy` against `oracle` until resolution.
 ///
-/// `max_queries` bounds the session; on top of it an internal safety cap of
-/// `4·n + 64` guards against non-terminating policies (every sound policy
-/// resolves within `n − 1` informative queries).
+/// A thin closed loop over [`SessionStepper`] — ask, answer inline, repeat —
+/// so inline and suspended (stepwise) sessions share one code path and one
+/// transcript. `max_queries` bounds the session as described on
+/// [`SessionStepper::start`].
 pub fn run_session(
     policy: &mut dyn Policy,
     ctx: &SearchContext<'_>,
     oracle: &mut dyn Oracle,
     max_queries: Option<u32>,
 ) -> Result<SearchOutcome, CoreError> {
-    let hard_cap = 4 * ctx.dag.node_count() as u32 + 64;
-    let cap = max_queries.map_or(hard_cap, |m| m.min(hard_cap));
-    policy.try_reset(ctx)?;
-    let mut queries = 0u32;
-    let mut price = 0.0;
+    let mut stepper = SessionStepper::start(policy, ctx, max_queries)?;
     loop {
-        if let Some(target) = policy.resolved() {
-            return Ok(SearchOutcome {
-                target,
-                queries,
-                price,
-            });
+        match stepper.next_question(policy, ctx)? {
+            SessionStep::Resolved(_) => return stepper.finish(policy),
+            SessionStep::Ask(q) => {
+                let yes = oracle.reach(q);
+                stepper.answer(policy, ctx, yes)?;
+            }
         }
-        if queries >= cap {
-            return Err(CoreError::Diverged {
-                queries,
-                limit: cap,
-            });
-        }
-        let q = policy.select(ctx);
-        let yes = oracle.reach(q);
-        price += ctx.costs.price(q);
-        queries += 1;
-        policy.observe(ctx, q, yes);
     }
 }
 
@@ -253,15 +374,24 @@ fn euler_intervals(ctx: &SearchContext<'_>) -> Option<(Vec<u32>, Vec<u32>)> {
     Some(tree.into_intervals())
 }
 
-/// Runs an exhaustive evaluation split across `threads` OS threads, each
-/// driving its own clone of the policy over a contiguous chunk of targets.
-/// Falls back to the sequential path for single-threaded requests or tiny
-/// instances. Deterministic: per-target costs are independent of the split.
+/// Runs an exhaustive evaluation split across `threads` OS threads pulling
+/// target chunks from a shared work-stealing queue (an atomic index over
+/// fixed-size chunks), so skewed per-target costs — deep heavy subtrees
+/// landing in one contiguous range — no longer stall the whole sweep on one
+/// straggler thread the way static `n/threads` chunking did. Each worker
+/// drives its own clone of the policy; one warm clone then serves every
+/// chunk it steals. Falls back to the sequential path for single-threaded
+/// requests or tiny instances. Deterministic: per-target costs are
+/// independent of the split, and the final aggregation runs in node-id
+/// order, so reports are **bit-identical** to [`evaluate_exhaustive`]
+/// regardless of thread count or steal order.
 pub fn evaluate_exhaustive_parallel(
     policy: &mut dyn Policy,
     ctx: &SearchContext<'_>,
     threads: usize,
 ) -> Result<EvalReport, CoreError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let n = ctx.dag.node_count();
     if threads <= 1 || n < 2048 {
         return evaluate_exhaustive(policy, ctx);
@@ -273,20 +403,37 @@ pub fn evaluate_exhaustive_parallel(
     };
     let targets: Vec<NodeId> = ctx.dag.nodes().collect();
     let tree_intervals = euler_intervals(&ctx);
-    let chunk = targets.len().div_ceil(threads);
+    // Several chunks per thread gives the queue room to balance; a floor of
+    // 64 targets keeps the fetch_add amortised to noise.
+    let chunk = (targets.len().div_ceil(threads * 8)).max(64);
+    let next_chunk = AtomicUsize::new(0);
+    // Never spawn more workers than chunks: each worker pays an O(n) policy
+    // clone up front, so a surplus worker would clone and immediately break.
+    let workers = threads.min(targets.len().div_ceil(chunk));
 
     let partials: Vec<Result<Vec<(NodeId, SearchOutcome)>, CoreError>> =
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for slice in targets.chunks(chunk) {
+            for _ in 0..workers {
                 let mut worker = policy.clone_box();
                 let ctx_ref = &ctx;
                 let intervals_ref = &tree_intervals;
+                let targets_ref = &targets;
+                let next_ref = &next_chunk;
                 handles.push(scope.spawn(move || {
-                    let mut out = Vec::with_capacity(slice.len());
-                    for &z in slice {
-                        let outcome = run_for_target(worker.as_mut(), ctx_ref, z, intervals_ref)?;
-                        out.push((z, outcome));
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next_ref.fetch_add(1, Ordering::Relaxed) * chunk;
+                        if start >= targets_ref.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(targets_ref.len());
+                        out.reserve(end - start);
+                        for &z in &targets_ref[start..end] {
+                            let outcome =
+                                run_for_target(worker.as_mut(), ctx_ref, z, intervals_ref)?;
+                            out.push((z, outcome));
+                        }
                     }
                     Ok(out)
                 }));
@@ -384,6 +531,75 @@ mod tests {
             assert_eq!(out.target, z);
             assert_eq!(out.queries, oracle.queries_asked());
             assert_eq!(out.price, out.queries as f64);
+        }
+    }
+
+    #[test]
+    fn stepper_transcript_matches_run_session() {
+        let g = vehicle();
+        let w = NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        for z in g.nodes() {
+            // Reference: the closed loop with a transcript recorder.
+            let mut p = GreedyTreePolicy::new();
+            let mut rec = crate::TranscriptOracle::new(TargetOracle::new(&g, z));
+            let want = run_session(&mut p, &ctx, &mut rec, None).unwrap();
+
+            // Stepwise: same policy type driven from outside.
+            let mut p2 = GreedyTreePolicy::new();
+            let mut stepper = SessionStepper::start(&mut p2, &ctx, None).unwrap();
+            let mut transcript = Vec::new();
+            let outcome = loop {
+                match stepper.next_question(&mut p2, &ctx).unwrap() {
+                    SessionStep::Resolved(_) => break stepper.finish(&p2).unwrap(),
+                    SessionStep::Ask(q) => {
+                        // Re-asking without answering must return the same
+                        // pending question and not advance the policy.
+                        assert_eq!(
+                            stepper.next_question(&mut p2, &ctx).unwrap(),
+                            SessionStep::Ask(q)
+                        );
+                        assert_eq!(stepper.pending(), Some(q));
+                        let yes = g.reaches(q, z);
+                        transcript.push((q, yes));
+                        stepper.answer(&mut p2, &ctx, yes).unwrap();
+                    }
+                }
+            };
+            assert_eq!(outcome, want);
+            assert_eq!(transcript, rec.transcript);
+            assert_eq!(stepper.queries(), want.queries);
+            assert_eq!(stepper.price(), want.price);
+        }
+    }
+
+    #[test]
+    fn stepper_misuse_is_typed() {
+        let g = vehicle();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyTreePolicy::new();
+        let mut stepper = SessionStepper::start(&mut p, &ctx, None).unwrap();
+        // No pending question yet.
+        assert!(matches!(
+            stepper.answer(&mut p, &ctx, true),
+            Err(CoreError::SessionMisuse(_))
+        ));
+        // Unresolved finish.
+        assert!(matches!(
+            stepper.finish(&p),
+            Err(CoreError::SessionMisuse(_))
+        ));
+        // Cap exhaustion surfaces Diverged from the stepper, too.
+        let mut capped = SessionStepper::start(&mut p, &ctx, Some(1)).unwrap();
+        let SessionStep::Ask(_q) = capped.next_question(&mut p, &ctx).unwrap() else {
+            panic!("expected a question");
+        };
+        capped.answer(&mut p, &ctx, false).unwrap();
+        if capped.next_question(&mut p, &ctx).is_ok() {
+            // The single no-answer may already have resolved tiny searches;
+            // only unresolved sessions must diverge.
+            assert!(p.resolved().is_some());
         }
     }
 

@@ -1,0 +1,57 @@
+//! Disk roundtrip fidelity: a dataset saved with [`save_dataset`] and
+//! reloaded with [`load_dataset`] must be *bit-equal* — DAG edges, object
+//! counts, and the empirical target distribution derived from them — for
+//! both Table II shapes (the Amazon-like tree and the ImageNet-like DAG
+//! with cross edges).
+
+use aigs_data::loader::{load_dataset, save_dataset};
+use aigs_data::{amazon_like, imagenet_like, Dataset, Scale};
+
+fn assert_bit_equal_roundtrip(d: &Dataset, dir_tag: &str) {
+    let dir = std::env::temp_dir().join(format!("aigs-roundtrip-{dir_tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_dataset(d, &dir, d.name).unwrap();
+    let loaded = load_dataset(&dir, d.name, d.name)
+        .unwrap()
+        .expect("cache hit");
+
+    // Hierarchy: same node set and the exact same adjacency, edge by edge
+    // (labels, root and topological order included via Dag's equality).
+    assert_eq!(loaded.dag, d.dag);
+    assert_eq!(loaded.dag.node_count(), d.dag.node_count());
+    for v in d.dag.nodes() {
+        assert_eq!(loaded.dag.children(v), d.dag.children(v), "children of {v}");
+        assert_eq!(loaded.dag.parents(v), d.dag.parents(v), "parents of {v}");
+        assert_eq!(loaded.dag.label(v), d.dag.label(v), "label of {v}");
+    }
+
+    // Object multiset: exact counts, node by node.
+    assert_eq!(loaded.object_counts, d.object_counts);
+    assert_eq!(loaded.object_total(), d.object_total());
+
+    // Derived distribution: the weights must be bit-equal floats, not just
+    // approximately equal — evaluation reports hinge on exact summation.
+    let want = d.empirical_weights();
+    let got = loaded.empirical_weights();
+    for (i, (a, b)) in want.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "weight of node {i} drifted");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn amazon_tree_roundtrips_bit_equal() {
+    let d = amazon_like(Scale::Small, 41);
+    assert!(d.dag.is_tree());
+    assert_bit_equal_roundtrip(&d, "amazon");
+}
+
+#[test]
+fn imagenet_dag_roundtrips_bit_equal() {
+    let d = imagenet_like(Scale::Small, 43);
+    // The interesting case: cross edges (multiple parents) must survive the
+    // text format, or DAG policies would see a different search instance.
+    assert!(!d.dag.is_tree());
+    assert_bit_equal_roundtrip(&d, "imagenet");
+}

@@ -1,0 +1,568 @@
+//! The multi-tenant session engine.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use aigs_core::{CoreError, SearchOutcome, SessionStep, SessionStepper};
+
+use crate::plan::PlanEntry;
+use crate::{PlanId, PlanSpec, PolicyKind, ServiceError};
+
+/// Default admission limit of [`EngineConfig`].
+pub const DEFAULT_MAX_SESSIONS: usize = 65_536;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Admission limit on concurrently live sessions. Opening past it fails
+    /// with [`ServiceError::AtCapacity`] unless idle eviction frees a slot.
+    pub max_sessions: usize,
+    /// Idle-eviction threshold on the engine's logical clock (every engine
+    /// operation is one tick). A session untouched for this many ticks is
+    /// evictable by [`SearchEngine::sweep_idle`] — which also runs
+    /// automatically when admission is full. `None` disables eviction:
+    /// abandoned sessions then hold their slots until cancelled.
+    pub idle_ticks: Option<u64>,
+    /// Per-session query cap forwarded to [`SessionStepper::start`] (the
+    /// `4·n + 64` safety cap always applies on top).
+    pub max_queries: Option<u32>,
+    /// How many warm policy instances each (plan, kind) pool retains.
+    pub pool_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_sessions: DEFAULT_MAX_SESSIONS,
+            idle_ticks: None,
+            max_queries: None,
+            pool_cap: 64,
+        }
+    }
+}
+
+/// Generational handle to one live session. Stale ids (finished, cancelled
+/// or evicted sessions, even after slot reuse) are rejected with
+/// [`ServiceError::UnknownSession`], never silently routed to a stranger's
+/// search. Like [`crate::PlanId`], the id is scoped to the issuing engine,
+/// so it cannot alias a session on a sibling engine either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    engine: u32,
+    index: u32,
+    generation: u32,
+}
+
+/// A point-in-time snapshot of engine activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Currently live (suspended or mid-step) sessions.
+    pub live: usize,
+    /// High-water mark of `live`.
+    pub peak_live: usize,
+    /// Sessions successfully opened.
+    pub opened: u64,
+    /// Sessions finished with an outcome.
+    pub finished: u64,
+    /// Sessions cancelled by their caller.
+    pub cancelled: u64,
+    /// Sessions evicted as idle.
+    pub evicted: u64,
+    /// Sessions torn down by a search error (divergence) plus opens refused
+    /// by a policy construction error.
+    pub errored: u64,
+    /// `next_question`/`answer` operations served.
+    pub steps: u64,
+    /// Session opens served by a warm pooled policy instance (the O(Δ)
+    /// journal-reset path) rather than a fresh build.
+    pub pool_hits: u64,
+}
+
+struct LiveSession {
+    plan: Arc<PlanEntry>,
+    kind: PolicyKind,
+    policy: Box<dyn aigs_core::Policy + Send>,
+    stepper: SessionStepper,
+    last_touch: u64,
+}
+
+struct Slot {
+    generation: u32,
+    session: Option<LiveSession>,
+}
+
+#[derive(Default)]
+struct Counters {
+    opened: AtomicU64,
+    finished: AtomicU64,
+    cancelled: AtomicU64,
+    evicted: AtomicU64,
+    errored: AtomicU64,
+    steps: AtomicU64,
+    pool_hits: AtomicU64,
+    peak_live: AtomicUsize,
+}
+
+enum Removal {
+    Cancelled,
+    Errored,
+}
+
+/// A concurrent, suspendable multi-tenant search engine.
+///
+/// The engine is `Sync`: share it behind an `Arc` (or plain reference) and
+/// drive different sessions from as many threads as you like. Per-session
+/// operations lock only that session's slot, so steps on distinct sessions
+/// run in parallel; the global locks are touched only by registration,
+/// admission and eviction sweeps.
+///
+/// ### Lifecycle
+///
+/// [`open_session`](Self::open_session) →
+/// ([`next_question`](SessionHandle::next_question) → *ship to oracle,
+/// suspend* → [`answer`](SessionHandle::answer))\* →
+/// [`finish`](SessionHandle::finish). Sessions that stop answering are
+/// reclaimed by idle eviction; sessions whose search errors are torn down
+/// individually, returning the [`CoreError`] to their caller only.
+pub struct SearchEngine {
+    config: EngineConfig,
+    /// Process-unique nonce baked into every id this engine issues, so a
+    /// [`PlanId`]/[`SessionId`] presented to a *different* engine is
+    /// rejected instead of aliasing that engine's slot at the same index.
+    engine_id: u32,
+    plans: RwLock<Vec<Arc<PlanEntry>>>,
+    slots: RwLock<Vec<Arc<Mutex<Slot>>>>,
+    free: Mutex<Vec<u32>>,
+    live: AtomicUsize,
+    clock: AtomicU64,
+    counters: Counters,
+}
+
+/// Issues [`SearchEngine::engine_id`] nonces (process-wide, never zero).
+static NEXT_ENGINE_ID: AtomicU32 = AtomicU32::new(1);
+
+impl Default for SearchEngine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl SearchEngine {
+    /// An empty engine with the given limits.
+    pub fn new(config: EngineConfig) -> Self {
+        SearchEngine {
+            config,
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            plans: RwLock::new(Vec::new()),
+            slots: RwLock::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+            live: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Registers a plan (hierarchy + distribution + prices + backend
+    /// choice), building its shared reachability index once. Fails with
+    /// [`ServiceError::Core`] when the spec is inconsistent (e.g. weight
+    /// vector length mismatch).
+    pub fn register_plan(&self, spec: PlanSpec) -> Result<PlanId, ServiceError> {
+        let entry = Arc::new(PlanEntry::build(spec, self.config.pool_cap)?);
+        let mut plans = self.plans.write().expect("plans lock poisoned");
+        let id = PlanId {
+            engine: self.engine_id,
+            index: u32::try_from(plans.len()).expect("plan count fits u32"),
+        };
+        plans.push(entry);
+        Ok(id)
+    }
+
+    /// Opens a suspended session for `kind` on `plan`.
+    ///
+    /// Policy instances come from the plan's pool when warm (journal reset,
+    /// O(Δ)); construction/reset failures — an oversized
+    /// [`PolicyKind::Optimal`] instance, [`PolicyKind::GreedyTree`] on a
+    /// DAG — surface as [`ServiceError::Core`] to this caller alone. At the
+    /// admission limit an idle-eviction sweep runs first; if nothing is
+    /// reclaimable the open fails with [`ServiceError::AtCapacity`].
+    pub fn open_session(
+        &self,
+        plan: PlanId,
+        kind: PolicyKind,
+    ) -> Result<SessionHandle<'_>, ServiceError> {
+        let now = self.tick();
+        if plan.engine != self.engine_id {
+            return Err(ServiceError::UnknownPlan(plan));
+        }
+        let plan_entry = {
+            let plans = self.plans.read().expect("plans lock poisoned");
+            plans
+                .get(plan.index as usize)
+                .cloned()
+                .ok_or(ServiceError::UnknownPlan(plan))?
+        };
+
+        // Reserve a live slot (sweeping idle sessions when full).
+        if !self.reserve_live() {
+            self.sweep_idle();
+            if !self.reserve_live() {
+                return Err(ServiceError::AtCapacity {
+                    live: self.live.load(Ordering::Relaxed),
+                    limit: self.config.max_sessions,
+                });
+            }
+        }
+
+        let (mut policy, pool_hit) = plan_entry.acquire(kind);
+        let stepper = match SessionStepper::start(
+            policy.as_mut(),
+            &plan_entry.ctx(),
+            self.config.max_queries,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                // A failed reset leaves the instance in an unknown state:
+                // drop it rather than re-pool it, release the reservation,
+                // and hand the error to this caller only.
+                self.live.fetch_sub(1, Ordering::Relaxed);
+                self.counters.errored.fetch_add(1, Ordering::Relaxed);
+                return Err(e.into());
+            }
+        };
+        if pool_hit {
+            self.counters.pool_hits.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let session = LiveSession {
+            plan: plan_entry,
+            kind,
+            policy,
+            stepper,
+            last_touch: now,
+        };
+        let index = self.allocate_slot();
+        let slot_arc = self.slot_arc(index);
+        let generation = {
+            let mut slot = slot_arc.lock().expect("slot lock poisoned");
+            debug_assert!(slot.session.is_none(), "free list handed out a live slot");
+            slot.session = Some(session);
+            slot.generation
+        };
+        self.counters.opened.fetch_add(1, Ordering::Relaxed);
+        Ok(SessionHandle {
+            engine: self,
+            id: SessionId {
+                engine: self.engine_id,
+                index,
+                generation,
+            },
+        })
+    }
+
+    /// Reattaches to a live session by id (e.g. after the id travelled
+    /// through a task queue). The id is validated lazily by the next
+    /// operation.
+    pub fn session(&self, id: SessionId) -> SessionHandle<'_> {
+        SessionHandle { engine: self, id }
+    }
+
+    /// What session `id` needs next — a question to forward to its oracle,
+    /// or its resolved target. A session that exhausts its query cap is
+    /// torn down (its policy instance returns to the pool) and
+    /// [`CoreError::Diverged`] is returned to this caller; every other
+    /// session is untouched.
+    pub fn next_question(&self, id: SessionId) -> Result<SessionStep, ServiceError> {
+        let step = self.with_session(id, |s| {
+            let LiveSession {
+                plan,
+                policy,
+                stepper,
+                ..
+            } = s;
+            stepper.next_question(policy.as_mut(), &plan.ctx())
+        })?;
+        self.counters.steps.fetch_add(1, Ordering::Relaxed);
+        match step {
+            Ok(step) => Ok(step),
+            Err(e @ CoreError::Diverged { .. }) => {
+                // The search ran out of budget: reclaim the slot. The policy
+                // itself is healthy (divergence is a budget condition), so it
+                // may re-enter the pool.
+                let _ = self.remove(id, Removal::Errored);
+                Err(e.into())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Feeds the oracle's answer for the pending question of session `id`.
+    /// Answering with no question outstanding is a recoverable protocol
+    /// error ([`CoreError::SessionMisuse`]); the session stays live.
+    pub fn answer(&self, id: SessionId, yes: bool) -> Result<(), ServiceError> {
+        let fed = self.with_session(id, |s| {
+            let LiveSession {
+                plan,
+                policy,
+                stepper,
+                ..
+            } = s;
+            stepper.answer(policy.as_mut(), &plan.ctx(), yes)
+        })?;
+        self.counters.steps.fetch_add(1, Ordering::Relaxed);
+        fed.map_err(ServiceError::from)
+    }
+
+    /// Completes a resolved session: returns its [`SearchOutcome`], frees
+    /// the slot and returns the policy instance to the plan's pool. While
+    /// unresolved this errs with [`CoreError::SessionMisuse`] and the
+    /// session stays live.
+    pub fn finish(&self, id: SessionId) -> Result<SearchOutcome, ServiceError> {
+        // Probe resolution and take the session under ONE slot-lock
+        // acquisition: a probe-then-remove pair would let a concurrent
+        // cancel/evict slip between the two and discard the outcome.
+        let slot_arc = self.lookup_slot(id)?;
+        let (outcome, session) = {
+            let mut slot = slot_arc.lock().expect("slot lock poisoned");
+            if slot.generation != id.generation {
+                return Err(ServiceError::UnknownSession(id));
+            }
+            let session = slot
+                .session
+                .as_mut()
+                .ok_or(ServiceError::UnknownSession(id))?;
+            session.last_touch = self.tick();
+            let outcome = session
+                .stepper
+                .finish(session.policy.as_ref())
+                .map_err(ServiceError::from)?;
+            slot.generation = slot.generation.wrapping_add(1);
+            (outcome, slot.session.take().expect("checked above"))
+        };
+        session.plan.release(session.kind, session.policy);
+        self.release_slot(id.index);
+        self.counters.finished.fetch_add(1, Ordering::Relaxed);
+        Ok(outcome)
+    }
+
+    /// Discards a session regardless of progress, reclaiming its slot.
+    pub fn cancel(&self, id: SessionId) -> Result<(), ServiceError> {
+        self.remove(id, Removal::Cancelled)
+    }
+
+    /// Evicts every session idle for at least the configured
+    /// [`EngineConfig::idle_ticks`], returning how many were reclaimed.
+    /// No-op (returns 0) when eviction is disabled.
+    ///
+    /// The sweep scans every slot (O(`max_sessions`) per call), and
+    /// [`open_session`](Self::open_session) runs it whenever admission is
+    /// full — fine at the measured scales, but an open storm against a
+    /// saturated engine pays the scan per refused open (see the ROADMAP
+    /// serving follow-ups for the last-touch-heap fix).
+    pub fn sweep_idle(&self) -> usize {
+        let Some(max_idle) = self.config.idle_ticks else {
+            return 0;
+        };
+        let now = self.clock.load(Ordering::Relaxed);
+        let slots: Vec<(u32, Arc<Mutex<Slot>>)> = {
+            let slots = self.slots.read().expect("slots lock poisoned");
+            slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, Arc::clone(s)))
+                .collect()
+        };
+        let mut evicted = 0;
+        for (index, slot_arc) in slots {
+            let reclaimed = {
+                let mut slot = slot_arc.lock().expect("slot lock poisoned");
+                let idle = slot
+                    .session
+                    .as_ref()
+                    .is_some_and(|s| now.saturating_sub(s.last_touch) >= max_idle);
+                if idle {
+                    slot.generation = slot.generation.wrapping_add(1);
+                    slot.session.take()
+                } else {
+                    None
+                }
+            };
+            if let Some(s) = reclaimed {
+                s.plan.release(s.kind, s.policy);
+                self.release_slot(index);
+                self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Currently live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the activity counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            live: self.live.load(Ordering::Relaxed),
+            peak_live: self.counters.peak_live.load(Ordering::Relaxed),
+            opened: self.counters.opened.load(Ordering::Relaxed),
+            finished: self.counters.finished.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            evicted: self.counters.evicted.load(Ordering::Relaxed),
+            errored: self.counters.errored.load(Ordering::Relaxed),
+            steps: self.counters.steps.load(Ordering::Relaxed),
+            pool_hits: self.counters.pool_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Atomically claims one unit of live capacity; callers must release it
+    /// (decrement) on every failure path.
+    fn reserve_live(&self) -> bool {
+        match self
+            .live
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |l| {
+                (l < self.config.max_sessions).then_some(l + 1)
+            }) {
+            Ok(prev) => {
+                // Record the claimed value, not a re-load: a concurrent
+                // release between the claim and a load would hide the peak.
+                self.counters
+                    .peak_live
+                    .fetch_max(prev + 1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn allocate_slot(&self) -> u32 {
+        if let Some(i) = self.free.lock().expect("free list poisoned").pop() {
+            return i;
+        }
+        let mut slots = self.slots.write().expect("slots lock poisoned");
+        let index = u32::try_from(slots.len()).expect("slot count fits u32");
+        slots.push(Arc::new(Mutex::new(Slot {
+            generation: 0,
+            session: None,
+        })));
+        index
+    }
+
+    fn release_slot(&self, index: u32) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.free.lock().expect("free list poisoned").push(index);
+    }
+
+    fn slot_arc(&self, index: u32) -> Arc<Mutex<Slot>> {
+        Arc::clone(&self.slots.read().expect("slots lock poisoned")[index as usize])
+    }
+
+    /// Resolves `id` to its slot, rejecting ids issued by another engine.
+    fn lookup_slot(&self, id: SessionId) -> Result<Arc<Mutex<Slot>>, ServiceError> {
+        if id.engine != self.engine_id {
+            return Err(ServiceError::UnknownSession(id));
+        }
+        let slots = self.slots.read().expect("slots lock poisoned");
+        slots
+            .get(id.index as usize)
+            .cloned()
+            .ok_or(ServiceError::UnknownSession(id))
+    }
+
+    /// Runs `f` on the live session behind `id`, touching its idle clock.
+    fn with_session<T>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut LiveSession) -> T,
+    ) -> Result<T, ServiceError> {
+        let slot_arc = self.lookup_slot(id)?;
+        let mut slot = slot_arc.lock().expect("slot lock poisoned");
+        if slot.generation != id.generation {
+            return Err(ServiceError::UnknownSession(id));
+        }
+        let session = slot
+            .session
+            .as_mut()
+            .ok_or(ServiceError::UnknownSession(id))?;
+        session.last_touch = self.tick();
+        Ok(f(session))
+    }
+
+    fn remove(&self, id: SessionId, how: Removal) -> Result<(), ServiceError> {
+        let slot_arc = self.lookup_slot(id)?;
+        let session = {
+            let mut slot = slot_arc.lock().expect("slot lock poisoned");
+            if slot.generation != id.generation || slot.session.is_none() {
+                return Err(ServiceError::UnknownSession(id));
+            }
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.session.take().expect("checked above")
+        };
+        session.plan.release(session.kind, session.policy);
+        self.release_slot(id.index);
+        let counter = match how {
+            Removal::Cancelled => &self.counters.cancelled,
+            Removal::Errored => &self.counters.errored,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SearchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchEngine")
+            .field("live", &self.live_sessions())
+            .field("max_sessions", &self.config.max_sessions)
+            .finish()
+    }
+}
+
+/// The inverted-control surface of one session: ask, suspend, answer,
+/// finish. A thin, copyable view over ([`SearchEngine`], [`SessionId`]) —
+/// drop it freely and [`SearchEngine::session`] reattaches by id.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionHandle<'e> {
+    engine: &'e SearchEngine,
+    id: SessionId,
+}
+
+impl SessionHandle<'_> {
+    /// The durable id: serialise it into your task queue and reattach with
+    /// [`SearchEngine::session`].
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// See [`SearchEngine::next_question`].
+    pub fn next_question(&mut self) -> Result<SessionStep, ServiceError> {
+        self.engine.next_question(self.id)
+    }
+
+    /// See [`SearchEngine::answer`].
+    pub fn answer(&mut self, yes: bool) -> Result<(), ServiceError> {
+        self.engine.answer(self.id, yes)
+    }
+
+    /// See [`SearchEngine::finish`].
+    pub fn finish(self) -> Result<SearchOutcome, ServiceError> {
+        self.engine.finish(self.id)
+    }
+
+    /// See [`SearchEngine::cancel`].
+    pub fn cancel(self) -> Result<(), ServiceError> {
+        self.engine.cancel(self.id)
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed errors for the serving layer.
+
+use std::error::Error;
+use std::fmt;
+
+use aigs_core::CoreError;
+
+use crate::{PlanId, SessionId};
+
+/// Errors surfaced by [`crate::SearchEngine`] operations.
+///
+/// Every variant is scoped to the *operation* that raised it: a session
+/// hitting its query cap, an oversized exact-solver instance, or a stale
+/// handle never affects any other live session (the per-session isolation
+/// the engine guarantees).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission refused: the engine is at its live-session limit and no
+    /// session was idle long enough to evict.
+    AtCapacity {
+        /// Live sessions at refusal time.
+        live: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// The plan id does not name a registered plan.
+    UnknownPlan(PlanId),
+    /// The session id names no live session — never issued, already
+    /// finished or cancelled, or evicted as idle. Generational ids make
+    /// this distinguishable from a recycled slot.
+    UnknownSession(SessionId),
+    /// The underlying search errored; the session (if any) stays live for
+    /// recoverable protocol misuse and is torn down on divergence.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::AtCapacity { live, limit } => {
+                write!(
+                    f,
+                    "engine at capacity: {live} live sessions (limit {limit})"
+                )
+            }
+            ServiceError::UnknownPlan(p) => write!(f, "unknown plan {p:?}"),
+            ServiceError::UnknownSession(s) => write!(f, "unknown session {s:?}"),
+            ServiceError::Core(e) => write!(f, "search error: {e}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = ServiceError::AtCapacity {
+            live: 10,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("10"));
+        let e: ServiceError = CoreError::NotATree.into();
+        assert!(e.to_string().contains("tree"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

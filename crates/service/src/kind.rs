@@ -1,0 +1,137 @@
+//! Naming policies across a service boundary.
+
+use aigs_core::policy::{
+    CostSensitivePolicy, GreedyDagPolicy, GreedyNaivePolicy, GreedyTreePolicy, MigsPolicy,
+    OptimalPolicy, RandomPolicy, TopDownPolicy, WigsPolicy,
+};
+use aigs_core::Policy;
+use aigs_graph::Dag;
+
+/// A policy selector that crosses the service boundary by value — the
+/// engine builds (and pools) the actual [`Policy`] instances behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Root-to-target level scan (paper Section I).
+    TopDown,
+    /// Unary-chain-jumping top-down (Li et al.).
+    Migs,
+    /// Worst-case heavy-path binary search (Tao et al.).
+    Wigs,
+    /// Average-case greedy on trees (Alg. 4–5) — errs with
+    /// [`aigs_core::CoreError::NotATree`] on DAG plans.
+    GreedyTree,
+    /// Rounded average-case greedy on DAGs (Alg. 6–7).
+    GreedyDag,
+    /// Reference O(n·m) greedy (Alg. 2–3).
+    GreedyNaive,
+    /// Price-aware greedy (Definition 9).
+    CostSensitive,
+    /// Exact expected-cost DP — errs with
+    /// [`aigs_core::CoreError::TooLargeForExact`] past
+    /// [`aigs_core::MAX_EXACT_NODES`] nodes.
+    Optimal,
+    /// Seeded random informative queries (sanity baseline). Deterministic
+    /// per seed, but never pooled: each session gets a fresh instance so
+    /// the stream always restarts from the seed.
+    Random {
+        /// The ChaCha8 seed.
+        seed: u64,
+    },
+}
+
+/// How many poolable kinds exist (every unit variant; `Random` is built
+/// fresh per session).
+pub(crate) const POOLED_KINDS: usize = 8;
+
+impl PolicyKind {
+    /// Builds a fresh policy instance of this kind.
+    pub fn build(self) -> Box<dyn Policy + Send> {
+        match self {
+            PolicyKind::TopDown => Box::new(TopDownPolicy::new()),
+            PolicyKind::Migs => Box::new(MigsPolicy::new()),
+            PolicyKind::Wigs => Box::new(WigsPolicy::new()),
+            PolicyKind::GreedyTree => Box::new(GreedyTreePolicy::new()),
+            PolicyKind::GreedyDag => Box::new(GreedyDagPolicy::new()),
+            PolicyKind::GreedyNaive => Box::new(GreedyNaivePolicy::new()),
+            PolicyKind::CostSensitive => Box::new(CostSensitivePolicy::new()),
+            PolicyKind::Optimal => Box::new(OptimalPolicy::new()),
+            PolicyKind::Random { seed } => Box::new(RandomPolicy::new(seed)),
+        }
+    }
+
+    /// Stable identifier matching [`Policy::name`] of the built instance.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::TopDown => "top-down",
+            PolicyKind::Migs => "migs",
+            PolicyKind::Wigs => "wigs",
+            PolicyKind::GreedyTree => "greedy-tree",
+            PolicyKind::GreedyDag => "greedy-dag",
+            PolicyKind::GreedyNaive => "greedy-naive",
+            PolicyKind::CostSensitive => "cost-sensitive-greedy",
+            PolicyKind::Optimal => "optimal-expected",
+            PolicyKind::Random { .. } => "random",
+        }
+    }
+
+    /// The paper's recommended policy for a hierarchy shape: the
+    /// average-case greedy matching the structure (GreedyTree on trees,
+    /// GreedyDAG otherwise).
+    pub fn auto(dag: &Dag) -> Self {
+        if dag.is_tree() {
+            PolicyKind::GreedyTree
+        } else {
+            PolicyKind::GreedyDag
+        }
+    }
+
+    /// Index into the per-plan instance pools; `None` for kinds that must
+    /// not be pooled (`Random` carries per-session seed state).
+    pub(crate) fn pool_index(self) -> Option<usize> {
+        match self {
+            PolicyKind::TopDown => Some(0),
+            PolicyKind::Migs => Some(1),
+            PolicyKind::Wigs => Some(2),
+            PolicyKind::GreedyTree => Some(3),
+            PolicyKind::GreedyDag => Some(4),
+            PolicyKind::GreedyNaive => Some(5),
+            PolicyKind::CostSensitive => Some(6),
+            PolicyKind::Optimal => Some(7),
+            PolicyKind::Random { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_built_instances() {
+        let kinds = [
+            PolicyKind::TopDown,
+            PolicyKind::Migs,
+            PolicyKind::Wigs,
+            PolicyKind::GreedyTree,
+            PolicyKind::GreedyDag,
+            PolicyKind::GreedyNaive,
+            PolicyKind::CostSensitive,
+            PolicyKind::Optimal,
+            PolicyKind::Random { seed: 7 },
+        ];
+        for k in kinds {
+            assert_eq!(k.build().name(), k.name());
+            if let Some(i) = k.pool_index() {
+                assert!(i < POOLED_KINDS);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_shape_matched_greedy() {
+        let tree = aigs_graph::dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        assert_eq!(PolicyKind::auto(&tree), PolicyKind::GreedyTree);
+        let dag = aigs_graph::dag_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(PolicyKind::auto(&dag), PolicyKind::GreedyDag);
+    }
+}

@@ -1,0 +1,278 @@
+//! Shared plan artifacts: the per-(hierarchy, distribution) state every
+//! session on that plan reuses.
+
+use std::sync::{Arc, Mutex};
+
+use aigs_core::{fresh_cache_token, NodeWeights, Policy, QueryCosts, SearchContext};
+use aigs_graph::{Dag, ReachIndex};
+
+use crate::kind::{PolicyKind, POOLED_KINDS};
+use crate::ServiceError;
+
+/// Handle to a registered plan (a "roster entry"): one hierarchy + target
+/// distribution + query-price schedule, with its shared reachability index
+/// and policy-instance pool.
+///
+/// The id is scoped to the engine that issued it: presenting it to a
+/// different [`crate::SearchEngine`] fails with
+/// [`crate::ServiceError::UnknownPlan`] instead of silently resolving to
+/// whatever plan that engine registered at the same position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanId {
+    pub(crate) engine: u32,
+    pub(crate) index: u32,
+}
+
+/// Which reachability backend a plan shares across its sessions.
+///
+/// Every backend is exact, so the choice changes time and memory, never
+/// transcripts (property-tested). See the `ReachIndex` notes in ROADMAP.md
+/// for measured trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReachChoice {
+    /// No index on trees; [`ReachIndex::auto`] on DAGs (closure up to
+    /// [`aigs_graph::AUTO_CLOSURE_MAX_NODES`] nodes, GRAIL intervals past
+    /// it). The right default.
+    #[default]
+    Auto,
+    /// Force the O(n²/8)-byte transitive closure (O(1) queries).
+    Closure,
+    /// Force GRAIL interval labelings: O(k·n) memory, O(k) negatives.
+    Interval {
+        /// Number of independent labelings `k` (2–5 is typical).
+        labelings: usize,
+        /// Seed for the randomised label orders.
+        seed: u64,
+    },
+    /// Index-free traversal fallback.
+    Bfs,
+    /// No shared index at all; policies that need one build their own.
+    None,
+}
+
+/// Everything needed to register a plan with
+/// [`crate::SearchEngine::register_plan`].
+///
+/// The `Arc`s make sharing explicit: one dag / weight vector / price
+/// schedule serves every session of every policy on this plan, however many
+/// engines hold it.
+#[derive(Debug, Clone)]
+pub struct PlanSpec {
+    /// The category hierarchy.
+    pub dag: Arc<Dag>,
+    /// The a-priori target distribution.
+    pub weights: Arc<NodeWeights>,
+    /// Query prices (uniform by default).
+    pub costs: Arc<QueryCosts>,
+    /// Shared reachability backend choice.
+    pub reach: ReachChoice,
+}
+
+impl PlanSpec {
+    /// Plan with uniform costs and the auto-selected reachability backend.
+    pub fn new(dag: Arc<Dag>, weights: Arc<NodeWeights>) -> Self {
+        PlanSpec {
+            dag,
+            weights,
+            costs: Arc::new(QueryCosts::Uniform),
+            reach: ReachChoice::Auto,
+        }
+    }
+
+    /// Attaches per-node query prices.
+    pub fn with_costs(mut self, costs: Arc<QueryCosts>) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Overrides the reachability backend choice.
+    pub fn with_reach(mut self, reach: ReachChoice) -> Self {
+        self.reach = reach;
+        self
+    }
+}
+
+/// A registered plan: the spec's artifacts plus the built index, the
+/// plan-wide cache token, and the policy-instance pools.
+///
+/// `Arc<PlanEntry>` is held by every live session on the plan, so artifacts
+/// stay alive exactly as long as something uses them.
+pub(crate) struct PlanEntry {
+    dag: Arc<Dag>,
+    weights: Arc<NodeWeights>,
+    costs: Arc<QueryCosts>,
+    reach: Option<ReachIndex>,
+    /// Non-zero token certifying the (dag, weights, costs) triple to policy
+    /// instance caches: a pooled policy's `try_reset` under a matching
+    /// token unwinds its journal in O(Δ of the last session) instead of
+    /// rebuilding O(n) base state.
+    cache_token: u64,
+    /// One LIFO pool per poolable [`PolicyKind`]: warm instances keep their
+    /// per-instance caches (closures, Euler views, base arrays).
+    pools: [Mutex<Vec<Box<dyn Policy + Send>>>; POOLED_KINDS],
+    pool_cap: usize,
+}
+
+impl PlanEntry {
+    pub(crate) fn build(spec: PlanSpec, pool_cap: usize) -> Result<Self, ServiceError> {
+        let reach = match spec.reach {
+            ReachChoice::Auto => {
+                if spec.dag.is_tree() {
+                    None
+                } else {
+                    Some(ReachIndex::auto(&spec.dag))
+                }
+            }
+            ReachChoice::Closure => Some(ReachIndex::closure_for(&spec.dag)),
+            ReachChoice::Interval { labelings, seed } => {
+                Some(ReachIndex::interval_for(&spec.dag, labelings, seed))
+            }
+            ReachChoice::Bfs => Some(ReachIndex::Bfs),
+            ReachChoice::None => None,
+        };
+        let entry = PlanEntry {
+            dag: spec.dag,
+            weights: spec.weights,
+            costs: spec.costs,
+            reach,
+            cache_token: fresh_cache_token(),
+            pools: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            pool_cap,
+        };
+        entry.ctx().validate().map_err(ServiceError::Core)?;
+        Ok(entry)
+    }
+
+    /// The borrow-based view policies consume, rebuilt per call from the
+    /// owned artifacts (all cheap references + the cached token).
+    pub(crate) fn ctx(&self) -> SearchContext<'_> {
+        let base = SearchContext::new(&self.dag, &self.weights)
+            .with_costs(&self.costs)
+            .with_cache_token(self.cache_token);
+        match &self.reach {
+            Some(r) => base.with_reach(r),
+            None => base,
+        }
+    }
+
+    /// A policy instance for `kind`: a warm pooled one when available
+    /// (`true` = pool hit), else a fresh build.
+    pub(crate) fn acquire(&self, kind: PolicyKind) -> (Box<dyn Policy + Send>, bool) {
+        if let Some(i) = kind.pool_index() {
+            if let Some(p) = self.pools[i].lock().expect("pool poisoned").pop() {
+                return (p, true);
+            }
+        }
+        (kind.build(), false)
+    }
+
+    /// Returns a healthy instance to its pool (dropped when the pool is at
+    /// capacity or the kind is unpoolable).
+    pub(crate) fn release(&self, kind: PolicyKind, policy: Box<dyn Policy + Send>) {
+        if let Some(i) = kind.pool_index() {
+            let mut pool = self.pools[i].lock().expect("pool poisoned");
+            if pool.len() < self.pool_cap {
+                pool.push(policy);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn pooled(&self, kind: PolicyKind) -> usize {
+        kind.pool_index()
+            .map_or(0, |i| self.pools[i].lock().unwrap().len())
+    }
+}
+
+impl std::fmt::Debug for PlanEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanEntry")
+            .field("nodes", &self.dag.node_count())
+            .field(
+                "reach",
+                &self.reach.as_ref().map_or("none", |r| r.backend_name()),
+            )
+            .field("cache_token", &self.cache_token)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aigs_graph::dag_from_edges;
+
+    fn diamond_plan(reach: ReachChoice) -> PlanEntry {
+        let dag = Arc::new(dag_from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap());
+        let weights = Arc::new(NodeWeights::uniform(5));
+        PlanEntry::build(PlanSpec::new(dag, weights).with_reach(reach), 4).unwrap()
+    }
+
+    #[test]
+    fn backend_choices_build() {
+        assert_eq!(
+            diamond_plan(ReachChoice::Auto)
+                .ctx()
+                .reach
+                .map(|r| r.backend_name()),
+            Some("closure")
+        );
+        assert!(diamond_plan(ReachChoice::Closure).ctx().closure().is_some());
+        assert_eq!(
+            diamond_plan(ReachChoice::Interval {
+                labelings: 2,
+                seed: 9
+            })
+            .ctx()
+            .reach
+            .map(|r| r.backend_name()),
+            Some("interval")
+        );
+        assert_eq!(
+            diamond_plan(ReachChoice::Bfs)
+                .ctx()
+                .reach
+                .map(|r| r.backend_name()),
+            Some("bfs")
+        );
+        assert!(diamond_plan(ReachChoice::None).ctx().reach.is_none());
+        // Trees default to no index at all.
+        let tree = Arc::new(dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap());
+        let entry =
+            PlanEntry::build(PlanSpec::new(tree, Arc::new(NodeWeights::uniform(3))), 4).unwrap();
+        assert!(entry.ctx().reach.is_none());
+    }
+
+    #[test]
+    fn mismatched_weights_rejected_at_registration() {
+        let dag = Arc::new(dag_from_edges(3, &[(0, 1), (0, 2)]).unwrap());
+        let weights = Arc::new(NodeWeights::uniform(4));
+        let err = PlanEntry::build(PlanSpec::new(dag, weights), 4).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Core(aigs_core::CoreError::WeightMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_is_lifo_and_capped() {
+        let plan = diamond_plan(ReachChoice::Auto);
+        let kind = PolicyKind::GreedyDag;
+        let (a, hit) = plan.acquire(kind);
+        assert!(!hit, "empty pool builds fresh");
+        plan.release(kind, a);
+        assert_eq!(plan.pooled(kind), 1);
+        let (_b, hit) = plan.acquire(kind);
+        assert!(hit, "warm instance reused");
+        assert_eq!(plan.pooled(kind), 0);
+        // Cap: release more than pool_cap instances, surplus is dropped.
+        for _ in 0..10 {
+            plan.release(kind, kind.build());
+        }
+        assert_eq!(plan.pooled(kind), 4);
+        // Random is never pooled.
+        let r = PolicyKind::Random { seed: 1 };
+        plan.release(r, r.build());
+        assert_eq!(plan.pooled(r), 0);
+    }
+}

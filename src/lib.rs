@@ -17,6 +17,9 @@
 //!   the paper's worked-example fixtures.
 //! * [`poset`] ([`aigs_poset`]) — the order-theoretic reductions behind the
 //!   hardness results.
+//! * [`service`] ([`aigs_service`]) — the serving layer: a concurrent,
+//!   suspendable session engine for holding thousands of in-flight
+//!   crowd-oracle searches.
 //!
 //! ## Quick start
 //!
@@ -40,3 +43,4 @@ pub use aigs_core as core;
 pub use aigs_data as data;
 pub use aigs_graph as graph;
 pub use aigs_poset as poset;
+pub use aigs_service as service;
