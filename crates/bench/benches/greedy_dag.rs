@@ -39,6 +39,20 @@ fn bench_dag_policies(c: &mut Criterion) {
         })
     });
 
+    // Incremental-frontier ablation: the identical cached session driven by
+    // the retained from-scratch oracle (`GreedyDagPolicy::reference`), whose
+    // `select` re-runs the pruned BFS every round. The gap against
+    // `cached_init` is what the persistent frontier buys per session.
+    let scratch_token = fresh_cache_token();
+    let mut scratch_select = GreedyDagPolicy::reference();
+    group.bench_function(BenchmarkId::new("greedy_dag", "scratch_select"), |b| {
+        b.iter(|| {
+            let ctx = SearchContext::new(dag, &weights).with_cache_token(scratch_token);
+            let mut oracle = TargetOracle::new(dag, target);
+            run_session(&mut scratch_select, &ctx, &mut oracle, None).unwrap()
+        })
+    });
+
     group.sample_size(10);
     let mut naive = GreedyNaivePolicy::new();
     group.bench_function(BenchmarkId::new("greedy_naive", "dag"), |b| {

@@ -3,68 +3,250 @@
 //!
 //! Weights are first rounded to integers by Eq. (1), which both enables the
 //! `2(1 + 3 ln n)` approximation bound and makes the incremental bookkeeping
-//! exact (no floating drift). Per round, a pruned BFS from the current root
-//! finds the middle point: a child `v` with `2·w̃(v) ≤ w̃(r)` dominates all
-//! its descendants, so the BFS never expands below it. A *no* answer deletes
-//! the eliminated subgraph and repairs ancestors' weights with one reverse
-//! BFS per deleted node (`AdjustWeight`, Alg. 7) — O(n·m) total over a whole
-//! search, versus O(n²·m) for `GreedyNaive`.
+//! exact (no floating drift). Per round, the policy needs the *middle
+//! point*: the candidate minimising `|2·w̃(v) − w̃(r)|` over the frontier of
+//! the current root `r` — a child `v` with `2·w̃(v) ≤ w̃(r)` dominates all
+//! its descendants, so nothing below it is ever a better split.
+//!
+//! # Incremental frontier
+//!
+//! The pruned BFS that discovers the frontier is re-derivable from scratch
+//! every round (that is [`GreedyDagPolicy::reference`], the differential
+//! oracle), but its result changes only by O(Δ) per answer, so the policy
+//! keeps it as **persistent state**: the *cone* (alive nodes under `r` with
+//! `2·w̃ > w̃(r)`) and the *boundary* (their alive light children). Because
+//! `w̃` is monotone along DAG edges, cone membership is a purely local
+//! predicate — every alive path from `r` to a heavy node runs through heavy
+//! nodes — which is what makes incremental maintenance exact:
+//!
+//! * a *no* answer deletes the doomed subgraph (its nodes leave the
+//!   frontier by dying — an alive child of a doomed node is itself doomed)
+//!   and subtracts the doomed contribution from every alive ancestor along
+//!   the existing deleted walk, via
+//!   [`aigs_graph::ReachIndex::doomed_contributions`];
+//! * a shrinking total promotes boundary nodes into the cone; `select`
+//!   re-scans the flat frontier lists, promoting and expanding where
+//!   `2·w̃ > w̃(r)` now holds (each promotion scans its children once);
+//! * a *yes* answer re-roots at `q`; the next `select` rebuilds the cone
+//!   below `q` (the sub-frontier under `q` is re-derived, everything
+//!   outside `G_q` is dropped wholesale);
+//! * the rare non-local events — a cone member falling light (demotion) or
+//!   the `count_mode` fallback flipping because the alive rounded weight
+//!   hit zero — conservatively invalidate the frontier; the next `select`
+//!   rebuilds it from scratch, which is always exact.
+//!
+//! Rollback restores the frontier bit-exactly: every `observe` snapshots
+//! the scalar frontier state in its journal payload, and the first
+//! structural mutation under a step lazily spills a **frontier frame**
+//! (the live cone + boundary) via [`StepJournal::log_frame`], so
+//! `unobserve` and a cache-token `reset` land on the exact pre-step
+//! frontier — `reset` typically restores the *base* frontier of the first
+//! round, letting a pooled policy skip the cold root BFS entirely.
 
 use std::collections::VecDeque;
 
-use aigs_graph::{NodeId, ReachIndex, ReachScratch, VisitedSet};
+use aigs_graph::{NodeBitSet, NodeId, ReachIndex, ReachScratch, VisitedSet};
 
 use crate::policy::StepJournal;
 use crate::{Policy, SearchContext};
 
-/// Per-step scalar payload: the only non-array state a step mutates.
+/// `fr_state` tag: not part of the frontier.
+const FR_OUT: u8 = 0;
+/// `fr_state` tag: light boundary candidate.
+const FR_BOUNDARY: u8 = 1;
+/// `fr_state` tag: heavy cone member.
+const FR_CONE: u8 = 2;
+
+/// Per-step scalar payload: the step's pre-observe root and frontier
+/// scalars, plus the lazily-filled frame descriptor.
 #[derive(Debug, Clone, Copy)]
 struct DagStep {
     prev_root: NodeId,
+    fr_valid: bool,
+    fr_root: NodeId,
+    fr_count_mode: bool,
+    /// Set when a frontier frame was spilled for this step.
+    frame_spilled: bool,
+    /// Split point inside the spilled frame: entries `[..cone_len]` are the
+    /// live cone, the rest the live boundary.
+    frame_cone_len: u32,
 }
 
 /// Efficient rounded-greedy policy for DAGs (also correct on trees).
 ///
 /// Rollback state lives in a [`StepJournal`]: `observe` records only the
-/// `(index, old value)` deltas it writes (ancestor `w̃`/`ñ` repairs, alive
-/// flips), `unobserve` replays them — O(Δ) per query, no allocation on the
-/// hot path. Under a stable [`SearchContext::cache_token`], `reset` unwinds
-/// the previous session's journal instead of recomputing (or cloning) the
-/// O(n·m) base state.
+/// `(index, old value)` deltas it writes (one aggregated repair per alive
+/// ancestor of the doomed subgraph, word-granular alive-bitset clears) plus
+/// the frontier scalars; frontier *structure* is captured lazily as a
+/// journal frame before a step's first structural mutation. `unobserve`
+/// replays them — O(Δ) per query, no allocation on the hot path. Under a
+/// stable [`SearchContext::cache_token`], `reset` unwinds the previous
+/// session's journal instead of recomputing (or cloning) the O(n·m) base
+/// state, and lands on a warm base frontier.
 #[derive(Debug, Clone)]
 pub struct GreedyDagPolicy {
     /// Rounded node weights `w(v)` (Eq. 1).
     w: Vec<u64>,
-    /// `w̃(v)` — rounded weight of the *alive* subgraph of `v`.
+    /// `w̃(v)` — rounded weight of the *alive* subgraph of `v`. Entries of
+    /// dead nodes are stale (their last alive value): nothing reads a dead
+    /// node's aggregate, and revival always happens through the journal,
+    /// which restores the exact pre-step values.
     wt: Vec<u64>,
-    /// `ñ(v)` — alive node count of the subgraph of `v`.
+    /// `ñ(v)` — alive node count of the subgraph of `v` (same staleness
+    /// rule as `wt`).
     cnt: Vec<u32>,
-    alive: Vec<bool>,
+    /// Alive set as a bitset: deletions journal whole 64-bit words.
+    alive: NodeBitSet,
     root: NodeId,
     journal: StepJournal<DagStep>,
     /// Token the current base state (`w`/`wt`/`cnt`) was derived under.
     base_token: u64,
+    /// From-scratch differential oracle: when set, `select` re-runs the
+    /// pruned BFS every round and no frontier state is kept.
+    reference: bool,
+
+    // Persistent frontier (valid when `fr_valid` and `fr_root`/
+    // `fr_count_mode` match the current root and mode).
+    fr_valid: bool,
+    fr_root: NodeId,
+    fr_count_mode: bool,
+    /// Per-node frontier tag (`FR_OUT`/`FR_BOUNDARY`/`FR_CONE`). Tags of
+    /// dead nodes are stale until revival; every reader checks `alive`
+    /// first.
+    fr_state: Vec<u8>,
+    /// Heavy cone members, in discovery order. May contain dead entries
+    /// (skipped by scans, dropped at the next rebuild).
+    cone: Vec<NodeId>,
+    /// Boundary candidates, in discovery order. May contain dead or
+    /// promoted entries (skipped via `alive`/`fr_state`).
+    boundary: Vec<NodeId>,
+
+    // Scratch (never journalled; semantically transparent to rollback).
     visited: VisitedSet,
     queue: VecDeque<NodeId>,
-    /// Scratch for the doomed-subgraph BFS in `observe` (reused, never
-    /// stored in undo frames).
+    /// The doomed-subgraph walk of the current `observe` (reused).
     deleted: Vec<NodeId>,
+    /// Cone members repaired by the current `observe` (demotion check).
+    touched_cone: Vec<NodeId>,
+    /// Epoch set over *word* indices: which alive words were journalled
+    /// this step.
+    word_mark: VisitedSet,
+    /// Shared-reach scratch for base aggregation and doomed repairs.
+    reach: ReachScratch,
 }
 
 impl GreedyDagPolicy {
-    /// New, un-reset policy.
+    /// New, un-reset policy with the incremental frontier enabled.
     pub fn new() -> Self {
+        Self::build(false)
+    }
+
+    /// The retained differential oracle: identical policy semantics, but
+    /// `select` re-derives the frontier from scratch every round (the
+    /// paper's Alg. 6 executed naively). Transcripts are bit-identical to
+    /// [`GreedyDagPolicy::new`] on every hierarchy, backend and answer
+    /// sequence — that equivalence is what the differential test harness
+    /// asserts.
+    pub fn reference() -> Self {
+        Self::build(true)
+    }
+
+    fn build(reference: bool) -> Self {
         GreedyDagPolicy {
             w: Vec::new(),
             wt: Vec::new(),
             cnt: Vec::new(),
-            alive: Vec::new(),
+            alive: NodeBitSet::empty(0),
             root: NodeId::SENTINEL,
             journal: StepJournal::new(),
             base_token: 0,
+            reference,
+            fr_valid: false,
+            fr_root: NodeId::SENTINEL,
+            fr_count_mode: false,
+            fr_state: Vec::new(),
+            cone: Vec::new(),
+            boundary: Vec::new(),
             visited: VisitedSet::new(0),
             queue: VecDeque::new(),
             deleted: Vec::new(),
+            touched_cone: Vec::new(),
+            word_mark: VisitedSet::new(0),
+            reach: ReachScratch::new(0),
+        }
+    }
+
+    /// True when this instance is the from-scratch differential oracle.
+    pub fn is_reference(&self) -> bool {
+        self.reference
+    }
+
+    /// The live frontier as sorted `(cone, boundary)` id lists — empty when
+    /// no frontier is currently valid. Test-facing introspection for the
+    /// differential harness; not part of the stable API.
+    #[doc(hidden)]
+    pub fn frontier_snapshot(&self) -> (Vec<u32>, Vec<u32>) {
+        if !self.fr_valid {
+            return (Vec::new(), Vec::new());
+        }
+        let live = |tag: u8| {
+            let mut v: Vec<u32> = self
+                .cone
+                .iter()
+                .chain(self.boundary.iter())
+                .filter(|x| self.alive.contains(**x) && self.fr_state[x.index()] == tag)
+                .map(|x| x.0)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        (live(FR_CONE), live(FR_BOUNDARY))
+    }
+
+    /// The alive-masked frontier aggregates as `(alive ids, w̃, ñ)`; dead
+    /// nodes report zero (their stored entries are deliberately stale).
+    /// Test-facing introspection: the journal-rollback fuzz compares these
+    /// bit-for-bit against a cold `compute_base` rebuild.
+    #[doc(hidden)]
+    pub fn aggregates_snapshot(&self) -> (Vec<u32>, Vec<u64>, Vec<u32>) {
+        let n = self.wt.len();
+        let mut ids = Vec::new();
+        let mut wt = vec![0u64; n];
+        let mut cnt = vec![0u32; n];
+        for i in 0..n {
+            if self.alive.contains(NodeId::new(i)) {
+                ids.push(i as u32);
+                wt[i] = self.wt[i];
+                cnt[i] = self.cnt[i];
+            }
+        }
+        (ids, wt, cnt)
+    }
+
+    /// The current known-yes root. Test-facing introspection.
+    #[doc(hidden)]
+    pub fn debug_root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Whether a frontier for the current root and mode is live (i.e. the
+    /// next `select` takes the incremental path).
+    #[doc(hidden)]
+    pub fn frontier_live(&self) -> bool {
+        !self.reference
+            && self.fr_valid
+            && !self.root.is_sentinel()
+            && self.fr_root == self.root
+            && self.fr_count_mode == (self.wt[self.root.index()] == 0)
+    }
+
+    #[inline]
+    fn score(&self, count_mode: bool, v: NodeId) -> u64 {
+        if count_mode {
+            self.cnt[v.index()] as u64
+        } else {
+            self.wt[v.index()]
         }
     }
 
@@ -73,14 +255,43 @@ impl GreedyDagPolicy {
         let wt = &mut self.wt;
         let cnt = &mut self.cnt;
         let alive = &mut self.alive;
-        match self.journal.pop_with(
+        let fr_state = &mut self.fr_state;
+        let cone = &mut self.cone;
+        let boundary = &mut self.boundary;
+        match self.journal.pop_full(
             |slot, old| wt[slot] = old,
             |slot, old| cnt[slot] = old,
-            |slot| alive[slot] = !alive[slot],
             |_| {},
+            |word, old| alive.restore_word(word, old),
+            |_| {},
+            |step: &DagStep, frame| {
+                if step.frame_spilled {
+                    // Wholesale frontier restore: clear the tags of every
+                    // current entry, then rebuild both lists (and tags)
+                    // from the frame. Dead-but-tagged entries are restored
+                    // too — their tags were live when the frame was taken.
+                    for x in cone.iter().chain(boundary.iter()) {
+                        fr_state[x.index()] = FR_OUT;
+                    }
+                    cone.clear();
+                    boundary.clear();
+                    let split = step.frame_cone_len as usize;
+                    for &raw in &frame[..split] {
+                        fr_state[raw as usize] = FR_CONE;
+                        cone.push(NodeId(raw));
+                    }
+                    for &raw in &frame[split..] {
+                        fr_state[raw as usize] = FR_BOUNDARY;
+                        boundary.push(NodeId(raw));
+                    }
+                }
+            },
         ) {
             Some(step) => {
                 self.root = step.prev_root;
+                self.fr_valid = step.fr_valid;
+                self.fr_root = step.fr_root;
+                self.fr_count_mode = step.fr_count_mode;
                 true
             }
             None => false,
@@ -107,13 +318,101 @@ impl GreedyDagPolicy {
             self.visited = VisitedSet::new(n);
         }
         let index = ctx.reach.unwrap_or(&ReachIndex::Bfs);
-        // Cold path (per instance, not per query): a fresh scratch is fine.
-        let mut scratch = ReachScratch::new(n);
         for v in dag.nodes() {
-            let (wsum, csum) = index.descendant_weight_count(dag, v, w, &mut scratch);
+            let (wsum, csum) = index.descendant_weight_count(dag, v, w, &mut self.reach);
             self.wt[v.index()] = wsum;
             self.cnt[v.index()] = csum;
         }
+    }
+
+    /// Spills the live frontier into the step on top of the journal, once
+    /// per step, immediately before its first structural mutation. A step
+    /// that never mutates the frontier stores nothing; with an empty
+    /// journal there is nothing to undo to, so nothing is spilled either.
+    fn frame_guard(&mut self) {
+        if self.journal.is_empty() || self.journal.frame_pending() {
+            return;
+        }
+        let fr_state = &self.fr_state;
+        let cone_live = self
+            .cone
+            .iter()
+            .filter(|x| fr_state[x.index()] == FR_CONE)
+            .map(|x| x.0);
+        let boundary_live = self
+            .boundary
+            .iter()
+            .filter(|x| fr_state[x.index()] == FR_BOUNDARY)
+            .map(|x| x.0);
+        let cone_len = cone_live.clone().count();
+        self.journal.log_frame(cone_live.chain(boundary_live));
+        let step = self
+            .journal
+            .last_payload_mut()
+            .expect("journal non-empty: a step is on top");
+        step.frame_spilled = true;
+        step.frame_cone_len = cone_len as u32;
+    }
+
+    /// From-scratch frontier derivation: the pruned BFS of Alg. 6
+    /// (lines 4–11), which doubles as the reference `select`. In
+    /// incremental mode it additionally records the cone and boundary it
+    /// discovers.
+    fn rebuild_frontier(
+        &mut self,
+        ctx: &SearchContext<'_>,
+        count_mode: bool,
+        total: u64,
+    ) -> NodeId {
+        let r = self.root;
+        let record = !self.reference;
+        if record {
+            self.frame_guard();
+            for x in self.cone.iter().chain(self.boundary.iter()) {
+                self.fr_state[x.index()] = FR_OUT;
+            }
+            self.cone.clear();
+            self.boundary.clear();
+        }
+        self.visited.clear();
+        self.queue.clear();
+        self.visited.insert(r);
+        self.queue.push_back(r);
+        let mut best: Option<(u64, NodeId)> = None;
+        while let Some(u) = self.queue.pop_front() {
+            for &c in ctx.dag.children(u) {
+                if !self.alive.contains(c) || !self.visited.insert(c) {
+                    continue;
+                }
+                let s = self.score(count_mode, c);
+                let balance = (2 * s).abs_diff(total);
+                let better = match best {
+                    None => true,
+                    Some((bb, bc)) => balance < bb || (balance == bb && c < bc),
+                };
+                if better {
+                    best = Some((balance, c));
+                }
+                // Children with 2·w̃ ≤ w̃(r) dominate their descendants:
+                // prune the subtree.
+                if 2 * s > total {
+                    self.queue.push_back(c);
+                    if record {
+                        self.fr_state[c.index()] = FR_CONE;
+                        self.cone.push(c);
+                    }
+                } else if record {
+                    self.fr_state[c.index()] = FR_BOUNDARY;
+                    self.boundary.push(c);
+                }
+            }
+        }
+        if record {
+            self.fr_valid = true;
+            self.fr_root = r;
+            self.fr_count_mode = count_mode;
+        }
+        best.expect("unresolved root has an alive child").1
     }
 }
 
@@ -125,26 +424,45 @@ impl Default for GreedyDagPolicy {
 
 impl Policy for GreedyDagPolicy {
     fn name(&self) -> &'static str {
-        "greedy-dag"
+        if self.reference {
+            "greedy-dag-scratch"
+        } else {
+            "greedy-dag"
+        }
     }
 
     fn reset(&mut self, ctx: &SearchContext<'_>) {
         let n = ctx.dag.node_count();
         if ctx.cache_token != 0 && self.base_token == ctx.cache_token && self.wt.len() == n {
             // Same instance as the previous session: unwinding the journal
-            // restores the exact base state in O(previous session's deltas)
-            // instead of an O(n) clone (or O(n·m) recompute).
+            // restores the exact base state — including the base frontier
+            // of the previous session's first round — in O(previous
+            // session's deltas) instead of an O(n) clone (or O(n·m)
+            // recompute).
             while self.unwind_one() {}
             self.root = ctx.dag.root();
             return;
         }
         self.w = ctx.weights.rounded();
         self.compute_base(ctx);
-        self.alive.clear();
-        self.alive.resize(n, true);
+        if self.alive.universe() != n {
+            self.alive = NodeBitSet::full(n);
+        } else {
+            self.alive.fill();
+        }
         self.root = ctx.dag.root();
         self.journal.clear();
         self.base_token = ctx.cache_token;
+        self.fr_valid = false;
+        self.fr_root = NodeId::SENTINEL;
+        self.fr_count_mode = false;
+        self.fr_state.clear();
+        self.fr_state.resize(n, FR_OUT);
+        self.cone.clear();
+        self.boundary.clear();
+        if self.word_mark.capacity() != self.alive.word_count() {
+            self.word_mark = VisitedSet::new(self.alive.word_count());
+        }
     }
 
     fn resolved(&self) -> Option<NodeId> {
@@ -165,39 +483,60 @@ impl Policy for GreedyDagPolicy {
         // zero-probability targets), balance on counts instead so the
         // search stays logarithmic.
         let count_mode = self.wt[r.index()] == 0;
-        let score_of = |this: &Self, v: NodeId| -> u64 {
-            if count_mode {
-                this.cnt[v.index()] as u64
-            } else {
-                this.wt[v.index()]
+        let total = self.score(count_mode, r);
+        if self.reference
+            || !(self.fr_valid && self.fr_root == r && self.fr_count_mode == count_mode)
+        {
+            return self.rebuild_frontier(ctx, count_mode, total);
+        }
+
+        // Incremental path: the persistent frontier is exact for (r, mode);
+        // only the shrunken total can move nodes across the heavy boundary,
+        // and only upwards (boundary → cone), because unrepaired scores are
+        // unchanged and repaired cone members were demotion-checked in
+        // `observe`. Scan the flat lists, promoting and expanding as the
+        // pruned BFS would discover.
+        let mut best: Option<(u64, NodeId)> = None;
+        let consider = |s: u64, c: NodeId, best: &mut Option<(u64, NodeId)>| {
+            let balance = (2 * s).abs_diff(total);
+            let better = match *best {
+                None => true,
+                Some((bb, bc)) => balance < bb || (balance == bb && c < bc),
+            };
+            if better {
+                *best = Some((balance, c));
             }
         };
-        let total = score_of(self, r);
-
-        // Pruned BFS for the middle point (Alg. 6 lines 4–11).
-        self.visited.clear();
-        self.queue.clear();
-        self.visited.insert(r);
-        self.queue.push_back(r);
-        let mut best: Option<(u64, NodeId)> = None;
-        while let Some(u) = self.queue.pop_front() {
-            for &c in ctx.dag.children(u) {
-                if !self.alive[c.index()] || !self.visited.insert(c) {
-                    continue;
-                }
-                let s = score_of(self, c);
-                let balance = (2 * s).abs_diff(total);
-                let better = match best {
-                    None => true,
-                    Some((bb, bc)) => balance < bb || (balance == bb && c < bc),
-                };
-                if better {
-                    best = Some((balance, c));
-                }
-                // Children with 2·w̃ ≤ w̃(r) dominate their descendants:
-                // prune the subtree.
-                if 2 * s > total {
-                    self.queue.push_back(c);
+        for i in 0..self.cone.len() {
+            let v = self.cone[i];
+            if !self.alive.contains(v) {
+                continue;
+            }
+            let s = self.score(count_mode, v);
+            debug_assert!(2 * s > total, "cone member fell light without a rebuild");
+            consider(s, v, &mut best);
+        }
+        let mut i = 0;
+        while i < self.boundary.len() {
+            let b = self.boundary[i];
+            i += 1;
+            if !self.alive.contains(b) || self.fr_state[b.index()] != FR_BOUNDARY {
+                continue;
+            }
+            let s = self.score(count_mode, b);
+            consider(s, b, &mut best);
+            if 2 * s > total {
+                // Promotion: b joins the cone; its alive children join the
+                // boundary and are evaluated by this very loop, cascading
+                // exactly like the pruned BFS expansion.
+                self.frame_guard();
+                self.fr_state[b.index()] = FR_CONE;
+                self.cone.push(b);
+                for &c in ctx.dag.children(b) {
+                    if self.alive.contains(c) && self.fr_state[c.index()] == FR_OUT {
+                        self.fr_state[c.index()] = FR_BOUNDARY;
+                        self.boundary.push(c);
+                    }
                 }
             }
         }
@@ -207,8 +546,16 @@ impl Policy for GreedyDagPolicy {
     fn observe(&mut self, ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
         self.journal.begin(DagStep {
             prev_root: self.root,
+            fr_valid: self.fr_valid,
+            fr_root: self.fr_root,
+            fr_count_mode: self.fr_count_mode,
+            frame_spilled: false,
+            frame_cone_len: 0,
         });
         if yes {
+            // Re-root: the frontier arrays still describe the old root; the
+            // next `select` sees `fr_root != root` and rebuilds onto the
+            // sub-frontier below `q`.
             self.root = q;
             return;
         }
@@ -216,45 +563,83 @@ impl Policy for GreedyDagPolicy {
         self.deleted.clear();
         self.visited.clear();
         self.queue.clear();
-        debug_assert!(self.alive[q.index()]);
+        debug_assert!(self.alive.contains(q));
         self.visited.insert(q);
         self.queue.push_back(q);
         while let Some(u) = self.queue.pop_front() {
             self.deleted.push(u);
             for &c in ctx.dag.children(u) {
-                if self.alive[c.index()] && self.visited.insert(c) {
+                if self.alive.contains(c) && self.visited.insert(c) {
                     self.queue.push_back(c);
                 }
             }
         }
-        // AdjustWeight (Alg. 7): for each doomed node, one reverse BFS over
-        // still-alive ancestors subtracting its own weight, journalling each
-        // ancestor's old `w̃`/`ñ` before the write. All adjusts run against
-        // the *pre-deletion* alive set, then the nodes die (one journalled
-        // flip each).
-        for di in 0..self.deleted.len() {
-            let d = self.deleted[di];
-            let dw = self.w[d.index()];
-            self.visited.clear();
-            self.queue.clear();
-            self.visited.insert(d);
-            self.queue.push_back(d);
-            while let Some(u) = self.queue.pop_front() {
-                for &p in ctx.dag.parents(u) {
-                    if self.alive[p.index()] && self.visited.insert(p) {
-                        self.journal.log_u64(p.index(), self.wt[p.index()]);
-                        self.journal.log_u32(p.index(), self.cnt[p.index()]);
-                        self.wt[p.index()] -= dw;
-                        self.cnt[p.index()] -= 1;
-                        self.queue.push_back(p);
+        // AdjustWeight (Alg. 7), aggregated: one repair per alive non-doomed
+        // ancestor, each journalling the ancestor's old `w̃`/`ñ` before the
+        // single subtraction. Doomed nodes keep their last alive aggregates
+        // (nothing reads a dead node, and undo revives bit-exactly), so the
+        // journal carries O(|ancestors|) entries instead of one per
+        // (ancestor, doomed) pair.
+        let index = ctx.reach.unwrap_or(&ReachIndex::Bfs);
+        self.touched_cone.clear();
+        {
+            let journal = &mut self.journal;
+            let wt = &mut self.wt;
+            let cnt = &mut self.cnt;
+            let fr_state = &self.fr_state;
+            let touched = &mut self.touched_cone;
+            let watch = self.fr_valid && self.fr_root == self.root;
+            index.doomed_contributions(
+                ctx.dag,
+                &self.deleted,
+                &self.alive,
+                &self.w,
+                &mut self.reach,
+                |p, wv, cv, absolute| {
+                    journal.log_u64(p.index(), wt[p.index()]);
+                    journal.log_u32(p.index(), cnt[p.index()]);
+                    if absolute {
+                        wt[p.index()] = wv;
+                        cnt[p.index()] = cv;
+                    } else {
+                        wt[p.index()] -= wv;
+                        cnt[p.index()] -= cv;
+                    }
+                    if watch && fr_state[p.index()] == FR_CONE {
+                        touched.push(p);
+                    }
+                },
+            );
+        }
+        // The nodes die: word-granular alive clears (one journalled word
+        // per 64 ids). Frontier tags of dead nodes go stale on purpose —
+        // scans check `alive` first, and frames restore tags wholesale.
+        self.word_mark.clear();
+        for &d in &self.deleted {
+            let word = d.index() >> 6;
+            if self.word_mark.insert(NodeId::new(word)) {
+                self.journal.log_word(word, self.alive.word(word));
+            }
+            self.alive.remove(d);
+        }
+        // Frontier bookkeeping: the two non-local events — the count-mode
+        // fallback flipping (the alive rounded weight hit zero) and a
+        // repaired cone member falling light — invalidate the frontier;
+        // the next `select` rebuilds it from scratch.
+        if self.fr_valid && self.fr_root == self.root {
+            let new_mode = self.wt[self.root.index()] == 0;
+            if new_mode != self.fr_count_mode {
+                self.fr_valid = false;
+            } else {
+                let total = self.score(new_mode, self.root);
+                for i in 0..self.touched_cone.len() {
+                    let p = self.touched_cone[i];
+                    if 2 * self.score(new_mode, p) <= total {
+                        self.fr_valid = false;
+                        break;
                     }
                 }
             }
-        }
-        for i in 0..self.deleted.len() {
-            let d = self.deleted[i];
-            self.journal.log_flip(d.index());
-            self.alive[d.index()] = false;
         }
     }
 
@@ -272,11 +657,10 @@ mod tests {
     use super::*;
     use crate::{fresh_cache_token, NodeWeights, SearchContext};
     use aigs_graph::dag_from_edges;
-
-    fn diamond() -> aigs_graph::Dag {
-        // 0 -> {1,2}; 1 -> 3; 2 -> 3; 3 -> 4; 2 -> 5
-        dag_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]).unwrap()
-    }
+    // Shared fixture (aigs-testutil returns `aigs_graph` types, which unify
+    // with this crate's own `aigs_graph` dependency even inside unit
+    // tests; its `aigs_core`-typed helpers would not).
+    use aigs_testutil::fixtures::diamond;
 
     fn drive(p: &mut dyn Policy, ctx: &SearchContext<'_>, z: NodeId) -> (NodeId, u32) {
         p.reset(ctx);
@@ -315,6 +699,20 @@ mod tests {
     }
 
     #[test]
+    fn reference_oracle_finds_all_targets() {
+        let g = diamond();
+        let w = NodeWeights::from_masses(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyDagPolicy::reference();
+        assert!(p.is_reference());
+        assert_eq!(p.name(), "greedy-dag-scratch");
+        for z in g.nodes() {
+            assert_eq!(drive(&mut p, &ctx, z).0, z);
+            assert!(!p.frontier_live(), "reference keeps no frontier");
+        }
+    }
+
+    #[test]
     fn initial_weights_count_shared_descendants_once() {
         let g = diamond();
         let w = NodeWeights::uniform(6);
@@ -345,11 +743,11 @@ mod tests {
         assert_eq!(p.cnt[1], cnt0[1] - 2);
         assert_eq!(p.cnt[2], cnt0[2] - 2);
         assert_eq!(p.cnt[5], cnt0[5]);
-        assert!(!p.alive[3] && !p.alive[4]);
+        assert!(!p.alive.contains(NodeId::new(3)) && !p.alive.contains(NodeId::new(4)));
         p.unobserve(&ctx);
         assert_eq!(p.wt, wt0);
         assert_eq!(p.cnt, cnt0);
-        assert!(p.alive[3] && p.alive[4]);
+        assert!(p.alive.contains(NodeId::new(3)) && p.alive.contains(NodeId::new(4)));
     }
 
     #[test]
@@ -365,7 +763,29 @@ mod tests {
         p.observe(&ctx, NodeId::new(2), false);
         p.reset(&ctx);
         assert_eq!(p.wt, wt_first);
-        assert!(p.alive.iter().all(|&a| a));
+        assert_eq!(p.alive.count(), 6);
+    }
+
+    #[test]
+    fn cached_reset_restores_base_frontier() {
+        let g = diamond();
+        let w = NodeWeights::from_masses(vec![0.05, 0.05, 0.1, 0.3, 0.3, 0.2]).unwrap();
+        let token = fresh_cache_token();
+        let ctx = SearchContext::new(&g, &w).with_cache_token(token);
+        let mut p = GreedyDagPolicy::new();
+        p.reset(&ctx);
+        let first = p.select(&ctx);
+        let base_frontier = p.frontier_snapshot();
+        assert!(p.frontier_live());
+        // Run a partial session, then a token reset: the base frontier of
+        // the first round must come back bit-exactly (so the next session
+        // skips the cold root BFS).
+        p.observe(&ctx, first, false);
+        let _ = p.select(&ctx);
+        p.reset(&ctx);
+        assert!(p.frontier_live(), "token reset lands on a warm frontier");
+        assert_eq!(p.frontier_snapshot(), base_frontier);
+        assert_eq!(p.select(&ctx), first);
     }
 
     #[test]
@@ -394,5 +814,10 @@ mod tests {
         // p(G_3) = 0.6, p(G_1) = 0.65, p(G_2) = 0.9: node 3 splits best
         // (|2·0.6 − 1| = 0.2 vs 0.3 vs 0.8).
         assert_eq!(p.select(&ctx), NodeId::new(3));
+        // Repeated select without an observe is idempotent on both the
+        // frontier and the answer.
+        let snap = p.frontier_snapshot();
+        assert_eq!(p.select(&ctx), NodeId::new(3));
+        assert_eq!(p.frontier_snapshot(), snap);
     }
 }

@@ -20,9 +20,13 @@
 //! 2. Before overwriting any **array** entry, log its old value with
 //!    [`StepJournal::log_u64`] / [`StepJournal::log_f64`] /
 //!    [`StepJournal::log_u32`]; record boolean toggles with
-//!    [`StepJournal::log_flip`] (a slot must flip at most once per step);
-//!    stash variable-length state (e.g. a heavy chain about to be rebuilt)
-//!    with [`StepJournal::spill_nodes`].
+//!    [`StepJournal::log_flip`] (a slot must flip at most once per step) or,
+//!    when a step toggles many bits of one bitset, whole 64-bit words with
+//!    [`StepJournal::log_word`]; stash variable-length state (e.g. a heavy
+//!    chain about to be rebuilt) with [`StepJournal::spill_nodes`]; snapshot
+//!    incremental frontier structures once per step with
+//!    [`StepJournal::log_frame`] right before the step's first structural
+//!    mutation (see [`StepJournal::frame_pending`]).
 //! 3. In `unobserve`, call [`StepJournal::pop_with`]: it replays the entry
 //!    logs of the most recent step **in reverse logging order** (so a slot
 //!    logged twice in one step ends at its first-logged value), hands the
@@ -49,6 +53,8 @@ struct Mark<S> {
     u32s: u32,
     flips: u32,
     spill: u32,
+    words: u32,
+    frame: u32,
     payload: S,
 }
 
@@ -65,6 +71,15 @@ pub struct StepJournal<S> {
     flips: Vec<u32>,
     /// Variable-length spill area (chain snapshots and the like).
     spill: Vec<u32>,
+    /// `(word index, old word)` for word-granular bitset journaling: one
+    /// entry restores 64 membership bits at once, so a step that kills a
+    /// whole subgraph logs O(|subgraph|/64) entries instead of one flip per
+    /// node.
+    words: Vec<(u32, u64)>,
+    /// Frontier-frame area: at most one frame per step, holding a compact
+    /// snapshot of incremental search state (e.g. the greedy-DAG cone +
+    /// boundary) taken lazily before the step's first structural mutation.
+    frame: Vec<u32>,
     steps: Vec<Mark<S>>,
 }
 
@@ -76,6 +91,8 @@ impl<S: Copy> StepJournal<S> {
             u32s: Vec::new(),
             flips: Vec::new(),
             spill: Vec::new(),
+            words: Vec::new(),
+            frame: Vec::new(),
             steps: Vec::new(),
         }
     }
@@ -98,6 +115,8 @@ impl<S: Copy> StepJournal<S> {
         self.u32s.clear();
         self.flips.clear();
         self.spill.clear();
+        self.words.clear();
+        self.frame.clear();
         self.steps.clear();
     }
 
@@ -108,6 +127,8 @@ impl<S: Copy> StepJournal<S> {
             u32s: self.u32s.len() as u32,
             flips: self.flips.len() as u32,
             spill: self.spill.len() as u32,
+            words: self.words.len() as u32,
+            frame: self.frame.len() as u32,
             payload,
         });
     }
@@ -139,6 +160,39 @@ impl<S: Copy> StepJournal<S> {
         self.flips.push(slot as u32);
     }
 
+    /// Records the old value of a whole 64-bit **bitset word** about to
+    /// change (log each word at most once per step): the word-granular
+    /// counterpart of [`StepJournal::log_flip`] for steps that toggle many
+    /// membership bits at once.
+    #[inline]
+    pub fn log_word(&mut self, word_index: usize, old: u64) {
+        debug_assert!(!self.steps.is_empty(), "log outside a step");
+        self.words.push((word_index as u32, old));
+    }
+
+    /// True when the most recent step already carries a frontier frame.
+    ///
+    /// Frames are taken lazily — a step that never mutates the frontier
+    /// stores nothing — so callers snapshot exactly once, right before the
+    /// step's first structural mutation.
+    pub fn frame_pending(&self) -> bool {
+        self.steps
+            .last()
+            .is_some_and(|m| (m.frame as usize) < self.frame.len())
+    }
+
+    /// Stashes the step's frontier frame: an arbitrary `u32` snapshot of
+    /// incremental-search state (the greedy-DAG policy stores its live cone
+    /// followed by its live boundary, with the split point in the step
+    /// payload). At most one frame per step; replayed by
+    /// [`StepJournal::pop_full`] *after* the entry logs, so frame-restored
+    /// structures may depend on the already-restored arrays.
+    pub fn log_frame(&mut self, frame: impl IntoIterator<Item = u32>) {
+        debug_assert!(!self.steps.is_empty(), "frame outside a step");
+        debug_assert!(!self.frame_pending(), "step already carries a frame");
+        self.frame.extend(frame);
+    }
+
     /// Stashes a node sequence (e.g. the heavy chain a `select` rebuild is
     /// about to overwrite) into the step's spill area.
     ///
@@ -163,10 +217,35 @@ impl<S: Copy> StepJournal<S> {
     /// payload. `None` when the journal is empty.
     pub fn pop_with(
         &mut self,
+        on_u64: impl FnMut(usize, u64),
+        on_u32: impl FnMut(usize, u32),
+        on_flip: impl FnMut(usize),
+        on_spill: impl FnOnce(&[u32]),
+    ) -> Option<S> {
+        debug_assert!(
+            self.steps
+                .last()
+                .is_none_or(|m| m.words as usize == self.words.len()
+                    && m.frame as usize == self.frame.len()),
+            "step carries word/frame logs; use pop_full"
+        );
+        self.pop_full(on_u64, on_u32, on_flip, |_, _| {}, on_spill, |_, _| {})
+    }
+
+    /// [`StepJournal::pop_with`] extended with the word and frame logs:
+    /// words replay interleaved with the other entry logs (in reverse
+    /// logging order within their own log), and `on_frame` receives the
+    /// step's payload together with its (possibly empty) frame slice
+    /// **after** every entry log has been replayed — the frontier a frame
+    /// rebuilds may therefore rely on the already-restored arrays.
+    pub fn pop_full(
+        &mut self,
         mut on_u64: impl FnMut(usize, u64),
         mut on_u32: impl FnMut(usize, u32),
         mut on_flip: impl FnMut(usize),
+        mut on_word: impl FnMut(usize, u64),
         on_spill: impl FnOnce(&[u32]),
+        on_frame: impl FnOnce(&S, &[u32]),
     ) -> Option<S> {
         let mark = self.steps.pop()?;
         for &(slot, old) in self.u64s[mark.u64s as usize..].iter().rev() {
@@ -178,11 +257,17 @@ impl<S: Copy> StepJournal<S> {
         for &slot in self.flips[mark.flips as usize..].iter().rev() {
             on_flip(slot as usize);
         }
+        for &(word, old) in self.words[mark.words as usize..].iter().rev() {
+            on_word(word as usize, old);
+        }
         on_spill(&self.spill[mark.spill as usize..]);
+        on_frame(&mark.payload, &self.frame[mark.frame as usize..]);
         self.u64s.truncate(mark.u64s as usize);
         self.u32s.truncate(mark.u32s as usize);
         self.flips.truncate(mark.flips as usize);
         self.spill.truncate(mark.spill as usize);
+        self.words.truncate(mark.words as usize);
+        self.frame.truncate(mark.frame as usize);
         Some(mark.payload)
     }
 }
@@ -269,6 +354,82 @@ mod tests {
         .unwrap();
         assert_eq!(flags, [false, true, false]);
         assert_eq!(restored, chain);
+    }
+
+    #[test]
+    fn word_logs_restore_bitset_words() {
+        let mut j: StepJournal<P> = StepJournal::new();
+        let mut words = [0xffff_ffff_ffff_ffffu64, 0x0f0f];
+        j.begin(P(1));
+        j.log_word(0, words[0]);
+        words[0] = 0;
+        j.log_word(1, words[1]);
+        words[1] = 0;
+        j.begin(P(2));
+        j.log_word(0, words[0]);
+        words[0] = 7;
+        j.pop_full(
+            |_, _| {},
+            |_, _| {},
+            |_| {},
+            |w, old| words[w] = old,
+            |_| {},
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(words, [0, 0]);
+        j.pop_full(
+            |_, _| {},
+            |_, _| {},
+            |_| {},
+            |w, old| words[w] = old,
+            |_| {},
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(words, [0xffff_ffff_ffff_ffff, 0x0f0f]);
+    }
+
+    #[test]
+    fn frames_are_lazy_one_per_step_and_replayed_last() {
+        let mut j: StepJournal<P> = StepJournal::new();
+        j.begin(P(1));
+        assert!(!j.frame_pending(), "fresh step has no frame");
+        j.log_frame([4u32, 5, 6]);
+        assert!(j.frame_pending());
+        j.begin(P(2));
+        assert!(!j.frame_pending(), "frames do not leak into later steps");
+
+        // Step 2 carries no frame: its callback sees an empty slice.
+        let mut seen: Vec<(u32, Vec<u32>)> = Vec::new();
+        j.pop_full(
+            |_, _| {},
+            |_, _| {},
+            |_| {},
+            |_, _| {},
+            |_| {},
+            |p, f| seen.push((p.0, f.to_vec())),
+        )
+        .unwrap();
+        // Step 1: array logs must be replayed before the frame callback.
+        let arr = std::cell::Cell::new(0u64);
+        j.log_u64(0, 77);
+        let mut arr_at_frame = None;
+        j.pop_full(
+            |_, old| arr.set(old),
+            |_, _| {},
+            |_| {},
+            |_, _| {},
+            |_| {},
+            |p, f| {
+                arr_at_frame = Some(arr.get());
+                seen.push((p.0, f.to_vec()));
+            },
+        )
+        .unwrap();
+        assert_eq!(arr_at_frame, Some(77), "frame replays after entry logs");
+        assert_eq!(seen, vec![(2, vec![]), (1, vec![4, 5, 6])]);
+        assert!(j.is_empty());
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! | [`WigsPolicy`] | Tao et al. \[46\] heavy-path binary search | tree + DAG | O(h·d) / O(n/64·d) |
 //! | [`GreedyNaivePolicy`] | Alg. 2–3 | tree + DAG | O(n·m) |
 //! | [`GreedyTreePolicy`] | Alg. 4–5, Theorem 5 | tree | O(h·d) |
-//! | [`GreedyDagPolicy`] | Alg. 6–7, Eq. (1) | tree + DAG | O(m) amortised |
+//! | [`GreedyDagPolicy`] | Alg. 6–7, Eq. (1), incremental frontier | tree + DAG | O(Δ) amortised per answer |
+//! | [`GreedyDagPolicy::reference`] | Alg. 6–7 from scratch (differential oracle) | tree + DAG | O(m) per round |
 //! | [`CostSensitivePolicy`] | Definition 9, Theorem 4 | tree + DAG | O(n·m) |
 //! | [`OptimalPolicy`] | exact DP (NP-hard in general) | small instances | exponential |
 //! | [`RandomPolicy`] | sanity baseline | tree + DAG | O(1) |

@@ -1,0 +1,379 @@
+//! The differential harness for the incremental greedy-DAG frontier.
+//!
+//! `GreedyDagPolicy::new()` maintains its pruned-BFS frontier and balance
+//! aggregates as persistent state updated in O(Δ) per answer;
+//! [`GreedyDagPolicy::reference`] re-derives everything from scratch every
+//! round (the paper's Alg. 6 executed naively) and is the retained oracle.
+//! In the spirit of reference-vs-optimised differential testing, every
+//! property here pits the two against each other — bit-identical question
+//! sequences, query counts and prices — over random DAGs × every
+//! reachability backend × every target, through rollback, cache-token
+//! reuse, mid-session abandonment, and the `count_mode` fallback flip.
+//!
+//! Frontier *state* (not just behaviour) is verified against independent
+//! test-side oracles: brute-force alive-subgraph aggregates and a
+//! from-scratch pruned BFS over them.
+
+use std::collections::VecDeque;
+
+use aigs_core::policy::GreedyDagPolicy;
+use aigs_core::{fresh_cache_token, Policy, SearchContext, SessionStep, SessionStepper};
+use aigs_graph::{Dag, NodeId};
+use aigs_testutil::{
+    assert_transcripts_equal, backends, dag_from_seed, drive_transcript, generic_prices,
+    generic_weights, Transcript,
+};
+use proptest::prelude::*;
+
+/// Brute-force `(w̃, ñ)` of every alive node: a BFS over the alive
+/// subgraph per node, entirely independent of the policy's bookkeeping.
+fn cold_aggregates(dag: &Dag, w: &[u64], alive: &[bool]) -> (Vec<u64>, Vec<u32>) {
+    let n = dag.node_count();
+    let mut wt = vec![0u64; n];
+    let mut cnt = vec![0u32; n];
+    for v in dag.nodes() {
+        if !alive[v.index()] {
+            continue;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[v.index()] = true;
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            wt[v.index()] += w[u.index()];
+            cnt[v.index()] += 1;
+            for &c in dag.children(u) {
+                if alive[c.index()] && !seen[c.index()] {
+                    seen[c.index()] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    (wt, cnt)
+}
+
+/// From-scratch frontier of (root, alive, aggregates): the pruned BFS of
+/// Alg. 6 re-run on test-side state, returning sorted (cone, boundary).
+fn cold_frontier(
+    dag: &Dag,
+    root: NodeId,
+    alive: &[bool],
+    wt: &[u64],
+    cnt: &[u32],
+) -> (Vec<u32>, Vec<u32>) {
+    let count_mode = wt[root.index()] == 0;
+    let score = |v: NodeId| {
+        if count_mode {
+            cnt[v.index()] as u64
+        } else {
+            wt[v.index()]
+        }
+    };
+    let total = score(root);
+    let mut seen = vec![false; dag.node_count()];
+    let mut queue = VecDeque::new();
+    seen[root.index()] = true;
+    queue.push_back(root);
+    let (mut cone, mut boundary) = (Vec::new(), Vec::new());
+    while let Some(u) = queue.pop_front() {
+        for &c in dag.children(u) {
+            if !alive[c.index()] || seen[c.index()] {
+                continue;
+            }
+            seen[c.index()] = true;
+            if 2 * score(c) > total {
+                cone.push(c.0);
+                queue.push_back(c);
+            } else {
+                boundary.push(c.0);
+            }
+        }
+    }
+    cone.sort_unstable();
+    boundary.sort_unstable();
+    (cone, boundary)
+}
+
+/// Asserts the incremental policy's aggregates and live frontier are
+/// bit-equal to cold rebuilds from first principles. Runs `select` first
+/// (idempotent) when unresolved so a frontier for the current root exists.
+fn assert_state_matches_cold_rebuild(
+    p: &mut GreedyDagPolicy,
+    ctx: &SearchContext<'_>,
+    label: &str,
+) {
+    let (alive_ids, wt, cnt) = p.aggregates_snapshot();
+    let n = ctx.dag.node_count();
+    let mut alive = vec![false; n];
+    for &i in &alive_ids {
+        alive[i as usize] = true;
+    }
+    let w = ctx.weights.rounded();
+    let (cold_wt, cold_cnt) = cold_aggregates(ctx.dag, &w, &alive);
+    assert_eq!(wt, cold_wt, "{label}: w̃ diverged from cold rebuild");
+    assert_eq!(cnt, cold_cnt, "{label}: ñ diverged from cold rebuild");
+    if p.resolved().is_none() {
+        let root = p.debug_root();
+        let _ = p.select(ctx);
+        assert!(p.frontier_live(), "{label}: select leaves a live frontier");
+        let (cone, boundary) = p.frontier_snapshot();
+        let (cold_cone, cold_boundary) = cold_frontier(ctx.dag, root, &alive, &wt, &cnt);
+        assert_eq!(cone, cold_cone, "{label}: cone diverged from cold BFS");
+        assert_eq!(
+            boundary, cold_boundary,
+            "{label}: boundary diverged from cold BFS"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline differential: incremental vs from-scratch reference,
+    /// bit-identical question sequences, query counts and prices, over
+    /// random DAGs × {closure, interval, bfs, none} × every target, with
+    /// heterogeneous prices in the ledger.
+    #[test]
+    fn incremental_equals_scratch_reference(
+        n in 2usize..32,
+        frac in 0.05f64..0.4,
+        seed in 0u64..10_000,
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let weights = generic_weights(nn, seed);
+        let costs = generic_prices(nn, seed);
+        for (backend_name, index) in backends(&g, seed) {
+            let base = SearchContext::new(&g, &weights).with_costs(&costs);
+            let ctx = match &index {
+                Some(ix) => base.with_reach(ix),
+                None => base,
+            };
+            let mut fast = GreedyDagPolicy::new();
+            let mut oracle = GreedyDagPolicy::reference();
+            for z in g.nodes() {
+                let label = format!("backend {backend_name}, target {z}");
+                let (want_t, want) =
+                    drive_transcript(&mut oracle, &ctx, z, &format!("scratch: {label}"));
+                let (got_t, got) =
+                    drive_transcript(&mut fast, &ctx, z, &format!("incremental: {label}"));
+                assert_transcripts_equal(&want_t, &got_t, &label);
+                prop_assert_eq!(got.queries, want.queries, "{}", label);
+                prop_assert_eq!(
+                    got.price.to_bits(),
+                    want.price.to_bits(),
+                    "price diverged: {}",
+                    label
+                );
+            }
+        }
+    }
+
+    /// Journal-rollback fuzz: random interleavings of observe / unobserve /
+    /// cache-token `reset` / mid-session abandonment leave the frontier
+    /// aggregates and the live frontier bit-equal to cold rebuilds, and the
+    /// next question bit-equal to the from-scratch reference replaying the
+    /// surviving answer prefix.
+    #[test]
+    fn rollback_fuzz_frontier_state_bit_equal_cold_rebuild(
+        n in 3usize..24,
+        frac in 0.05f64..0.4,
+        seed in 0u64..10_000,
+        witness_raw in 0u32..100,
+        // op stream: 0-2 advance, 3 undo, 4 reset (abandon the session)
+        script in prop::collection::vec(0u8..5, 1..28),
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let weights = generic_weights(nn, seed);
+        let token = fresh_cache_token();
+        let witness = NodeId::new(witness_raw as usize % nn);
+        for (backend_name, index) in backends(&g, seed) {
+            let base = SearchContext::new(&g, &weights).with_cache_token(token);
+            let ctx = match &index {
+                Some(ix) => base.with_reach(ix),
+                None => base,
+            };
+            let mut p = GreedyDagPolicy::new();
+            p.reset(&ctx);
+            let mut prefix: Vec<(NodeId, bool)> = Vec::new();
+            for (op_no, &op) in script.iter().enumerate() {
+                let label = format!("backend {backend_name}, op {op_no}");
+                match op {
+                    3 if !prefix.is_empty() => {
+                        p.unobserve(&ctx);
+                        prefix.pop();
+                    }
+                    4 => {
+                        // Abandon mid-session: token reset must land on the
+                        // exact base state however deep we were.
+                        p.reset(&ctx);
+                        prefix.clear();
+                    }
+                    _ => {
+                        if p.resolved().is_none() {
+                            let q = p.select(&ctx);
+                            let ans = g.reaches(q, witness);
+                            p.observe(&ctx, q, ans);
+                            prefix.push((q, ans));
+                        }
+                    }
+                }
+                assert_state_matches_cold_rebuild(&mut p, &ctx, &label);
+                // The reference oracle replaying the surviving prefix must
+                // agree on resolution and on the next question.
+                let mut oracle = GreedyDagPolicy::reference();
+                oracle.reset(&ctx);
+                for &(q, ans) in &prefix {
+                    prop_assert_eq!(oracle.resolved(), None, "{}", &label);
+                    let oq = oracle.select(&ctx);
+                    prop_assert_eq!(oq, q, "oracle replay diverged: {}", &label);
+                    oracle.observe(&ctx, oq, ans);
+                }
+                prop_assert_eq!(oracle.resolved(), p.resolved(), "{}", &label);
+                if p.resolved().is_none() {
+                    prop_assert_eq!(
+                        p.select(&ctx),
+                        oracle.select(&ctx),
+                        "next question diverged: {}",
+                        &label
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mid-session [`SessionStepper`] abandonment: sessions driven through
+    /// the stepper, abandoned at arbitrary depths and restarted on the same
+    /// (pooled) policy instance, still produce transcripts bit-identical to
+    /// the from-scratch reference on a virgin instance.
+    #[test]
+    fn stepper_abandonment_keeps_transcripts_identical(
+        n in 2usize..24,
+        frac in 0.05f64..0.4,
+        seed in 0u64..10_000,
+        depths in prop::collection::vec(0usize..6, 1..6),
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let weights = generic_weights(nn, seed);
+        let token = fresh_cache_token();
+        for (backend_name, index) in backends(&g, seed) {
+            let base = SearchContext::new(&g, &weights).with_cache_token(token);
+            let ctx = match &index {
+                Some(ix) => base.with_reach(ix),
+                None => base,
+            };
+            // One long-lived "pooled" instance, abandoned repeatedly.
+            let mut pooled = GreedyDagPolicy::new();
+            for (i, &depth) in depths.iter().enumerate() {
+                let target = NodeId::new((seed as usize + i * 7) % nn);
+                let mut stepper =
+                    SessionStepper::start(&mut pooled, &ctx, None).unwrap();
+                for _ in 0..depth {
+                    match stepper.next_question(&mut pooled, &ctx).unwrap() {
+                        SessionStep::Resolved(_) => break,
+                        SessionStep::Ask(q) => stepper
+                            .answer(&mut pooled, &ctx, g.reaches(q, target))
+                            .unwrap(),
+                    }
+                }
+                // Abandoned here: the stepper is dropped mid-flight.
+            }
+            // The abandoned instance now serves a full session; it must
+            // match a virgin reference exactly.
+            let target = NodeId::new(witnessed_target(seed, nn));
+            let mut virgin = GreedyDagPolicy::reference();
+            let label = format!("backend {backend_name}, target {target}");
+            let (want_t, _) = drive_transcript(&mut virgin, &ctx, target, &label);
+            let mut stepper = SessionStepper::start(&mut pooled, &ctx, None).unwrap();
+            let mut got_t = Transcript::new();
+            loop {
+                match stepper.next_question(&mut pooled, &ctx).unwrap() {
+                    SessionStep::Resolved(found) => {
+                        prop_assert_eq!(found, target, "{}", &label);
+                        break;
+                    }
+                    SessionStep::Ask(q) => {
+                        let yes = g.reaches(q, target);
+                        got_t.push((q, yes));
+                        stepper.answer(&mut pooled, &ctx, yes).unwrap();
+                    }
+                }
+            }
+            assert_transcripts_equal(&want_t, &got_t, &label);
+        }
+    }
+}
+
+fn witnessed_target(seed: u64, n: usize) -> usize {
+    (seed as usize).wrapping_mul(2654435761) % n
+}
+
+/// Regression: a session whose alive-set rounded weight drops to zero
+/// mid-search (the `count_mode` fallback flips from weight balancing to
+/// count balancing) produces identical transcripts incrementally and from
+/// scratch, and rolls back across the flip bit-exactly.
+#[test]
+fn count_mode_flip_mid_session_is_differential_clean() {
+    // Fig. 2(a) tree with all mass on node 3: after `yes(1)`, `no(2)`,
+    // `no(3)` the alive set {1, 4} carries rounded weight zero while the
+    // search is still unresolved — the fallback must flip mid-session.
+    let g = aigs_testutil::fixtures::fig2a();
+    let masses = vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+    let weights = aigs_core::NodeWeights::from_masses(masses).unwrap();
+    let target = NodeId::new(4);
+    for (backend_name, index) in backends(&g, 99) {
+        let base = SearchContext::new(&g, &weights);
+        let ctx = match &index {
+            Some(ix) => base.with_reach(ix),
+            None => base,
+        };
+        let label = format!("count-mode flip under {backend_name}");
+        let mut fast = GreedyDagPolicy::new();
+        let mut oracle = GreedyDagPolicy::reference();
+        let (want_t, _) = drive_transcript(&mut oracle, &ctx, target, &label);
+        let (got_t, _) = drive_transcript(&mut fast, &ctx, target, &label);
+        assert_transcripts_equal(&want_t, &got_t, &label);
+
+        // Verify the flip actually happens on this instance: replay and
+        // find a step after which the root's alive weight is zero while
+        // unresolved.
+        let mut p = GreedyDagPolicy::new();
+        p.reset(&ctx);
+        let mut flipped_at = None;
+        for (i, &(q, ans)) in want_t.iter().enumerate() {
+            assert_eq!(p.select(&ctx), q, "{label}: replay diverged");
+            p.observe(&ctx, q, ans);
+            let (_, wt, _) = p.aggregates_snapshot();
+            if p.resolved().is_none() && wt[p.debug_root().index()] == 0 {
+                flipped_at = Some(i);
+                break;
+            }
+        }
+        let flipped_at =
+            flipped_at.unwrap_or_else(|| panic!("{label}: instance never entered count mode"));
+        assert!(
+            flipped_at + 1 < want_t.len(),
+            "{label}: flip must happen mid-session, not on the last query"
+        );
+        // Roll back across the flip and replay: selections must be
+        // bit-identical the second time through (weight mode restored).
+        let next = p.select(&ctx);
+        p.unobserve(&ctx);
+        let (_, wt, _) = p.aggregates_snapshot();
+        assert_ne!(
+            wt[p.debug_root().index()],
+            0,
+            "{label}: undo must restore weight mode"
+        );
+        assert_eq!(
+            p.select(&ctx),
+            want_t[flipped_at].0,
+            "{label}: post-undo select diverged"
+        );
+        p.observe(&ctx, want_t[flipped_at].0, want_t[flipped_at].1);
+        assert_eq!(p.select(&ctx), next, "{label}: re-advance diverged");
+    }
+}

@@ -205,6 +205,26 @@ impl NodeBitSet {
         total
     }
 
+    /// `(Σ weight[u], |self ∩ other|)` over `u ∈ self ∩ other` in one word
+    /// walk — the fused form of [`NodeBitSet::intersection_weight_u64`] and
+    /// [`NodeBitSet::intersection_count`] used by the incremental greedy-DAG
+    /// frontier repair, where both aggregates are needed per ancestor.
+    pub fn intersection_weight_count(&self, other: &NodeBitSet, weight: &[u64]) -> (u64, u32) {
+        debug_assert_eq!(self.n, other.n);
+        let mut total = 0u64;
+        let mut count = 0u32;
+        for (block, (a, b)) in self.bits.iter().zip(&other.bits).enumerate() {
+            let mut word = a & b;
+            count += word.count_ones();
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                total += weight[(block << 6) | bit];
+                word &= word - 1;
+            }
+        }
+        (total, count)
+    }
+
     /// Σ `weight[u]` over all members `u`. Weights are the rounded integer
     /// weights of Eq. (1); `u64` addition is exactly commutative, so the
     /// result is independent of iteration order (unlike an `f64` sum).
@@ -375,6 +395,9 @@ mod tests {
         b.insert(NodeId::new(4));
         let w = vec![10u64, 20, 30, 40, 50];
         assert_eq!(a.intersection_weight_u64(&b, &w), 30);
+        assert_eq!(a.intersection_weight_count(&b, &w), (30, 1));
+        b.insert(NodeId::new(1));
+        assert_eq!(a.intersection_weight_count(&b, &w), (50, 2));
     }
 
     #[test]

@@ -63,12 +63,25 @@ pub enum ReachIndex {
 /// scratch carries no state between calls.
 #[derive(Debug, Clone)]
 pub struct ReachScratch {
-    /// Descendant-row output (doubles as the DFS visited set when filling).
+    /// Descendant-row output (doubles as the DFS visited set when filling,
+    /// and as the doomed-set mask in
+    /// [`ReachIndex::doomed_contributions`]).
     row: NodeBitSet,
+    /// Ancestors-of-the-query mask for the frontier repair's full-delta
+    /// fast path.
+    anc: NodeBitSet,
     /// Epoch-cleared visited set for counting traversals.
     visited: VisitedSet,
     /// DFS stack.
     stack: Vec<NodeId>,
+    /// Affected-ancestor list of the most recent frontier repair.
+    affected: Vec<NodeId>,
+    /// Per-node weight accumulator for the traversal-backed frontier
+    /// repair. Invariant: all-zero between calls (re-zeroed along
+    /// `affected`, never by a full sweep).
+    acc_weight: Vec<u64>,
+    /// Per-node count accumulator; same all-zero invariant.
+    acc_count: Vec<u32>,
 }
 
 impl ReachScratch {
@@ -76,8 +89,12 @@ impl ReachScratch {
     pub fn new(n: usize) -> Self {
         ReachScratch {
             row: NodeBitSet::empty(n),
+            anc: NodeBitSet::empty(n),
             visited: VisitedSet::new(n),
             stack: Vec::new(),
+            affected: Vec::new(),
+            acc_weight: vec![0; n],
+            acc_count: vec![0; n],
         }
     }
 
@@ -90,7 +107,10 @@ impl ReachScratch {
     fn ensure(&mut self, n: usize) {
         if self.row.universe() != n {
             self.row = NodeBitSet::empty(n);
+            self.anc = NodeBitSet::empty(n);
             self.visited = VisitedSet::new(n);
+            self.acc_weight = vec![0; n];
+            self.acc_count = vec![0; n];
         }
     }
 }
@@ -267,6 +287,180 @@ impl ReachIndex {
         }
     }
 
+    /// The frontier-repair primitive of the incremental rounded greedy
+    /// (Alg. 7 made aggregate): given the `doomed` subgraph `D` of a *no*
+    /// answer to query `q = doomed[0]` (collected by the caller as
+    /// `alive ∩ G_q` in BFS order from `q`; every member still marked in
+    /// `alive`), invokes `emit(p, w, c, absolute)` exactly once for every
+    /// alive non-doomed ancestor `p` of `D`. With `absolute == false` the
+    /// pair is the delta `(Σ_{d ∈ D ∩ G_p} w(d), |D ∩ G_p|)` the ancestor's
+    /// alive-subgraph aggregates shrink by; with `absolute == true` it is
+    /// the ancestor's **new** aggregate `(Σ_{v ∈ alive∖D ∩ G_p} w(v),
+    /// |alive∖D ∩ G_p|)` outright. Both forms land the caller on the
+    /// bit-identical post-repair state (`old = Σ_doomed + Σ_survivors` is an
+    /// exact `u64` partition), so each ancestor class uses whichever side of
+    /// the partition is cheaper to aggregate:
+    ///
+    /// * **ancestors of `q`** (the bulk, on taxonomy-shaped DAGs): `G_p ⊇
+    ///   G_q ⊇ D`, so each receives the full doomed total in O(1) — and
+    ///   since an ancestor of an ancestor of `q` is again an ancestor of
+    ///   `q`, no other walk ever needs to enter that region (walks prune at
+    ///   the mask losslessly);
+    /// * remaining *partial* ancestors (reaching some of `D` around `q`
+    ///   through shared descendants), closure tier: one word-level
+    ///   row ∩ doomed-mask walk each (delta form);
+    /// * partial ancestors, interval/BFS tiers: the paper's per-doomed-node
+    ///   reverse walks folded into per-ancestor accumulators (delta form)
+    ///   while `D` is the minority, or one survivor-side forward walk per
+    ///   ancestor (absolute form) when `D` is the majority — the expensive
+    ///   early-round kills aggregate what remains instead of what died.
+    ///
+    /// Either way the caller journals `O(|ancestors|)` entries, never one
+    /// per (ancestor, doomed) pair, and ancestors are emitted in the same
+    /// deterministic order under every backend (ancestors of `q` in
+    /// reverse-DFS order from `q`, then partial ancestors in discovery
+    /// order of one pruned multi-source reverse DFS from `D`).
+    pub fn doomed_contributions(
+        &self,
+        dag: &Dag,
+        doomed: &[NodeId],
+        alive: &NodeBitSet,
+        weight: &[u64],
+        scratch: &mut ReachScratch,
+        mut emit: impl FnMut(NodeId, u64, u32, bool),
+    ) {
+        let n = dag.node_count();
+        scratch.ensure(n);
+        debug_assert!(!doomed.is_empty(), "a no-answer dooms at least q");
+        debug_assert!(doomed.iter().all(|&d| alive.contains(d)));
+        let q = doomed[0];
+
+        // Mark D and total it once.
+        scratch.row.clear();
+        let mut total_w = 0u64;
+        for &d in doomed {
+            scratch.row.insert(d);
+            total_w += weight[d.index()];
+        }
+        let total_c = doomed.len() as u32;
+
+        // Full-delta fast path: every ancestor of q contains all of D
+        // (G_p ⊇ G_q ⊇ D). A proper ancestor of q is alive (a dead node's
+        // descendants are all dead) and never doomed (that would make a
+        // cycle). Emitted in reverse-DFS order from q; the mask also lets
+        // every later walk prune — no ancestor of an ancestor of q can be
+        // a partial ancestor.
+        scratch.anc.clear();
+        scratch.stack.clear();
+        scratch.anc.insert(q);
+        scratch.stack.push(q);
+        while let Some(u) = scratch.stack.pop() {
+            for &p in dag.parents(u) {
+                if !scratch.anc.contains(p) {
+                    debug_assert!(alive.contains(p) && !scratch.row.contains(p));
+                    scratch.anc.insert(p);
+                    emit(p, total_w, total_c, false);
+                    scratch.stack.push(p);
+                }
+            }
+        }
+
+        // Partial ancestors: alive, non-doomed, reach some of D around q.
+        // One multi-source reverse DFS from D over alive nodes, pruned at
+        // the ancestors-of-q mask (lossless: no partial ancestor sits above
+        // an ancestor of q).
+        scratch.visited.clear();
+        scratch.stack.clear();
+        scratch.affected.clear();
+        for &d in doomed {
+            scratch.visited.insert(d);
+            scratch.stack.push(d);
+        }
+        while let Some(u) = scratch.stack.pop() {
+            for &p in dag.parents(u) {
+                if alive.contains(p) && !scratch.anc.contains(p) && scratch.visited.insert(p) {
+                    if !scratch.row.contains(p) {
+                        scratch.affected.push(p);
+                    }
+                    scratch.stack.push(p);
+                }
+            }
+        }
+        if scratch.affected.is_empty() {
+            return;
+        }
+
+        match self {
+            ReachIndex::Closure(c) => {
+                for i in 0..scratch.affected.len() {
+                    let p = scratch.affected[i];
+                    let (dw, dc) = c
+                        .descendants(p)
+                        .intersection_weight_count(&scratch.row, weight);
+                    emit(p, dw, dc, false);
+                }
+            }
+            _ if doomed.len() * 2 > alive.count() => {
+                // Doomed majority: aggregate the survivor side. One forward
+                // walk per partial ancestor over `alive ∖ D`, emitting the
+                // new aggregates outright — fewer (ancestor, node) pairs
+                // than walking the doomed side.
+                for i in 0..scratch.affected.len() {
+                    let p = scratch.affected[i];
+                    scratch.visited.clear();
+                    scratch.visited.insert(p);
+                    scratch.stack.push(p);
+                    let mut new_w = weight[p.index()];
+                    let mut new_c = 1u32;
+                    while let Some(u) = scratch.stack.pop() {
+                        for &c in dag.children(u) {
+                            if alive.contains(c)
+                                && !scratch.row.contains(c)
+                                && scratch.visited.insert(c)
+                            {
+                                new_w += weight[c.index()];
+                                new_c += 1;
+                                scratch.stack.push(c);
+                            }
+                        }
+                    }
+                    emit(p, new_w, new_c, true);
+                }
+            }
+            _ => {
+                // Doomed minority: per-doomed-node reverse walks (Alg. 7),
+                // pruned at the ancestors-of-q mask and accumulated per
+                // ancestor instead of emitted per pair.
+                for &d in doomed {
+                    let dw = weight[d.index()];
+                    scratch.visited.clear();
+                    scratch.visited.insert(d);
+                    scratch.stack.push(d);
+                    while let Some(u) = scratch.stack.pop() {
+                        for &p in dag.parents(u) {
+                            if alive.contains(p)
+                                && !scratch.anc.contains(p)
+                                && scratch.visited.insert(p)
+                            {
+                                if !scratch.row.contains(p) {
+                                    scratch.acc_weight[p.index()] += dw;
+                                    scratch.acc_count[p.index()] += 1;
+                                }
+                                scratch.stack.push(p);
+                            }
+                        }
+                    }
+                }
+                for i in 0..scratch.affected.len() {
+                    let p = scratch.affected[i];
+                    let dw = std::mem::take(&mut scratch.acc_weight[p.index()]);
+                    let dc = std::mem::take(&mut scratch.acc_count[p.index()]);
+                    emit(p, dw, dc, false);
+                }
+            }
+        }
+    }
+
     /// `(Σ weight[v], |G_u|)` over the full descendant set `G_u` — the base
     /// aggregation of the rounded greedy (`w̃`/`ñ` of Alg. 6). `u64` sums
     /// are order-independent, so the closure row walk and the DFS produce
@@ -395,6 +589,157 @@ mod tests {
                     index.backend_name()
                 );
             }
+        }
+    }
+
+    /// Applies `doomed_contributions` emissions to copies of the aggregates
+    /// and returns the repaired `(wt, cnt)` plus the emission order.
+    fn apply_contributions(
+        index: &ReachIndex,
+        dag: &Dag,
+        doomed: &[NodeId],
+        alive: &NodeBitSet,
+        weight: &[u64],
+        wt: &[u64],
+        cnt: &[u32],
+    ) -> (Vec<u64>, Vec<u32>, Vec<NodeId>) {
+        let mut wt = wt.to_vec();
+        let mut cnt = cnt.to_vec();
+        let mut order = Vec::new();
+        let mut scratch = ReachScratch::new(dag.node_count());
+        index.doomed_contributions(
+            dag,
+            doomed,
+            alive,
+            weight,
+            &mut scratch,
+            |p, wv, cv, abs| {
+                order.push(p);
+                if abs {
+                    wt[p.index()] = wv;
+                    cnt[p.index()] = cv;
+                } else {
+                    wt[p.index()] -= wv;
+                    cnt[p.index()] -= cv;
+                }
+            },
+        );
+        (wt, cnt, order)
+    }
+
+    #[test]
+    fn doomed_contributions_identical_across_backends_and_strategies() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let g = random_dag(&DagConfig::bushy(140, 0.2), &mut rng);
+        let n = g.node_count();
+        let weight: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        let mut scratch = ReachScratch::new(n);
+
+        // A realistic mid-search state: kill G_a, then doom G_b — covering
+        // both the doomed-minority (per-node walks) and doomed-majority
+        // (survivor-side recompute) strategies depending on |G_b|.
+        for (a_raw, b_raw) in [(3usize, 9usize), (9, 1), (50, 2), (2, 51)] {
+            let a = NodeId::new(a_raw % n);
+            let b0 = NodeId::new(b_raw % n);
+            let mut alive = NodeBitSet::full(n);
+            for d in g.descendants(a) {
+                alive.remove(d);
+            }
+            let b = if alive.contains(b0) { b0 } else { g.root() };
+            // Current aggregates over the alive set (brute force).
+            let mut wt = vec![0u64; n];
+            let mut cnt = vec![0u32; n];
+            for v in g.nodes() {
+                if !alive.contains(v) {
+                    continue;
+                }
+                for d in g.descendants(v) {
+                    if alive.contains(NodeId::new(d.index())) {
+                        wt[v.index()] += weight[d.index()];
+                        cnt[v.index()] += 1;
+                    }
+                }
+            }
+            // Doomed set: alive ∩ G_b.
+            let doomed: Vec<NodeId> = g
+                .descendants(b)
+                .into_iter()
+                .filter(|&d| alive.contains(d))
+                .collect();
+            // Expected post-repair aggregates (brute force over survivors).
+            let mut survivor = alive.clone();
+            for &d in &doomed {
+                survivor.remove(d);
+            }
+            let mut want_wt = wt.clone();
+            let mut want_cnt = cnt.clone();
+            for v in g.nodes() {
+                if !survivor.contains(v) {
+                    continue;
+                }
+                let mut nw = 0u64;
+                let mut nc = 0u32;
+                let row = ReachIndex::Bfs.descendants(&g, v, &mut scratch).clone();
+                for d in row.iter() {
+                    if survivor.contains(d) {
+                        nw += weight[d.index()];
+                        nc += 1;
+                    }
+                }
+                want_wt[v.index()] = nw;
+                want_cnt[v.index()] = nc;
+            }
+
+            let mut reference: Option<(Vec<u64>, Vec<u32>, Vec<NodeId>)> = None;
+            for index in backends(&g) {
+                let got = apply_contributions(&index, &g, &doomed, &alive, &weight, &wt, &cnt);
+                // Repaired aggregates match brute force on every survivor.
+                for v in g.nodes() {
+                    if survivor.contains(v) {
+                        assert_eq!(
+                            got.0[v.index()],
+                            want_wt[v.index()],
+                            "{} wt {v}",
+                            index.backend_name()
+                        );
+                        assert_eq!(
+                            got.1[v.index()],
+                            want_cnt[v.index()],
+                            "{} cnt {v}",
+                            index.backend_name()
+                        );
+                    }
+                }
+                // Emission order and per-ancestor touches identical across
+                // backends (what keeps journals deterministic).
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => {
+                        assert_eq!(want.2, got.2, "{} order", index.backend_name());
+                        assert_eq!(want.0, got.0, "{} wt array", index.backend_name());
+                        assert_eq!(want.1, got.1, "{} cnt array", index.backend_name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn doomed_contributions_touches_exactly_the_alive_ancestors() {
+        let g = diamond();
+        let n = g.node_count();
+        let weight = vec![1u64; n];
+        let alive = NodeBitSet::full(n);
+        let wt: Vec<u64> = g.nodes().map(|v| g.descendants(v).len() as u64).collect();
+        let cnt: Vec<u32> = wt.iter().map(|&x| x as u32).collect();
+        for index in backends(&g) {
+            // Doom G_3 = {3, 4}: alive ancestors are {0, 1, 2}.
+            let doomed = vec![NodeId::new(3), NodeId::new(4)];
+            let (_, _, order) =
+                apply_contributions(&index, &g, &doomed, &alive, &weight, &wt, &cnt);
+            let mut touched: Vec<usize> = order.iter().map(|p| p.index()).collect();
+            touched.sort_unstable();
+            assert_eq!(touched, vec![0, 1, 2], "{}", index.backend_name());
         }
     }
 

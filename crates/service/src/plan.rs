@@ -168,8 +168,26 @@ impl PlanEntry {
 
     /// Returns a healthy instance to its pool (dropped when the pool is at
     /// capacity or the kind is unpoolable).
-    pub(crate) fn release(&self, kind: PolicyKind, policy: Box<dyn Policy + Send>) {
+    ///
+    /// The instance is reset **eagerly, before pooling**: unwinding the
+    /// finished session's journal here — off the open path, outside any
+    /// slot lock — means the next `open_session` that hits the pool resets
+    /// an already-unwound instance in O(1) instead of paying the departed
+    /// session's O(Δ) unwind at admission time. An instance whose reset
+    /// fails is in an unknown state and is dropped instead of pooled.
+    pub(crate) fn release(&self, kind: PolicyKind, mut policy: Box<dyn Policy + Send>) {
         if let Some(i) = kind.pool_index() {
+            {
+                let pool = self.pools[i].lock().expect("pool poisoned");
+                if pool.len() >= self.pool_cap {
+                    return;
+                }
+            }
+            // Unwind outside the pool lock; re-check capacity when pooling
+            // (a race past the cap at worst drops a warm instance).
+            if policy.try_reset(&self.ctx()).is_err() {
+                return;
+            }
             let mut pool = self.pools[i].lock().expect("pool poisoned");
             if pool.len() < self.pool_cap {
                 pool.push(policy);

@@ -9,26 +9,11 @@
 
 use std::sync::Arc;
 
-use aigs_core::{
-    run_session, NodeWeights, QueryCosts, SearchContext, SessionStep, TargetOracle,
-    TranscriptOracle,
-};
-use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
+use aigs_core::{run_session, SearchContext, SessionStep, TargetOracle, TranscriptOracle};
 use aigs_graph::{Dag, NodeId, ReachIndex};
 use aigs_service::{PlanSpec, PolicyKind, ReachChoice, SearchEngine, SessionHandle};
+use aigs_testutil::{dag_from_seed, generic_prices, generic_weights, tree_from_seed};
 use proptest::prelude::*;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
-fn generic_weights(n: usize, seed: u64) -> NodeWeights {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
-    NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap()
-}
-
-fn generic_prices(n: usize, seed: u64) -> QueryCosts {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc057);
-    QueryCosts::PerNode((0..n).map(|_| rng.gen_range(0.5..4.0)).collect())
-}
 
 /// The policy kinds a service would offer for this hierarchy shape.
 /// `Optimal` participates only within its exact-solver size cap; `Random`
@@ -53,10 +38,13 @@ fn kinds(is_tree: bool, n: usize) -> Vec<PolicyKind> {
 }
 
 /// Every backend choice, with the reference [`ReachIndex`] built the exact
-/// same way the plan builds it.
-fn backends(dag: &Dag, seed: u64) -> Vec<(ReachChoice, Option<ReachIndex>)> {
-    vec![
+/// same way the plan builds it. Honours `AIGS_TEST_BACKEND` (the CI
+/// backend matrix) by narrowing to the named choice; the `auto` tier runs
+/// only in unforced runs.
+fn backends(dag: &Dag, seed: u64) -> Vec<(&'static str, ReachChoice, Option<ReachIndex>)> {
+    let all: Vec<(&'static str, ReachChoice, Option<ReachIndex>)> = vec![
         (
+            "auto",
             ReachChoice::Auto,
             if dag.is_tree() {
                 None
@@ -64,17 +52,29 @@ fn backends(dag: &Dag, seed: u64) -> Vec<(ReachChoice, Option<ReachIndex>)> {
                 Some(ReachIndex::auto(dag))
             },
         ),
-        (ReachChoice::Closure, Some(ReachIndex::closure_for(dag))),
         (
+            "closure",
+            ReachChoice::Closure,
+            Some(ReachIndex::closure_for(dag)),
+        ),
+        (
+            "interval",
             ReachChoice::Interval {
                 labelings: 2,
                 seed: seed ^ 0xbeef,
             },
             Some(ReachIndex::interval_for(dag, 2, seed ^ 0xbeef)),
         ),
-        (ReachChoice::Bfs, Some(ReachIndex::Bfs)),
-        (ReachChoice::None, None),
-    ]
+        ("bfs", ReachChoice::Bfs, Some(ReachIndex::Bfs)),
+        ("none", ReachChoice::None, None),
+    ];
+    match aigs_testutil::forced_backend() {
+        None => all,
+        Some(want) => all
+            .into_iter()
+            .filter(|(name, _, _)| *name == want)
+            .collect(),
+    }
 }
 
 /// Steps `session` to completion with truthful answers for `target`,
@@ -112,7 +112,7 @@ fn check_all(dag: Arc<Dag>, seed: u64) -> Result<(), TestCaseError> {
     let weights = Arc::new(generic_weights(n, seed));
     let costs = Arc::new(generic_prices(n, seed));
 
-    for (choice, reference_index) in backends(&dag, seed) {
+    for (_name, choice, reference_index) in backends(&dag, seed) {
         let engine = SearchEngine::default();
         let plan = engine
             .register_plan(
@@ -172,16 +172,14 @@ proptest! {
         frac in 0.05f64..0.4,
         seed in 0u64..10_000,
     ) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let dag = Arc::new(random_dag(&DagConfig::bushy(n, frac), &mut rng));
+        let dag = Arc::new(dag_from_seed(n, frac, seed));
         check_all(dag, seed)?;
     }
 
     /// Stepwise ≡ inline on random trees (adds GreedyTree to the roster).
     #[test]
     fn stepwise_equals_inline_on_trees(n in 2usize..20, seed in 0u64..10_000) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let dag = Arc::new(random_tree(&TreeConfig::bushy(n), &mut rng));
+        let dag = Arc::new(tree_from_seed(n, seed));
         check_all(dag, seed)?;
     }
 }
