@@ -1,0 +1,109 @@
+//! Diagnostic probe: per-step cost of the 10k-live round-robin loop
+//! under one WAL configuration, without criterion's warmup dynamics.
+//!
+//! Run one configuration per process — within-process A/B comparisons
+//! are skewed by allocator warmup (the first configuration measured is
+//! reliably the slowest):
+//!
+//! ```sh
+//! for m in no-wal never every256 every1024; do
+//!     WALSTEP_KIND=greedy-dag WALSTEP_MODE=$m \
+//!         cargo run --release -p aigs-bench --example walstep
+//! done
+//! ```
+//!
+//! `WALSTEP_KIND` ∈ {topdown, wigs, greedy-dag}; `WALSTEP_MODE` ∈
+//! {no-wal, never, every256, every1024}. The spread between `no-wal` and
+//! `never` is the per-record `write(2)` + encoding floor; `every*` adds
+//! the group-commit thread's fsync interference. These numbers back the
+//! durability-overhead disclosure in `benches/service.rs`.
+use std::sync::Arc;
+use std::time::Instant;
+
+use aigs_core::{NodeWeights, SessionStep};
+use aigs_data::wal::FsyncPolicy;
+use aigs_graph::generate::{random_dag, DagConfig};
+use aigs_graph::NodeId;
+use aigs_service::{
+    DurabilityConfig, EngineConfig, PlanSpec, PolicyKind, ReachChoice, SearchEngine,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let n = 1024;
+    let dag = Arc::new(random_dag(
+        &DagConfig::bushy(n, 0.1),
+        &mut ChaCha8Rng::seed_from_u64(13),
+    ));
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let weights = Arc::new(
+        NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap(),
+    );
+    let live = 10_000;
+    let steps = 100_000;
+    let kind = match std::env::var("WALSTEP_KIND").as_deref() {
+        Ok("wigs") => PolicyKind::Wigs,
+        Ok("greedy-dag") => PolicyKind::GreedyDag,
+        _ => PolicyKind::TopDown,
+    };
+    let mode = std::env::var("WALSTEP_MODE").unwrap_or_else(|_| "no-wal".into());
+    let (name, fsync, compact): (&str, Option<FsyncPolicy>, bool) = match mode.as_str() {
+        "no-wal" => ("no-wal", None, false),
+        "never" => ("never", Some(FsyncPolicy::Never), true),
+        "every256" => ("every256", Some(FsyncPolicy::EveryN(256)), true),
+        "every1024" => ("every1024", Some(FsyncPolicy::EveryN(1024)), true),
+        other => panic!("unknown mode {other}"),
+    };
+    {
+        let dir = std::env::temp_dir().join(format!("walstep-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durability = fsync.map(|f| {
+            DurabilityConfig::new(&dir)
+                .with_fsync(f)
+                .with_snapshot_every(if compact { Some(1 << 16) } else { None })
+        });
+        let engine = SearchEngine::try_new(EngineConfig {
+            max_sessions: live + 8,
+            durability,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let plan = engine
+            .register_plan(
+                PlanSpec::new(dag.clone(), weights.clone()).with_reach(ReachChoice::Closure),
+            )
+            .unwrap();
+        let mut sessions: Vec<(_, NodeId)> = (0..live)
+            .map(|i| {
+                let z = NodeId::new((i * 2654435761usize) % n);
+                (engine.open_session(plan, kind).unwrap().id(), z)
+            })
+            .collect();
+        // Advance past the first steps so the population reaches steady state.
+        let mut fresh = live;
+        let mut run = |count: usize, t0: Option<Instant>| {
+            for k in 0..count {
+                let (id, z) = sessions[k % live];
+                match engine.next_question(id).unwrap() {
+                    SessionStep::Ask(q) => engine.answer(id, dag.reaches(q, z)).unwrap(),
+                    SessionStep::Resolved(_) => {
+                        engine.finish(id).unwrap();
+                        let nz = NodeId::new((fresh * 2654435761usize) % n);
+                        fresh += 1;
+                        sessions[k % live] = (engine.open_session(plan, kind).unwrap().id(), nz);
+                    }
+                }
+            }
+            t0.map(|t| t.elapsed())
+        };
+        run(30_000, None);
+        let el = run(steps, Some(Instant::now())).unwrap();
+        println!(
+            "{name:>10}: {:.0} ns/step",
+            el.as_nanos() as f64 / steps as f64
+        );
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

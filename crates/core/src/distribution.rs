@@ -63,6 +63,42 @@ impl NodeWeights {
         Self::from_masses(counts.iter().map(|&c| c as f64).collect())
     }
 
+    /// Adopts an **already-normalised** probability vector verbatim —
+    /// entries are validated (finite, non-negative, positive total) but
+    /// *not* rescaled, so the stored values are bit-identical to the input.
+    ///
+    /// This is the round-trip constructor for durability layers: a
+    /// distribution serialised via [`NodeWeights::as_slice`] and rebuilt
+    /// here produces the exact same f64 bits, which in turn keeps replayed
+    /// search transcripts bit-identical to the original run (re-normalising
+    /// through [`NodeWeights::from_masses`] would divide by a total of
+    /// `≈ 1.0` and perturb the last mantissa bits).
+    pub fn from_normalized(p: Vec<f64>) -> Result<Self, CoreError> {
+        if p.is_empty() {
+            return Err(CoreError::WeightMismatch {
+                nodes: 0,
+                weights: 0,
+            });
+        }
+        let mut total = 0.0;
+        for (i, &m) in p.iter().enumerate() {
+            if !m.is_finite() || m < 0.0 {
+                return Err(CoreError::InvalidWeight {
+                    node: NodeId::new(i),
+                    value: m,
+                });
+            }
+            total += m;
+        }
+        if total <= 0.0 || !total.is_finite() {
+            return Err(CoreError::InvalidWeight {
+                node: NodeId::new(0),
+                value: total,
+            });
+        }
+        Ok(NodeWeights { p })
+    }
+
     /// Number of nodes covered.
     #[inline]
     pub fn len(&self) -> usize {
@@ -158,6 +194,22 @@ mod tests {
     fn from_counts_matches_empirical() {
         let w = NodeWeights::from_counts(&[40, 40, 20]).unwrap();
         assert!((w.get(NodeId::new(2)) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_normalized_roundtrips_bit_exactly() {
+        // Masses whose normalised values are not exactly representable: a
+        // re-normalising roundtrip would perturb the mantissa tails.
+        let w = NodeWeights::from_masses(vec![0.1, 0.3, 0.7, 1.3, 0.02]).unwrap();
+        let again = NodeWeights::from_normalized(w.as_slice().to_vec()).unwrap();
+        for (a, b) in w.as_slice().iter().zip(again.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Validation still applies.
+        assert!(NodeWeights::from_normalized(vec![]).is_err());
+        assert!(NodeWeights::from_normalized(vec![f64::NAN]).is_err());
+        assert!(NodeWeights::from_normalized(vec![0.0, 0.0]).is_err());
+        assert!(NodeWeights::from_normalized(vec![-0.1, 1.1]).is_err());
     }
 
     #[test]

@@ -165,6 +165,38 @@ impl SessionStepper {
         }
     }
 
+    /// Rebuilds a suspended session by replaying a recorded answer
+    /// sequence against a fresh (or journal-reset) policy instance.
+    ///
+    /// Policies are deterministic functions of (context, answer history),
+    /// so a session rebuilt from its durable answer log asks **bit-identical**
+    /// questions from the next step onward — this is the exactness that
+    /// makes crash recovery in `aigs-service` replay-based rather than
+    /// best-effort. Each recorded answer must respond to the question the
+    /// policy re-derives; errs with [`CoreError::SessionMisuse`] when the
+    /// answer log extends past the point where the search resolved (a
+    /// corrupt or foreign log), and propagates [`CoreError::Diverged`] if
+    /// the log exceeds the query cap.
+    pub fn replay(
+        policy: &mut dyn Policy,
+        ctx: &SearchContext<'_>,
+        max_queries: Option<u32>,
+        answers: &[bool],
+    ) -> Result<Self, CoreError> {
+        let mut stepper = Self::start(policy, ctx, max_queries)?;
+        for &yes in answers {
+            match stepper.next_question(policy, ctx)? {
+                SessionStep::Ask(_) => stepper.answer(policy, ctx, yes)?,
+                SessionStep::Resolved(_) => {
+                    return Err(CoreError::SessionMisuse(
+                        "replay answers extend past the search's resolution",
+                    ))
+                }
+            }
+        }
+        Ok(stepper)
+    }
+
     /// Queries answered so far.
     pub fn queries(&self) -> u32 {
         self.queries
@@ -571,6 +603,57 @@ mod tests {
             assert_eq!(stepper.queries(), want.queries);
             assert_eq!(stepper.price(), want.price);
         }
+    }
+
+    #[test]
+    fn replay_continuation_is_bit_identical() {
+        let g = vehicle();
+        let w = NodeWeights::from_masses(vec![0.04, 0.02, 0.04, 0.08, 0.02, 0.40, 0.40]).unwrap();
+        let ctx = SearchContext::new(&g, &w);
+        for z in g.nodes() {
+            // Reference: one uninterrupted session, transcript recorded.
+            let mut p = GreedyTreePolicy::new();
+            let mut rec = crate::TranscriptOracle::new(TargetOracle::new(&g, z));
+            let want = run_session(&mut p, &ctx, &mut rec, None).unwrap();
+            // Replay every answer prefix, then continue truthfully: the
+            // continuation must reproduce the reference tail exactly.
+            for cut in 0..=rec.transcript.len() {
+                let answers: Vec<bool> = rec.transcript[..cut].iter().map(|&(_, a)| a).collect();
+                let mut p2 = GreedyTreePolicy::new();
+                let mut stepper = SessionStepper::replay(&mut p2, &ctx, None, &answers).unwrap();
+                assert_eq!(stepper.queries(), cut as u32);
+                let mut tail = Vec::new();
+                let outcome = loop {
+                    match stepper.next_question(&mut p2, &ctx).unwrap() {
+                        SessionStep::Resolved(_) => break stepper.finish(&p2).unwrap(),
+                        SessionStep::Ask(q) => {
+                            let yes = g.reaches(q, z);
+                            tail.push((q, yes));
+                            stepper.answer(&mut p2, &ctx, yes).unwrap();
+                        }
+                    }
+                };
+                assert_eq!(outcome, want, "cut {cut}");
+                assert_eq!(&rec.transcript[cut..], &tail[..], "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_past_resolution_is_typed() {
+        let g = vehicle();
+        let w = NodeWeights::uniform(7);
+        let ctx = SearchContext::new(&g, &w);
+        let mut p = GreedyTreePolicy::new();
+        let mut rec = crate::TranscriptOracle::new(TargetOracle::new(&g, NodeId::new(6)));
+        run_session(&mut p, &ctx, &mut rec, None).unwrap();
+        let mut answers: Vec<bool> = rec.transcript.iter().map(|&(_, a)| a).collect();
+        answers.push(true); // one answer past resolution
+        let mut p2 = GreedyTreePolicy::new();
+        assert!(matches!(
+            SessionStepper::replay(&mut p2, &ctx, None, &answers),
+            Err(CoreError::SessionMisuse(_))
+        ));
     }
 
     #[test]

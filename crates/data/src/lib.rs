@@ -29,6 +29,7 @@ pub mod fixtures;
 pub mod loader;
 pub mod paths;
 pub mod taxonomy;
+pub mod wal;
 
 pub use datasets::{amazon_like, imagenet_like, object_trace, Dataset, Scale};
 pub use distributions::{sample_targets, WeightSetting};

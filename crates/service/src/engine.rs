@@ -1,33 +1,56 @@
 //! The multi-tenant session engine.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use aigs_core::{CoreError, SearchOutcome, SessionStep, SessionStepper};
+use aigs_data::wal::{FsyncPolicy, SessionWal, WalEvent, WAL_VERSION};
+use aigs_testutil::failpoints::{self, FaultAction};
 
+use crate::durability::{
+    durability_err, kind_code, kind_from_code, plan_payload, plan_spec_from_payload, read_dir_logs,
+    DurabilityConfig, RecoveryReport, ReplaySession, ReplayState, WalState, ROTATED_FILE,
+    SNAPSHOT_FILE, SNAPSHOT_TMP_FILE,
+};
 use crate::plan::PlanEntry;
 use crate::{PlanId, PlanSpec, PolicyKind, ServiceError};
 
 /// Default admission limit of [`EngineConfig`].
 pub const DEFAULT_MAX_SESSIONS: usize = 65_536;
 
+/// Default [`EngineConfig::admission_scan_cap`]: how many slots the
+/// admission-time idle sweep examines before giving up.
+pub const DEFAULT_ADMISSION_SCAN_CAP: usize = 1024;
+
 /// Engine tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Admission limit on concurrently live sessions. Opening past it fails
     /// with [`ServiceError::AtCapacity`] unless idle eviction frees a slot.
     pub max_sessions: usize,
     /// Idle-eviction threshold on the engine's logical clock (every engine
     /// operation is one tick). A session untouched for this many ticks is
-    /// evictable by [`SearchEngine::sweep_idle`] — which also runs
-    /// automatically when admission is full. `None` disables eviction:
-    /// abandoned sessions then hold their slots until cancelled.
+    /// evictable by [`SearchEngine::sweep_idle`] — which also runs, capped,
+    /// when admission is full. `None` disables eviction: abandoned sessions
+    /// then hold their slots until cancelled.
     pub idle_ticks: Option<u64>,
     /// Per-session query cap forwarded to [`SessionStepper::start`] (the
     /// `4·n + 64` safety cap always applies on top).
     pub max_queries: Option<u32>,
     /// How many warm policy instances each (plan, kind) pool retains.
     pub pool_cap: usize,
+    /// Hard cap on how many slots the *admission-time* idle sweep scans, so
+    /// a refused open against a saturated engine costs O(cap), not
+    /// O(`max_sessions`). Successive refusals resume the scan from a
+    /// rotating cursor, and an explicit [`SearchEngine::sweep_idle`] still
+    /// scans everything.
+    pub admission_scan_cap: usize,
+    /// Optional write-ahead durability: with `Some`, every acknowledged
+    /// mutating operation is logged before success is returned, and
+    /// [`SearchEngine::recover`] rebuilds the engine after a crash.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +60,8 @@ impl Default for EngineConfig {
             idle_ticks: None,
             max_queries: None,
             pool_cap: 64,
+            admission_scan_cap: DEFAULT_ADMISSION_SCAN_CAP,
+            durability: None,
         }
     }
 }
@@ -45,7 +70,9 @@ impl Default for EngineConfig {
 /// or evicted sessions, even after slot reuse) are rejected with
 /// [`ServiceError::UnknownSession`], never silently routed to a stranger's
 /// search. Like [`crate::PlanId`], the id is scoped to the issuing engine,
-/// so it cannot alias a session on a sibling engine either.
+/// so it cannot alias a session on a sibling engine either — and
+/// [`SearchEngine::recover`] restores the engine's identity, so ids issued
+/// before a crash remain valid on the recovered engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId {
     engine: u32,
@@ -71,18 +98,33 @@ pub struct EngineStats {
     /// Sessions torn down by a search error (divergence) plus opens refused
     /// by a policy construction error.
     pub errored: u64,
+    /// Sessions quarantined because their policy panicked (the panicking
+    /// instance is discarded, never re-pooled).
+    pub panicked: u64,
     /// `next_question`/`answer` operations served.
     pub steps: u64,
     /// Session opens served by a warm pooled policy instance (the O(Δ)
     /// journal-reset path) rather than a fresh build.
     pub pool_hits: u64,
+    /// WAL records appended over the engine's lifetime (0 with durability
+    /// off).
+    pub wal_records: u64,
+    /// Whether the engine is in degraded (read-mostly) mode after a WAL
+    /// failure.
+    pub degraded: bool,
 }
 
 struct LiveSession {
     plan: Arc<PlanEntry>,
+    /// The plan's registration index (what WAL events reference).
+    plan_index: u32,
     kind: PolicyKind,
     policy: Box<dyn aigs_core::Policy + Send>,
     stepper: SessionStepper,
+    /// The acknowledged answer history — with the plan and kind, the
+    /// session's complete durable state (questions re-derive
+    /// deterministically on replay).
+    answers: Vec<bool>,
     last_touch: u64,
 }
 
@@ -98,6 +140,7 @@ struct Counters {
     cancelled: AtomicU64,
     evicted: AtomicU64,
     errored: AtomicU64,
+    panicked: AtomicU64,
     steps: AtomicU64,
     pool_hits: AtomicU64,
     peak_live: AtomicUsize,
@@ -123,7 +166,22 @@ enum Removal {
 /// suspend* → [`answer`](SessionHandle::answer))\* →
 /// [`finish`](SessionHandle::finish). Sessions that stop answering are
 /// reclaimed by idle eviction; sessions whose search errors are torn down
-/// individually, returning the [`CoreError`] to their caller only.
+/// individually, returning the [`CoreError`] to their caller only; sessions
+/// whose policy *panics* are quarantined the same way (instance discarded,
+/// [`ServiceError::PolicyPanicked`] to their caller, everyone else
+/// untouched).
+///
+/// ### Durability
+///
+/// With [`EngineConfig::durability`] set, acknowledged mutations append to
+/// a checksummed write-ahead log before returning, periodic snapshots
+/// compact it, and [`recover`](Self::recover) rebuilds the engine from the
+/// log — recovered sessions continue with transcripts **bit-identical** to
+/// an uncrashed run. If the log itself fails (disk full, I/O error), the
+/// engine degrades to read-mostly: the failing call gets
+/// [`ServiceError::Durability`], later mutating calls get
+/// [`ServiceError::Degraded`], while `next_question`, [`stats`](Self::stats)
+/// and existing reads keep working.
 pub struct SearchEngine {
     config: EngineConfig,
     /// Process-unique nonce baked into every id this engine issues, so a
@@ -136,9 +194,14 @@ pub struct SearchEngine {
     live: AtomicUsize,
     clock: AtomicU64,
     counters: Counters,
+    /// Rotating start position for the capped admission sweep.
+    sweep_cursor: AtomicUsize,
+    wal: Option<WalState>,
 }
 
 /// Issues [`SearchEngine::engine_id`] nonces (process-wide, never zero).
+/// [`SearchEngine::recover`] bumps it past recovered ids so later engines
+/// cannot collide with a pre-crash engine's identity.
 static NEXT_ENGINE_ID: AtomicU32 = AtomicU32::new(1);
 
 impl Default for SearchEngine {
@@ -149,17 +212,217 @@ impl Default for SearchEngine {
 
 impl SearchEngine {
     /// An empty engine with the given limits.
+    ///
+    /// # Panics
+    /// Panics when [`EngineConfig::durability`] is set and the log
+    /// directory cannot be initialised; use [`try_new`](Self::try_new) to
+    /// handle that fallibly.
     pub fn new(config: EngineConfig) -> Self {
-        SearchEngine {
+        Self::try_new(config).expect("durability init failed; use SearchEngine::try_new")
+    }
+
+    /// An empty engine with the given limits, surfacing durability-setup
+    /// failures as [`ServiceError::Durability`].
+    ///
+    /// A fresh engine **owns** its log directory: stale WAL/snapshot files
+    /// from a previous tenant are removed so a later recovery cannot splice
+    /// two engines' histories. To resume from an existing log, use
+    /// [`recover`](Self::recover) instead.
+    pub fn try_new(config: EngineConfig) -> Result<Self, ServiceError> {
+        let engine_id = NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed);
+        let wal = match &config.durability {
+            None => None,
+            Some(d) => Some(WalState::create(d.clone(), engine_id, true)?),
+        };
+        Ok(SearchEngine {
             config,
-            engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            engine_id,
             plans: RwLock::new(Vec::new()),
             slots: RwLock::new(Vec::new()),
             free: Mutex::new(Vec::new()),
             live: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
             counters: Counters::default(),
+            sweep_cursor: AtomicUsize::new(0),
+            wal: None,
         }
+        .with_wal(wal))
+    }
+
+    fn with_wal(mut self, wal: Option<WalState>) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Rebuilds an engine from the write-ahead log in `dir` with default
+    /// limits. See [`recover_with`](Self::recover_with).
+    pub fn recover(dir: impl Into<PathBuf>) -> Result<(Self, RecoveryReport), ServiceError> {
+        let config = EngineConfig {
+            durability: Some(DurabilityConfig::new(dir)),
+            ..EngineConfig::default()
+        };
+        Self::recover_with(config)
+    }
+
+    /// Rebuilds an engine from the write-ahead log named by
+    /// `config.durability` (required).
+    ///
+    /// Replays every intact event — snapshot first, then the tail(s) —
+    /// through the idempotent fold, rebuilds each plan's artifacts
+    /// bit-identically, and restores every acknowledged live session by
+    /// replaying its answer history through a fresh
+    /// [`SessionStepper`]: because policies are deterministic, a recovered
+    /// session's continuation transcript is **bit-identical** to the
+    /// uncrashed run's. The engine's identity is restored too, so
+    /// [`SessionId`]s/[`PlanId`]s issued before the crash keep working.
+    ///
+    /// Torn log tails (the signature of a mid-append crash) are tolerated
+    /// and reported in the [`RecoveryReport`]; individually unrestorable
+    /// sessions (e.g. a policy that deterministically panics mid-replay)
+    /// are retired and counted rather than poisoning the engine. After a
+    /// successful recovery the directory is compacted to a fresh
+    /// snapshot + empty tail.
+    pub fn recover_with(config: EngineConfig) -> Result<(Self, RecoveryReport), ServiceError> {
+        let Some(durability) = config.durability.clone() else {
+            return Err(durability_err(
+                "recover_with requires EngineConfig::durability",
+            ));
+        };
+        let logs = read_dir_logs(&durability.dir)?;
+        let mut report = RecoveryReport {
+            events: logs.events.len(),
+            corruptions: logs.corruptions,
+            ..RecoveryReport::default()
+        };
+        let mut rs = ReplayState::default();
+        for event in &logs.events {
+            rs.apply(event);
+        }
+        report.anomalies = std::mem::take(&mut rs.anomalies);
+        let engine_id = rs
+            .engine_id
+            .ok_or_else(|| durability_err("log contains no engine metadata"))?;
+        // Keep later same-process engines from colliding with this identity.
+        NEXT_ENGINE_ID.fetch_max(engine_id.wrapping_add(1), Ordering::Relaxed);
+
+        // Plans must be gap-free: sessions reference them by index.
+        let mut plans = Vec::with_capacity(rs.plans.len());
+        for (i, payload) in rs.plans.iter().enumerate() {
+            let Some(payload) = payload else {
+                return Err(durability_err(format!(
+                    "plan {i} is missing from the log (corrupt snapshot?)"
+                )));
+            };
+            let spec = plan_spec_from_payload(payload)?;
+            plans.push(Arc::new(PlanEntry::build(spec, config.pool_cap)?));
+        }
+        report.plans = plans.len();
+
+        let mut slots = Vec::with_capacity(rs.sessions.len());
+        let mut free = Vec::new();
+        let mut live = 0usize;
+        for (index, replayed) in rs.sessions.iter_mut().enumerate() {
+            let max_gen = rs.max_gen[index];
+            match replayed.take() {
+                None => {
+                    // Empty slot: park its generation past every id ever
+                    // issued here, so stale pre-crash handles stay rejected.
+                    slots.push(Arc::new(Mutex::new(Slot {
+                        generation: max_gen.map_or(0, |g| g.wrapping_add(1)),
+                        session: None,
+                    })));
+                    free.push(index as u32);
+                }
+                Some(rsess) => match Self::restore_session(&plans, &rsess, config.max_queries) {
+                    Ok(session) => {
+                        slots.push(Arc::new(Mutex::new(Slot {
+                            generation: rsess.generation,
+                            session: Some(session),
+                        })));
+                        live += 1;
+                        report.sessions += 1;
+                    }
+                    Err(why) => {
+                        report.sessions_failed += 1;
+                        report.anomalies.push(format!("slot {index}: {why}"));
+                        slots.push(Arc::new(Mutex::new(Slot {
+                            generation: rsess.generation.wrapping_add(1),
+                            session: None,
+                        })));
+                        free.push(index as u32);
+                    }
+                },
+            }
+        }
+
+        let counters = Counters::default();
+        counters.opened.store(rs.counters.opened, Ordering::Relaxed);
+        counters
+            .finished
+            .store(rs.counters.finished, Ordering::Relaxed);
+        counters
+            .cancelled
+            .store(rs.counters.cancelled, Ordering::Relaxed);
+        counters
+            .evicted
+            .store(rs.counters.evicted, Ordering::Relaxed);
+        counters.peak_live.store(live, Ordering::Relaxed);
+
+        let engine = SearchEngine {
+            config,
+            engine_id,
+            plans: RwLock::new(plans),
+            slots: RwLock::new(slots),
+            free: Mutex::new(free),
+            live: AtomicUsize::new(live),
+            clock: AtomicU64::new(0),
+            counters,
+            sweep_cursor: AtomicUsize::new(0),
+            wal: None,
+        };
+
+        // Re-establish durability deterministically: snapshot the recovered
+        // state, publish it, then open a fresh tail — whatever file set the
+        // crash left behind is superseded and cleaned up.
+        let tmp = durability.dir.join(SNAPSHOT_TMP_FILE);
+        engine.write_snapshot(&tmp)?;
+        std::fs::rename(&tmp, durability.dir.join(SNAPSHOT_FILE)).map_err(durability_err)?;
+        let _ = std::fs::remove_file(durability.dir.join(ROTATED_FILE));
+        let wal = WalState::create(durability, engine_id, false)?;
+        Ok((engine.with_wal(Some(wal)), report))
+    }
+
+    /// Rebuilds one logged session: plan lookup, policy construction, and a
+    /// deterministic replay of its acknowledged answers.
+    fn restore_session(
+        plans: &[Arc<PlanEntry>],
+        rsess: &ReplaySession,
+        max_queries: Option<u32>,
+    ) -> Result<LiveSession, String> {
+        let kind = kind_from_code(rsess.kind)
+            .ok_or_else(|| format!("unknown policy code {}", rsess.kind.tag))?;
+        let plan = plans
+            .get(rsess.plan as usize)
+            .cloned()
+            .ok_or_else(|| format!("references unregistered plan {}", rsess.plan))?;
+        let (mut policy, _) = plan.acquire(kind);
+        let replayed = catch_unwind(AssertUnwindSafe(|| {
+            SessionStepper::replay(policy.as_mut(), &plan.ctx(), max_queries, &rsess.answers)
+        }));
+        let stepper = match replayed {
+            Ok(Ok(s)) => s,
+            Ok(Err(e)) => return Err(format!("replay rejected: {e}")),
+            Err(_) => return Err("policy panicked during replay; session retired".to_owned()),
+        };
+        Ok(LiveSession {
+            plan,
+            plan_index: rsess.plan,
+            kind,
+            policy,
+            stepper,
+            answers: rsess.answers.clone(),
+            last_touch: 0,
+        })
     }
 
     /// The engine's configuration.
@@ -170,16 +433,25 @@ impl SearchEngine {
     /// Registers a plan (hierarchy + distribution + prices + backend
     /// choice), building its shared reachability index once. Fails with
     /// [`ServiceError::Core`] when the spec is inconsistent (e.g. weight
-    /// vector length mismatch).
+    /// vector length mismatch). With durability on, the full plan payload
+    /// is logged before the id is returned, so recovery is self-contained.
     pub fn register_plan(&self, spec: PlanSpec) -> Result<PlanId, ServiceError> {
+        self.check_active()?;
         let entry = Arc::new(PlanEntry::build(spec, self.config.pool_cap)?);
         let mut plans = self.plans.write().expect("plans lock poisoned");
-        let id = PlanId {
-            engine: self.engine_id,
-            index: u32::try_from(plans.len()).expect("plan count fits u32"),
-        };
+        let index = u32::try_from(plans.len()).expect("plan count fits u32");
+        if let Some(wal) = &self.wal {
+            let (dag, weights, costs, reach) = entry.artifacts();
+            wal.append(&WalEvent::PlanRegistered {
+                plan: index,
+                payload: plan_payload(dag, weights, costs, reach),
+            })?;
+        }
         plans.push(entry);
-        Ok(id)
+        Ok(PlanId {
+            engine: self.engine_id,
+            index,
+        })
     }
 
     /// Opens a suspended session for `kind` on `plan`.
@@ -188,13 +460,16 @@ impl SearchEngine {
     /// O(Δ)); construction/reset failures — an oversized
     /// [`PolicyKind::Optimal`] instance, [`PolicyKind::GreedyTree`] on a
     /// DAG — surface as [`ServiceError::Core`] to this caller alone. At the
-    /// admission limit an idle-eviction sweep runs first; if nothing is
-    /// reclaimable the open fails with [`ServiceError::AtCapacity`].
+    /// admission limit a capped idle-eviction sweep runs first; if nothing
+    /// is reclaimable the open fails with [`ServiceError::AtCapacity`],
+    /// whose `retryable`/`oldest_idle` fields tell the caller whether and
+    /// when backing off can help.
     pub fn open_session(
         &self,
         plan: PlanId,
         kind: PolicyKind,
     ) -> Result<SessionHandle<'_>, ServiceError> {
+        self.check_active()?;
         let now = self.tick();
         if plan.engine != self.engine_id {
             return Err(ServiceError::UnknownPlan(plan));
@@ -207,31 +482,42 @@ impl SearchEngine {
                 .ok_or(ServiceError::UnknownPlan(plan))?
         };
 
-        // Reserve a live slot (sweeping idle sessions when full).
+        // Reserve a live slot (sweeping up to `admission_scan_cap` slots
+        // for idle sessions when full).
         if !self.reserve_live() {
-            self.sweep_idle();
+            let (_evicted, oldest_idle) = self.sweep_for_admission();
             if !self.reserve_live() {
                 return Err(ServiceError::AtCapacity {
                     live: self.live.load(Ordering::Relaxed),
                     limit: self.config.max_sessions,
+                    retryable: self.config.idle_ticks.is_some(),
+                    oldest_idle,
                 });
             }
         }
 
         let (mut policy, pool_hit) = plan_entry.acquire(kind);
-        let stepper = match SessionStepper::start(
-            policy.as_mut(),
-            &plan_entry.ctx(),
-            self.config.max_queries,
-        ) {
-            Ok(s) => s,
-            Err(e) => {
+        let started = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(failpoints::hit("engine.policy"), Some(FaultAction::Panic)) {
+                panic!("injected policy panic");
+            }
+            SessionStepper::start(policy.as_mut(), &plan_entry.ctx(), self.config.max_queries)
+        }));
+        let stepper = match started {
+            Ok(Ok(s)) => s,
+            Ok(Err(e)) => {
                 // A failed reset leaves the instance in an unknown state:
                 // drop it rather than re-pool it, release the reservation,
                 // and hand the error to this caller only.
                 self.live.fetch_sub(1, Ordering::Relaxed);
                 self.counters.errored.fetch_add(1, Ordering::Relaxed);
                 return Err(e.into());
+            }
+            Err(_) => {
+                // Panic during construction: quarantine the instance.
+                self.live.fetch_sub(1, Ordering::Relaxed);
+                self.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::PolicyPanicked);
             }
         };
         if pool_hit {
@@ -240,9 +526,11 @@ impl SearchEngine {
 
         let session = LiveSession {
             plan: plan_entry,
+            plan_index: plan.index,
             kind,
             policy,
             stepper,
+            answers: Vec::new(),
             last_touch: now,
         };
         let index = self.allocate_slot();
@@ -250,10 +538,26 @@ impl SearchEngine {
         let generation = {
             let mut slot = slot_arc.lock().expect("slot lock poisoned");
             debug_assert!(slot.session.is_none(), "free list handed out a live slot");
+            // Log before publishing: on failure the caller never saw an id,
+            // so nothing durable or visible changed.
+            if let Some(wal) = &self.wal {
+                if let Err(e) = wal.append(&WalEvent::SessionOpened {
+                    index,
+                    generation: slot.generation,
+                    plan: plan.index,
+                    kind: kind_code(kind),
+                }) {
+                    drop(slot);
+                    self.release_slot(index);
+                    self.counters.errored.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
             slot.session = Some(session);
             slot.generation
         };
         self.counters.opened.fetch_add(1, Ordering::Relaxed);
+        self.maybe_autocompact();
         Ok(SessionHandle {
             engine: self,
             id: SessionId {
@@ -275,17 +579,22 @@ impl SearchEngine {
     /// or its resolved target. A session that exhausts its query cap is
     /// torn down (its policy instance returns to the pool) and
     /// [`CoreError::Diverged`] is returned to this caller; every other
-    /// session is untouched.
+    /// session is untouched. Works in degraded mode: question derivation is
+    /// deterministic, so it never needs the log.
     pub fn next_question(&self, id: SessionId) -> Result<SessionStep, ServiceError> {
-        let step = self.with_session(id, |s| {
-            let LiveSession {
-                plan,
-                policy,
-                stepper,
-                ..
-            } = s;
-            stepper.next_question(policy.as_mut(), &plan.ctx())
-        })?;
+        let step = self.step_session(
+            id,
+            |s| {
+                let LiveSession {
+                    plan,
+                    policy,
+                    stepper,
+                    ..
+                } = s;
+                stepper.next_question(policy.as_mut(), &plan.ctx())
+            },
+            |_, _| None,
+        )?;
         self.counters.steps.fetch_add(1, Ordering::Relaxed);
         match step {
             Ok(step) => Ok(step),
@@ -302,26 +611,49 @@ impl SearchEngine {
 
     /// Feeds the oracle's answer for the pending question of session `id`.
     /// Answering with no question outstanding is a recoverable protocol
-    /// error ([`CoreError::SessionMisuse`]); the session stays live.
+    /// error ([`CoreError::SessionMisuse`]); the session stays live. With
+    /// durability on, the answer is logged (under the session's lock, so
+    /// log order matches apply order) before the call returns — a
+    /// [`ServiceError::Durability`] return means the answer was **not**
+    /// durably acknowledged and the engine has degraded.
     pub fn answer(&self, id: SessionId, yes: bool) -> Result<(), ServiceError> {
-        let fed = self.with_session(id, |s| {
-            let LiveSession {
-                plan,
-                policy,
-                stepper,
-                ..
-            } = s;
-            stepper.answer(policy.as_mut(), &plan.ctx(), yes)
-        })?;
+        self.check_active()?;
+        let fed = self.step_session(
+            id,
+            |s| {
+                let LiveSession {
+                    plan,
+                    policy,
+                    stepper,
+                    answers,
+                    ..
+                } = s;
+                stepper.answer(policy.as_mut(), &plan.ctx(), yes)?;
+                answers.push(yes);
+                Ok(u32::try_from(answers.len() - 1).expect("answer count fits u32"))
+            },
+            |seq, _| {
+                Some(WalEvent::Answered {
+                    index: id.index,
+                    generation: id.generation,
+                    seq: *seq,
+                    yes,
+                })
+            },
+        )?;
         self.counters.steps.fetch_add(1, Ordering::Relaxed);
-        fed.map_err(ServiceError::from)
+        fed.map_err(ServiceError::from)?;
+        self.maybe_autocompact();
+        Ok(())
     }
 
     /// Completes a resolved session: returns its [`SearchOutcome`], frees
     /// the slot and returns the policy instance to the plan's pool. While
     /// unresolved this errs with [`CoreError::SessionMisuse`] and the
-    /// session stays live.
+    /// session stays live — as it does if the completion cannot be durably
+    /// logged ([`ServiceError::Durability`]).
     pub fn finish(&self, id: SessionId) -> Result<SearchOutcome, ServiceError> {
+        self.check_active()?;
         // Probe resolution and take the session under ONE slot-lock
         // acquisition: a probe-then-remove pair would let a concurrent
         // cancel/evict slip between the two and discard the outcome.
@@ -336,37 +668,57 @@ impl SearchEngine {
                 .as_mut()
                 .ok_or(ServiceError::UnknownSession(id))?;
             session.last_touch = self.tick();
-            let outcome = session
-                .stepper
-                .finish(session.policy.as_ref())
-                .map_err(ServiceError::from)?;
+            let finished = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(failpoints::hit("engine.policy"), Some(FaultAction::Panic)) {
+                    panic!("injected policy panic");
+                }
+                session.stepper.finish(session.policy.as_ref())
+            }));
+            let outcome = match finished {
+                Ok(Ok(outcome)) => outcome,
+                Ok(Err(e)) => return Err(e.into()),
+                Err(_) => return self.quarantine(slot, id),
+            };
+            if let Some(wal) = &self.wal {
+                // Ack durably before removing: on failure the session stays
+                // live (and recoverable) while the error propagates.
+                wal.append(&WalEvent::Finished {
+                    index: id.index,
+                    generation: id.generation,
+                })?;
+            }
             slot.generation = slot.generation.wrapping_add(1);
             (outcome, slot.session.take().expect("checked above"))
         };
         session.plan.release(session.kind, session.policy);
         self.release_slot(id.index);
         self.counters.finished.fetch_add(1, Ordering::Relaxed);
+        self.maybe_autocompact();
         Ok(outcome)
     }
 
     /// Discards a session regardless of progress, reclaiming its slot.
     pub fn cancel(&self, id: SessionId) -> Result<(), ServiceError> {
+        self.check_active()?;
         self.remove(id, Removal::Cancelled)
     }
 
     /// Evicts every session idle for at least the configured
     /// [`EngineConfig::idle_ticks`], returning how many were reclaimed.
-    /// No-op (returns 0) when eviction is disabled.
+    /// No-op (returns 0) when eviction is disabled or the engine is
+    /// degraded (a degraded engine must not silently drop recoverable
+    /// sessions).
     ///
-    /// The sweep scans every slot (O(`max_sessions`) per call), and
-    /// [`open_session`](Self::open_session) runs it whenever admission is
-    /// full — fine at the measured scales, but an open storm against a
-    /// saturated engine pays the scan per refused open (see the ROADMAP
-    /// serving follow-ups for the last-touch-heap fix).
+    /// This explicit sweep scans every slot; the sweep that runs
+    /// automatically when admission is full is capped at
+    /// [`EngineConfig::admission_scan_cap`] slots instead.
     pub fn sweep_idle(&self) -> usize {
         let Some(max_idle) = self.config.idle_ticks else {
             return 0;
         };
+        if self.is_degraded() {
+            return 0;
+        }
         let now = self.clock.load(Ordering::Relaxed);
         let slots: Vec<(u32, Arc<Mutex<Slot>>)> = {
             let slots = self.slots.read().expect("slots lock poisoned");
@@ -378,23 +730,7 @@ impl SearchEngine {
         };
         let mut evicted = 0;
         for (index, slot_arc) in slots {
-            let reclaimed = {
-                let mut slot = slot_arc.lock().expect("slot lock poisoned");
-                let idle = slot
-                    .session
-                    .as_ref()
-                    .is_some_and(|s| now.saturating_sub(s.last_touch) >= max_idle);
-                if idle {
-                    slot.generation = slot.generation.wrapping_add(1);
-                    slot.session.take()
-                } else {
-                    None
-                }
-            };
-            if let Some(s) = reclaimed {
-                s.plan.release(s.kind, s.policy);
-                self.release_slot(index);
-                self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+            if self.try_evict(index, &slot_arc, now, max_idle) {
                 evicted += 1;
             }
         }
@@ -406,7 +742,11 @@ impl SearchEngine {
         self.live.load(Ordering::Relaxed)
     }
 
-    /// A snapshot of the activity counters.
+    /// A snapshot of the activity counters. After a recovery, the durable
+    /// lifecycle counters (`opened`/`finished`/`cancelled`/`evicted`) are
+    /// restored from the surviving log window — exact until a compaction
+    /// trims retired sessions' history; the purely operational ones
+    /// (`steps`, `pool_hits`, `errored`, `panicked`) restart from zero.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             live: self.live.load(Ordering::Relaxed),
@@ -416,8 +756,50 @@ impl SearchEngine {
             cancelled: self.counters.cancelled.load(Ordering::Relaxed),
             evicted: self.counters.evicted.load(Ordering::Relaxed),
             errored: self.counters.errored.load(Ordering::Relaxed),
+            panicked: self.counters.panicked.load(Ordering::Relaxed),
             steps: self.counters.steps.load(Ordering::Relaxed),
             pool_hits: self.counters.pool_hits.load(Ordering::Relaxed),
+            wal_records: self
+                .wal
+                .as_ref()
+                .map_or(0, |w| w.total_records.load(Ordering::Relaxed)),
+            degraded: self.is_degraded(),
+        }
+    }
+
+    /// Compacts the write-ahead log now: rotates the tail, snapshots the
+    /// live state, and atomically publishes the snapshot. No-op with
+    /// durability off or when another compaction is already running; fails
+    /// with [`ServiceError::Degraded`] on a degraded engine. Runs
+    /// automatically when the tail exceeds
+    /// [`DurabilityConfig::snapshot_every`] records.
+    pub fn compact(&self) -> Result<(), ServiceError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        if wal.degraded.load(Ordering::Relaxed) {
+            return Err(ServiceError::Degraded);
+        }
+        if wal.compacting.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        let result = (|| {
+            wal.rotate(self.engine_id)?;
+            let tmp = wal.config.dir.join(SNAPSHOT_TMP_FILE);
+            self.write_snapshot(&tmp)?;
+            wal.publish_snapshot()
+        })();
+        wal.compacting.store(false, Ordering::SeqCst);
+        result
+    }
+
+    /// Forces buffered WAL records to stable storage (useful before a
+    /// graceful shutdown when fsync batching is on). No-op with durability
+    /// off.
+    pub fn sync_wal(&self) -> Result<(), ServiceError> {
+        match &self.wal {
+            None => Ok(()),
+            Some(wal) => wal.sync(),
         }
     }
 
@@ -425,6 +807,93 @@ impl SearchEngine {
 
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.wal
+            .as_ref()
+            .is_some_and(|w| w.degraded.load(Ordering::Relaxed))
+    }
+
+    /// Gate for mutating operations: a degraded engine is read-mostly.
+    fn check_active(&self) -> Result<(), ServiceError> {
+        if self.is_degraded() {
+            return Err(ServiceError::Degraded);
+        }
+        Ok(())
+    }
+
+    fn maybe_autocompact(&self) {
+        let Some(wal) = &self.wal else { return };
+        let Some(limit) = wal.config.snapshot_every else {
+            return;
+        };
+        if !wal.degraded.load(Ordering::Relaxed)
+            && wal.tail_records.load(Ordering::Relaxed) >= limit
+        {
+            // Failures surface on the next explicit compact/mutation; the
+            // triggering operation itself already succeeded durably.
+            let _ = self.compact();
+        }
+    }
+
+    /// Writes a compacted WAL (engine meta + plans + live sessions) to
+    /// `path` and fsyncs it. Used by both compaction and post-recovery
+    /// re-initialisation; never touches the shared tail writer, so it needs
+    /// no lock ordering against appends beyond the per-slot locks.
+    fn write_snapshot(&self, path: &Path) -> Result<(), ServiceError> {
+        let mut snap = SessionWal::create(path, FsyncPolicy::Never).map_err(durability_err)?;
+        snap.append_buffered(&WalEvent::EngineMeta {
+            version: WAL_VERSION,
+            engine_id: self.engine_id,
+        })
+        .map_err(durability_err)?;
+        {
+            let plans = self.plans.read().expect("plans lock poisoned");
+            for (i, entry) in plans.iter().enumerate() {
+                let (dag, weights, costs, reach) = entry.artifacts();
+                snap.append_buffered(&WalEvent::PlanRegistered {
+                    plan: i as u32,
+                    payload: plan_payload(dag, weights, costs, reach),
+                })
+                .map_err(durability_err)?;
+            }
+        }
+        let slots: Vec<(u32, Arc<Mutex<Slot>>)> = {
+            let slots = self.slots.read().expect("slots lock poisoned");
+            slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, Arc::clone(s)))
+                .collect()
+        };
+        for (index, slot_arc) in slots {
+            // Capture each session atomically under its lock; concurrent
+            // later events land in the rotated tail and replay idempotently
+            // on top (duplicates skip by sequence number).
+            let slot = slot_arc.lock().expect("slot lock poisoned");
+            let Some(s) = slot.session.as_ref() else {
+                continue;
+            };
+            snap.append_buffered(&WalEvent::SessionOpened {
+                index,
+                generation: slot.generation,
+                plan: s.plan_index,
+                kind: kind_code(s.kind),
+            })
+            .map_err(durability_err)?;
+            for (seq, &yes) in s.answers.iter().enumerate() {
+                snap.append_buffered(&WalEvent::Answered {
+                    index,
+                    generation: slot.generation,
+                    seq: seq as u32,
+                    yes,
+                })
+                .map_err(durability_err)?;
+            }
+        }
+        snap.sync().map_err(durability_err)?;
+        Ok(())
     }
 
     /// Atomically claims one unit of live capacity; callers must release it
@@ -444,6 +913,84 @@ impl SearchEngine {
                 true
             }
             Err(_) => false,
+        }
+    }
+
+    /// The capped admission-time sweep: scans at most
+    /// [`EngineConfig::admission_scan_cap`] slots from a rotating cursor,
+    /// evicting idle sessions and reporting the oldest idle age seen (the
+    /// caller's backoff hint).
+    fn sweep_for_admission(&self) -> (usize, Option<u64>) {
+        let Some(max_idle) = self.config.idle_ticks else {
+            return (0, None);
+        };
+        if self.is_degraded() {
+            return (0, None);
+        }
+        let now = self.clock.load(Ordering::Relaxed);
+        let scan: Vec<(u32, Arc<Mutex<Slot>>)> = {
+            let slots = self.slots.read().expect("slots lock poisoned");
+            let len = slots.len();
+            if len == 0 {
+                return (0, None);
+            }
+            let cap = self.config.admission_scan_cap.clamp(1, len);
+            let start = self.sweep_cursor.fetch_add(cap, Ordering::Relaxed) % len;
+            (0..cap)
+                .map(|k| {
+                    let i = (start + k) % len;
+                    (i as u32, Arc::clone(&slots[i]))
+                })
+                .collect()
+        };
+        let mut evicted = 0;
+        let mut oldest: Option<u64> = None;
+        for (index, slot_arc) in &scan {
+            {
+                let slot = slot_arc.lock().expect("slot lock poisoned");
+                if let Some(s) = slot.session.as_ref() {
+                    let age = now.saturating_sub(s.last_touch);
+                    oldest = Some(oldest.map_or(age, |o| o.max(age)));
+                }
+            }
+            if self.try_evict(*index, slot_arc, now, max_idle) {
+                evicted += 1;
+            }
+        }
+        (evicted, oldest)
+    }
+
+    /// Evicts the session in `slot_arc` if it has idled past `max_idle`.
+    /// The eviction event is logged best-effort under the slot lock (an
+    /// unlogged eviction merely resurrects the session on recovery).
+    fn try_evict(&self, index: u32, slot_arc: &Arc<Mutex<Slot>>, now: u64, max_idle: u64) -> bool {
+        let reclaimed = {
+            let mut slot = slot_arc.lock().expect("slot lock poisoned");
+            let idle = slot
+                .session
+                .as_ref()
+                .is_some_and(|s| now.saturating_sub(s.last_touch) >= max_idle);
+            if idle {
+                if let Some(wal) = &self.wal {
+                    wal.append_best_effort(&WalEvent::Evicted {
+                        index,
+                        generation: slot.generation,
+                    });
+                }
+                slot.generation = slot.generation.wrapping_add(1);
+                slot.session.take()
+            } else {
+                None
+            }
+        };
+        match reclaimed {
+            Some(s) => {
+                s.plan.release(s.kind, s.policy);
+                self.release_slot(index);
+                self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
         }
     }
 
@@ -481,12 +1028,22 @@ impl SearchEngine {
             .ok_or(ServiceError::UnknownSession(id))
     }
 
-    /// Runs `f` on the live session behind `id`, touching its idle clock.
-    fn with_session<T>(
+    /// Runs `f` — a step that calls into the session's policy — on the live
+    /// session behind `id`, touching its idle clock.
+    ///
+    /// The policy call is wrapped in `catch_unwind`: a panicking policy
+    /// quarantines **only its own session** (see [`Self::quarantine`]) and
+    /// surfaces [`ServiceError::PolicyPanicked`] to this caller; every
+    /// other session, and the engine itself, keeps serving. On success,
+    /// `event` may produce a WAL record which is appended while the slot
+    /// lock is still held — guaranteeing the log's per-session order
+    /// matches the in-memory apply order.
+    fn step_session<T>(
         &self,
         id: SessionId,
-        f: impl FnOnce(&mut LiveSession) -> T,
-    ) -> Result<T, ServiceError> {
+        f: impl FnOnce(&mut LiveSession) -> Result<T, CoreError>,
+        event: impl FnOnce(&T, &LiveSession) -> Option<WalEvent>,
+    ) -> Result<Result<T, CoreError>, ServiceError> {
         let slot_arc = self.lookup_slot(id)?;
         let mut slot = slot_arc.lock().expect("slot lock poisoned");
         if slot.generation != id.generation {
@@ -497,7 +1054,55 @@ impl SearchEngine {
             .as_mut()
             .ok_or(ServiceError::UnknownSession(id))?;
         session.last_touch = self.tick();
-        Ok(f(session))
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(failpoints::hit("engine.policy"), Some(FaultAction::Panic)) {
+                panic!("injected policy panic");
+            }
+            f(session)
+        }));
+        match outcome {
+            Ok(result) => {
+                if let Ok(value) = &result {
+                    let session = slot
+                        .session
+                        .as_ref()
+                        .expect("session vanished under its slot lock");
+                    if let Some(ev) = event(value, session) {
+                        if let Some(wal) = &self.wal {
+                            wal.append(&ev)?;
+                        }
+                    }
+                }
+                Ok(result)
+            }
+            Err(_) => self.quarantine(slot, id),
+        }
+    }
+
+    /// Tears down the session in `slot` after its policy panicked: the
+    /// instance is discarded (its internal state is unknowable — it must
+    /// never re-enter the pool), the slot generation advances so the stale
+    /// id is rejected, and the retirement is logged best-effort so recovery
+    /// does not replay the session into the same deterministic panic.
+    fn quarantine<T>(
+        &self,
+        mut slot: std::sync::MutexGuard<'_, Slot>,
+        id: SessionId,
+    ) -> Result<T, ServiceError> {
+        let generation = slot.generation;
+        slot.generation = generation.wrapping_add(1);
+        let quarantined = slot.session.take();
+        drop(slot);
+        if let Some(wal) = &self.wal {
+            wal.append_best_effort(&WalEvent::Cancelled {
+                index: id.index,
+                generation,
+            });
+        }
+        drop(quarantined);
+        self.release_slot(id.index);
+        self.counters.panicked.fetch_add(1, Ordering::Relaxed);
+        Err(ServiceError::PolicyPanicked)
     }
 
     fn remove(&self, id: SessionId, how: Removal) -> Result<(), ServiceError> {
@@ -506,6 +1111,22 @@ impl SearchEngine {
             let mut slot = slot_arc.lock().expect("slot lock poisoned");
             if slot.generation != id.generation || slot.session.is_none() {
                 return Err(ServiceError::UnknownSession(id));
+            }
+            if let Some(wal) = &self.wal {
+                let ev = WalEvent::Cancelled {
+                    index: id.index,
+                    generation: id.generation,
+                };
+                match how {
+                    // An explicit cancel is an acknowledgement: it must be
+                    // durable, or the session stays live and the caller
+                    // sees the durability failure.
+                    Removal::Cancelled => wal.append(&ev)?,
+                    // Internal teardown (divergence): proceed regardless;
+                    // at worst recovery resurrects a session that will
+                    // diverge again on its next step.
+                    Removal::Errored => wal.append_best_effort(&ev),
+                }
             }
             slot.generation = slot.generation.wrapping_add(1);
             slot.session.take().expect("checked above")
@@ -526,6 +1147,8 @@ impl std::fmt::Debug for SearchEngine {
         f.debug_struct("SearchEngine")
             .field("live", &self.live_sessions())
             .field("max_sessions", &self.config.max_sessions)
+            .field("durable", &self.wal.is_some())
+            .field("degraded", &self.is_degraded())
             .finish()
     }
 }
@@ -541,7 +1164,8 @@ pub struct SessionHandle<'e> {
 
 impl SessionHandle<'_> {
     /// The durable id: serialise it into your task queue and reattach with
-    /// [`SearchEngine::session`].
+    /// [`SearchEngine::session`] — on the same engine, or on the one
+    /// [`SearchEngine::recover`] rebuilt after a crash.
     pub fn id(&self) -> SessionId {
         self.id
     }

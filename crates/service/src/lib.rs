@@ -62,13 +62,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durability;
 mod engine;
 mod error;
 mod kind;
 mod plan;
 
+pub use aigs_data::wal::FsyncPolicy;
+pub use durability::{DurabilityConfig, RecoveryReport};
 pub use engine::{
-    EngineConfig, EngineStats, SearchEngine, SessionHandle, SessionId, DEFAULT_MAX_SESSIONS,
+    EngineConfig, EngineStats, SearchEngine, SessionHandle, SessionId, DEFAULT_ADMISSION_SCAN_CAP,
+    DEFAULT_MAX_SESSIONS,
 };
 pub use error::ServiceError;
 pub use kind::PolicyKind;

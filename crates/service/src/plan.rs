@@ -102,6 +102,10 @@ pub(crate) struct PlanEntry {
     weights: Arc<NodeWeights>,
     costs: Arc<QueryCosts>,
     reach: Option<ReachIndex>,
+    /// The spec's backend *choice* (as opposed to the built index above),
+    /// kept so the durability layer can re-encode the plan exactly as it
+    /// was registered.
+    reach_choice: ReachChoice,
     /// Non-zero token certifying the (dag, weights, costs) triple to policy
     /// instance caches: a pooled policy's `try_reset` under a matching
     /// token unwinds its journal in O(Δ of the last session) instead of
@@ -135,12 +139,18 @@ impl PlanEntry {
             weights: spec.weights,
             costs: spec.costs,
             reach,
+            reach_choice: spec.reach,
             cache_token: fresh_cache_token(),
             pools: std::array::from_fn(|_| Mutex::new(Vec::new())),
             pool_cap,
         };
         entry.ctx().validate().map_err(ServiceError::Core)?;
         Ok(entry)
+    }
+
+    /// The registered artifacts, for WAL snapshot encoding.
+    pub(crate) fn artifacts(&self) -> (&Dag, &NodeWeights, &QueryCosts, ReachChoice) {
+        (&self.dag, &self.weights, &self.costs, self.reach_choice)
     }
 
     /// The borrow-based view policies consume, rebuilt per call from the
@@ -184,8 +194,14 @@ impl PlanEntry {
                 }
             }
             // Unwind outside the pool lock; re-check capacity when pooling
-            // (a race past the cap at worst drops a warm instance).
-            if policy.try_reset(&self.ctx()).is_err() {
+            // (a race past the cap at worst drops a warm instance). A reset
+            // that fails — or *panics*, for a policy whose internal state a
+            // previous panic left inconsistent — discards the instance
+            // instead of pooling it.
+            let reset = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                policy.try_reset(&self.ctx())
+            }));
+            if !matches!(reset, Ok(Ok(()))) {
                 return;
             }
             let mut pool = self.pools[i].lock().expect("pool poisoned");

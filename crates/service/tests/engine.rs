@@ -329,11 +329,18 @@ fn admission_limit_and_idle_eviction() {
                 .id()
         })
         .collect();
-    // Full, and nothing is idle yet: admission fails.
-    assert!(matches!(
-        engine.open_session(plan, PolicyKind::GreedyTree),
-        Err(ServiceError::AtCapacity { live: 4, limit: 4 })
-    ));
+    // Full, and nothing is idle yet: admission fails, but the refusal says
+    // a retry can work (idle eviction is on) and reports how old the
+    // oldest session is.
+    match engine.open_session(plan, PolicyKind::GreedyTree) {
+        Err(ServiceError::AtCapacity {
+            live: 4,
+            limit: 4,
+            retryable: true,
+            oldest_idle: Some(_),
+        }) => {}
+        other => panic!("expected a retryable AtCapacity refusal, got {other:?}"),
+    }
 
     // Keep one session active while the clock advances past the idle
     // threshold for the other three.

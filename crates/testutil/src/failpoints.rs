@@ -1,0 +1,187 @@
+//! A minimal fail-point layer for chaos testing.
+//!
+//! Production code (the `aigs-data` WAL writer, the `aigs-service` engine)
+//! calls [`hit`] at named injection sites. With nothing armed this is a
+//! single relaxed atomic load — cheap enough to leave compiled in
+//! unconditionally, which is what lets the chaos suite exercise the *real*
+//! durability code paths rather than a test double. Tests arm faults with
+//! [`arm`] (fire on the n-th hit of a site, one-shot) and clean up with
+//! [`disarm_all`].
+//!
+//! The registry is process-global: suites that arm faults must serialise
+//! themselves (the chaos tests hold a shared mutex) and must not run in the
+//! same test binary as unrelated parallel tests that cross the same sites.
+//!
+//! `AIGS_FAULT_SEED` is the conventional environment knob for seeding
+//! chaos schedules (which sites get armed, at which hit counts, under what
+//! traffic); [`fault_seed`] parses it. The fail points themselves are
+//! deterministic — all randomness lives in the test's schedule generator,
+//! so a failing seed reproduces exactly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What an armed fail point does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The site should fail with an injected I/O error.
+    IoError,
+    /// The site should persist only a prefix of the bytes it meant to
+    /// write, then fail — a torn write (power loss mid-`write(2)`).
+    ShortWrite,
+    /// The site should panic (a bug inside a policy or callback).
+    Panic,
+}
+
+struct Arm {
+    site: &'static str,
+    /// Fires when the site's hit counter reaches this value (1-based).
+    at_hit: u64,
+    action: FaultAction,
+}
+
+#[derive(Default)]
+struct Registry {
+    arms: Vec<Arm>,
+    /// Per-site hit counters, kept even when nothing is armed *for that
+    /// site* so schedules can be planned from a counting pass.
+    counts: Vec<(&'static str, u64)>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    arms: Vec::new(),
+    counts: Vec::new(),
+});
+
+/// Arms `site` to fire `action` on its `at_hit`-th hit (1-based, counted
+/// from the moment of arming; one-shot). Multiple arms may target the same
+/// site at different hit counts.
+pub fn arm(site: &'static str, at_hit: u64, action: FaultAction) {
+    assert!(at_hit >= 1, "hit counts are 1-based");
+    let mut reg = REGISTRY.lock().expect("failpoint registry poisoned");
+    reg.arms.push(Arm {
+        site,
+        at_hit,
+        action,
+    });
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Disarms every fail point and resets all hit counters.
+pub fn disarm_all() {
+    let mut reg = REGISTRY.lock().expect("failpoint registry poisoned");
+    reg.arms.clear();
+    reg.counts.clear();
+    // Counting stays active so `hits()` keeps working after a disarm; the
+    // fast path re-engages only when counting is also unwanted.
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// Enables hit counting without arming any fault, so a fault-free pass can
+/// measure how many times each site fires under a given workload (the
+/// schedule-planning step of kill-at-every-point chaos runs).
+pub fn start_counting() {
+    let mut reg = REGISTRY.lock().expect("failpoint registry poisoned");
+    reg.counts.clear();
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Hits observed at `site` since the last [`disarm_all`]/[`start_counting`].
+pub fn hits(site: &str) -> u64 {
+    let reg = REGISTRY.lock().expect("failpoint registry poisoned");
+    reg.counts
+        .iter()
+        .find(|(s, _)| *s == site)
+        .map_or(0, |&(_, n)| n)
+}
+
+/// Called by instrumented production code at a named injection site.
+/// Returns the action to simulate when an armed fault fires here, `None`
+/// otherwise. With the layer inactive this is one relaxed atomic load.
+#[inline]
+pub fn hit(site: &'static str) -> Option<FaultAction> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    hit_slow(site)
+}
+
+#[cold]
+fn hit_slow(site: &'static str) -> Option<FaultAction> {
+    let mut reg = REGISTRY.lock().expect("failpoint registry poisoned");
+    let count = match reg.counts.iter_mut().find(|(s, _)| *s == site) {
+        Some(entry) => {
+            entry.1 += 1;
+            entry.1
+        }
+        None => {
+            reg.counts.push((site, 1));
+            1
+        }
+    };
+    let fired = reg
+        .arms
+        .iter()
+        .position(|a| a.site == site && a.at_hit == count);
+    fired.map(|i| reg.arms.swap_remove(i).action)
+}
+
+/// The seed from `AIGS_FAULT_SEED`, if set. Panics on unparsable values so
+/// a typo'd CI matrix fails loudly instead of silently running seed 0.
+pub fn fault_seed() -> Option<u64> {
+    match std::env::var("AIGS_FAULT_SEED") {
+        Err(_) => None,
+        Ok(v) => Some(
+            v.parse()
+                .unwrap_or_else(|_| panic!("AIGS_FAULT_SEED must be a u64, got {v:?}")),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; this module's tests share one lock so
+    // they do not interleave with each other under the parallel harness.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_site_is_silent() {
+        let _g = GUARD.lock().unwrap();
+        disarm_all();
+        assert_eq!(hit("wal.append"), None);
+        assert_eq!(hits("wal.append"), 0);
+    }
+
+    #[test]
+    fn arms_fire_on_their_hit_count_once() {
+        let _g = GUARD.lock().unwrap();
+        disarm_all();
+        arm("wal.append", 2, FaultAction::IoError);
+        arm("wal.append", 4, FaultAction::ShortWrite);
+        assert_eq!(hit("wal.append"), None);
+        assert_eq!(hit("wal.append"), Some(FaultAction::IoError));
+        assert_eq!(hit("wal.append"), None);
+        assert_eq!(hit("wal.append"), Some(FaultAction::ShortWrite));
+        assert_eq!(hit("wal.append"), None, "arms are one-shot");
+        assert_eq!(hits("wal.append"), 5);
+        // Sites are independent.
+        assert_eq!(hit("engine.policy"), None);
+        assert_eq!(hits("engine.policy"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn counting_pass_measures_without_firing() {
+        let _g = GUARD.lock().unwrap();
+        disarm_all();
+        start_counting();
+        for _ in 0..7 {
+            assert_eq!(hit("wal.fsync"), None);
+        }
+        assert_eq!(hits("wal.fsync"), 7);
+        disarm_all();
+    }
+}

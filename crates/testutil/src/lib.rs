@@ -16,6 +16,8 @@
 //! property suites once per backend without multiplying wall-clock inside
 //! a single job.
 
+pub mod failpoints;
+
 use aigs_core::{NodeWeights, Policy, QueryCosts, SearchContext, SearchOutcome};
 use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
 use aigs_graph::{dag_from_edges, Dag, NodeId, ReachIndex};
