@@ -113,6 +113,19 @@ pub enum WalEvent {
         /// Slot generation at open.
         generation: u32,
     },
+    /// Generation watermark for an **empty** slot, written by snapshot
+    /// compaction: every generation below `generation` at this slot has
+    /// been retired, and the next session opened there uses `generation`
+    /// or later. Without it, compacting away a retired session's history
+    /// would let recovery re-issue its `(index, generation)` pair — and a
+    /// stale pre-crash id would alias a stranger's session.
+    SlotRetired {
+        /// Slab slot index.
+        index: u32,
+        /// The slot's next generation to issue (exclusive retirement
+        /// upper bound).
+        generation: u32,
+    },
 }
 
 /// Current WAL format version.
@@ -448,6 +461,7 @@ const TAG_ANSWERED: u8 = 0x04;
 const TAG_FINISHED: u8 = 0x05;
 const TAG_CANCELLED: u8 = 0x06;
 const TAG_EVICTED: u8 = 0x07;
+const TAG_SLOT_RETIRED: u8 = 0x08;
 
 fn encode_record(event: &WalEvent, out: &mut Vec<u8>) {
     let base = out.len(); // records may accumulate in one batch buffer
@@ -528,11 +542,13 @@ fn encode_event(event: &WalEvent, out: &mut Vec<u8>) {
         }
         WalEvent::Finished { index, generation }
         | WalEvent::Cancelled { index, generation }
-        | WalEvent::Evicted { index, generation } => {
+        | WalEvent::Evicted { index, generation }
+        | WalEvent::SlotRetired { index, generation } => {
             out.push(match event {
                 WalEvent::Finished { .. } => TAG_FINISHED,
                 WalEvent::Cancelled { .. } => TAG_CANCELLED,
-                _ => TAG_EVICTED,
+                WalEvent::Evicted { .. } => TAG_EVICTED,
+                _ => TAG_SLOT_RETIRED,
             });
             out.extend_from_slice(&index.to_le_bytes());
             out.extend_from_slice(&generation.to_le_bytes());
@@ -659,6 +675,10 @@ fn decode_event(payload: &[u8]) -> Result<WalEvent, String> {
             index: c.u32()?,
             generation: c.u32()?,
         },
+        TAG_SLOT_RETIRED => WalEvent::SlotRetired {
+            index: c.u32()?,
+            generation: c.u32()?,
+        },
         other => return Err(format!("unknown event tag {other}")),
     };
     c.done()?;
@@ -755,6 +775,10 @@ mod tests {
                 index: 2,
                 generation: 3,
             },
+            WalEvent::SlotRetired {
+                index: 0,
+                generation: 8,
+            },
         ]
     }
 
@@ -805,7 +829,8 @@ mod tests {
             bytes.extend_from_slice(&encode_record_bytes(&e));
         }
         let full = decode_wal(&bytes);
-        let tail_start = bytes.len() - encode_record_bytes(&sample_events()[7]).len();
+        let last = sample_events().last().cloned().expect("non-empty");
+        let tail_start = bytes.len() - encode_record_bytes(&last).len();
         let read = decode_wal(&bytes[..bytes.len() - 3]);
         assert_eq!(read.events.len(), full.events.len() - 1);
         let c = read.corruption.expect("torn tail detected");

@@ -20,11 +20,23 @@
 //!
 //! Compaction proceeds: rotate the writer to `wal.new.log` → write
 //! `snapshot.new.log` from live state → atomically rename it over
-//! `snapshot.log` → delete `wal.log` → rename `wal.new.log` to `wal.log`.
-//! A crash between any two steps leaves a file set whose in-order replay
-//! reproduces the same state, because replay is **idempotent**: answers
-//! carry per-session sequence numbers (duplicates skip), re-opens of a
-//! live generation skip, and events for stale generations skip.
+//! `snapshot.log` → **fsync the directory** → delete `wal.log` → rename
+//! `wal.new.log` to `wal.log` → fsync the directory again. A crash between
+//! any two steps leaves a file set whose in-order replay reproduces the
+//! same state, because replay is **idempotent**: answers carry per-session
+//! sequence numbers (duplicates skip), re-opens of a live generation skip,
+//! and events for stale generations skip. The directory fsyncs order the
+//! metadata operations across power loss: the old tail's removal can never
+//! outlive the snapshot rename that supersedes it (file-content fsyncs
+//! alone do not persist directory entries).
+//!
+//! Snapshots record every **empty** slot's generation as a
+//! [`WalEvent::SlotRetired`] watermark. Compaction trims retired sessions'
+//! `Finished`/`Cancelled`/`Evicted` tombstones out of the log, and without
+//! the watermark recovery would rebuild those slots at generation 0 —
+//! letting a fresh open re-issue a retired `(index, generation)` pair, so
+//! a stale pre-crash [`crate::SessionId`] would silently alias a
+//! stranger's session.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -128,6 +140,18 @@ pub struct RecoveryReport {
 
 pub(crate) fn durability_err(e: impl fmt::Display) -> ServiceError {
     ServiceError::Durability(e.to_string())
+}
+
+/// Fsyncs a directory so the create/rename/remove operations before it
+/// survive power loss — fsyncing a file persists its *contents*, but the
+/// directory entry pointing at it lives in the directory's own metadata.
+/// Called after creating a log file whose appends will be acknowledged,
+/// and between ordered publish steps (snapshot rename before tail
+/// removal).
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), ServiceError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| durability_err(format!("fsync {}: {e}", dir.display())))
 }
 
 /// Idle flush cadence for the group-commit thread: an acknowledged record
@@ -325,6 +349,9 @@ impl WalState {
             })
             .and_then(|()| writer.sync())
             .map_err(durability_err)?;
+        // Persist the tail's directory entry (and any wipe removals) before
+        // acknowledging appends into it.
+        sync_dir(&config.dir)?;
         let degraded = Arc::new(AtomicBool::new(false));
         let syncer = match config.fsync {
             FsyncPolicy::EveryN(_) => Some(GroupSyncer::spawn(
@@ -423,6 +450,10 @@ impl WalState {
             })
             .and_then(|()| rotated.sync())
             .map_err(durability_err)?;
+        // The rotated file's directory entry must be durable before any
+        // acknowledged record lands in it; on failure the old writer keeps
+        // running and the compaction is abandoned.
+        sync_dir(&self.config.dir)?;
         let handle = match &self.syncer {
             Some(_) => Some(rotated.sync_handle().map_err(durability_err)?),
             None => None,
@@ -449,12 +480,17 @@ impl WalState {
         let dir = &self.config.dir;
         std::fs::rename(dir.join(SNAPSHOT_TMP_FILE), dir.join(SNAPSHOT_FILE))
             .map_err(durability_err)?;
+        // Order across power loss: the snapshot rename must be durable
+        // BEFORE the old tail's removal can be — otherwise a crash could
+        // persist the removal alone and drop acknowledged records.
+        sync_dir(dir)?;
         match std::fs::remove_file(dir.join(TAIL_FILE)) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(durability_err(e)),
         }
         std::fs::rename(dir.join(ROTATED_FILE), dir.join(TAIL_FILE)).map_err(durability_err)?;
+        sync_dir(dir)?;
         self.rotated.store(false, Ordering::Relaxed);
         Ok(())
     }
@@ -659,13 +695,18 @@ pub(crate) struct ReplayState {
     /// Highest generation ever seen per slot index, so recovery can set
     /// empty slots past it and stale pre-crash ids stay rejected.
     pub(crate) max_gen: Vec<Option<u32>>,
+    /// Per-slot generation floor from snapshot [`WalEvent::SlotRetired`]
+    /// watermarks: every generation below the floor is retired, even when
+    /// compaction trimmed the individual tombstones out of the log.
+    pub(crate) floors: Vec<u32>,
     retired: HashSet<(u32, u32)>,
     pub(crate) counters: ReplayCounters,
     pub(crate) anomalies: Vec<String>,
 }
 
 impl ReplayState {
-    fn note_gen(&mut self, index: u32, generation: u32) {
+    /// Sizes the per-slot vectors to cover `index`.
+    fn note_slot(&mut self, index: u32) {
         let i = index as usize;
         if self.max_gen.len() <= i {
             self.max_gen.resize(i + 1, None);
@@ -673,6 +714,14 @@ impl ReplayState {
         if self.sessions.len() <= i {
             self.sessions.resize_with(i + 1, || None);
         }
+        if self.floors.len() <= i {
+            self.floors.resize(i + 1, 0);
+        }
+    }
+
+    fn note_gen(&mut self, index: u32, generation: u32) {
+        self.note_slot(index);
+        let i = index as usize;
         self.max_gen[i] = Some(self.max_gen[i].map_or(generation, |g| g.max(generation)));
     }
 
@@ -724,7 +773,9 @@ impl ReplayState {
                 kind,
             } => {
                 self.note_gen(*index, *generation);
-                if self.retired.contains(&(*index, *generation)) {
+                if self.retired.contains(&(*index, *generation))
+                    || *generation < self.floors[*index as usize]
+                {
                     return;
                 }
                 let slot = &mut self.sessions[*index as usize];
@@ -788,6 +839,24 @@ impl ReplayState {
             }
             WalEvent::Evicted { index, generation } => {
                 self.retire(*index, *generation, |c| &mut c.evicted);
+            }
+            WalEvent::SlotRetired { index, generation } => {
+                self.note_slot(*index);
+                let i = *index as usize;
+                self.floors[i] = self.floors[i].max(*generation);
+                // Snapshots emit watermarks only for empty slots and replay
+                // first, so a live below-floor session here means a
+                // malformed log; converge by dropping it.
+                let slot = &mut self.sessions[i];
+                if let Some(s) = slot.as_ref() {
+                    if s.generation < *generation {
+                        self.anomalies.push(format!(
+                            "slot {index}: generation {} below retirement watermark {generation}",
+                            s.generation
+                        ));
+                        *slot = None;
+                    }
+                }
             }
         }
     }
@@ -914,6 +983,41 @@ mod tests {
         });
         assert_eq!(rs.sessions[0].as_ref().unwrap().generation, 3);
         assert_eq!(rs.max_gen[0], Some(3));
+    }
+
+    #[test]
+    fn replay_fold_honours_retirement_watermarks() {
+        let mut rs = ReplayState::default();
+        rs.apply(&WalEvent::SlotRetired {
+            index: 2,
+            generation: 4,
+        });
+        assert_eq!(rs.floors[2], 4);
+        // An open below the watermark is stale history — skipped…
+        rs.apply(&WalEvent::SessionOpened {
+            index: 2,
+            generation: 3,
+            plan: 0,
+            kind: kind_code(PolicyKind::Migs),
+        });
+        assert!(rs.sessions[2].is_none(), "below-floor open resurrected");
+        assert_eq!(rs.counters.opened, 0);
+        // …while an open at the watermark (the slot's next generation to
+        // issue at snapshot time) lands normally.
+        rs.apply(&WalEvent::SessionOpened {
+            index: 2,
+            generation: 4,
+            plan: 0,
+            kind: kind_code(PolicyKind::Migs),
+        });
+        assert_eq!(rs.sessions[2].as_ref().unwrap().generation, 4);
+        // A later watermark never regresses an earlier, higher one.
+        rs.apply(&WalEvent::SlotRetired {
+            index: 2,
+            generation: 1,
+        });
+        assert_eq!(rs.floors[2], 4);
+        assert!(rs.sessions[2].is_some(), "at-floor session dropped");
     }
 
     #[test]

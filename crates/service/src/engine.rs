@@ -11,7 +11,7 @@ use aigs_testutil::failpoints::{self, FaultAction};
 
 use crate::durability::{
     durability_err, kind_code, kind_from_code, plan_payload, plan_spec_from_payload, read_dir_logs,
-    DurabilityConfig, RecoveryReport, ReplaySession, ReplayState, WalState, ROTATED_FILE,
+    sync_dir, DurabilityConfig, RecoveryReport, ReplaySession, ReplayState, WalState, ROTATED_FILE,
     SNAPSHOT_FILE, SNAPSHOT_TMP_FILE,
 };
 use crate::plan::PlanEntry;
@@ -181,7 +181,9 @@ enum Removal {
 /// engine degrades to read-mostly: the failing call gets
 /// [`ServiceError::Durability`], later mutating calls get
 /// [`ServiceError::Degraded`], while `next_question`, [`stats`](Self::stats)
-/// and existing reads keep working.
+/// and existing reads keep working. A session whose *applied* answer could
+/// not be logged is torn down (never served in a state the log does not
+/// acknowledge); recovery restores it at its acknowledged history.
 pub struct SearchEngine {
     config: EngineConfig,
     /// Process-unique nonce baked into every id this engine issues, so a
@@ -326,9 +328,16 @@ impl SearchEngine {
             match replayed.take() {
                 None => {
                     // Empty slot: park its generation past every id ever
-                    // issued here, so stale pre-crash handles stay rejected.
+                    // issued here — the highest generation still in the log
+                    // window, or the snapshot's retirement watermark when
+                    // compaction trimmed the history — so stale pre-crash
+                    // handles stay rejected instead of aliasing a future
+                    // tenant of the slot.
+                    let parked = max_gen
+                        .map_or(0, |g| g.wrapping_add(1))
+                        .max(rs.floors[index]);
                     slots.push(Arc::new(Mutex::new(Slot {
-                        generation: max_gen.map_or(0, |g| g.wrapping_add(1)),
+                        generation: parked,
                         session: None,
                     })));
                     free.push(index as u32);
@@ -387,6 +396,10 @@ impl SearchEngine {
         let tmp = durability.dir.join(SNAPSHOT_TMP_FILE);
         engine.write_snapshot(&tmp)?;
         std::fs::rename(&tmp, durability.dir.join(SNAPSHOT_FILE)).map_err(durability_err)?;
+        // The rename must be durable before the fresh tail below truncates
+        // the old one: a crash persisting the truncation without the
+        // rename would drop acknowledged records.
+        sync_dir(&durability.dir)?;
         let _ = std::fs::remove_file(durability.dir.join(ROTATED_FILE));
         let wal = WalState::create(durability, engine_id, false)?;
         Ok((engine.with_wal(Some(wal)), report))
@@ -615,7 +628,11 @@ impl SearchEngine {
     /// durability on, the answer is logged (under the session's lock, so
     /// log order matches apply order) before the call returns — a
     /// [`ServiceError::Durability`] return means the answer was **not**
-    /// durably acknowledged and the engine has degraded.
+    /// durably acknowledged: the engine has degraded and the session is
+    /// torn down (its in-memory state already held the unlogged answer, so
+    /// leaving it live would let degraded-mode reads diverge from what
+    /// recovery replays). [`SearchEngine::recover`] resurrects it at its
+    /// acknowledged answer history.
     pub fn answer(&self, id: SessionId, yes: bool) -> Result<(), ServiceError> {
         self.check_active()?;
         let fed = self.step_session(
@@ -873,6 +890,17 @@ impl SearchEngine {
             // on top (duplicates skip by sequence number).
             let slot = slot_arc.lock().expect("slot lock poisoned");
             let Some(s) = slot.session.as_ref() else {
+                // Empty slot: its retire tombstones are being compacted
+                // away, so persist the generation as a watermark — recovery
+                // must park the slot here, not rebuild it at generation 0
+                // where a stale pre-crash id would alias the next tenant.
+                if slot.generation > 0 {
+                    snap.append_buffered(&WalEvent::SlotRetired {
+                        index,
+                        generation: slot.generation,
+                    })
+                    .map_err(durability_err)?;
+                }
                 continue;
             };
             snap.append_buffered(&WalEvent::SessionOpened {
@@ -1037,7 +1065,9 @@ impl SearchEngine {
     /// other session, and the engine itself, keeps serving. On success,
     /// `event` may produce a WAL record which is appended while the slot
     /// lock is still held — guaranteeing the log's per-session order
-    /// matches the in-memory apply order.
+    /// matches the in-memory apply order. If that append fails, the
+    /// session is torn down rather than left holding a mutation the log
+    /// never acknowledged (recovery restores it at its acked prefix).
     fn step_session<T>(
         &self,
         id: SessionId,
@@ -1063,13 +1093,32 @@ impl SearchEngine {
         match outcome {
             Ok(result) => {
                 if let Ok(value) = &result {
-                    let session = slot
-                        .session
-                        .as_ref()
-                        .expect("session vanished under its slot lock");
-                    if let Some(ev) = event(value, session) {
+                    let ev = {
+                        let session = slot
+                            .session
+                            .as_ref()
+                            .expect("session vanished under its slot lock");
+                        event(value, session)
+                    };
+                    if let Some(ev) = ev {
                         if let Some(wal) = &self.wal {
-                            wal.append(&ev)?;
+                            if let Err(e) = wal.append(&ev) {
+                                // The in-memory apply outran the log, and a
+                                // degraded engine keeps serving
+                                // next_question — so the unacknowledged
+                                // mutation must not stay visible, or live
+                                // reads would diverge from what recovery
+                                // replays. Tear the session down (the
+                                // mutated instance is discarded); recovery
+                                // resurrects it at its acknowledged prefix.
+                                slot.generation = slot.generation.wrapping_add(1);
+                                let torn = slot.session.take();
+                                drop(slot);
+                                drop(torn);
+                                self.release_slot(id.index);
+                                self.counters.errored.fetch_add(1, Ordering::Relaxed);
+                                return Err(e);
+                            }
                         }
                     }
                 }

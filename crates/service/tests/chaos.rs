@@ -433,8 +433,10 @@ fn panicking_policy_quarantines_only_its_session() {
 }
 
 /// Satellite regression: after a WAL failure the engine degrades to
-/// read-mostly — mutators refused, reads served — and recovery restores
-/// exactly the acknowledged prefix.
+/// read-mostly — mutators refused, unaffected reads served — the session
+/// whose applied answer could not be logged is torn down (degraded-mode
+/// reads must never expose state the log does not acknowledge), and
+/// recovery restores every session at exactly its acknowledged prefix.
 #[test]
 fn degraded_mode_is_read_mostly_and_preserves_acks() {
     let _g = lock();
@@ -449,8 +451,14 @@ fn degraded_mode_is_read_mostly_and_preserves_acks() {
     let engine = SearchEngine::try_new(config).unwrap();
     let plan = engine.register_plan(spec.clone()).unwrap();
     let id = engine.open_session(plan, PolicyKind::Wigs).unwrap().id();
+    let other = engine
+        .open_session(plan, PolicyKind::GreedyDag)
+        .unwrap()
+        .id();
     let target = NodeId::new(6);
+    let other_target = NodeId::new(2);
     let mut acked = Vec::new();
+    let mut other_acked = Vec::new();
     for _ in 0..2 {
         if let SessionStep::Ask(q) = engine.next_question(id).unwrap() {
             let yes = dag.reaches(q, target);
@@ -458,9 +466,16 @@ fn degraded_mode_is_read_mostly_and_preserves_acks() {
             acked.push((q, yes));
         }
     }
+    if let SessionStep::Ask(q) = engine.next_question(other).unwrap() {
+        let yes = dag.reaches(q, other_target);
+        engine.answer(other, yes).unwrap();
+        other_acked.push((q, yes));
+    }
 
     // The next append fails: the causing op reports Durability, the engine
-    // flips to degraded.
+    // flips to degraded, and the answering session — whose in-memory state
+    // already holds the unacknowledged answer — is torn down rather than
+    // served divergent from what recovery will replay.
     failpoints::arm("wal.append", 1, FaultAction::IoError);
     if let SessionStep::Ask(_) = engine.next_question(id).unwrap() {
         assert!(matches!(
@@ -470,34 +485,45 @@ fn degraded_mode_is_read_mostly_and_preserves_acks() {
     }
     failpoints::disarm_all();
     assert!(engine.stats().degraded);
+    assert_eq!(engine.stats().errored, 1);
+    assert!(matches!(
+        engine.next_question(id),
+        Err(ServiceError::UnknownSession(_))
+    ));
+    assert_eq!(engine.live_sessions(), 1);
 
     // Mutators are refused…
     assert!(matches!(
-        engine.answer(id, true),
+        engine.answer(other, true),
         Err(ServiceError::Degraded)
     ));
     assert!(matches!(
         engine.open_session(plan, PolicyKind::TopDown),
         Err(ServiceError::Degraded)
     ));
-    assert!(matches!(engine.cancel(id), Err(ServiceError::Degraded)));
+    assert!(matches!(engine.cancel(other), Err(ServiceError::Degraded)));
     assert!(matches!(engine.compact(), Err(ServiceError::Degraded)));
     assert_eq!(engine.sweep_idle(), 0);
-    // …while reads keep serving.
-    assert!(engine.next_question(id).is_ok());
-    assert_eq!(engine.live_sessions(), 1);
+    // …while reads on unaffected sessions keep serving.
+    assert!(engine.next_question(other).is_ok());
     drop(engine);
 
-    // Recovery restores exactly the acked prefix (the refused answer was
-    // never written) and the recovered engine is fully operational again.
+    // Recovery restores BOTH sessions at exactly their acked prefixes (the
+    // refused answer was never written, and the in-memory teardown was not
+    // a durable retirement) and the engine is fully operational again.
     let (rec, report) = SearchEngine::recover(&dir).unwrap();
-    assert_eq!(report.sessions, 1);
+    assert_eq!(report.sessions, 2);
     assert!(!rec.stats().degraded);
     let control = SearchEngine::default();
     let cplan = control.register_plan(spec).unwrap();
-    let cid = open_and_replay(&control, cplan, PolicyKind::Wigs, &acked);
-    let (want_t, want_out) = drive_to_end(&control, cid, &dag, target);
-    let (got_t, got_out) = drive_to_end(&rec, id, &dag, target);
-    assert_eq!(got_t, want_t);
-    assert_eq!(got_out.price.to_bits(), want_out.price.to_bits());
+    for (sid, kind, tgt, pre) in [
+        (id, PolicyKind::Wigs, target, &acked),
+        (other, PolicyKind::GreedyDag, other_target, &other_acked),
+    ] {
+        let cid = open_and_replay(&control, cplan, kind, pre);
+        let (want_t, want_out) = drive_to_end(&control, cid, &dag, tgt);
+        let (got_t, got_out) = drive_to_end(&rec, sid, &dag, tgt);
+        assert_eq!(got_t, want_t, "{kind:?}: continuation diverged");
+        assert_eq!(got_out.price.to_bits(), want_out.price.to_bits());
+    }
 }

@@ -305,6 +305,69 @@ fn fresh_engine_wipes_the_previous_tenants_logs() {
     assert_eq!(out.target, target);
 }
 
+/// Compaction trims retired sessions' tombstones out of the log, so the
+/// snapshot must carry each empty slot's generation watermark — otherwise
+/// recovery rebuilds the slot at generation 0 and a fresh open re-issues a
+/// retired `(index, generation)` pair, silently routing a stale pre-crash
+/// id to a stranger's session.
+#[test]
+fn compaction_preserves_retired_slot_generations() {
+    let dir = scratch_dir("recover-stale-id");
+    let spec = plan_spec();
+    let dag = spec.dag.clone();
+
+    let engine = SearchEngine::try_new(durable_config(&dir, FsyncPolicy::Never)).unwrap();
+    let plan = engine.register_plan(spec).unwrap();
+    let stale = engine
+        .open_session(plan, PolicyKind::GreedyDag)
+        .unwrap()
+        .id();
+    drive_to_end(&engine, stale, &dag, NodeId::new(5)); // finish retires slot 0
+    engine.compact().unwrap(); // trims the open/answer/finish history
+    drop(engine); // crash
+
+    let (rec, _) = SearchEngine::recover(&dir).unwrap();
+    assert!(matches!(
+        rec.next_question(stale),
+        Err(ServiceError::UnknownSession(_))
+    ));
+    // Reopening reuses the slot on the restored engine identity, but must
+    // never re-issue the retired pair…
+    let fresh = rec.open_session(plan, PolicyKind::GreedyDag).unwrap().id();
+    assert_ne!(
+        fresh, stale,
+        "retired id re-issued after compaction + recovery"
+    );
+    // …so the stale pre-crash id still routes nowhere.
+    assert!(matches!(
+        rec.next_question(stale),
+        Err(ServiceError::UnknownSession(_))
+    ));
+    assert!(matches!(
+        rec.answer(stale, true),
+        Err(ServiceError::UnknownSession(_))
+    ));
+
+    // The snapshot recovery itself republishes must preserve watermarks
+    // too: retire the new tenant, then crash → recover → crash with no
+    // traffic in between, so the republished snapshot (plus its fresh
+    // empty tail) is the only surviving history.
+    drive_to_end(&rec, fresh, &dag, NodeId::new(3));
+    drop(rec);
+    let (rec2, _) = SearchEngine::recover(&dir).unwrap();
+    drop(rec2);
+    let (rec3, _) = SearchEngine::recover(&dir).unwrap();
+    let third = rec3.open_session(plan, PolicyKind::TopDown).unwrap().id();
+    assert_ne!(third, stale);
+    assert_ne!(third, fresh);
+    for dead in [stale, fresh] {
+        assert!(matches!(
+            rec3.next_question(dead),
+            Err(ServiceError::UnknownSession(_))
+        ));
+    }
+}
+
 #[test]
 fn recovery_error_paths_are_typed() {
     // recover_with demands a durability config…
