@@ -36,6 +36,19 @@
 //!   from the log of `live` in-flight sessions via `SearchEngine::recover`
 //!   (replay + fresh compacting snapshot): sessions/sec = live × 1e9 /
 //!   median_ns.
+//! * `service_shard_sweep/step-batch/{shards}` — a fixed 8192-step batch
+//!   split across `shards` worker threads against an engine with that
+//!   many shards: aggregate steps/sec = 8192 × 1e9 / median_ns. With the
+//!   per-shard slab, free list, WAL tail, and idle heap, rows should
+//!   scale near-linearly with core count — *within the limits of the
+//!   bench host*: on a single-vCPU machine (including the
+//!   committed-baseline one) the threads time-slice one core, so the
+//!   sweep instead demonstrates that sharding costs nothing when the
+//!   parallelism is not there (flat rows, no cross-shard contention
+//!   collapse).
+//! * `service_live_scale/top-down-closure/{live}` — single-step latency
+//!   with ≥1,000,000 concurrently live sessions (the slab's design
+//!   target), plus a printed open-rate/RSS report from the same pass.
 //! * A manual tail-latency pass (printed, not in the criterion JSON)
 //!   reports p50/p90/p99/p99.9 single-step latency at full concurrency,
 //!   and a multi-threaded sweep reports aggregate steps/sec.
@@ -493,12 +506,148 @@ fn report_tail_and_parallel(c: &mut Criterion) {
     );
 }
 
+/// Aggregate step throughput vs shard count: the same 8192-step batch,
+/// split across as many worker threads as the engine has shards. On a
+/// multicore host the per-shard slab/WAL/heap make this near-linear; on
+/// the single-vCPU baseline host it documents that sharding adds no
+/// contention of its own (see the module docs).
+fn bench_shard_sweep(c: &mut Criterion) {
+    const BATCH: usize = 8192;
+    let counts: &[usize] = if smoke() { &[1, 2] } else { &[1, 2, 4] };
+    let s = scenarios()
+        .into_iter()
+        .find(|s| s.label == "greedy-dag-closure")
+        .expect("scenario exists");
+    let live = live_sessions();
+    let mut group = c.benchmark_group("service_shard_sweep");
+    group.sample_size(10);
+    for &shards in counts {
+        let engine = SearchEngine::new(EngineConfig {
+            max_sessions: live + shards * 8,
+            shards,
+            ..EngineConfig::default()
+        });
+        let plan = engine
+            .register_plan(PlanSpec::new(s.dag.clone(), s.weights.clone()).with_reach(s.reach))
+            .unwrap();
+        assert_eq!(engine.stats().shards, shards);
+        let per_thread = live / shards;
+        // Each worker owns a disjoint slice of the live population; the
+        // population is pre-advanced to steady state exactly like
+        // `bench_step`.
+        let mut populations: Vec<Vec<(SessionId, NodeId)>> = (0..shards)
+            .map(|t| {
+                (0..per_thread)
+                    .map(|i| {
+                        let z = target(&s.dag, t * per_thread + i);
+                        (engine.open_session(plan, s.kind).unwrap().id(), z)
+                    })
+                    .collect()
+            })
+            .collect();
+        for (t, sessions) in populations.iter_mut().enumerate() {
+            let mut fresh = (t + 1) * 1_000_000;
+            warm_population(&engine, plan, s.kind, &s.dag, sessions, &mut fresh);
+        }
+        let steps_per_thread = BATCH / shards;
+        let mut round = 0usize;
+        group.bench_function(BenchmarkId::new("step-batch", shards), |b| {
+            b.iter(|| {
+                round += 1;
+                std::thread::scope(|scope| {
+                    for (t, sessions) in populations.iter_mut().enumerate() {
+                        let engine = &engine;
+                        let s = &s;
+                        scope.spawn(move || {
+                            let mut fresh = (t + 1) * 1_000_000 + round * 100_000;
+                            let len = sessions.len();
+                            for k in 0..steps_per_thread {
+                                step_one(
+                                    engine,
+                                    plan,
+                                    s.kind,
+                                    &s.dag,
+                                    sessions,
+                                    (round * steps_per_thread + k) % len,
+                                    &mut fresh,
+                                );
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Resident-set size of this process in GiB, from `/proc/self/status`.
+fn rss_gib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: f64 = status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb / (1024.0 * 1024.0))
+}
+
+/// Step latency with a million concurrently live sessions — the slab's
+/// design target. Top-down on the closure backend keeps per-session state
+/// small enough that the limit is the slab, not the policy.
+fn bench_million_live(c: &mut Criterion) {
+    let live = if smoke() { 4096 } else { 1_000_000 };
+    let s = scenarios()
+        .into_iter()
+        .find(|s| s.label == "top-down-closure")
+        .expect("scenario exists");
+    let (engine, plan) = engine_for(&s, live + 8);
+    let t0 = Instant::now();
+    let mut sessions: Vec<(SessionId, NodeId)> = (0..live)
+        .map(|i| {
+            let z = target(&s.dag, i);
+            (engine.open_session(plan, s.kind).unwrap().id(), z)
+        })
+        .collect();
+    let open_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(engine.live_sessions(), live);
+    println!(
+        "service_live_scale: opened {live} sessions in {open_secs:.1}s ({:.0} opens/sec), rss {:.2} GiB, {} shards",
+        live as f64 / open_secs,
+        rss_gib().unwrap_or(f64::NAN),
+        engine.stats().shards,
+    );
+    let mut group = c.benchmark_group("service_live_scale");
+    group.sample_size(20);
+    let mut cursor = 0;
+    let mut fresh = live;
+    group.bench_function(BenchmarkId::new(&s.label, live), |b| {
+        b.iter(|| {
+            step_one(
+                &engine,
+                plan,
+                s.kind,
+                &s.dag,
+                &mut sessions,
+                cursor,
+                &mut fresh,
+            );
+            cursor = (cursor + 1) % live;
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_step,
     bench_churn,
     bench_step_wal,
     bench_recovery,
+    bench_shard_sweep,
+    bench_million_live,
     report_tail_and_parallel
 );
 criterion_main!(benches);

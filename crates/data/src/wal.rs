@@ -63,6 +63,19 @@ pub enum WalEvent {
         /// The engine nonce baked into every id the engine issued.
         engine_id: u32,
     },
+    /// Shard placement header: which shard of how many this log file
+    /// belongs to. Written right after [`WalEvent::EngineMeta`] in every
+    /// per-shard WAL/snapshot file, so recovery can reject a log that was
+    /// copied into the wrong `shard-<k>/` directory (slot indices are
+    /// shard-relative — replaying them under the wrong shard would
+    /// resurrect sessions at aliased ids) and can tell a deliberately
+    /// smaller deployment from a missing shard directory.
+    ShardMeta {
+        /// This file's shard index (0-based).
+        shard: u32,
+        /// Total shard count of the engine that wrote it.
+        shards: u32,
+    },
     /// A plan was registered, with everything needed to rebuild it.
     PlanRegistered {
         /// The plan's registration index.
@@ -128,8 +141,9 @@ pub enum WalEvent {
     },
 }
 
-/// Current WAL format version.
-pub const WAL_VERSION: u16 = 1;
+/// Current WAL format version. Version 2 added [`WalEvent::ShardMeta`]
+/// alongside the per-shard log-directory layout.
+pub const WAL_VERSION: u16 = 2;
 
 /// A service-defined policy selector: a tag plus a seed (zero for unseeded
 /// kinds). The WAL does not interpret it; it only round-trips it.
@@ -462,6 +476,7 @@ const TAG_FINISHED: u8 = 0x05;
 const TAG_CANCELLED: u8 = 0x06;
 const TAG_EVICTED: u8 = 0x07;
 const TAG_SLOT_RETIRED: u8 = 0x08;
+const TAG_SHARD_META: u8 = 0x09;
 
 fn encode_record(event: &WalEvent, out: &mut Vec<u8>) {
     let base = out.len(); // records may accumulate in one batch buffer
@@ -487,6 +502,11 @@ fn encode_event(event: &WalEvent, out: &mut Vec<u8>) {
             out.push(TAG_META);
             out.extend_from_slice(&version.to_le_bytes());
             out.extend_from_slice(&engine_id.to_le_bytes());
+        }
+        WalEvent::ShardMeta { shard, shards } => {
+            out.push(TAG_SHARD_META);
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&shards.to_le_bytes());
         }
         WalEvent::PlanRegistered { plan, payload } => {
             out.push(TAG_PLAN);
@@ -603,6 +623,10 @@ fn decode_event(payload: &[u8]) -> Result<WalEvent, String> {
         TAG_META => WalEvent::EngineMeta {
             version: c.u16()?,
             engine_id: c.u32()?,
+        },
+        TAG_SHARD_META => WalEvent::ShardMeta {
+            shard: c.u32()?,
+            shards: c.u32()?,
         },
         TAG_PLAN => {
             let plan = c.u32()?;
@@ -733,6 +757,10 @@ mod tests {
                 version: WAL_VERSION,
                 engine_id: 42,
             },
+            WalEvent::ShardMeta {
+                shard: 1,
+                shards: 4,
+            },
             WalEvent::PlanRegistered {
                 plan: 0,
                 payload: PlanPayload {
@@ -805,7 +833,7 @@ mod tests {
         assert_eq!(read.events, events);
         assert!(read.corruption.is_none());
         // Weight bits survive exactly.
-        let WalEvent::PlanRegistered { payload, .. } = &read.events[1] else {
+        let WalEvent::PlanRegistered { payload, .. } = &read.events[2] else {
             panic!("plan event expected");
         };
         assert_eq!(payload.weights[1].to_bits(), 0.3f64.to_bits());

@@ -74,6 +74,10 @@ fn events_from_ops(ops: &[(u8, u32, bool)]) -> Vec<WalEvent> {
                     }
                 }
             }
+            6 => WalEvent::ShardMeta {
+                shard: x % 8,
+                shards: 1 + x % 8,
+            },
             _ => WalEvent::SlotRetired {
                 index: x % 9,
                 generation: x / 9,
@@ -119,7 +123,7 @@ proptest! {
 
     #[test]
     fn truncation_at_every_offset_recovers_a_strict_prefix(
-        ops in prop::collection::vec((0u8..7, 0u32..200, prop::bool::ANY), 1..20),
+        ops in prop::collection::vec((0u8..8, 0u32..200, prop::bool::ANY), 1..20),
     ) {
         let events = events_from_ops(&ops);
         let (bytes, ends) = encode_all(&events);
@@ -151,7 +155,7 @@ proptest! {
 
     #[test]
     fn bit_flips_never_panic_or_fabricate_events(
-        ops in prop::collection::vec((0u8..7, 0u32..200, prop::bool::ANY), 1..16),
+        ops in prop::collection::vec((0u8..8, 0u32..200, prop::bool::ANY), 1..16),
         bit in 0u8..8,
     ) {
         let events = events_from_ops(&ops);
@@ -180,7 +184,7 @@ proptest! {
 
     #[test]
     fn appended_garbage_cannot_survive_the_checksum(
-        ops in prop::collection::vec((0u8..7, 0u32..200, prop::bool::ANY), 1..10),
+        ops in prop::collection::vec((0u8..8, 0u32..200, prop::bool::ANY), 1..10),
         junk in prop::collection::vec(0u8..255, 1..64),
     ) {
         // A crash may leave arbitrary bytes past the last intact record

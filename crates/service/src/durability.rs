@@ -8,15 +8,25 @@
 //!
 //! ## Files
 //!
-//! A durability directory holds up to three log files, replayed in order:
+//! A durability directory holds one subdirectory per engine shard —
+//! `shard-0/ … shard-<K−1>/` — and each shard directory holds up to three
+//! log files, replayed in order:
 //!
-//! 1. `snapshot.log` — a compacted WAL: engine metadata, every plan, and
-//!    one `SessionOpened` + `Answered…` run per live session, capturing the
-//!    state at the last compaction.
+//! 1. `snapshot.log` — a compacted WAL: engine + shard metadata, the plan
+//!    payloads (shard 0 only — plans are global), and one `SessionOpened` +
+//!    `Answered…` run per live session of that shard, capturing the state
+//!    at the last compaction.
 //! 2. `wal.log` — the append tail.
 //! 3. `wal.new.log` — the rotated tail a compaction switched the writer to
 //!    before collecting its snapshot (present only mid-compaction or after
 //!    a crash inside one).
+//!
+//! Slot indices inside a shard's log are **shard-local**; the engine bakes
+//! `global = local · K + k` into the ids it issues. Every file opens with
+//! [`WalEvent::EngineMeta`] + [`WalEvent::ShardMeta`], so recovery rejects
+//! a log copied into the wrong `shard-<k>/` directory instead of
+//! resurrecting sessions at aliased ids. Shards compact independently;
+//! the rotate→snapshot→publish protocol below runs per shard.
 //!
 //! Compaction proceeds: rotate the writer to `wal.new.log` → write
 //! `snapshot.new.log` from live state → atomically rename it over
@@ -60,6 +70,53 @@ pub(crate) const SNAPSHOT_FILE: &str = "snapshot.log";
 pub(crate) const TAIL_FILE: &str = "wal.log";
 pub(crate) const ROTATED_FILE: &str = "wal.new.log";
 pub(crate) const SNAPSHOT_TMP_FILE: &str = "snapshot.new.log";
+
+/// Prefix of per-shard subdirectories inside a durability directory.
+pub(crate) const SHARD_DIR_PREFIX: &str = "shard-";
+
+/// The log directory of shard `k` under durability base `dir`.
+pub(crate) fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("{SHARD_DIR_PREFIX}{shard}"))
+}
+
+/// Enumerates the shard directories present under `dir`: `Ok(k)` when the
+/// set is exactly `shard-0 … shard-(k−1)` (k ≥ 1), an error naming the gap
+/// or stray entry otherwise — a missing shard means acknowledged sessions
+/// are gone, which recovery must refuse to paper over.
+pub(crate) fn discover_shards(dir: &Path) -> Result<usize, ServiceError> {
+    let entries = std::fs::read_dir(dir).map_err(durability_err)?;
+    let mut seen = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(durability_err)?;
+        let name = entry.file_name();
+        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix(SHARD_DIR_PREFIX)) else {
+            continue; // foreign files are ignored, like before sharding
+        };
+        let k: usize = rest.parse().map_err(|_| {
+            durability_err(format!(
+                "unparsable shard directory {:?}",
+                entry.file_name()
+            ))
+        })?;
+        seen.push(k);
+    }
+    if seen.is_empty() {
+        return Err(durability_err(format!(
+            "no shard-<k> WAL directories found in {}",
+            dir.display()
+        )));
+    }
+    seen.sort_unstable();
+    for (want, &got) in seen.iter().enumerate() {
+        if want != got {
+            return Err(durability_err(format!(
+                "shard directories are not contiguous in {}: expected shard-{want}, found shard-{got}",
+                dir.display()
+            )));
+        }
+    }
+    Ok(seen.len())
+}
 
 /// Durability knobs for [`crate::SearchEngine`].
 ///
@@ -119,6 +176,11 @@ impl DurabilityConfig {
 /// What [`crate::SearchEngine::recover`] found and rebuilt.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
+    /// Shards discovered from the `shard-<k>/` directory layout. Recovery
+    /// always rebuilds the engine with this shard count — sessions' ids
+    /// bake the routing in, so the count is a property of the log, not of
+    /// the recovering process's configuration.
+    pub shards: usize,
     /// Plans rebuilt from the log.
     pub plans: usize,
     /// Live sessions restored (steppers replayed to their pre-crash state).
@@ -279,14 +341,22 @@ impl Drop for GroupSyncer {
     }
 }
 
-/// The engine's handle on its write-ahead log: the shared tail writer plus
-/// the degradation and compaction flags.
+/// One shard's handle on its write-ahead log: the tail writer for
+/// `shard-<k>/wal.log` plus the compaction flags. `config.dir` IS the
+/// shard directory. The degraded flag is shared engine-wide across every
+/// shard's `WalState` — a single shard losing its log means *some*
+/// acknowledged state can no longer be made durable, so the whole engine
+/// refuses further mutations rather than serving a torn view.
 ///
 /// Lock order: slot/plans locks are taken **before** the writer mutex,
 /// never after — the writer mutex is a leaf lock. Snapshot collection
 /// writes to a private file and never touches the shared writer.
 pub(crate) struct WalState {
     pub(crate) config: DurabilityConfig,
+    /// Identity baked into every file header this shard writes.
+    engine_id: u32,
+    shard: u32,
+    shards: u32,
     writer: Mutex<SessionWal>,
     /// Records in the current tail since the last rotation (the
     /// auto-compaction trigger).
@@ -323,15 +393,39 @@ fn writer_policy(config: &DurabilityConfig) -> FsyncPolicy {
     }
 }
 
+/// Writes the two-event identity header every per-shard log file opens
+/// with. Shared by tail creation, rotation, and the engine's snapshot
+/// writer so no file can exist without its placement stamp.
+pub(crate) fn write_header(
+    wal: &mut SessionWal,
+    engine_id: u32,
+    shard: u32,
+    shards: u32,
+) -> std::io::Result<()> {
+    wal.append(&WalEvent::EngineMeta {
+        version: WAL_VERSION,
+        engine_id,
+    })?;
+    wal.append(&WalEvent::ShardMeta { shard, shards })
+}
+
+/// Number of events [`write_header`] emits (the headers count toward the
+/// record counters but not toward the auto-compaction payload).
+pub(crate) const HEADER_EVENTS: u64 = 2;
+
 impl WalState {
-    /// Opens a fresh tail writer in `config.dir`, writing the engine-meta
-    /// header. When `wipe` is set (a brand-new engine, not a recovery),
-    /// leftover snapshot/rotation files from any previous tenant of the
-    /// directory are removed first so later recoveries cannot splice two
-    /// engines' histories together.
+    /// Opens a fresh tail writer in `config.dir` (the shard's directory),
+    /// writing the engine+shard identity header. The `degraded` flag is
+    /// the engine-wide one, shared across shards. When `wipe` is set (a
+    /// brand-new engine, not a recovery), leftover snapshot/rotation files
+    /// from any previous tenant of the directory are removed first so
+    /// later recoveries cannot splice two engines' histories together.
     pub(crate) fn create(
         config: DurabilityConfig,
         engine_id: u32,
+        shard: u32,
+        shards: u32,
+        degraded: Arc<AtomicBool>,
         wipe: bool,
     ) -> Result<Self, ServiceError> {
         std::fs::create_dir_all(&config.dir).map_err(durability_err)?;
@@ -342,17 +436,12 @@ impl WalState {
         }
         let mut writer = SessionWal::create(config.dir.join(TAIL_FILE), writer_policy(&config))
             .map_err(durability_err)?;
-        writer
-            .append(&WalEvent::EngineMeta {
-                version: WAL_VERSION,
-                engine_id,
-            })
+        write_header(&mut writer, engine_id, shard, shards)
             .and_then(|()| writer.sync())
             .map_err(durability_err)?;
         // Persist the tail's directory entry (and any wipe removals) before
         // acknowledging appends into it.
         sync_dir(&config.dir)?;
-        let degraded = Arc::new(AtomicBool::new(false));
         let syncer = match config.fsync {
             FsyncPolicy::EveryN(_) => Some(GroupSyncer::spawn(
                 writer.sync_handle().map_err(durability_err)?,
@@ -362,9 +451,12 @@ impl WalState {
         };
         Ok(WalState {
             config,
+            engine_id,
+            shard,
+            shards,
             writer: Mutex::new(writer),
-            tail_records: AtomicU64::new(1),
-            total_records: AtomicU64::new(1),
+            tail_records: AtomicU64::new(HEADER_EVENTS),
+            total_records: AtomicU64::new(HEADER_EVENTS),
             degraded,
             compacting: AtomicBool::new(false),
             rotated: AtomicBool::new(false),
@@ -419,7 +511,7 @@ impl WalState {
     /// Compaction step 1: switch the shared writer to `wal.new.log`. On
     /// failure the old writer keeps running — durability is unaffected, the
     /// compaction is simply abandoned.
-    pub(crate) fn rotate(&self, engine_id: u32) -> Result<(), ServiceError> {
+    pub(crate) fn rotate(&self) -> Result<(), ServiceError> {
         let mut writer = self.writer.lock().expect("wal writer poisoned");
         if self.degraded.load(Ordering::Relaxed) {
             return Err(ServiceError::Degraded);
@@ -443,11 +535,7 @@ impl WalState {
             writer_policy(&self.config),
         )
         .map_err(durability_err)?;
-        rotated
-            .append(&WalEvent::EngineMeta {
-                version: WAL_VERSION,
-                engine_id,
-            })
+        write_header(&mut rotated, self.engine_id, self.shard, self.shards)
             .and_then(|()| rotated.sync())
             .map_err(durability_err)?;
         // The rotated file's directory entry must be durable before any
@@ -464,8 +552,9 @@ impl WalState {
         }
         self.unsynced.store(0, Ordering::Relaxed);
         self.rotated.store(true, Ordering::Relaxed);
-        self.tail_records.store(1, Ordering::Relaxed);
-        self.total_records.fetch_add(1, Ordering::Relaxed);
+        self.tail_records.store(HEADER_EVENTS, Ordering::Relaxed);
+        self.total_records
+            .fetch_add(HEADER_EVENTS, Ordering::Relaxed);
         Ok(())
     }
 
@@ -687,6 +776,9 @@ pub(crate) struct ReplayCounters {
 #[derive(Default)]
 pub(crate) struct ReplayState {
     pub(crate) engine_id: Option<u32>,
+    /// `(shard, shards)` from the first [`WalEvent::ShardMeta`] seen.
+    /// Recovery checks it against the directory the file came from.
+    pub(crate) shard_meta: Option<(u32, u32)>,
     /// Plan payloads by registration index (`None` = gap, only possible
     /// with a corrupt snapshot).
     pub(crate) plans: Vec<Option<PlanPayload>>,
@@ -756,6 +848,13 @@ impl ReplayState {
                     Some(_) => {}
                 }
             }
+            WalEvent::ShardMeta { shard, shards } => match self.shard_meta {
+                None => self.shard_meta = Some((*shard, *shards)),
+                Some((s, k)) if (s, k) != (*shard, *shards) => self.anomalies.push(format!(
+                    "log mixes shard placements {s}/{k} and {shard}/{shards}; keeping {s}/{k}"
+                )),
+                Some(_) => {}
+            },
             WalEvent::PlanRegistered { plan, payload } => {
                 let i = *plan as usize;
                 if self.plans.len() <= i {

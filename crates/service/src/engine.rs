@@ -1,8 +1,10 @@
 //! The multi-tenant session engine.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use aigs_core::{CoreError, SearchOutcome, SessionStep, SessionStepper};
@@ -10,9 +12,10 @@ use aigs_data::wal::{FsyncPolicy, SessionWal, WalEvent, WAL_VERSION};
 use aigs_testutil::failpoints::{self, FaultAction};
 
 use crate::durability::{
-    durability_err, kind_code, kind_from_code, plan_payload, plan_spec_from_payload, read_dir_logs,
-    sync_dir, DurabilityConfig, RecoveryReport, ReplaySession, ReplayState, WalState, ROTATED_FILE,
-    SNAPSHOT_FILE, SNAPSHOT_TMP_FILE,
+    discover_shards, durability_err, kind_code, kind_from_code, plan_payload,
+    plan_spec_from_payload, read_dir_logs, shard_dir, sync_dir, DurabilityConfig, RecoveryReport,
+    ReplaySession, ReplayState, WalState, ROTATED_FILE, SHARD_DIR_PREFIX, SNAPSHOT_FILE,
+    SNAPSHOT_TMP_FILE,
 };
 use crate::plan::PlanEntry;
 use crate::{PlanId, PlanSpec, PolicyKind, ServiceError};
@@ -20,20 +23,21 @@ use crate::{PlanId, PlanSpec, PolicyKind, ServiceError};
 /// Default admission limit of [`EngineConfig`].
 pub const DEFAULT_MAX_SESSIONS: usize = 65_536;
 
-/// Default [`EngineConfig::admission_scan_cap`]: how many slots the
-/// admission-time idle sweep examines before giving up.
-pub const DEFAULT_ADMISSION_SCAN_CAP: usize = 1024;
+/// Slack added to the idle-heap compaction threshold so tiny engines do
+/// not thrash the rebuild.
+const IDLE_HEAP_SLACK: usize = 64;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Admission limit on concurrently live sessions. Opening past it fails
-    /// with [`ServiceError::AtCapacity`] unless idle eviction frees a slot.
+    /// Admission limit on concurrently live sessions, engine-wide (shards
+    /// share one budget). Opening past it fails with
+    /// [`ServiceError::AtCapacity`] unless idle eviction frees a slot.
     pub max_sessions: usize,
     /// Idle-eviction threshold on the engine's logical clock (every engine
     /// operation is one tick). A session untouched for this many ticks is
-    /// evictable by [`SearchEngine::sweep_idle`] — which also runs, capped,
-    /// when admission is full. `None` disables eviction: abandoned sessions
+    /// evictable by [`SearchEngine::sweep_idle`] — which also runs when
+    /// admission is full. `None` disables eviction: abandoned sessions
     /// then hold their slots until cancelled.
     pub idle_ticks: Option<u64>,
     /// Per-session query cap forwarded to [`SessionStepper::start`] (the
@@ -41,12 +45,14 @@ pub struct EngineConfig {
     pub max_queries: Option<u32>,
     /// How many warm policy instances each (plan, kind) pool retains.
     pub pool_cap: usize,
-    /// Hard cap on how many slots the *admission-time* idle sweep scans, so
-    /// a refused open against a saturated engine costs O(cap), not
-    /// O(`max_sessions`). Successive refusals resume the scan from a
-    /// rotating cursor, and an explicit [`SearchEngine::sweep_idle`] still
-    /// scans everything.
-    pub admission_scan_cap: usize,
+    /// How many slab shards the engine runs. Each shard owns its slots,
+    /// free list, stats counters, idle heap and (with durability on) WAL
+    /// tail, so sessions on different shards never contend on a shared
+    /// mutator lock. `0` means auto: the `AIGS_SHARDS` environment
+    /// variable if set, else [`std::thread::available_parallelism`].
+    /// [`SearchEngine::recover`] ignores this and rebuilds with the shard
+    /// count the log directory was written with.
+    pub shards: usize,
     /// Optional write-ahead durability: with `Some`, every acknowledged
     /// mutating operation is logged before success is returned, and
     /// [`SearchEngine::recover`] rebuilds the engine after a crash.
@@ -60,10 +66,25 @@ impl Default for EngineConfig {
             idle_ticks: None,
             max_queries: None,
             pool_cap: 64,
-            admission_scan_cap: DEFAULT_ADMISSION_SCAN_CAP,
+            shards: 0,
             durability: None,
         }
     }
+}
+
+/// Resolves [`EngineConfig::shards`]: explicit > `AIGS_SHARDS` > core count.
+fn resolve_shards(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("AIGS_SHARDS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Generational handle to one live session. Stale ids (finished, cancelled
@@ -73,6 +94,10 @@ impl Default for EngineConfig {
 /// so it cannot alias a session on a sibling engine either — and
 /// [`SearchEngine::recover`] restores the engine's identity, so ids issued
 /// before a crash remain valid on the recovered engine.
+///
+/// The id also encodes its shard: global slot index `i` lives on shard
+/// `i mod K` at local slot `i div K`, so routing a session to its shard is
+/// arithmetic, not a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId {
     engine: u32,
@@ -80,13 +105,32 @@ pub struct SessionId {
     generation: u32,
 }
 
-/// A point-in-time snapshot of engine activity.
+impl SessionId {
+    /// Wire decomposition: `(engine, index, generation)`.
+    pub(crate) fn parts(self) -> (u32, u32, u32) {
+        (self.engine, self.index, self.generation)
+    }
+
+    /// Rebuilds an id from its wire decomposition. Forged ids are safe:
+    /// every operation validates engine nonce, bounds and generation.
+    pub(crate) fn from_parts(engine: u32, index: u32, generation: u32) -> SessionId {
+        SessionId {
+            engine,
+            index,
+            generation,
+        }
+    }
+}
+
+/// A point-in-time snapshot of engine activity, aggregated across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// Currently live (suspended or mid-step) sessions.
     pub live: usize,
     /// High-water mark of `live`.
     pub peak_live: usize,
+    /// Slab shards the engine is running.
+    pub shards: usize,
     /// Sessions successfully opened.
     pub opened: u64,
     /// Sessions finished with an outcome.
@@ -106,11 +150,11 @@ pub struct EngineStats {
     /// Session opens served by a warm pooled policy instance (the O(Δ)
     /// journal-reset path) rather than a fresh build.
     pub pool_hits: u64,
-    /// WAL records appended over the engine's lifetime (0 with durability
-    /// off).
+    /// WAL records appended over the engine's lifetime, summed across
+    /// shard logs (0 with durability off).
     pub wal_records: u64,
     /// Whether the engine is in degraded (read-mostly) mode after a WAL
-    /// failure.
+    /// failure on any shard.
     pub degraded: bool,
 }
 
@@ -133,6 +177,12 @@ struct Slot {
     session: Option<LiveSession>,
 }
 
+/// One lazily-deduplicated idle-heap entry: `(last_touch, local slot,
+/// generation)` under `Reverse`, so the root is the least-recently-touched
+/// candidate. Entries are never removed on touch — the slot's current
+/// `last_touch` arbitrates staleness when an entry surfaces at the root.
+type IdleEntry = Reverse<(u64, u32, u32)>;
+
 #[derive(Default)]
 struct Counters {
     opened: AtomicU64,
@@ -143,7 +193,37 @@ struct Counters {
     panicked: AtomicU64,
     steps: AtomicU64,
     pool_hits: AtomicU64,
-    peak_live: AtomicUsize,
+}
+
+/// One slab shard: slots, free list, idle heap, stats and WAL tail, each
+/// owned exclusively so mutators on different shards share no locks. The
+/// logical clock, live count and degraded flag stay engine-global: the
+/// clock so idle ages are comparable across shards (a per-shard clock
+/// would let sessions on a quiet shard never age), the live count so
+/// `max_sessions` keeps its exact engine-wide meaning.
+struct Shard {
+    slots: RwLock<Vec<Arc<Mutex<Slot>>>>,
+    free: Mutex<Vec<u32>>,
+    /// Last-touch min-heap over this shard's live sessions (maintained
+    /// only when idle eviction is configured). Lazy: every touch pushes,
+    /// stale entries are discarded when popped, and the heap is compacted
+    /// in place when it outgrows `2·slots + slack`. Lock order: a slot
+    /// mutex may be held while taking the heap lock, never the reverse.
+    idle: Mutex<BinaryHeap<IdleEntry>>,
+    counters: Counters,
+    wal: Option<WalState>,
+}
+
+impl Shard {
+    fn empty() -> Shard {
+        Shard {
+            slots: RwLock::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+            idle: Mutex::new(BinaryHeap::new()),
+            counters: Counters::default(),
+            wal: None,
+        }
+    }
 }
 
 enum Removal {
@@ -151,13 +231,16 @@ enum Removal {
     Errored,
 }
 
-/// A concurrent, suspendable multi-tenant search engine.
+/// A concurrent, suspendable multi-tenant search engine, sharded per core.
 ///
 /// The engine is `Sync`: share it behind an `Arc` (or plain reference) and
-/// drive different sessions from as many threads as you like. Per-session
-/// operations lock only that session's slot, so steps on distinct sessions
-/// run in parallel; the global locks are touched only by registration,
-/// admission and eviction sweeps.
+/// drive different sessions from as many threads as you like. Session
+/// storage is split across [`EngineConfig::shards`] shards, each owning
+/// its slots, free list, counters, idle heap and WAL tail — so per-session
+/// operations lock only that session's slot, admission bookkeeping on
+/// different shards never contends, and (with durability on) appends to
+/// different shards' logs proceed in parallel instead of serializing on
+/// one writer mutex. Plan artifacts are shared engine-wide via `Arc`.
 ///
 /// ### Lifecycle
 ///
@@ -174,16 +257,18 @@ enum Removal {
 /// ### Durability
 ///
 /// With [`EngineConfig::durability`] set, acknowledged mutations append to
-/// a checksummed write-ahead log before returning, periodic snapshots
-/// compact it, and [`recover`](Self::recover) rebuilds the engine from the
-/// log — recovered sessions continue with transcripts **bit-identical** to
-/// an uncrashed run. If the log itself fails (disk full, I/O error), the
-/// engine degrades to read-mostly: the failing call gets
-/// [`ServiceError::Durability`], later mutating calls get
-/// [`ServiceError::Degraded`], while `next_question`, [`stats`](Self::stats)
-/// and existing reads keep working. A session whose *applied* answer could
-/// not be logged is torn down (never served in a state the log does not
-/// acknowledge); recovery restores it at its acknowledged history.
+/// a checksummed write-ahead log (one `shard-<k>/` directory per shard)
+/// before returning, periodic snapshots compact each shard's log, and
+/// [`recover`](Self::recover) rebuilds the engine from the logs, replaying
+/// shards in parallel — recovered sessions continue with transcripts
+/// **bit-identical** to an uncrashed run. If any shard's log fails (disk
+/// full, I/O error), the whole engine degrades to read-mostly: the failing
+/// call gets [`ServiceError::Durability`], later mutating calls get
+/// [`ServiceError::Degraded`], while `next_question`,
+/// [`stats`](Self::stats) and existing reads keep working. A session whose
+/// *applied* answer could not be logged is torn down (never served in a
+/// state the log does not acknowledge); recovery restores it at its
+/// acknowledged history.
 pub struct SearchEngine {
     config: EngineConfig,
     /// Process-unique nonce baked into every id this engine issues, so a
@@ -191,14 +276,17 @@ pub struct SearchEngine {
     /// rejected instead of aliasing that engine's slot at the same index.
     engine_id: u32,
     plans: RwLock<Vec<Arc<PlanEntry>>>,
-    slots: RwLock<Vec<Arc<Mutex<Slot>>>>,
-    free: Mutex<Vec<u32>>,
+    shards: Vec<Shard>,
+    /// Engine-wide live count (the admission budget) — exact, unlike a
+    /// sum of per-shard counts sampled at different instants.
     live: AtomicUsize,
+    peak_live: AtomicUsize,
+    /// Engine-wide logical clock; see [`Shard`] for why it is not sharded.
     clock: AtomicU64,
-    counters: Counters,
-    /// Rotating start position for the capped admission sweep.
-    sweep_cursor: AtomicUsize,
-    wal: Option<WalState>,
+    /// Round-robin shard placement for new sessions.
+    placement: AtomicUsize,
+    /// Engine-wide degraded flag, shared with every shard's [`WalState`].
+    degraded: Arc<AtomicBool>,
 }
 
 /// Issues [`SearchEngine::engine_id`] nonces (process-wide, never zero).
@@ -226,37 +314,61 @@ impl SearchEngine {
     /// An empty engine with the given limits, surfacing durability-setup
     /// failures as [`ServiceError::Durability`].
     ///
-    /// A fresh engine **owns** its log directory: stale WAL/snapshot files
-    /// from a previous tenant are removed so a later recovery cannot splice
-    /// two engines' histories. To resume from an existing log, use
-    /// [`recover`](Self::recover) instead.
-    pub fn try_new(config: EngineConfig) -> Result<Self, ServiceError> {
+    /// A fresh engine **owns** its log directory: stale `shard-<k>/`
+    /// subdirectories from a previous tenant are removed so a later
+    /// recovery cannot splice two engines' histories. To resume from an
+    /// existing log, use [`recover`](Self::recover) instead.
+    pub fn try_new(mut config: EngineConfig) -> Result<Self, ServiceError> {
         let engine_id = NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed);
-        let wal = match &config.durability {
-            None => None,
-            Some(d) => Some(WalState::create(d.clone(), engine_id, true)?),
-        };
+        let shard_count = resolve_shards(config.shards);
+        config.shards = shard_count;
+        let degraded = Arc::new(AtomicBool::new(false));
+        let mut shards: Vec<Shard> = (0..shard_count).map(|_| Shard::empty()).collect();
+        if let Some(d) = &config.durability {
+            std::fs::create_dir_all(&d.dir).map_err(durability_err)?;
+            // Wipe every stale shard directory — including those past the
+            // new shard count, which no shard's own wipe would visit.
+            for entry in std::fs::read_dir(&d.dir).map_err(durability_err)? {
+                let entry = entry.map_err(durability_err)?;
+                if entry
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with(SHARD_DIR_PREFIX))
+                {
+                    std::fs::remove_dir_all(entry.path()).map_err(durability_err)?;
+                }
+            }
+            for (k, shard) in shards.iter_mut().enumerate() {
+                let cfg = DurabilityConfig {
+                    dir: shard_dir(&d.dir, k),
+                    ..d.clone()
+                };
+                shard.wal = Some(WalState::create(
+                    cfg,
+                    engine_id,
+                    k as u32,
+                    shard_count as u32,
+                    Arc::clone(&degraded),
+                    true,
+                )?);
+            }
+            // The shard directories' own entries live in the base dir.
+            sync_dir(&d.dir)?;
+        }
         Ok(SearchEngine {
             config,
             engine_id,
             plans: RwLock::new(Vec::new()),
-            slots: RwLock::new(Vec::new()),
-            free: Mutex::new(Vec::new()),
+            shards,
             live: AtomicUsize::new(0),
+            peak_live: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
-            counters: Counters::default(),
-            sweep_cursor: AtomicUsize::new(0),
-            wal: None,
-        }
-        .with_wal(wal))
+            placement: AtomicUsize::new(0),
+            degraded,
+        })
     }
 
-    fn with_wal(mut self, wal: Option<WalState>) -> Self {
-        self.wal = wal;
-        self
-    }
-
-    /// Rebuilds an engine from the write-ahead log in `dir` with default
+    /// Rebuilds an engine from the write-ahead logs in `dir` with default
     /// limits. See [`recover_with`](Self::recover_with).
     pub fn recover(dir: impl Into<PathBuf>) -> Result<(Self, RecoveryReport), ServiceError> {
         let config = EngineConfig {
@@ -266,50 +378,56 @@ impl SearchEngine {
         Self::recover_with(config)
     }
 
-    /// Rebuilds an engine from the write-ahead log named by
-    /// `config.durability` (required).
+    /// Rebuilds an engine from the write-ahead logs named by
+    /// `config.durability` (required). The shard count comes from the
+    /// `shard-<k>/` directory layout, overriding [`EngineConfig::shards`]
+    /// — live ids bake the routing in, so it is a property of the log.
     ///
-    /// Replays every intact event — snapshot first, then the tail(s) —
-    /// through the idempotent fold, rebuilds each plan's artifacts
-    /// bit-identically, and restores every acknowledged live session by
-    /// replaying its answer history through a fresh
-    /// [`SessionStepper`]: because policies are deterministic, a recovered
-    /// session's continuation transcript is **bit-identical** to the
-    /// uncrashed run's. The engine's identity is restored too, so
+    /// Shard 0's log is folded first (it alone carries the plan payloads,
+    /// rebuilt bit-identically); then every shard's sessions are restored
+    /// **in parallel**, one thread per shard, each replaying its
+    /// acknowledged answer histories through fresh [`SessionStepper`]s:
+    /// because policies are deterministic, a recovered session's
+    /// continuation transcript is **bit-identical** to the uncrashed
+    /// run's. The engine's identity is restored too, so
     /// [`SessionId`]s/[`PlanId`]s issued before the crash keep working.
     ///
     /// Torn log tails (the signature of a mid-append crash) are tolerated
     /// and reported in the [`RecoveryReport`]; individually unrestorable
     /// sessions (e.g. a policy that deterministically panics mid-replay)
-    /// are retired and counted rather than poisoning the engine. After a
-    /// successful recovery the directory is compacted to a fresh
+    /// are retired and counted rather than poisoning the engine. A log
+    /// whose recorded shard placement contradicts the directory it sits in
+    /// is rejected outright — replaying shard-local indices under the
+    /// wrong shard would resurrect sessions at aliased ids. After a
+    /// successful recovery every shard directory is compacted to a fresh
     /// snapshot + empty tail.
-    pub fn recover_with(config: EngineConfig) -> Result<(Self, RecoveryReport), ServiceError> {
+    pub fn recover_with(mut config: EngineConfig) -> Result<(Self, RecoveryReport), ServiceError> {
         let Some(durability) = config.durability.clone() else {
             return Err(durability_err(
                 "recover_with requires EngineConfig::durability",
             ));
         };
-        let logs = read_dir_logs(&durability.dir)?;
+        let shard_count = discover_shards(&durability.dir)?;
+        config.shards = shard_count;
         let mut report = RecoveryReport {
-            events: logs.events.len(),
-            corruptions: logs.corruptions,
+            shards: shard_count,
             ..RecoveryReport::default()
         };
-        let mut rs = ReplayState::default();
-        for event in &logs.events {
-            rs.apply(event);
-        }
-        report.anomalies = std::mem::take(&mut rs.anomalies);
-        let engine_id = rs
+
+        // Phase A: fold shard 0 — the only log carrying engine identity
+        // authority and the plan payloads sessions on every shard need.
+        let (rs0, events0, corruptions0) = fold_shard_logs(&durability.dir, 0, shard_count)?;
+        report.events += events0;
+        report.corruptions.extend(corruptions0);
+        let engine_id = rs0
             .engine_id
             .ok_or_else(|| durability_err("log contains no engine metadata"))?;
         // Keep later same-process engines from colliding with this identity.
         NEXT_ENGINE_ID.fetch_max(engine_id.wrapping_add(1), Ordering::Relaxed);
 
         // Plans must be gap-free: sessions reference them by index.
-        let mut plans = Vec::with_capacity(rs.plans.len());
-        for (i, payload) in rs.plans.iter().enumerate() {
+        let mut plans = Vec::with_capacity(rs0.plans.len());
+        for (i, payload) in rs0.plans.iter().enumerate() {
             let Some(payload) = payload else {
                 return Err(durability_err(format!(
                     "plan {i} is missing from the log (corrupt snapshot?)"
@@ -320,125 +438,124 @@ impl SearchEngine {
         }
         report.plans = plans.len();
 
-        let mut slots = Vec::with_capacity(rs.sessions.len());
-        let mut free = Vec::new();
-        let mut live = 0usize;
-        for (index, replayed) in rs.sessions.iter_mut().enumerate() {
-            let max_gen = rs.max_gen[index];
-            match replayed.take() {
-                None => {
-                    // Empty slot: park its generation past every id ever
-                    // issued here — the highest generation still in the log
-                    // window, or the snapshot's retirement watermark when
-                    // compaction trimmed the history — so stale pre-crash
-                    // handles stay rejected instead of aliasing a future
-                    // tenant of the slot.
-                    let parked = max_gen
-                        .map_or(0, |g| g.wrapping_add(1))
-                        .max(rs.floors[index]);
-                    slots.push(Arc::new(Mutex::new(Slot {
-                        generation: parked,
-                        session: None,
-                    })));
-                    free.push(index as u32);
-                }
-                Some(rsess) => match Self::restore_session(&plans, &rsess, config.max_queries) {
-                    Ok(session) => {
-                        slots.push(Arc::new(Mutex::new(Slot {
-                            generation: rsess.generation,
-                            session: Some(session),
-                        })));
-                        live += 1;
-                        report.sessions += 1;
-                    }
-                    Err(why) => {
-                        report.sessions_failed += 1;
-                        report.anomalies.push(format!("slot {index}: {why}"));
-                        slots.push(Arc::new(Mutex::new(Slot {
-                            generation: rsess.generation.wrapping_add(1),
-                            session: None,
-                        })));
-                        free.push(index as u32);
-                    }
-                },
+        // Phase B: restore every shard's sessions in parallel — policy
+        // replay dominates recovery time and shards share nothing here.
+        let track_idle = config.idle_ticks.is_some();
+        let max_queries = config.max_queries;
+        let parts: Vec<Result<ShardParts, ServiceError>> = std::thread::scope(|scope| {
+            let plans = &plans;
+            let dir = &durability.dir;
+            let handles: Vec<_> = (1..shard_count)
+                .map(|k| {
+                    scope.spawn(move || {
+                        let (rs, events, corruptions) = fold_shard_logs(dir, k, shard_count)?;
+                        if rs.engine_id.is_some_and(|id| id != engine_id) {
+                            return Err(durability_err(format!(
+                                "shard-{k} log belongs to engine {}, expected {engine_id}",
+                                rs.engine_id.unwrap_or(0)
+                            )));
+                        }
+                        Ok(restore_shard(
+                            rs,
+                            events,
+                            corruptions,
+                            plans,
+                            max_queries,
+                            track_idle,
+                        ))
+                    })
+                })
+                .collect();
+            let mut parts = vec![Ok(restore_shard(
+                rs0,
+                0,
+                Vec::new(),
+                plans,
+                max_queries,
+                track_idle,
+            ))];
+            for handle in handles {
+                parts.push(handle.join().expect("shard recovery thread panicked"));
             }
+            parts
+        });
+
+        let degraded = Arc::new(AtomicBool::new(false));
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut live = 0usize;
+        for (k, part) in parts.into_iter().enumerate() {
+            let part = part?;
+            live += part.live;
+            report.sessions += part.restored;
+            report.sessions_failed += part.failed;
+            report.events += part.events;
+            report.corruptions.extend(
+                part.corruptions
+                    .into_iter()
+                    .map(|c| format!("shard-{k}/{c}")),
+            );
+            report.anomalies.extend(
+                part.anomalies
+                    .into_iter()
+                    .map(|a| format!("shard-{k}: {a}")),
+            );
+            let counters = Counters::default();
+            counters.opened.store(part.opened, Ordering::Relaxed);
+            counters.finished.store(part.finished, Ordering::Relaxed);
+            counters.cancelled.store(part.cancelled, Ordering::Relaxed);
+            counters.evicted.store(part.evicted, Ordering::Relaxed);
+            shards.push(Shard {
+                slots: RwLock::new(part.slots),
+                free: Mutex::new(part.free),
+                idle: Mutex::new(part.idle),
+                counters,
+                wal: None,
+            });
         }
 
-        let counters = Counters::default();
-        counters.opened.store(rs.counters.opened, Ordering::Relaxed);
-        counters
-            .finished
-            .store(rs.counters.finished, Ordering::Relaxed);
-        counters
-            .cancelled
-            .store(rs.counters.cancelled, Ordering::Relaxed);
-        counters
-            .evicted
-            .store(rs.counters.evicted, Ordering::Relaxed);
-        counters.peak_live.store(live, Ordering::Relaxed);
-
-        let engine = SearchEngine {
+        let mut engine = SearchEngine {
             config,
             engine_id,
             plans: RwLock::new(plans),
-            slots: RwLock::new(slots),
-            free: Mutex::new(free),
+            shards,
             live: AtomicUsize::new(live),
+            peak_live: AtomicUsize::new(live),
             clock: AtomicU64::new(0),
-            counters,
-            sweep_cursor: AtomicUsize::new(0),
-            wal: None,
+            placement: AtomicUsize::new(0),
+            degraded: Arc::clone(&degraded),
         };
 
-        // Re-establish durability deterministically: snapshot the recovered
-        // state, publish it, then open a fresh tail — whatever file set the
-        // crash left behind is superseded and cleaned up.
-        let tmp = durability.dir.join(SNAPSHOT_TMP_FILE);
-        engine.write_snapshot(&tmp)?;
-        std::fs::rename(&tmp, durability.dir.join(SNAPSHOT_FILE)).map_err(durability_err)?;
-        // The rename must be durable before the fresh tail below truncates
-        // the old one: a crash persisting the truncation without the
-        // rename would drop acknowledged records.
-        sync_dir(&durability.dir)?;
-        let _ = std::fs::remove_file(durability.dir.join(ROTATED_FILE));
-        let wal = WalState::create(durability, engine_id, false)?;
-        Ok((engine.with_wal(Some(wal)), report))
+        // Re-establish durability deterministically, shard by shard:
+        // snapshot the recovered state, publish it, then open a fresh tail
+        // — whatever file set the crash left behind is superseded.
+        for k in 0..shard_count {
+            let sdir = shard_dir(&durability.dir, k);
+            let tmp = sdir.join(SNAPSHOT_TMP_FILE);
+            engine.write_shard_snapshot(&tmp, k)?;
+            std::fs::rename(&tmp, sdir.join(SNAPSHOT_FILE)).map_err(durability_err)?;
+            // The rename must be durable before the fresh tail below
+            // truncates the old one: a crash persisting the truncation
+            // without the rename would drop acknowledged records.
+            sync_dir(&sdir)?;
+            let _ = std::fs::remove_file(sdir.join(ROTATED_FILE));
+            let cfg = DurabilityConfig {
+                dir: sdir,
+                ..durability.clone()
+            };
+            engine.shards[k].wal = Some(WalState::create(
+                cfg,
+                engine_id,
+                k as u32,
+                shard_count as u32,
+                Arc::clone(&degraded),
+                false,
+            )?);
+        }
+        Ok((engine, report))
     }
 
-    /// Rebuilds one logged session: plan lookup, policy construction, and a
-    /// deterministic replay of its acknowledged answers.
-    fn restore_session(
-        plans: &[Arc<PlanEntry>],
-        rsess: &ReplaySession,
-        max_queries: Option<u32>,
-    ) -> Result<LiveSession, String> {
-        let kind = kind_from_code(rsess.kind)
-            .ok_or_else(|| format!("unknown policy code {}", rsess.kind.tag))?;
-        let plan = plans
-            .get(rsess.plan as usize)
-            .cloned()
-            .ok_or_else(|| format!("references unregistered plan {}", rsess.plan))?;
-        let (mut policy, _) = plan.acquire(kind);
-        let replayed = catch_unwind(AssertUnwindSafe(|| {
-            SessionStepper::replay(policy.as_mut(), &plan.ctx(), max_queries, &rsess.answers)
-        }));
-        let stepper = match replayed {
-            Ok(Ok(s)) => s,
-            Ok(Err(e)) => return Err(format!("replay rejected: {e}")),
-            Err(_) => return Err("policy panicked during replay; session retired".to_owned()),
-        };
-        Ok(LiveSession {
-            plan,
-            plan_index: rsess.plan,
-            kind,
-            policy,
-            stepper,
-            answers: rsess.answers.clone(),
-            last_touch: 0,
-        })
-    }
-
-    /// The engine's configuration.
+    /// The engine's configuration (with [`EngineConfig::shards`] resolved
+    /// to the actual shard count).
     pub fn config(&self) -> &EngineConfig {
         &self.config
     }
@@ -447,18 +564,22 @@ impl SearchEngine {
     /// choice), building its shared reachability index once. Fails with
     /// [`ServiceError::Core`] when the spec is inconsistent (e.g. weight
     /// vector length mismatch). With durability on, the full plan payload
-    /// is logged before the id is returned, so recovery is self-contained.
+    /// is logged to **shard 0** (plans are global; one authoritative copy
+    /// avoids cross-file ordering anomalies) and fsynced inline — plan
+    /// registration is rare — before the id is returned, so recovery is
+    /// self-contained.
     pub fn register_plan(&self, spec: PlanSpec) -> Result<PlanId, ServiceError> {
         self.check_active()?;
         let entry = Arc::new(PlanEntry::build(spec, self.config.pool_cap)?);
         let mut plans = self.plans.write().expect("plans lock poisoned");
         let index = u32::try_from(plans.len()).expect("plan count fits u32");
-        if let Some(wal) = &self.wal {
+        if let Some(wal) = &self.shards[0].wal {
             let (dag, weights, costs, reach) = entry.artifacts();
             wal.append(&WalEvent::PlanRegistered {
                 plan: index,
                 payload: plan_payload(dag, weights, costs, reach),
             })?;
+            wal.sync()?;
         }
         plans.push(entry);
         Ok(PlanId {
@@ -467,16 +588,18 @@ impl SearchEngine {
         })
     }
 
-    /// Opens a suspended session for `kind` on `plan`.
+    /// Opens a suspended session for `kind` on `plan`, placing it on the
+    /// next shard round-robin.
     ///
     /// Policy instances come from the plan's pool when warm (journal reset,
     /// O(Δ)); construction/reset failures — an oversized
     /// [`PolicyKind::Optimal`] instance, [`PolicyKind::GreedyTree`] on a
     /// DAG — surface as [`ServiceError::Core`] to this caller alone. At the
-    /// admission limit a capped idle-eviction sweep runs first; if nothing
-    /// is reclaimable the open fails with [`ServiceError::AtCapacity`],
-    /// whose `retryable`/`oldest_idle` fields tell the caller whether and
-    /// when backing off can help.
+    /// admission limit every shard's idle heap is drained of expired
+    /// sessions first (O(log n) per eviction); if nothing is reclaimable
+    /// the open fails with [`ServiceError::AtCapacity`], whose
+    /// `retryable`/`oldest_idle` fields tell the caller whether and when
+    /// backing off can help.
     pub fn open_session(
         &self,
         plan: PlanId,
@@ -495,10 +618,13 @@ impl SearchEngine {
                 .ok_or(ServiceError::UnknownPlan(plan))?
         };
 
-        // Reserve a live slot (sweeping up to `admission_scan_cap` slots
-        // for idle sessions when full).
+        // Reserve a live slot, reclaiming expired sessions when full.
         if !self.reserve_live() {
-            let (_evicted, oldest_idle) = self.sweep_for_admission();
+            let mut oldest_idle = None;
+            for shard in &self.shards {
+                let (_, oldest) = self.evict_expired(shard);
+                oldest_idle = oldest_idle.max(oldest);
+            }
             if !self.reserve_live() {
                 return Err(ServiceError::AtCapacity {
                     live: self.live.load(Ordering::Relaxed),
@@ -516,6 +642,8 @@ impl SearchEngine {
             }
             SessionStepper::start(policy.as_mut(), &plan_entry.ctx(), self.config.max_queries)
         }));
+        let shard_k = self.placement.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let shard = &self.shards[shard_k];
         let stepper = match started {
             Ok(Ok(s)) => s,
             Ok(Err(e)) => {
@@ -523,18 +651,18 @@ impl SearchEngine {
                 // drop it rather than re-pool it, release the reservation,
                 // and hand the error to this caller only.
                 self.live.fetch_sub(1, Ordering::Relaxed);
-                self.counters.errored.fetch_add(1, Ordering::Relaxed);
+                shard.counters.errored.fetch_add(1, Ordering::Relaxed);
                 return Err(e.into());
             }
             Err(_) => {
                 // Panic during construction: quarantine the instance.
                 self.live.fetch_sub(1, Ordering::Relaxed);
-                self.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                shard.counters.panicked.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::PolicyPanicked);
             }
         };
         if pool_hit {
-            self.counters.pool_hits.fetch_add(1, Ordering::Relaxed);
+            shard.counters.pool_hits.fetch_add(1, Ordering::Relaxed);
         }
 
         let session = LiveSession {
@@ -546,36 +674,37 @@ impl SearchEngine {
             answers: Vec::new(),
             last_touch: now,
         };
-        let index = self.allocate_slot();
-        let slot_arc = self.slot_arc(index);
+        let local = allocate_slot(shard);
+        let slot_arc = slot_arc(shard, local);
         let generation = {
             let mut slot = slot_arc.lock().expect("slot lock poisoned");
             debug_assert!(slot.session.is_none(), "free list handed out a live slot");
             // Log before publishing: on failure the caller never saw an id,
             // so nothing durable or visible changed.
-            if let Some(wal) = &self.wal {
+            if let Some(wal) = &shard.wal {
                 if let Err(e) = wal.append(&WalEvent::SessionOpened {
-                    index,
+                    index: local,
                     generation: slot.generation,
                     plan: plan.index,
                     kind: kind_code(kind),
                 }) {
                     drop(slot);
-                    self.release_slot(index);
-                    self.counters.errored.fetch_add(1, Ordering::Relaxed);
+                    self.release_slot(shard, local);
+                    shard.counters.errored.fetch_add(1, Ordering::Relaxed);
                     return Err(e);
                 }
             }
             slot.session = Some(session);
+            self.touch_idle(shard, local, slot.generation, now);
             slot.generation
         };
-        self.counters.opened.fetch_add(1, Ordering::Relaxed);
-        self.maybe_autocompact();
+        shard.counters.opened.fetch_add(1, Ordering::Relaxed);
+        self.maybe_autocompact(shard_k);
         Ok(SessionHandle {
             engine: self,
             id: SessionId {
                 engine: self.engine_id,
-                index,
+                index: local * self.shards.len() as u32 + shard_k as u32,
                 generation,
             },
         })
@@ -595,7 +724,7 @@ impl SearchEngine {
     /// session is untouched. Works in degraded mode: question derivation is
     /// deterministic, so it never needs the log.
     pub fn next_question(&self, id: SessionId) -> Result<SessionStep, ServiceError> {
-        let step = self.step_session(
+        let (shard_k, step) = self.step_session(
             id,
             |s| {
                 let LiveSession {
@@ -608,7 +737,10 @@ impl SearchEngine {
             },
             |_, _| None,
         )?;
-        self.counters.steps.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard_k]
+            .counters
+            .steps
+            .fetch_add(1, Ordering::Relaxed);
         match step {
             Ok(step) => Ok(step),
             Err(e @ CoreError::Diverged { .. }) => {
@@ -635,7 +767,7 @@ impl SearchEngine {
     /// acknowledged answer history.
     pub fn answer(&self, id: SessionId, yes: bool) -> Result<(), ServiceError> {
         self.check_active()?;
-        let fed = self.step_session(
+        let (shard_k, fed) = self.step_session(
             id,
             |s| {
                 let LiveSession {
@@ -649,18 +781,21 @@ impl SearchEngine {
                 answers.push(yes);
                 Ok(u32::try_from(answers.len() - 1).expect("answer count fits u32"))
             },
-            |seq, _| {
+            |seq, local| {
                 Some(WalEvent::Answered {
-                    index: id.index,
+                    index: local,
                     generation: id.generation,
                     seq: *seq,
                     yes,
                 })
             },
         )?;
-        self.counters.steps.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard_k]
+            .counters
+            .steps
+            .fetch_add(1, Ordering::Relaxed);
         fed.map_err(ServiceError::from)?;
-        self.maybe_autocompact();
+        self.maybe_autocompact(shard_k);
         Ok(())
     }
 
@@ -674,7 +809,8 @@ impl SearchEngine {
         // Probe resolution and take the session under ONE slot-lock
         // acquisition: a probe-then-remove pair would let a concurrent
         // cancel/evict slip between the two and discard the outcome.
-        let slot_arc = self.lookup_slot(id)?;
+        let (shard_k, local, slot_arc) = self.locate(id)?;
+        let shard = &self.shards[shard_k];
         let (outcome, session) = {
             let mut slot = slot_arc.lock().expect("slot lock poisoned");
             if slot.generation != id.generation {
@@ -694,13 +830,13 @@ impl SearchEngine {
             let outcome = match finished {
                 Ok(Ok(outcome)) => outcome,
                 Ok(Err(e)) => return Err(e.into()),
-                Err(_) => return self.quarantine(slot, id),
+                Err(_) => return self.quarantine(shard_k, local, slot),
             };
-            if let Some(wal) = &self.wal {
+            if let Some(wal) = &shard.wal {
                 // Ack durably before removing: on failure the session stays
                 // live (and recoverable) while the error propagates.
                 wal.append(&WalEvent::Finished {
-                    index: id.index,
+                    index: local,
                     generation: id.generation,
                 })?;
             }
@@ -708,9 +844,9 @@ impl SearchEngine {
             (outcome, slot.session.take().expect("checked above"))
         };
         session.plan.release(session.kind, session.policy);
-        self.release_slot(id.index);
-        self.counters.finished.fetch_add(1, Ordering::Relaxed);
-        self.maybe_autocompact();
+        self.release_slot(shard, local);
+        shard.counters.finished.fetch_add(1, Ordering::Relaxed);
+        self.maybe_autocompact(shard_k);
         Ok(outcome)
     }
 
@@ -726,30 +862,12 @@ impl SearchEngine {
     /// degraded (a degraded engine must not silently drop recoverable
     /// sessions).
     ///
-    /// This explicit sweep scans every slot; the sweep that runs
-    /// automatically when admission is full is capped at
-    /// [`EngineConfig::admission_scan_cap`] slots instead.
+    /// Cost is O(expired · log live), not O(`max_sessions`): each shard
+    /// pops its last-touch heap only while the root has actually expired.
     pub fn sweep_idle(&self) -> usize {
-        let Some(max_idle) = self.config.idle_ticks else {
-            return 0;
-        };
-        if self.is_degraded() {
-            return 0;
-        }
-        let now = self.clock.load(Ordering::Relaxed);
-        let slots: Vec<(u32, Arc<Mutex<Slot>>)> = {
-            let slots = self.slots.read().expect("slots lock poisoned");
-            slots
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (i as u32, Arc::clone(s)))
-                .collect()
-        };
         let mut evicted = 0;
-        for (index, slot_arc) in slots {
-            if self.try_evict(index, &slot_arc, now, max_idle) {
-                evicted += 1;
-            }
+        for shard in &self.shards {
+            evicted += self.evict_expired(shard).0;
         }
         evicted
     }
@@ -759,65 +877,68 @@ impl SearchEngine {
         self.live.load(Ordering::Relaxed)
     }
 
-    /// A snapshot of the activity counters. After a recovery, the durable
-    /// lifecycle counters (`opened`/`finished`/`cancelled`/`evicted`) are
-    /// restored from the surviving log window — exact until a compaction
-    /// trims retired sessions' history; the purely operational ones
-    /// (`steps`, `pool_hits`, `errored`, `panicked`) restart from zero.
+    /// A snapshot of the activity counters, aggregated across shards.
+    /// After a recovery, the durable lifecycle counters
+    /// (`opened`/`finished`/`cancelled`/`evicted`) are restored from the
+    /// surviving log window — exact until a compaction trims retired
+    /// sessions' history; the purely operational ones (`steps`,
+    /// `pool_hits`, `errored`, `panicked`) restart from zero.
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
+        let mut stats = EngineStats {
             live: self.live.load(Ordering::Relaxed),
-            peak_live: self.counters.peak_live.load(Ordering::Relaxed),
-            opened: self.counters.opened.load(Ordering::Relaxed),
-            finished: self.counters.finished.load(Ordering::Relaxed),
-            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
-            evicted: self.counters.evicted.load(Ordering::Relaxed),
-            errored: self.counters.errored.load(Ordering::Relaxed),
-            panicked: self.counters.panicked.load(Ordering::Relaxed),
-            steps: self.counters.steps.load(Ordering::Relaxed),
-            pool_hits: self.counters.pool_hits.load(Ordering::Relaxed),
-            wal_records: self
-                .wal
-                .as_ref()
-                .map_or(0, |w| w.total_records.load(Ordering::Relaxed)),
+            peak_live: self.peak_live.load(Ordering::Relaxed),
+            shards: self.shards.len(),
+            opened: 0,
+            finished: 0,
+            cancelled: 0,
+            evicted: 0,
+            errored: 0,
+            panicked: 0,
+            steps: 0,
+            pool_hits: 0,
+            wal_records: 0,
             degraded: self.is_degraded(),
+        };
+        for shard in &self.shards {
+            let c = &shard.counters;
+            stats.opened += c.opened.load(Ordering::Relaxed);
+            stats.finished += c.finished.load(Ordering::Relaxed);
+            stats.cancelled += c.cancelled.load(Ordering::Relaxed);
+            stats.evicted += c.evicted.load(Ordering::Relaxed);
+            stats.errored += c.errored.load(Ordering::Relaxed);
+            stats.panicked += c.panicked.load(Ordering::Relaxed);
+            stats.steps += c.steps.load(Ordering::Relaxed);
+            stats.pool_hits += c.pool_hits.load(Ordering::Relaxed);
+            if let Some(wal) = &shard.wal {
+                stats.wal_records += wal.total_records.load(Ordering::Relaxed);
+            }
         }
+        stats
     }
 
-    /// Compacts the write-ahead log now: rotates the tail, snapshots the
-    /// live state, and atomically publishes the snapshot. No-op with
-    /// durability off or when another compaction is already running; fails
-    /// with [`ServiceError::Degraded`] on a degraded engine. Runs
-    /// automatically when the tail exceeds
+    /// Compacts every shard's write-ahead log now: rotates the tail,
+    /// snapshots the shard's live state, and atomically publishes the
+    /// snapshot. No-op with durability off or for shards already
+    /// compacting; fails with [`ServiceError::Degraded`] on a degraded
+    /// engine. Runs automatically per shard when its tail exceeds
     /// [`DurabilityConfig::snapshot_every`] records.
     pub fn compact(&self) -> Result<(), ServiceError> {
-        let Some(wal) = &self.wal else {
-            return Ok(());
-        };
-        if wal.degraded.load(Ordering::Relaxed) {
-            return Err(ServiceError::Degraded);
+        for k in 0..self.shards.len() {
+            self.compact_shard(k)?;
         }
-        if wal.compacting.swap(true, Ordering::SeqCst) {
-            return Ok(());
-        }
-        let result = (|| {
-            wal.rotate(self.engine_id)?;
-            let tmp = wal.config.dir.join(SNAPSHOT_TMP_FILE);
-            self.write_snapshot(&tmp)?;
-            wal.publish_snapshot()
-        })();
-        wal.compacting.store(false, Ordering::SeqCst);
-        result
+        Ok(())
     }
 
-    /// Forces buffered WAL records to stable storage (useful before a
-    /// graceful shutdown when fsync batching is on). No-op with durability
-    /// off.
+    /// Forces buffered WAL records on every shard to stable storage
+    /// (useful before a graceful shutdown when fsync batching is on).
+    /// No-op with durability off.
     pub fn sync_wal(&self) -> Result<(), ServiceError> {
-        match &self.wal {
-            None => Ok(()),
-            Some(wal) => wal.sync(),
+        for shard in &self.shards {
+            if let Some(wal) = &shard.wal {
+                wal.sync()?;
+            }
         }
+        Ok(())
     }
 
     // ---- internals ----------------------------------------------------
@@ -827,9 +948,7 @@ impl SearchEngine {
     }
 
     fn is_degraded(&self) -> bool {
-        self.wal
-            .as_ref()
-            .is_some_and(|w| w.degraded.load(Ordering::Relaxed))
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Gate for mutating operations: a degraded engine is read-mostly.
@@ -840,32 +959,59 @@ impl SearchEngine {
         Ok(())
     }
 
-    fn maybe_autocompact(&self) {
-        let Some(wal) = &self.wal else { return };
+    fn compact_shard(&self, shard_k: usize) -> Result<(), ServiceError> {
+        let Some(wal) = &self.shards[shard_k].wal else {
+            return Ok(());
+        };
+        if self.is_degraded() {
+            return Err(ServiceError::Degraded);
+        }
+        if wal.compacting.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        let result = (|| {
+            wal.rotate()?;
+            let tmp = wal.config.dir.join(SNAPSHOT_TMP_FILE);
+            self.write_shard_snapshot(&tmp, shard_k)?;
+            wal.publish_snapshot()
+        })();
+        wal.compacting.store(false, Ordering::SeqCst);
+        result
+    }
+
+    fn maybe_autocompact(&self, shard_k: usize) {
+        let Some(wal) = &self.shards[shard_k].wal else {
+            return;
+        };
         let Some(limit) = wal.config.snapshot_every else {
             return;
         };
-        if !wal.degraded.load(Ordering::Relaxed)
-            && wal.tail_records.load(Ordering::Relaxed) >= limit
-        {
+        if !self.is_degraded() && wal.tail_records.load(Ordering::Relaxed) >= limit {
             // Failures surface on the next explicit compact/mutation; the
             // triggering operation itself already succeeded durably.
-            let _ = self.compact();
+            let _ = self.compact_shard(shard_k);
         }
     }
 
-    /// Writes a compacted WAL (engine meta + plans + live sessions) to
-    /// `path` and fsyncs it. Used by both compaction and post-recovery
-    /// re-initialisation; never touches the shared tail writer, so it needs
-    /// no lock ordering against appends beyond the per-slot locks.
-    fn write_snapshot(&self, path: &Path) -> Result<(), ServiceError> {
+    /// Writes one shard's compacted WAL (identity header + live sessions,
+    /// plus the plan payloads on shard 0) to `path` and fsyncs it. Used by
+    /// both compaction and post-recovery re-initialisation; never touches
+    /// the shard's tail writer, so it needs no lock ordering against
+    /// appends beyond the per-slot locks.
+    fn write_shard_snapshot(&self, path: &Path, shard_k: usize) -> Result<(), ServiceError> {
+        let shard = &self.shards[shard_k];
         let mut snap = SessionWal::create(path, FsyncPolicy::Never).map_err(durability_err)?;
         snap.append_buffered(&WalEvent::EngineMeta {
             version: WAL_VERSION,
             engine_id: self.engine_id,
         })
         .map_err(durability_err)?;
-        {
+        snap.append_buffered(&WalEvent::ShardMeta {
+            shard: shard_k as u32,
+            shards: self.shards.len() as u32,
+        })
+        .map_err(durability_err)?;
+        if shard_k == 0 {
             let plans = self.plans.read().expect("plans lock poisoned");
             for (i, entry) in plans.iter().enumerate() {
                 let (dag, weights, costs, reach) = entry.artifacts();
@@ -877,14 +1023,14 @@ impl SearchEngine {
             }
         }
         let slots: Vec<(u32, Arc<Mutex<Slot>>)> = {
-            let slots = self.slots.read().expect("slots lock poisoned");
+            let slots = shard.slots.read().expect("slots lock poisoned");
             slots
                 .iter()
                 .enumerate()
                 .map(|(i, s)| (i as u32, Arc::clone(s)))
                 .collect()
         };
-        for (index, slot_arc) in slots {
+        for (local, slot_arc) in slots {
             // Capture each session atomically under its lock; concurrent
             // later events land in the rotated tail and replay idempotently
             // on top (duplicates skip by sequence number).
@@ -896,7 +1042,7 @@ impl SearchEngine {
                 // where a stale pre-crash id would alias the next tenant.
                 if slot.generation > 0 {
                     snap.append_buffered(&WalEvent::SlotRetired {
-                        index,
+                        index: local,
                         generation: slot.generation,
                     })
                     .map_err(durability_err)?;
@@ -904,7 +1050,7 @@ impl SearchEngine {
                 continue;
             };
             snap.append_buffered(&WalEvent::SessionOpened {
-                index,
+                index: local,
                 generation: slot.generation,
                 plan: s.plan_index,
                 kind: kind_code(s.kind),
@@ -912,7 +1058,7 @@ impl SearchEngine {
             .map_err(durability_err)?;
             for (seq, &yes) in s.answers.iter().enumerate() {
                 snap.append_buffered(&WalEvent::Answered {
-                    index,
+                    index: local,
                     generation: slot.generation,
                     seq: seq as u32,
                     yes,
@@ -935,20 +1081,51 @@ impl SearchEngine {
             Ok(prev) => {
                 // Record the claimed value, not a re-load: a concurrent
                 // release between the claim and a load would hide the peak.
-                self.counters
-                    .peak_live
-                    .fetch_max(prev + 1, Ordering::Relaxed);
+                self.peak_live.fetch_max(prev + 1, Ordering::Relaxed);
                 true
             }
             Err(_) => false,
         }
     }
 
-    /// The capped admission-time sweep: scans at most
-    /// [`EngineConfig::admission_scan_cap`] slots from a rotating cursor,
-    /// evicting idle sessions and reporting the oldest idle age seen (the
-    /// caller's backoff hint).
-    fn sweep_for_admission(&self) -> (usize, Option<u64>) {
+    /// Pushes an idle-heap entry for a just-touched session. Called under
+    /// the session's slot lock (the slot→heap order is the sanctioned
+    /// one); no-op when idle eviction is off. When lazy entries outgrow
+    /// `2·slots + slack`, the heap is compacted to its newest entry per
+    /// slot — per slot the newest touch also carries the newest
+    /// generation, so no live session's entry is lost.
+    fn touch_idle(&self, shard: &Shard, local: u32, generation: u32, touch: u64) {
+        if self.config.idle_ticks.is_none() {
+            return;
+        }
+        let slot_count = shard.slots.read().expect("slots lock poisoned").len();
+        let mut heap = shard.idle.lock().expect("idle heap poisoned");
+        heap.push(Reverse((touch, local, generation)));
+        if heap.len() > 2 * slot_count + IDLE_HEAP_SLACK {
+            let mut newest: Vec<Option<(u64, u32)>> = vec![None; slot_count];
+            for &Reverse((t, l, g)) in heap.iter() {
+                let cell = &mut newest[l as usize];
+                if cell.is_none_or(|(bt, _)| t > bt) {
+                    *cell = Some((t, g));
+                }
+            }
+            *heap = newest
+                .into_iter()
+                .enumerate()
+                .filter_map(|(l, e)| e.map(|(t, g)| Reverse((t, l as u32, g))))
+                .collect();
+        }
+    }
+
+    /// Drains one shard's expired sessions off its last-touch heap:
+    /// returns how many were evicted, plus the age of the shard's oldest
+    /// still-live session (the caller's backoff hint). Entries whose slot
+    /// has moved on — newer generation, or a later touch — are lazy
+    /// residue and are discarded; every live session keeps exactly one
+    /// current entry (pushed at its last touch), so the first *current*
+    /// entry popped is the shard's true least-recently-touched session,
+    /// and if it has not expired nothing after it can have.
+    fn evict_expired(&self, shard: &Shard) -> (usize, Option<u64>) {
         let Some(max_idle) = self.config.idle_ticks else {
             return (0, None);
         };
@@ -956,125 +1133,98 @@ impl SearchEngine {
             return (0, None);
         }
         let now = self.clock.load(Ordering::Relaxed);
-        let scan: Vec<(u32, Arc<Mutex<Slot>>)> = {
-            let slots = self.slots.read().expect("slots lock poisoned");
-            let len = slots.len();
-            if len == 0 {
-                return (0, None);
-            }
-            let cap = self.config.admission_scan_cap.clamp(1, len);
-            let start = self.sweep_cursor.fetch_add(cap, Ordering::Relaxed) % len;
-            (0..cap)
-                .map(|k| {
-                    let i = (start + k) % len;
-                    (i as u32, Arc::clone(&slots[i]))
-                })
-                .collect()
-        };
         let mut evicted = 0;
-        let mut oldest: Option<u64> = None;
-        for (index, slot_arc) in &scan {
-            {
-                let slot = slot_arc.lock().expect("slot lock poisoned");
-                if let Some(s) = slot.session.as_ref() {
-                    let age = now.saturating_sub(s.last_touch);
-                    oldest = Some(oldest.map_or(age, |o| o.max(age)));
+        let oldest = loop {
+            let Some(entry) = shard.idle.lock().expect("idle heap poisoned").pop() else {
+                break None;
+            };
+            let Reverse((touch, local, generation)) = entry;
+            let slot_arc = slot_arc(shard, local);
+            let reclaimed = {
+                let mut slot = slot_arc.lock().expect("slot lock poisoned");
+                let current = slot.generation == generation
+                    && slot.session.as_ref().is_some_and(|s| s.last_touch == touch);
+                if !current {
+                    continue; // lazy residue of an older touch or tenant
                 }
-            }
-            if self.try_evict(*index, slot_arc, now, max_idle) {
-                evicted += 1;
-            }
-        }
-        (evicted, oldest)
-    }
-
-    /// Evicts the session in `slot_arc` if it has idled past `max_idle`.
-    /// The eviction event is logged best-effort under the slot lock (an
-    /// unlogged eviction merely resurrects the session on recovery).
-    fn try_evict(&self, index: u32, slot_arc: &Arc<Mutex<Slot>>, now: u64, max_idle: u64) -> bool {
-        let reclaimed = {
-            let mut slot = slot_arc.lock().expect("slot lock poisoned");
-            let idle = slot
-                .session
-                .as_ref()
-                .is_some_and(|s| now.saturating_sub(s.last_touch) >= max_idle);
-            if idle {
-                if let Some(wal) = &self.wal {
+                let age = now.saturating_sub(touch);
+                if age < max_idle {
+                    // The shard's oldest live session, still fresh: put its
+                    // entry back and stop — the heap holds nothing older.
+                    drop(slot);
+                    shard.idle.lock().expect("idle heap poisoned").push(entry);
+                    break Some(age);
+                }
+                // Expired: evict under the slot lock. The eviction event is
+                // logged best-effort (an unlogged eviction merely
+                // resurrects the session on recovery).
+                if let Some(wal) = &shard.wal {
                     wal.append_best_effort(&WalEvent::Evicted {
-                        index,
+                        index: local,
                         generation: slot.generation,
                     });
                 }
                 slot.generation = slot.generation.wrapping_add(1);
                 slot.session.take()
-            } else {
-                None
+            };
+            if let Some(s) = reclaimed {
+                s.plan.release(s.kind, s.policy);
+                self.release_slot(shard, local);
+                shard.counters.evicted.fetch_add(1, Ordering::Relaxed);
+                evicted += 1;
             }
         };
-        match reclaimed {
-            Some(s) => {
-                s.plan.release(s.kind, s.policy);
-                self.release_slot(index);
-                self.counters.evicted.fetch_add(1, Ordering::Relaxed);
-                true
-            }
-            None => false,
-        }
+        (evicted, oldest)
     }
 
-    fn allocate_slot(&self) -> u32 {
-        if let Some(i) = self.free.lock().expect("free list poisoned").pop() {
-            return i;
-        }
-        let mut slots = self.slots.write().expect("slots lock poisoned");
-        let index = u32::try_from(slots.len()).expect("slot count fits u32");
-        slots.push(Arc::new(Mutex::new(Slot {
-            generation: 0,
-            session: None,
-        })));
-        index
-    }
-
-    fn release_slot(&self, index: u32) {
+    fn release_slot(&self, shard: &Shard, local: u32) {
         self.live.fetch_sub(1, Ordering::Relaxed);
-        self.free.lock().expect("free list poisoned").push(index);
+        shard.free.lock().expect("free list poisoned").push(local);
     }
 
-    fn slot_arc(&self, index: u32) -> Arc<Mutex<Slot>> {
-        Arc::clone(&self.slots.read().expect("slots lock poisoned")[index as usize])
-    }
-
-    /// Resolves `id` to its slot, rejecting ids issued by another engine.
-    fn lookup_slot(&self, id: SessionId) -> Result<Arc<Mutex<Slot>>, ServiceError> {
+    /// Resolves `id` to its shard, local slot index and slot, rejecting
+    /// ids issued by another engine.
+    fn locate(&self, id: SessionId) -> Result<(usize, u32, Arc<Mutex<Slot>>), ServiceError> {
         if id.engine != self.engine_id {
             return Err(ServiceError::UnknownSession(id));
         }
-        let slots = self.slots.read().expect("slots lock poisoned");
+        let shard_count = self.shards.len() as u32;
+        let shard_k = (id.index % shard_count) as usize;
+        let local = id.index / shard_count;
+        let slots = self.shards[shard_k]
+            .slots
+            .read()
+            .expect("slots lock poisoned");
         slots
-            .get(id.index as usize)
+            .get(local as usize)
             .cloned()
+            .map(|arc| (shard_k, local, arc))
             .ok_or(ServiceError::UnknownSession(id))
     }
 
     /// Runs `f` — a step that calls into the session's policy — on the live
-    /// session behind `id`, touching its idle clock.
+    /// session behind `id`, touching its idle clock; returns the owning
+    /// shard's index alongside `f`'s outcome.
     ///
     /// The policy call is wrapped in `catch_unwind`: a panicking policy
     /// quarantines **only its own session** (see [`Self::quarantine`]) and
     /// surfaces [`ServiceError::PolicyPanicked`] to this caller; every
     /// other session, and the engine itself, keeps serving. On success,
-    /// `event` may produce a WAL record which is appended while the slot
-    /// lock is still held — guaranteeing the log's per-session order
-    /// matches the in-memory apply order. If that append fails, the
-    /// session is torn down rather than left holding a mutation the log
-    /// never acknowledged (recovery restores it at its acked prefix).
+    /// `event` may produce a WAL record (indices in events are
+    /// shard-local, hence the `local` argument) which is appended to the
+    /// owning shard's log while the slot lock is still held — guaranteeing
+    /// the log's per-session order matches the in-memory apply order. If
+    /// that append fails, the session is torn down rather than left
+    /// holding a mutation the log never acknowledged (recovery restores it
+    /// at its acked prefix).
     fn step_session<T>(
         &self,
         id: SessionId,
         f: impl FnOnce(&mut LiveSession) -> Result<T, CoreError>,
-        event: impl FnOnce(&T, &LiveSession) -> Option<WalEvent>,
-    ) -> Result<Result<T, CoreError>, ServiceError> {
-        let slot_arc = self.lookup_slot(id)?;
+        event: impl FnOnce(&T, u32) -> Option<WalEvent>,
+    ) -> Result<(usize, Result<T, CoreError>), ServiceError> {
+        let (shard_k, local, slot_arc) = self.locate(id)?;
+        let shard = &self.shards[shard_k];
         let mut slot = slot_arc.lock().expect("slot lock poisoned");
         if slot.generation != id.generation {
             return Err(ServiceError::UnknownSession(id));
@@ -1083,25 +1233,20 @@ impl SearchEngine {
             .session
             .as_mut()
             .ok_or(ServiceError::UnknownSession(id))?;
-        session.last_touch = self.tick();
+        let now = self.tick();
+        session.last_touch = now;
+        self.touch_idle(shard, local, id.generation, now);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if matches!(failpoints::hit("engine.policy"), Some(FaultAction::Panic)) {
                 panic!("injected policy panic");
             }
-            f(session)
+            f(slot.session.as_mut().expect("checked above"))
         }));
         match outcome {
             Ok(result) => {
                 if let Ok(value) = &result {
-                    let ev = {
-                        let session = slot
-                            .session
-                            .as_ref()
-                            .expect("session vanished under its slot lock");
-                        event(value, session)
-                    };
-                    if let Some(ev) = ev {
-                        if let Some(wal) = &self.wal {
+                    if let Some(ev) = event(value, local) {
+                        if let Some(wal) = &shard.wal {
                             if let Err(e) = wal.append(&ev) {
                                 // The in-memory apply outran the log, and a
                                 // degraded engine keeps serving
@@ -1115,16 +1260,16 @@ impl SearchEngine {
                                 let torn = slot.session.take();
                                 drop(slot);
                                 drop(torn);
-                                self.release_slot(id.index);
-                                self.counters.errored.fetch_add(1, Ordering::Relaxed);
+                                self.release_slot(shard, local);
+                                shard.counters.errored.fetch_add(1, Ordering::Relaxed);
                                 return Err(e);
                             }
                         }
                     }
                 }
-                Ok(result)
+                Ok((shard_k, result))
             }
-            Err(_) => self.quarantine(slot, id),
+            Err(_) => self.quarantine(shard_k, local, slot),
         }
     }
 
@@ -1135,35 +1280,38 @@ impl SearchEngine {
     /// does not replay the session into the same deterministic panic.
     fn quarantine<T>(
         &self,
+        shard_k: usize,
+        local: u32,
         mut slot: std::sync::MutexGuard<'_, Slot>,
-        id: SessionId,
     ) -> Result<T, ServiceError> {
+        let shard = &self.shards[shard_k];
         let generation = slot.generation;
         slot.generation = generation.wrapping_add(1);
         let quarantined = slot.session.take();
         drop(slot);
-        if let Some(wal) = &self.wal {
+        if let Some(wal) = &shard.wal {
             wal.append_best_effort(&WalEvent::Cancelled {
-                index: id.index,
+                index: local,
                 generation,
             });
         }
         drop(quarantined);
-        self.release_slot(id.index);
-        self.counters.panicked.fetch_add(1, Ordering::Relaxed);
+        self.release_slot(shard, local);
+        shard.counters.panicked.fetch_add(1, Ordering::Relaxed);
         Err(ServiceError::PolicyPanicked)
     }
 
     fn remove(&self, id: SessionId, how: Removal) -> Result<(), ServiceError> {
-        let slot_arc = self.lookup_slot(id)?;
+        let (shard_k, local, slot_arc) = self.locate(id)?;
+        let shard = &self.shards[shard_k];
         let session = {
             let mut slot = slot_arc.lock().expect("slot lock poisoned");
             if slot.generation != id.generation || slot.session.is_none() {
                 return Err(ServiceError::UnknownSession(id));
             }
-            if let Some(wal) = &self.wal {
+            if let Some(wal) = &shard.wal {
                 let ev = WalEvent::Cancelled {
-                    index: id.index,
+                    index: local,
                     generation: id.generation,
                 };
                 match how {
@@ -1181,14 +1329,188 @@ impl SearchEngine {
             slot.session.take().expect("checked above")
         };
         session.plan.release(session.kind, session.policy);
-        self.release_slot(id.index);
+        self.release_slot(shard, local);
         let counter = match how {
-            Removal::Cancelled => &self.counters.cancelled,
-            Removal::Errored => &self.counters.errored,
+            Removal::Cancelled => &shard.counters.cancelled,
+            Removal::Errored => &shard.counters.errored,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+}
+
+/// Allocates a local slot on `shard`, preferring its free list.
+fn allocate_slot(shard: &Shard) -> u32 {
+    if let Some(i) = shard.free.lock().expect("free list poisoned").pop() {
+        return i;
+    }
+    let mut slots = shard.slots.write().expect("slots lock poisoned");
+    let local = u32::try_from(slots.len()).expect("slot count fits u32");
+    slots.push(Arc::new(Mutex::new(Slot {
+        generation: 0,
+        session: None,
+    })));
+    local
+}
+
+fn slot_arc(shard: &Shard, local: u32) -> Arc<Mutex<Slot>> {
+    Arc::clone(&shard.slots.read().expect("slots lock poisoned")[local as usize])
+}
+
+/// One shard's recovered state, produced off-thread during the parallel
+/// phase of [`SearchEngine::recover_with`].
+struct ShardParts {
+    slots: Vec<Arc<Mutex<Slot>>>,
+    free: Vec<u32>,
+    idle: BinaryHeap<IdleEntry>,
+    live: usize,
+    restored: usize,
+    failed: usize,
+    opened: u64,
+    finished: u64,
+    cancelled: u64,
+    evicted: u64,
+    events: usize,
+    corruptions: Vec<String>,
+    anomalies: Vec<String>,
+}
+
+/// Reads and folds one shard's log files, verifying the recorded shard
+/// placement against the directory the files actually sit in.
+fn fold_shard_logs(
+    base: &Path,
+    shard_k: usize,
+    shard_count: usize,
+) -> Result<(ReplayState, usize, Vec<String>), ServiceError> {
+    let logs = read_dir_logs(&shard_dir(base, shard_k))?;
+    let events = logs.events.len();
+    let mut rs = ReplayState::default();
+    for event in &logs.events {
+        rs.apply(event);
+    }
+    match rs.shard_meta {
+        Some((s, k)) if (s as usize, k as usize) != (shard_k, shard_count) => {
+            return Err(durability_err(format!(
+                "shard-{shard_k}: log records placement shard {s} of {k}, but sits in a \
+                 {shard_count}-shard directory — slot indices are shard-local, so replaying a \
+                 misplaced log would alias sessions; refusing"
+            )));
+        }
+        None => rs
+            .anomalies
+            .push("log carries no shard placement metadata".to_owned()),
+        Some(_) => {}
+    }
+    Ok((rs, events, logs.corruptions))
+}
+
+/// Restores one shard's sessions from its fold: plan lookup, policy
+/// construction, and a deterministic replay of each acknowledged answer
+/// history (the expensive part recovery parallelises across shards).
+fn restore_shard(
+    mut rs: ReplayState,
+    events: usize,
+    corruptions: Vec<String>,
+    plans: &[Arc<PlanEntry>],
+    max_queries: Option<u32>,
+    track_idle: bool,
+) -> ShardParts {
+    let mut parts = ShardParts {
+        slots: Vec::with_capacity(rs.sessions.len()),
+        free: Vec::new(),
+        idle: BinaryHeap::new(),
+        live: 0,
+        restored: 0,
+        failed: 0,
+        opened: rs.counters.opened,
+        finished: rs.counters.finished,
+        cancelled: rs.counters.cancelled,
+        evicted: rs.counters.evicted,
+        events,
+        corruptions,
+        anomalies: std::mem::take(&mut rs.anomalies),
+    };
+    for (local, replayed) in rs.sessions.iter_mut().enumerate() {
+        let max_gen = rs.max_gen[local];
+        match replayed.take() {
+            None => {
+                // Empty slot: park its generation past every id ever
+                // issued here — the highest generation still in the log
+                // window, or the snapshot's retirement watermark when
+                // compaction trimmed the history — so stale pre-crash
+                // handles stay rejected instead of aliasing a future
+                // tenant of the slot.
+                let parked = max_gen
+                    .map_or(0, |g| g.wrapping_add(1))
+                    .max(rs.floors[local]);
+                parts.slots.push(Arc::new(Mutex::new(Slot {
+                    generation: parked,
+                    session: None,
+                })));
+                parts.free.push(local as u32);
+            }
+            Some(rsess) => match restore_session(plans, &rsess, max_queries) {
+                Ok(session) => {
+                    parts.slots.push(Arc::new(Mutex::new(Slot {
+                        generation: rsess.generation,
+                        session: Some(session),
+                    })));
+                    if track_idle {
+                        // Recovered sessions start at touch 0 (the clock
+                        // restarts): idle-oldest until touched again.
+                        parts
+                            .idle
+                            .push(Reverse((0, local as u32, rsess.generation)));
+                    }
+                    parts.live += 1;
+                    parts.restored += 1;
+                }
+                Err(why) => {
+                    parts.failed += 1;
+                    parts.anomalies.push(format!("slot {local}: {why}"));
+                    parts.slots.push(Arc::new(Mutex::new(Slot {
+                        generation: rsess.generation.wrapping_add(1),
+                        session: None,
+                    })));
+                    parts.free.push(local as u32);
+                }
+            },
+        }
+    }
+    parts
+}
+
+/// Rebuilds one logged session: plan lookup, policy construction, and a
+/// deterministic replay of its acknowledged answers.
+fn restore_session(
+    plans: &[Arc<PlanEntry>],
+    rsess: &ReplaySession,
+    max_queries: Option<u32>,
+) -> Result<LiveSession, String> {
+    let kind = kind_from_code(rsess.kind)
+        .ok_or_else(|| format!("unknown policy code {}", rsess.kind.tag))?;
+    let plan = plans
+        .get(rsess.plan as usize)
+        .cloned()
+        .ok_or_else(|| format!("references unregistered plan {}", rsess.plan))?;
+    let (mut policy, _) = plan.acquire(kind);
+    let replayed = catch_unwind(AssertUnwindSafe(|| {
+        SessionStepper::replay(policy.as_mut(), &plan.ctx(), max_queries, &rsess.answers)
+    }));
+    let stepper = match replayed {
+        Ok(Ok(s)) => s,
+        Ok(Err(e)) => return Err(format!("replay rejected: {e}")),
+        Err(_) => return Err("policy panicked during replay; session retired".to_owned()),
+    };
+    Ok(LiveSession {
+        plan,
+        plan_index: rsess.plan,
+        kind,
+        policy,
+        stepper,
+        answers: rsess.answers.clone(),
+        last_touch: 0,
+    })
 }
 
 impl std::fmt::Debug for SearchEngine {
@@ -1196,7 +1518,8 @@ impl std::fmt::Debug for SearchEngine {
         f.debug_struct("SearchEngine")
             .field("live", &self.live_sessions())
             .field("max_sessions", &self.config.max_sessions)
-            .field("durable", &self.wal.is_some())
+            .field("shards", &self.shards.len())
+            .field("durable", &self.shards[0].wal.is_some())
             .field("degraded", &self.is_degraded())
             .finish()
     }

@@ -15,10 +15,9 @@ use crate::{PlanId, SessionId};
 /// the engine guarantees).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
-    /// Admission refused: the engine is at its live-session limit and the
-    /// admission-time idle sweep (capped at
-    /// [`crate::EngineConfig::admission_scan_cap`] slots) reclaimed
-    /// nothing.
+    /// Admission refused: the engine is at its live-session limit and
+    /// draining every shard's last-touch heap of expired sessions
+    /// reclaimed nothing.
     AtCapacity {
         /// Live sessions at refusal time.
         live: usize,
@@ -26,13 +25,14 @@ pub enum ServiceError {
         limit: usize,
         /// Whether retrying can plausibly succeed without an explicit
         /// cancel: `true` when idle eviction is enabled, so sessions age
-        /// into evictability (or a full [`crate::SearchEngine::sweep_idle`]
-        /// may reclaim slots the capped scan missed).
+        /// into evictability.
         retryable: bool,
-        /// Age (engine ticks since last touch) of the oldest session the
-        /// capped scan saw — a backoff hint: once this approaches
+        /// Age (engine ticks since last touch) of the engine's oldest live
+        /// session, read off the per-shard last-touch heap roots — a
+        /// backoff hint: once this approaches
         /// [`crate::EngineConfig::idle_ticks`], a retry should get in.
-        /// `None` when the scan saw no live session.
+        /// `None` when no live session was seen (idle eviction off, or the
+        /// heaps were empty).
         oldest_idle: Option<u64>,
     },
     /// The plan id does not name a registered plan.

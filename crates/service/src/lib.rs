@@ -67,12 +67,12 @@ mod engine;
 mod error;
 mod kind;
 mod plan;
+pub mod wire;
 
 pub use aigs_data::wal::FsyncPolicy;
 pub use durability::{DurabilityConfig, RecoveryReport};
 pub use engine::{
-    EngineConfig, EngineStats, SearchEngine, SessionHandle, SessionId, DEFAULT_ADMISSION_SCAN_CAP,
-    DEFAULT_MAX_SESSIONS,
+    EngineConfig, EngineStats, SearchEngine, SessionHandle, SessionId, DEFAULT_MAX_SESSIONS,
 };
 pub use error::ServiceError;
 pub use kind::PolicyKind;

@@ -63,9 +63,12 @@ fn plan_spec(seed: u64) -> PlanSpec {
 
 /// Aggressive knobs so the workload crosses every durability path: tight
 /// fsync batching exercises `wal.fsync`, a tiny snapshot threshold makes
-/// compaction (rotate → snapshot → publish) run mid-traffic.
-fn chaos_config(dir: &Path) -> EngineConfig {
+/// compaction (rotate → snapshot → publish) run mid-traffic. `shards > 1`
+/// spreads the same workload over several WAL writers, so the sweep kills
+/// each shard's writer in turn.
+fn chaos_config(dir: &Path, shards: usize) -> EngineConfig {
     EngineConfig {
+        shards,
         durability: Some(
             DurabilityConfig::new(dir)
                 .with_fsync(FsyncPolicy::EveryN(3))
@@ -297,8 +300,9 @@ fn check_continuation(
     );
 }
 
-/// The kill-at-every-point sweep for one (site, action) pair.
-fn chaos_sweep(site: &'static str, action: FaultAction) {
+/// The kill-at-every-point sweep for one (site, action) pair, run on an
+/// engine with `shards` WAL writers.
+fn chaos_sweep(site: &'static str, action: FaultAction, shards: usize) {
     let _g = lock();
     let seed = failpoints::fault_seed().unwrap_or(1);
     let spec = plan_spec(seed);
@@ -308,8 +312,8 @@ fn chaos_sweep(site: &'static str, action: FaultAction) {
     // exact workload (including engine + plan setup, which also appends).
     failpoints::disarm_all();
     failpoints::start_counting();
-    let dir = scratch_dir(&format!("chaos-{site}-{action:?}-count"));
-    let engine = SearchEngine::try_new(chaos_config(&dir)).unwrap();
+    let dir = scratch_dir(&format!("chaos-{site}-{action:?}-s{shards}-count"));
+    let engine = SearchEngine::try_new(chaos_config(&dir, shards)).unwrap();
     let plan = engine.register_plan(spec.clone()).unwrap();
     let mut shadow = Shadow::default();
     let completed = run_workload(&engine, plan, &dag, seed, &mut shadow);
@@ -330,14 +334,14 @@ fn chaos_sweep(site: &'static str, action: FaultAction) {
         .unwrap_or(u64::MAX);
 
     for n in 1..=total.min(cap) {
-        let label = format!("{site}/{action:?} hit {n}/{total} seed {seed}");
-        let dir = scratch_dir(&format!("chaos-{site}-{action:?}-{n}"));
+        let label = format!("{site}/{action:?} s{shards} hit {n}/{total} seed {seed}");
+        let dir = scratch_dir(&format!("chaos-{site}-{action:?}-s{shards}-{n}"));
         failpoints::disarm_all();
         failpoints::arm(site, n, action);
         let mut shadow = Shadow::default();
         // Setup itself appends, so the fault can fire before the workload
         // starts; a refused engine/plan means nothing was acknowledged.
-        let setup = SearchEngine::try_new(chaos_config(&dir)).and_then(|engine| {
+        let setup = SearchEngine::try_new(chaos_config(&dir, shards)).and_then(|engine| {
             let plan = engine.register_plan(spec.clone())?;
             Ok((engine, plan))
         });
@@ -365,22 +369,113 @@ fn chaos_sweep(site: &'static str, action: FaultAction) {
 
 #[test]
 fn kill_at_every_wal_append_io_error() {
-    chaos_sweep("wal.append", FaultAction::IoError);
+    chaos_sweep("wal.append", FaultAction::IoError, 1);
 }
 
 #[test]
 fn kill_at_every_wal_append_torn_write() {
-    chaos_sweep("wal.append", FaultAction::ShortWrite);
+    chaos_sweep("wal.append", FaultAction::ShortWrite, 1);
 }
 
 #[test]
 fn kill_at_every_wal_fsync_io_error() {
-    chaos_sweep("wal.fsync", FaultAction::IoError);
+    chaos_sweep("wal.fsync", FaultAction::IoError, 1);
 }
 
 #[test]
 fn kill_at_every_policy_call_panic() {
-    chaos_sweep("engine.policy", FaultAction::Panic);
+    chaos_sweep("engine.policy", FaultAction::Panic, 1);
+}
+
+/// The same append-failure sweep over three shard WAL writers: each hit
+/// index kills whichever shard's writer the workload reached, so every
+/// writer dies at every point it can, and the other shards' acked state
+/// must still recover bit-identically.
+#[test]
+fn kill_each_shard_wal_writer_in_turn() {
+    chaos_sweep("wal.append", FaultAction::IoError, 3);
+}
+
+/// Targeted shard-blast-radius regression: when ONE shard's WAL writer
+/// fails mid-answer, the engine degrades globally (one durability domain),
+/// but only the session whose append failed is torn down — the other
+/// shards' sessions hold exactly their acked state through recovery.
+#[test]
+fn shard_writer_failure_spares_other_shards() {
+    let _g = lock();
+    failpoints::disarm_all();
+    let dir = scratch_dir("chaos-shard-writer");
+    let spec = plan_spec(0x5A);
+    let dag = spec.dag.clone();
+    let engine = SearchEngine::try_new(chaos_config(&dir, 3)).unwrap();
+    let plan = engine.register_plan(spec.clone()).unwrap();
+
+    // Six sessions round-robin over three shards: two per shard, each with
+    // two acked answers.
+    let mut rows = Vec::new();
+    for i in 0..6 {
+        let kind = if i % 2 == 0 {
+            PolicyKind::GreedyDag
+        } else {
+            PolicyKind::Wigs
+        };
+        let target = NodeId::new((i * 2 + 1) % N);
+        let id = engine.open_session(plan, kind).unwrap().id();
+        let mut acked = Vec::new();
+        for _ in 0..2 {
+            if let SessionStep::Ask(q) = engine.next_question(id).unwrap() {
+                let yes = dag.reaches(q, target);
+                engine.answer(id, yes).unwrap();
+                acked.push((q, yes));
+            }
+        }
+        rows.push(ShadowSession {
+            id,
+            kind,
+            target,
+            acked,
+        });
+    }
+
+    // Kill the writer under the next answer: that session's shard is the
+    // blast site.
+    failpoints::arm("wal.append", 1, FaultAction::IoError);
+    let victim = rows[0].id;
+    if let SessionStep::Ask(_) = engine.next_question(victim).unwrap() {
+        assert!(matches!(
+            engine.answer(victim, true),
+            Err(ServiceError::Durability(_))
+        ));
+    }
+    failpoints::disarm_all();
+
+    // One durability domain: the whole engine refuses mutations, even on
+    // sessions whose own shard writer is healthy.
+    assert!(engine.stats().degraded);
+    assert!(matches!(
+        engine.answer(rows[1].id, true),
+        Err(ServiceError::Degraded)
+    ));
+    // But only the victim was torn down.
+    assert_eq!(engine.live_sessions(), 5);
+    drop(engine); // crash
+
+    let (rec, report) = SearchEngine::recover(&dir).unwrap();
+    assert_eq!(report.shards, 3);
+    assert_eq!(report.sessions_failed, 0, "{:?}", report.anomalies);
+    assert!(!rec.stats().degraded);
+    let control = SearchEngine::default();
+    let cplan = control.register_plan(spec).unwrap();
+    // Every session — victim included — recovers at exactly its acked
+    // prefix (the refused answer was never logged) and continues
+    // bit-identically.
+    for ss in &rows {
+        let cid = open_and_replay(&control, cplan, ss.kind, &ss.acked);
+        let (want_t, want_out) = drive_to_end(&control, cid, &dag, ss.target);
+        let (got_t, got_out) = drive_to_end(&rec, ss.id, &dag, ss.target);
+        assert_eq!(got_t, want_t, "{:?}: continuation diverged", ss.kind);
+        assert_eq!(got_out.price.to_bits(), want_out.price.to_bits());
+    }
 }
 
 /// Satellite regression: a panicking policy quarantines ONLY its session.

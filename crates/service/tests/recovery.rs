@@ -195,11 +195,23 @@ fn compaction_is_crash_safe() {
     }
     drop(engine); // crash
 
-    // The compaction left the canonical two-file set.
-    assert!(dir.join("snapshot.log").exists());
-    assert!(dir.join("wal.log").exists());
-    assert!(!dir.join("wal.new.log").exists());
-    assert!(!dir.join("snapshot.new.log").exists());
+    // The compaction left the canonical two-file set in every shard dir.
+    let shard_dirs: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-"))
+        })
+        .collect();
+    assert!(!shard_dirs.is_empty());
+    for shard in &shard_dirs {
+        assert!(shard.join("snapshot.log").exists(), "{shard:?}");
+        assert!(shard.join("wal.log").exists(), "{shard:?}");
+        assert!(!shard.join("wal.new.log").exists(), "{shard:?}");
+        assert!(!shard.join("snapshot.new.log").exists(), "{shard:?}");
+    }
 
     let (rec, report) = SearchEngine::recover(&dir).unwrap();
     assert_eq!(report.sessions, 2);

@@ -1,0 +1,228 @@
+//! Loopback integration tests for the wire protocol: a [`WireServer`] on
+//! an ephemeral port, driven by [`WireClient`]s and, for the malformed
+//! cases, raw sockets. The core property mirrors `transcripts.rs`: a
+//! session stepped over TCP asks bit-identically to the inline loop.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use aigs_core::{run_session, SearchContext, SessionStep, TargetOracle, TranscriptOracle};
+use aigs_graph::NodeId;
+use aigs_service::wire::{WireClient, WireError, WireFault, WireServer};
+use aigs_service::{EngineConfig, PlanId, PolicyKind, SearchEngine};
+use aigs_testutil::{dag_from_seed, generic_prices, generic_weights};
+use common::env_reach_choice;
+
+const N: usize = 15;
+const SEED: u64 = 0x31E;
+
+fn serve(shards: usize, max_sessions: usize) -> (Arc<SearchEngine>, PlanId, WireServer) {
+    let engine = Arc::new(SearchEngine::new(EngineConfig {
+        shards,
+        max_sessions,
+        ..EngineConfig::default()
+    }));
+    let dag = Arc::new(dag_from_seed(N, 0.3, SEED));
+    let weights = Arc::new(generic_weights(N, SEED));
+    let costs = Arc::new(generic_prices(N, SEED));
+    let plan = engine
+        .register_plan(
+            aigs_service::PlanSpec::new(dag, weights)
+                .with_costs(costs)
+                .with_reach(env_reach_choice()),
+        )
+        .unwrap();
+    let server = WireServer::bind(Arc::clone(&engine), "127.0.0.1:0", 2).unwrap();
+    (engine, plan, server)
+}
+
+/// Drives a session over the wire with truthful answers, returning the
+/// transcript and outcome.
+fn drive_wire(
+    client: &mut WireClient,
+    id: aigs_service::SessionId,
+    dag: &aigs_graph::Dag,
+    target: NodeId,
+) -> (Vec<(NodeId, bool)>, aigs_core::SearchOutcome) {
+    let mut transcript = Vec::new();
+    loop {
+        match client.next_question(id).unwrap() {
+            SessionStep::Resolved(_) => return (transcript, client.finish(id).unwrap()),
+            SessionStep::Ask(q) => {
+                let yes = dag.reaches(q, target);
+                transcript.push((q, yes));
+                client.answer(id, yes).unwrap();
+            }
+        }
+    }
+}
+
+/// One session per policy kind over TCP equals the inline loop, bit for
+/// bit; stats flow back over the same connection.
+#[test]
+fn wire_sessions_match_inline() {
+    let (_engine, plan, server) = serve(2, 64);
+    let dag = Arc::new(dag_from_seed(N, 0.3, SEED));
+    let weights = Arc::new(generic_weights(N, SEED));
+    let costs = Arc::new(generic_prices(N, SEED));
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    for (i, kind) in [
+        PolicyKind::TopDown,
+        PolicyKind::Migs,
+        PolicyKind::Wigs,
+        PolicyKind::GreedyDag,
+        PolicyKind::CostSensitive,
+        PolicyKind::Random { seed: 0xfeed },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let target = NodeId::new((i * 4 + 1) % N);
+        let ctx = SearchContext::new(&dag, &weights).with_costs(&costs);
+        let mut policy = kind.build();
+        let mut oracle = TranscriptOracle::new(TargetOracle::new(&dag, target));
+        let want = run_session(policy.as_mut(), &ctx, &mut oracle, None).unwrap();
+
+        let id = client.open(plan, kind).unwrap();
+        let (transcript, got) = drive_wire(&mut client, id, &dag, target);
+        assert_eq!(transcript, oracle.transcript, "{kind:?}: wire vs inline");
+        assert_eq!(got.target, want.target);
+        assert_eq!(got.queries, want.queries);
+        assert_eq!(got.price.to_bits(), want.price.to_bits(), "{kind:?}");
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.opened, 6);
+    assert_eq!(stats.finished, 6);
+    assert_eq!(stats.live, 0);
+    assert_eq!(stats.shards, 2);
+    server.shutdown();
+}
+
+/// A session opened on one connection is addressable from another — the
+/// id, not the socket, is the session's identity (reconnects work).
+#[test]
+fn sessions_survive_reconnect() {
+    let (_engine, plan, server) = serve(2, 64);
+    let dag = dag_from_seed(N, 0.3, SEED);
+    let target = NodeId::new(6);
+
+    let mut first = WireClient::connect(server.local_addr()).unwrap();
+    let id = first.open(plan, PolicyKind::GreedyDag).unwrap();
+    if let SessionStep::Ask(q) = first.next_question(id).unwrap() {
+        first.answer(id, dag.reaches(q, target)).unwrap();
+    }
+    drop(first); // client vanishes mid-session
+
+    let mut second = WireClient::connect(server.local_addr()).unwrap();
+    let (_, out) = drive_wire(&mut second, id, &dag, target);
+    assert_eq!(out.target, target);
+    server.shutdown();
+}
+
+/// Service refusals arrive as typed faults, not transport errors.
+#[test]
+fn faults_are_typed() {
+    let (_engine, plan, server) = serve(1, 2);
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    let a = client.open(plan, PolicyKind::TopDown).unwrap();
+    let _b = client.open(plan, PolicyKind::TopDown).unwrap();
+    match client.open(plan, PolicyKind::TopDown) {
+        Err(WireError::Fault(WireFault::AtCapacity { live, limit, .. })) => {
+            assert_eq!(live, 2);
+            assert_eq!(limit, 2);
+        }
+        other => panic!("expected AtCapacity fault, got {other:?}"),
+    }
+
+    client.cancel(a).unwrap();
+    match client.next_question(a) {
+        Err(WireError::Fault(WireFault::UnknownSession)) => {}
+        other => panic!("expected UnknownSession fault, got {other:?}"),
+    }
+    // A plan id minted by a *different* engine carries the wrong engine
+    // nonce, so this server has never heard of it.
+    let stranger = SearchEngine::default();
+    let foreign: PlanId = stranger
+        .register_plan(
+            aigs_service::PlanSpec::new(
+                Arc::new(dag_from_seed(N, 0.3, SEED)),
+                Arc::new(generic_weights(N, SEED)),
+            )
+            .with_reach(env_reach_choice()),
+        )
+        .unwrap();
+    match client.open(foreign, PolicyKind::TopDown) {
+        Err(WireError::Fault(WireFault::UnknownPlan)) => {}
+        other => panic!("expected UnknownPlan fault, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+fn raw_roundtrip(addr: std::net::SocketAddr, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Malformed requests get a BAD_REQUEST answer; an unframeable length
+/// prefix closes the connection without one.
+#[test]
+fn malformed_requests_are_rejected() {
+    let (_engine, _plan, server) = serve(1, 8);
+    let addr = server.local_addr();
+
+    // Unknown opcode → status 0x08 + UTF-8 detail.
+    let body = raw_roundtrip(addr, &[0xEE]).unwrap();
+    assert_eq!(body[0], 0x08);
+    assert!(std::str::from_utf8(&body[1..]).unwrap().contains("opcode"));
+
+    // Truncated OPEN body → BAD_REQUEST, not a hang or a crash.
+    let body = raw_roundtrip(addr, &[0x01, 1, 2, 3]).unwrap();
+    assert_eq!(body[0], 0x08);
+
+    // Oversized length prefix → connection closed with no response frame.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    stream.write_all(&[0u8; 16]).unwrap();
+    let mut buf = [0u8; 1];
+    let got = stream.read(&mut buf).unwrap_or(0);
+    assert_eq!(got, 0, "oversized frame must close, not answer");
+    server.shutdown();
+}
+
+/// Shutdown unblocks the accept threads and joins them even with an idle
+/// client connected; the port stops answering afterwards.
+#[test]
+fn shutdown_is_prompt() {
+    let (_engine, _plan, server) = serve(1, 8);
+    let addr = server.local_addr();
+    let _idle = TcpStream::connect(addr).unwrap();
+    server.shutdown(); // must not hang on the idle connection
+                       // A fresh connect may be accepted by the OS backlog, but no thread
+                       // serves it: a request sees EOF (or a refused connect) instead of a
+                       // response.
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.write_all(&1u32.to_le_bytes());
+        let _ = stream.write_all(&[0x06]);
+        let mut buf = [0u8; 1];
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        match stream.read(&mut buf) {
+            Ok(0) => {} // EOF: nothing serving
+            Err(e) => assert!(e.kind() != std::io::ErrorKind::InvalidData, "{e}"),
+            Ok(_) => panic!("server answered after shutdown"),
+        }
+    }
+}
