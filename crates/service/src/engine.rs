@@ -820,7 +820,15 @@ impl SearchEngine {
                 .session
                 .as_mut()
                 .ok_or(ServiceError::UnknownSession(id))?;
-            session.last_touch = self.tick();
+            let now = self.tick();
+            session.last_touch = now;
+            // Keep the idle heap current even though the slot is usually
+            // about to be freed: if this finish fails and the session stays
+            // live (unresolved → SessionMisuse, or the Finished record
+            // cannot be durably logged), its previous heap entry no longer
+            // matches last_touch and would be discarded as stale residue,
+            // leaving the session idle-eviction-proof forever.
+            self.touch_idle(shard, local, id.generation, now);
             let finished = catch_unwind(AssertUnwindSafe(|| {
                 if matches!(failpoints::hit("engine.policy"), Some(FaultAction::Panic)) {
                     panic!("injected policy panic");
@@ -1098,9 +1106,17 @@ impl SearchEngine {
         if self.config.idle_ticks.is_none() {
             return;
         }
-        let slot_count = shard.slots.read().expect("slots lock poisoned").len();
         let mut heap = shard.idle.lock().expect("idle heap poisoned");
         heap.push(Reverse((touch, local, generation)));
+        // The slot count must be read *under* the heap lock: every entry
+        // already in the heap was pushed (under this lock) for a slot that
+        // existed at push time, and slots only grow, so a count taken here
+        // bounds every `l` below. A count taken before the lock does not —
+        // a concurrent open_session could allocate a new slot and push its
+        // entry first, and the compaction would index out of bounds.
+        // Lock order heap→slots-read is safe: no thread takes the heap
+        // lock while holding the slots write lock.
+        let slot_count = shard.slots.read().expect("slots lock poisoned").len();
         if heap.len() > 2 * slot_count + IDLE_HEAP_SLACK {
             let mut newest: Vec<Option<(u64, u32)>> = vec![None; slot_count];
             for &Reverse((t, l, g)) in heap.iter() {
@@ -1387,6 +1403,14 @@ fn fold_shard_logs(
     let mut rs = ReplayState::default();
     for event in &logs.events {
         rs.apply(event);
+    }
+    if let Some(v) = rs.unsupported_version {
+        // Fail fast with the real cause: folding on would surface an
+        // unrelated "no engine metadata" / missing-record error instead.
+        return Err(durability_err(format!(
+            "shard-{shard_k}: log is WAL format v{v}, which this build cannot read \
+             (it reads v1–v{WAL_VERSION}); refusing to recover"
+        )));
     }
     match rs.shard_meta {
         Some((s, k)) if (s as usize, k as usize) != (shard_k, shard_count) => {

@@ -542,8 +542,17 @@ fn accept_loop(listener: TcpListener, engine: Arc<SearchEngine>, stop: Arc<Atomi
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let Ok((stream, _)) = listener.accept() else {
-            continue;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // Per-connection failures (the peer reset mid-handshake, a
+            // transient out-of-resources blip) are retried, but with a
+            // short pause: a *persistent* error such as EMFILE or a
+            // closed listener returns immediately, and an unthrottled
+            // retry would pin every serve thread at 100% CPU.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
         };
         if stop.load(Ordering::SeqCst) {
             return; // the stream was a shutdown nudge

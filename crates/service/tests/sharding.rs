@@ -284,6 +284,37 @@ fn admission_limit_and_idle_eviction_span_shards() {
     assert_ne!(reopened, ids[1]);
 }
 
+/// A premature `finish()` (unresolved session → `SessionMisuse`) leaves
+/// the session live — and it must stay idle-evictable. Regression test:
+/// `finish` used to update `last_touch` without pushing an idle-heap
+/// entry, so the session's old entry was discarded as stale residue and
+/// the abandoned session could never be evicted.
+#[test]
+fn failed_finish_keeps_session_evictable() {
+    let spec = plan_spec();
+    let engine = SearchEngine::new(EngineConfig {
+        shards: 2,
+        idle_ticks: Some(4),
+        ..EngineConfig::default()
+    });
+    let plan = engine.register_plan(spec).unwrap();
+    let id = engine.open_session(plan, PolicyKind::TopDown).unwrap().id();
+    assert!(matches!(engine.finish(id), Err(ServiceError::Core(_))));
+    assert_eq!(engine.live_sessions(), 1);
+    // Age the abandoned session past `idle_ticks` (every op is a tick),
+    // then sweep: the failed finish's touch must be current in the heap.
+    for _ in 0..8 {
+        let probe = engine.open_session(plan, PolicyKind::TopDown).unwrap().id();
+        engine.cancel(probe).unwrap();
+    }
+    assert_eq!(
+        engine.sweep_idle(),
+        1,
+        "abandoned session must be evictable"
+    );
+    assert_eq!(engine.live_sessions(), 0);
+}
+
 /// `shards: 0` resolves via `AIGS_SHARDS` or the host's parallelism and
 /// writes the resolved count back into the running config.
 #[test]
