@@ -14,6 +14,9 @@
 //! * `service_churn/{policy}-{backend}` — one full session lifecycle
 //!   (open → drive to resolution → finish) with a warm policy pool:
 //!   sessions/sec = 1e9 / median_ns.
+//! * `service_compiled_*` — the compiled serving tier's cost triangle:
+//!   compile time, flat-array size gauges, and the step latency of
+//!   sessions served from the array (see `bench_compiled`).
 //! * `service_step_wal/{policy}-{backend}/{live}` — the same step loop
 //!   (identical pre-advance; transcripts are deterministic, so both rows
 //!   sample the same workload window) with the write-ahead log enabled
@@ -61,12 +64,14 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use aigs_core::{NodeWeights, SessionStep};
+use aigs_core::{
+    CompiledConfig, CompiledCursor, CompiledPlan, NodeWeights, SearchContext, SessionStep,
+};
 use aigs_graph::generate::{random_dag, random_tree, DagConfig, TreeConfig};
-use aigs_graph::{Dag, NodeId};
+use aigs_graph::{Dag, NodeId, ReachClosure, ReachIndex};
 use aigs_service::{
-    DurabilityConfig, EngineConfig, PlanId, PlanSpec, PolicyKind, ReachChoice, SearchEngine,
-    SessionId,
+    CompiledTier, DurabilityConfig, EngineConfig, PlanId, PlanSpec, PolicyKind, ReachChoice,
+    SearchEngine, SessionId,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
@@ -581,6 +586,179 @@ fn bench_shard_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compiled serving tier's cost triangle (compile time, flat-array
+/// memory, step latency), on the plans a hot categorization deployment
+/// would pin:
+///
+/// * `service_compiled_step/{policy}-{backend}/{live}` — the identical
+///   round-robin loop as `service_step`, but the plan opts into an
+///   untruncated compiled tree, so every step walks the flat array with
+///   no policy instance at all. Compare with the matching `service_step`
+///   row for the tier's speedup (the target is a ≤100 ns median for
+///   greedy-dag-closure at 10 000 live sessions, vs its multi-µs live
+///   row).
+/// * `service_compiled_compile/{policy}-{backend}` — one
+///   `CompiledPlan::compile` of the 1024-node plan: the cost paid once,
+///   lazily, at the plan's first compiled open, amortised over every
+///   session after.
+/// * `service_compiled_cursor/{policy}-{backend}/{live}` — the tier's
+///   intrinsic step: `live` bare [`CompiledCursor`]s advanced round-robin
+///   over the shared array, no engine bookkeeping. This is the ≤100 ns
+///   row; the `service_compiled_step` wrapper above it adds the engine's
+///   per-call slot-lock/clock overhead (hundreds of ns), which the live
+///   tier pays too.
+/// * `service_compiled_gauge/...` — deterministic gauges (flat-array
+///   node count and bytes) recorded via the shim's `record_gauge`, so
+///   the memory corner of the triangle is committed and
+///   regression-checked alongside the latencies.
+fn bench_compiled(c: &mut Criterion) {
+    let live = live_sessions();
+    let roster: Vec<Scenario> = scenarios()
+        .into_iter()
+        .filter(|s| s.label == "greedy-dag-closure" || s.label == "top-down-closure")
+        .collect();
+
+    // Compile time + memory gauges (live-count independent).
+    let mut group = c.benchmark_group("service_compiled_compile");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    for s in &roster {
+        let reach = ReachIndex::closure_for(&s.dag);
+        let ctx = SearchContext::new(&s.dag, &s.weights).with_reach(&reach);
+        let cfg = CompiledConfig::new();
+        group.bench_function(s.label.as_str(), |b| {
+            b.iter(|| {
+                let mut policy = s.kind.build();
+                CompiledPlan::compile(policy.as_mut(), &ctx, &cfg).unwrap()
+            })
+        });
+        let mut policy = s.kind.build();
+        let plan = CompiledPlan::compile(policy.as_mut(), &ctx, &cfg).unwrap();
+        assert!(!plan.truncated(), "untruncated compile must cover the DAG");
+        criterion::record_gauge(
+            format!("service_compiled_gauge/nodes/{}", s.label),
+            plan.node_count() as f64,
+        );
+        criterion::record_gauge(
+            format!("service_compiled_gauge/bytes/{}", s.label),
+            plan.memory_bytes() as f64,
+        );
+    }
+    group.finish();
+
+    // Step latency at full concurrency, served from the flat array.
+    let mut group = c.benchmark_group("service_compiled_step");
+    group.sample_size(20);
+    for s in &roster {
+        let engine = SearchEngine::new(EngineConfig {
+            max_sessions: live + 8,
+            compiled: CompiledTier::PerPlan,
+            ..EngineConfig::default()
+        });
+        let plan = engine
+            .register_plan(
+                PlanSpec::new(s.dag.clone(), s.weights.clone())
+                    .with_reach(s.reach)
+                    .with_compiled(CompiledConfig::new()),
+            )
+            .unwrap();
+        let mut sessions: Vec<(SessionId, NodeId)> = (0..live)
+            .map(|i| {
+                let z = target(&s.dag, i);
+                (engine.open_session(plan, s.kind).unwrap().id(), z)
+            })
+            .collect();
+        let mut cursor = 0;
+        let mut fresh = live;
+        warm_population(&engine, plan, s.kind, &s.dag, &mut sessions, &mut fresh);
+        group.bench_function(BenchmarkId::new(&s.label, live), |b| {
+            b.iter(|| {
+                step_one(
+                    &engine,
+                    plan,
+                    s.kind,
+                    &s.dag,
+                    &mut sessions,
+                    cursor,
+                    &mut fresh,
+                );
+                cursor = (cursor + 1) % live;
+            })
+        });
+        let stats = engine.stats();
+        assert!(
+            stats.compiled_hits > 0,
+            "steps never reached the flat array"
+        );
+        assert_eq!(
+            stats.compiled_fallbacks, 0,
+            "untruncated trees must never fall back"
+        );
+        for (id, _) in sessions {
+            let _ = engine.cancel(id);
+        }
+    }
+    group.finish();
+
+    // The tier's intrinsic step latency: bare cursors, no engine. The
+    // truthful oracle answers from the O(1) closure bitset — `step_one`'s
+    // `dag.reaches` DFS (~500 ns with its allocation) would otherwise be
+    // the whole measurement at this scale.
+    let mut group = c.benchmark_group("service_compiled_cursor");
+    group.sample_size(20);
+    for s in &roster {
+        let reach = ReachIndex::closure_for(&s.dag);
+        let oracle = reach.as_closure().expect("closure backend");
+        let ctx = SearchContext::new(&s.dag, &s.weights).with_reach(&reach);
+        let mut policy = s.kind.build();
+        let tree = CompiledPlan::compile(policy.as_mut(), &ctx, &CompiledConfig::new()).unwrap();
+        let mut cursors: Vec<(CompiledCursor, NodeId)> = (0..live)
+            .map(|i| (tree.cursor(&ctx, None), target(&s.dag, i)))
+            .collect();
+        let mut fresh = live;
+        for _ in 0..8 {
+            for i in 0..cursors.len() {
+                cursor_step_one(&tree, &ctx, oracle, &s.dag, &mut cursors, i, &mut fresh);
+            }
+        }
+        let mut i = 0;
+        group.bench_function(BenchmarkId::new(&s.label, live), |b| {
+            b.iter(|| {
+                cursor_step_one(&tree, &ctx, oracle, &s.dag, &mut cursors, i, &mut fresh);
+                i = (i + 1) % live;
+            })
+        });
+    }
+    group.finish();
+}
+
+/// [`step_one`]'s bare-cursor twin: answer the pending question
+/// truthfully (via the O(1) closure oracle), or finish the resolved
+/// cursor and admit a fresh one.
+fn cursor_step_one(
+    tree: &CompiledPlan,
+    ctx: &SearchContext<'_>,
+    oracle: &ReachClosure,
+    dag: &Dag,
+    cursors: &mut [(CompiledCursor, NodeId)],
+    i: usize,
+    fresh: &mut usize,
+) {
+    let z = cursors[i].1;
+    match cursors[i].0.next_question(tree).unwrap() {
+        SessionStep::Ask(q) => cursors[i]
+            .0
+            .answer(tree, ctx, oracle.reaches(q, z))
+            .unwrap(),
+        SessionStep::Resolved(got) => {
+            assert_eq!(got, z, "cursor resolved to a foreign target");
+            cursors[i].0.finish().unwrap();
+            let nz = target(dag, *fresh);
+            *fresh += 1;
+            cursors[i] = (tree.cursor(ctx, None), nz);
+        }
+    }
+}
+
 /// Resident-set size of this process in GiB, from `/proc/self/status`.
 fn rss_gib() -> Option<f64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -644,6 +822,7 @@ criterion_group!(
     benches,
     bench_step,
     bench_churn,
+    bench_compiled,
     bench_step_wal,
     bench_recovery,
     bench_shard_sweep,

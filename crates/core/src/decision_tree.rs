@@ -175,6 +175,13 @@ impl DecisionTreeBuilder {
         Self::default()
     }
 
+    /// Overrides the node budget. Exceeding it returns
+    /// [`CoreError::TreeBudgetExceeded`] instead of growing without bound.
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = Some(max_nodes);
+        self
+    }
+
     /// Materialises the decision tree of `policy` on `ctx`.
     pub fn build(
         &self,
@@ -210,9 +217,10 @@ impl DecisionTreeBuilder {
                 }
                 Step::Enter { parent } => {
                     if nodes.len() >= cap {
-                        return Err(CoreError::PolicyInvariant(
-                            "decision tree exceeded the size cap (non-terminating policy?)",
-                        ));
+                        return Err(CoreError::TreeBudgetExceeded {
+                            nodes: nodes.len(),
+                            budget: cap,
+                        });
                     }
                     let idx = nodes.len() as u32;
                     if let Some((p, is_yes)) = parent {
@@ -372,11 +380,14 @@ mod tests {
         let w = NodeWeights::uniform(7);
         let ctx = SearchContext::new(&g, &w);
         let mut p = GreedyTreePolicy::new();
-        let b = DecisionTreeBuilder { max_nodes: Some(2) };
+        let b = DecisionTreeBuilder::new().with_max_nodes(2);
         assert!(matches!(
             b.build(&mut p, &ctx),
-            Err(CoreError::PolicyInvariant(_))
+            Err(CoreError::TreeBudgetExceeded { budget: 2, .. })
         ));
+        // The default budget is generous enough for every sound policy.
+        let full = DecisionTreeBuilder::new().build(&mut p, &ctx).unwrap();
+        assert_eq!(full.leaf_count(), 7);
     }
 
     #[test]

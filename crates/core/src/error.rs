@@ -40,6 +40,16 @@ pub enum CoreError {
         /// Hard cap of the exact solver.
         cap: usize,
     },
+    /// A decision-tree materialisation (builder or compiler) exceeded its
+    /// configured node budget. The budget exists so a wasteful or
+    /// non-terminating policy fails with a typed error instead of growing
+    /// memory without bound.
+    TreeBudgetExceeded {
+        /// Nodes materialised before giving up.
+        nodes: usize,
+        /// The configured budget that was hit.
+        budget: usize,
+    },
     /// A policy reported an inconsistent state (internal invariant broken).
     PolicyInvariant(&'static str),
     /// A stepwise session was driven out of protocol (e.g. `answer` with no
@@ -65,6 +75,10 @@ impl fmt::Display for CoreError {
             CoreError::TooLargeForExact { nodes, cap } => write!(
                 f,
                 "exact solver handles at most {cap} nodes, instance has {nodes}"
+            ),
+            CoreError::TreeBudgetExceeded { nodes, budget } => write!(
+                f,
+                "decision tree exceeded its node budget ({nodes} nodes, budget {budget}; non-terminating policy?)"
             ),
             CoreError::PolicyInvariant(msg) => write!(f, "policy invariant violated: {msg}"),
             CoreError::SessionMisuse(msg) => write!(f, "session protocol misuse: {msg}"),
@@ -99,6 +113,12 @@ mod tests {
         assert!(CoreError::TooLargeForExact { nodes: 30, cap: 24 }
             .to_string()
             .contains("24"));
+        assert!(CoreError::TreeBudgetExceeded {
+            nodes: 512,
+            budget: 256
+        }
+        .to_string()
+        .contains("256"));
         assert!(CoreError::PolicyInvariant("boom")
             .to_string()
             .contains("boom"));

@@ -37,6 +37,8 @@
 //!   and measuring expected cost (Definition 7).
 //! * [`decision_tree`] — exact decision-tree materialisation (Definitions
 //!   6–8) with expected/worst-case cost and DOT export.
+//! * [`compiled`] — decision trees flattened into cache-friendly serving
+//!   arrays with depth/mass truncation (the hot tier of `aigs-service`).
 //! * [`online`] — empirical-distribution learning (Fig. 4).
 //! * [`batched`] — the k-queries-per-round tree extension (Section III-E).
 //! * Oracles — truthful, noisy, majority-vote, transcript-recording.
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod batched;
+pub mod compiled;
 mod context;
 mod cost;
 pub mod decision_tree;
@@ -56,6 +59,7 @@ pub mod policy;
 mod session;
 
 pub use batched::{BatchedOutcome, BatchedTreeSearch};
+pub use compiled::{CompiledConfig, CompiledCursor, CompiledPlan};
 pub use context::{fresh_cache_token, InstanceCache, SearchContext};
 pub use cost::QueryCosts;
 pub use decision_tree::{DecisionTree, DecisionTreeBuilder, DtNode};

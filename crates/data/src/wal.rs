@@ -176,6 +176,23 @@ pub struct PlanPayload {
     pub reach_labelings: u32,
     /// Interval-backend seed (0 unless `reach_tag` says so).
     pub reach_seed: u64,
+    /// Compiled-tier configuration, if the plan opted in. Encoded as
+    /// optional trailing bytes after `reach_seed`, so version-2 logs
+    /// written before the compiled tier existed decode to `None`.
+    pub compiled: Option<CompiledPayload>,
+}
+
+/// Compiled-tier knobs a plan was registered with, exactly as the service
+/// resolved them. The WAL does not interpret them; recovery hands them
+/// back so the rebuilt plan compiles the identical truncated tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledPayload {
+    /// Depth truncation bound; `u32::MAX` encodes "unbounded".
+    pub max_depth: u32,
+    /// Weight-mass truncation floor (raw f64 bits round-trip exactly).
+    pub min_mass: f64,
+    /// Flat-node budget; `u64::MAX` encodes "use the compiler default".
+    pub max_nodes: u64,
 }
 
 /// Why the tail of a WAL could not be read further.
@@ -534,6 +551,13 @@ fn encode_event(event: &WalEvent, out: &mut Vec<u8>) {
             out.push(payload.reach_tag);
             out.extend_from_slice(&payload.reach_labelings.to_le_bytes());
             out.extend_from_slice(&payload.reach_seed.to_le_bytes());
+            // Optional trailing extension: plans without a compiled tier
+            // encode byte-identically to pre-compiled-tier logs.
+            if let Some(cc) = &payload.compiled {
+                out.extend_from_slice(&cc.max_depth.to_le_bytes());
+                out.extend_from_slice(&cc.min_mass.to_bits().to_le_bytes());
+                out.extend_from_slice(&cc.max_nodes.to_le_bytes());
+            }
         }
         WalEvent::SessionOpened {
             index,
@@ -607,6 +631,9 @@ impl<'a> Cur<'a> {
     fn f64(&mut self) -> Result<f64, String> {
         Ok(f64::from_bits(self.u64()?))
     }
+    fn has_more(&self) -> bool {
+        self.i < self.b.len()
+    }
     fn done(&self) -> Result<(), String> {
         if self.i == self.b.len() {
             Ok(())
@@ -655,6 +682,18 @@ fn decode_event(payload: &[u8]) -> Result<WalEvent, String> {
                 }
                 other => return Err(format!("unknown cost tag {other}")),
             };
+            let reach_tag = c.u8()?;
+            let reach_labelings = c.u32()?;
+            let reach_seed = c.u64()?;
+            let compiled = if c.has_more() {
+                Some(CompiledPayload {
+                    max_depth: c.u32()?,
+                    min_mass: c.f64()?,
+                    max_nodes: c.u64()?,
+                })
+            } else {
+                None
+            };
             WalEvent::PlanRegistered {
                 plan,
                 payload: PlanPayload {
@@ -662,9 +701,10 @@ fn decode_event(payload: &[u8]) -> Result<WalEvent, String> {
                     edges,
                     weights,
                     costs,
-                    reach_tag: c.u8()?,
-                    reach_labelings: c.u32()?,
-                    reach_seed: c.u64()?,
+                    reach_tag,
+                    reach_labelings,
+                    reach_seed,
+                    compiled,
                 },
             }
         }
@@ -771,6 +811,24 @@ mod tests {
                     reach_tag: 2,
                     reach_labelings: 2,
                     reach_seed: 0xbeef,
+                    compiled: None,
+                },
+            },
+            WalEvent::PlanRegistered {
+                plan: 1,
+                payload: PlanPayload {
+                    nodes: 2,
+                    edges: vec![(0, 1)],
+                    weights: vec![0.5, 0.5],
+                    costs: None,
+                    reach_tag: 0,
+                    reach_labelings: 0,
+                    reach_seed: 0,
+                    compiled: Some(CompiledPayload {
+                        max_depth: 12,
+                        min_mass: 1e-6,
+                        max_nodes: u64::MAX,
+                    }),
                 },
             },
             WalEvent::SessionOpened {
@@ -838,6 +896,54 @@ mod tests {
         };
         assert_eq!(payload.weights[1].to_bits(), 0.3f64.to_bits());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compiled_config_is_optional_trailing_bytes() {
+        // A plan without a compiled tier must encode byte-identically to
+        // logs written before the extension existed, and a plan with one
+        // must append exactly the 20-byte trailer.
+        let mut payload = PlanPayload {
+            nodes: 2,
+            edges: vec![(0, 1)],
+            weights: vec![0.25, 0.75],
+            costs: None,
+            reach_tag: 1,
+            reach_labelings: 0,
+            reach_seed: 0,
+            compiled: None,
+        };
+        let plain = encode_record_bytes(&WalEvent::PlanRegistered {
+            plan: 3,
+            payload: payload.clone(),
+        });
+        payload.compiled = Some(CompiledPayload {
+            max_depth: u32::MAX,
+            min_mass: 0.125,
+            max_nodes: 4096,
+        });
+        let extended = encode_record_bytes(&WalEvent::PlanRegistered {
+            plan: 3,
+            payload: payload.clone(),
+        });
+        assert_eq!(extended.len(), plain.len() + 20);
+
+        let read = decode_wal(&extended);
+        assert!(read.corruption.is_none());
+        let WalEvent::PlanRegistered { payload: got, .. } = &read.events[0] else {
+            panic!("plan event expected");
+        };
+        let cc = got.compiled.expect("compiled trailer decoded");
+        assert_eq!(cc.max_depth, u32::MAX);
+        assert_eq!(cc.min_mass.to_bits(), 0.125f64.to_bits());
+        assert_eq!(cc.max_nodes, 4096);
+
+        let legacy = decode_wal(&plain);
+        assert!(legacy.corruption.is_none());
+        let WalEvent::PlanRegistered { payload: got, .. } = &legacy.events[0] else {
+            panic!("plan event expected");
+        };
+        assert_eq!(got.compiled, None);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! bit flip at every byte offset.
 
 use aigs_data::wal::{
-    decode_wal, encode_record_bytes, KindCode, PlanPayload, WalEvent, WAL_VERSION,
+    decode_wal, encode_record_bytes, CompiledPayload, KindCode, PlanPayload, WalEvent, WAL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -39,6 +39,11 @@ fn events_from_ops(ops: &[(u8, u32, bool)]) -> Vec<WalEvent> {
                         reach_tag: (x % 4) as u8,
                         reach_labelings: x % 7,
                         reach_seed: u64::from(x) * 31,
+                        compiled: flag.then_some(CompiledPayload {
+                            max_depth: x % 17,
+                            min_mass: f64::from(x % 11) * 1e-4,
+                            max_nodes: u64::from(x) * 3,
+                        }),
                     },
                 }
             }

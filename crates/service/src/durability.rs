@@ -57,9 +57,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use aigs_core::{NodeWeights, QueryCosts};
+use aigs_core::{CompiledConfig, NodeWeights, QueryCosts};
 use aigs_data::wal::{
-    read_wal, FsyncPolicy, KindCode, PlanPayload, SessionWal, WalEvent, WAL_VERSION,
+    read_wal, CompiledPayload, FsyncPolicy, KindCode, PlanPayload, SessionWal, WalEvent,
+    WAL_VERSION,
 };
 use aigs_graph::{dag_from_edges, Dag};
 
@@ -659,6 +660,30 @@ impl WalState {
 
 // ---- event mapping -----------------------------------------------------
 
+/// High bit of [`KindCode::tag`]: the session was serving from the
+/// compiled tier when the event was written. Recovery restores such
+/// sessions by walking the plan's flat array instead of replaying the
+/// live policy — same transcript, no policy state. The bit is advisory:
+/// a recovering engine whose compiled tier is off (or whose plan no
+/// longer compiles) masks it away and replays live, bit-identically.
+pub(crate) const COMPILED_MODE_BIT: u8 = 0x80;
+
+/// The kind code for a session in its *current* serving mode. Snapshots
+/// re-emit sessions with this, so a session that fell back to the live
+/// tier mid-flight is snapshotted as plain live.
+pub(crate) fn session_kind_code(kind: PolicyKind, compiled: bool) -> KindCode {
+    let mut code = kind_code(kind);
+    if compiled {
+        code.tag |= COMPILED_MODE_BIT;
+    }
+    code
+}
+
+/// Whether a logged kind code carries the compiled-mode tag.
+pub(crate) fn code_is_compiled(code: KindCode) -> bool {
+    code.tag & COMPILED_MODE_BIT != 0
+}
+
 /// [`PolicyKind`] ↔ wire code. The codes are part of the on-disk format:
 /// never renumber, only extend.
 pub(crate) fn kind_code(kind: PolicyKind) -> KindCode {
@@ -677,7 +702,7 @@ pub(crate) fn kind_code(kind: PolicyKind) -> KindCode {
 }
 
 pub(crate) fn kind_from_code(code: KindCode) -> Option<PolicyKind> {
-    Some(match code.tag {
+    Some(match code.tag & !COMPILED_MODE_BIT {
         0 => PolicyKind::TopDown,
         1 => PolicyKind::Migs,
         2 => PolicyKind::Wigs,
@@ -729,6 +754,7 @@ pub(crate) fn plan_payload(
     weights: &NodeWeights,
     costs: &QueryCosts,
     reach: ReachChoice,
+    compiled: Option<&CompiledConfig>,
 ) -> PlanPayload {
     let mut edges = Vec::with_capacity(dag.edge_count());
     for u in dag.nodes() {
@@ -748,7 +774,33 @@ pub(crate) fn plan_payload(
         reach_tag,
         reach_labelings,
         reach_seed,
+        compiled: compiled.map(compiled_to_wire),
     }
+}
+
+/// [`CompiledConfig`] → WAL trailer. Sentinels (`u32::MAX` depth,
+/// `u64::MAX` nodes) encode the unbounded/default `None`s; the mass floor
+/// round-trips as raw bits so recompilation truncates at the identical
+/// frontier.
+fn compiled_to_wire(cfg: &CompiledConfig) -> CompiledPayload {
+    CompiledPayload {
+        max_depth: cfg.max_depth.unwrap_or(u32::MAX),
+        min_mass: cfg.min_mass,
+        max_nodes: cfg
+            .max_nodes
+            .map_or(u64::MAX, |n| u64::try_from(n).expect("budget fits u64")),
+    }
+}
+
+fn compiled_from_wire(p: &CompiledPayload) -> CompiledConfig {
+    let mut cfg = CompiledConfig::new().with_min_mass(p.min_mass);
+    if p.max_depth != u32::MAX {
+        cfg = cfg.with_max_depth(p.max_depth);
+    }
+    if p.max_nodes != u64::MAX {
+        cfg = cfg.with_max_nodes(usize::try_from(p.max_nodes).unwrap_or(usize::MAX));
+    }
+    cfg
 }
 
 /// Rebuilds a [`PlanSpec`] from its payload. The weight vector is adopted
@@ -770,6 +822,7 @@ pub(crate) fn plan_spec_from_payload(p: &PlanPayload) -> Result<PlanSpec, Servic
         weights: Arc::new(weights),
         costs: Arc::new(costs),
         reach,
+        compiled: p.compiled.as_ref().map(compiled_from_wire),
     })
 }
 
@@ -1045,6 +1098,12 @@ mod tests {
         ];
         for k in kinds {
             assert_eq!(kind_from_code(kind_code(k)), Some(k));
+            // The compiled-mode bit is orthogonal to the kind: it decodes
+            // to the same kind, and only `code_is_compiled` sees it.
+            let tagged = session_kind_code(k, true);
+            assert!(code_is_compiled(tagged));
+            assert!(!code_is_compiled(session_kind_code(k, false)));
+            assert_eq!(kind_from_code(tagged), Some(k));
         }
         assert_eq!(kind_from_code(KindCode { tag: 99, seed: 0 }), None);
     }
@@ -1076,9 +1135,16 @@ mod tests {
             labelings: 2,
             seed: 42,
         };
-        let payload = plan_payload(&dag, &weights, &costs, reach);
+        let compiled = CompiledConfig::new().with_max_depth(9).with_min_mass(1e-4);
+        let payload = plan_payload(&dag, &weights, &costs, reach, Some(&compiled));
         let spec = plan_spec_from_payload(&payload).unwrap();
         assert_eq!(spec.dag.node_count(), 5);
+        let cc = spec.compiled.expect("compiled config recovered");
+        assert_eq!(cc.max_depth, Some(9));
+        assert_eq!(cc.min_mass.to_bits(), 1e-4f64.to_bits());
+        assert_eq!(cc.max_nodes, None);
+        let plain = plan_payload(&dag, &weights, &costs, reach, None);
+        assert_eq!(plan_spec_from_payload(&plain).unwrap().compiled, None);
         // Child-list order preserved (0 → [2, 1] in insertion order).
         assert_eq!(
             spec.dag.children(aigs_graph::NodeId::new(0)),

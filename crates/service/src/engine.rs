@@ -7,15 +7,18 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use aigs_core::{CoreError, SearchOutcome, SessionStep, SessionStepper};
+use aigs_core::{
+    CompiledConfig, CompiledCursor, CompiledPlan, CoreError, SearchOutcome, SessionStep,
+    SessionStepper,
+};
 use aigs_data::wal::{FsyncPolicy, SessionWal, WalEvent, WAL_VERSION};
 use aigs_testutil::failpoints::{self, FaultAction};
 
 use crate::durability::{
-    discover_shards, durability_err, kind_code, kind_from_code, plan_payload,
-    plan_spec_from_payload, read_dir_logs, shard_dir, sync_dir, DurabilityConfig, RecoveryReport,
-    ReplaySession, ReplayState, WalState, ROTATED_FILE, SHARD_DIR_PREFIX, SNAPSHOT_FILE,
-    SNAPSHOT_TMP_FILE,
+    code_is_compiled, discover_shards, durability_err, kind_from_code, plan_payload,
+    plan_spec_from_payload, read_dir_logs, session_kind_code, shard_dir, sync_dir,
+    DurabilityConfig, RecoveryReport, ReplaySession, ReplayState, WalState, ROTATED_FILE,
+    SHARD_DIR_PREFIX, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE,
 };
 use crate::plan::PlanEntry;
 use crate::{PlanId, PlanSpec, PolicyKind, ServiceError};
@@ -57,6 +60,9 @@ pub struct EngineConfig {
     /// mutating operation is logged before success is returned, and
     /// [`SearchEngine::recover`] rebuilds the engine after a crash.
     pub durability: Option<DurabilityConfig>,
+    /// Which plans serve from the compiled tier (flat decision-tree arrays
+    /// instead of live policy steps). See [`CompiledTier`].
+    pub compiled: CompiledTier,
 }
 
 impl Default for EngineConfig {
@@ -68,9 +74,43 @@ impl Default for EngineConfig {
             pool_cap: 64,
             shards: 0,
             durability: None,
+            compiled: CompiledTier::Auto,
         }
     }
 }
+
+/// Engine-wide compiled-tier policy: which plans get their decision trees
+/// flattened into serving arrays ([`aigs_core::CompiledPlan`]).
+///
+/// Compiled sessions step through the flat array — no policy instance, no
+/// pool traffic, nanosecond steps — and fall back to the live tier when
+/// they cross a truncated tree's frontier. Transcripts are bit-identical
+/// either way (differentially tested), so the tier is purely a
+/// performance/memory trade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompiledTier {
+    /// Resolve from the `AIGS_COMPILED` environment variable at engine
+    /// construction: `0` → [`Off`](Self::Off), `1` → [`All`](Self::All),
+    /// unset or unparsable → [`PerPlan`](Self::PerPlan).
+    #[default]
+    Auto,
+    /// Never compile; every session serves live (plan opt-ins ignored).
+    Off,
+    /// Compile exactly the plans registered with
+    /// [`crate::PlanSpec::with_compiled`]. The production default.
+    PerPlan,
+    /// Compile every plan (with its own config, or
+    /// [`CompiledConfig::default`] when it has none). Meant for test
+    /// matrices that want compiled coverage across existing suites.
+    All,
+}
+
+/// The config [`CompiledTier::All`] compiles non-opted-in plans with.
+const DEFAULT_COMPILED: CompiledConfig = CompiledConfig {
+    max_depth: None,
+    min_mass: 0.0,
+    max_nodes: None,
+};
 
 /// Resolves [`EngineConfig::shards`]: explicit > `AIGS_SHARDS` > core count.
 fn resolve_shards(requested: usize) -> usize {
@@ -85,6 +125,35 @@ fn resolve_shards(requested: usize) -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves [`EngineConfig::compiled`]: explicit > `AIGS_COMPILED` >
+/// per-plan opt-in. Lenient like [`resolve_shards`] — the strict-parsing
+/// test knob lives in `aigs_testutil`.
+fn resolve_compiled(requested: CompiledTier) -> CompiledTier {
+    if requested != CompiledTier::Auto {
+        return requested;
+    }
+    match std::env::var("AIGS_COMPILED").as_deref().map(str::trim) {
+        Ok("0") => CompiledTier::Off,
+        Ok("1") => CompiledTier::All,
+        _ => CompiledTier::PerPlan,
+    }
+}
+
+/// The compiled tree (if any) that `tier` serves `kind` sessions of `plan`
+/// with; `None` means the session serves live. Shared by `open_session`
+/// and recovery so both resolve the tier identically.
+fn compiled_tree_for(
+    tier: CompiledTier,
+    plan: &PlanEntry,
+    kind: PolicyKind,
+) -> Option<Arc<CompiledPlan>> {
+    match tier {
+        CompiledTier::Off => None,
+        CompiledTier::All => plan.compiled_for(kind, Some(&DEFAULT_COMPILED)),
+        CompiledTier::Auto | CompiledTier::PerPlan => plan.compiled_for(kind, None),
+    }
 }
 
 /// Generational handle to one live session. Stale ids (finished, cancelled
@@ -150,6 +219,13 @@ pub struct EngineStats {
     /// Session opens served by a warm pooled policy instance (the O(Δ)
     /// journal-reset path) rather than a fresh build.
     pub pool_hits: u64,
+    /// Steps (`next_question` + `answer`) served from the compiled tier's
+    /// flat array, with no policy involvement.
+    pub compiled_hits: u64,
+    /// Sessions that left the compiled tier for the live one: opened on a
+    /// root-truncated tree, or crossed the truncation frontier mid-flight
+    /// (the live policy is materialised by replaying the answer history).
+    pub compiled_fallbacks: u64,
     /// WAL records appended over the engine's lifetime, summed across
     /// shard logs (0 with durability off).
     pub wal_records: u64,
@@ -158,18 +234,62 @@ pub struct EngineStats {
     pub degraded: bool,
 }
 
+/// The stepping state behind one live session: which serving tier it is
+/// on. Both tiers produce bit-identical transcripts (differentially
+/// tested); they differ only in what state they carry.
+enum SessionCore {
+    /// Live tier: a (usually pooled) policy instance plus the stepper
+    /// driving it.
+    Live {
+        policy: Box<dyn aigs_core::Policy + Send>,
+        stepper: SessionStepper,
+    },
+    /// Compiled tier: a cursor into the plan's shared flat decision-tree
+    /// array. No policy state at all — the cursor is two integers and the
+    /// price accumulator, and recovery rebuilds it by walking the array
+    /// along the answer history.
+    Compiled {
+        tree: Arc<CompiledPlan>,
+        cursor: CompiledCursor,
+    },
+}
+
+impl SessionCore {
+    fn is_compiled(&self) -> bool {
+        matches!(self, SessionCore::Compiled { .. })
+    }
+}
+
+/// Which tier served one step — drives the hit/fallback counters.
+/// `Fallback` marks the answer that crossed a truncated tree's frontier
+/// and materialised the live policy.
+enum StepTier {
+    Live,
+    Compiled,
+    Fallback,
+}
+
 struct LiveSession {
     plan: Arc<PlanEntry>,
     /// The plan's registration index (what WAL events reference).
     plan_index: u32,
     kind: PolicyKind,
-    policy: Box<dyn aigs_core::Policy + Send>,
-    stepper: SessionStepper,
+    core: SessionCore,
     /// The acknowledged answer history — with the plan and kind, the
     /// session's complete durable state (questions re-derive
     /// deterministically on replay).
     answers: Vec<bool>,
     last_touch: u64,
+}
+
+impl LiveSession {
+    /// Returns the session's policy instance to its plan's pool (compiled
+    /// sessions hold none). Called on every teardown path.
+    fn release_policy(self) {
+        if let SessionCore::Live { policy, .. } = self.core {
+            self.plan.release(self.kind, policy);
+        }
+    }
 }
 
 struct Slot {
@@ -193,6 +313,8 @@ struct Counters {
     panicked: AtomicU64,
     steps: AtomicU64,
     pool_hits: AtomicU64,
+    compiled_hits: AtomicU64,
+    compiled_fallbacks: AtomicU64,
 }
 
 /// One slab shard: slots, free list, idle heap, stats and WAL tail, each
@@ -322,6 +444,7 @@ impl SearchEngine {
         let engine_id = NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed);
         let shard_count = resolve_shards(config.shards);
         config.shards = shard_count;
+        config.compiled = resolve_compiled(config.compiled);
         let degraded = Arc::new(AtomicBool::new(false));
         let mut shards: Vec<Shard> = (0..shard_count).map(|_| Shard::empty()).collect();
         if let Some(d) = &config.durability {
@@ -409,6 +532,7 @@ impl SearchEngine {
         };
         let shard_count = discover_shards(&durability.dir)?;
         config.shards = shard_count;
+        config.compiled = resolve_compiled(config.compiled);
         let mut report = RecoveryReport {
             shards: shard_count,
             ..RecoveryReport::default()
@@ -442,6 +566,7 @@ impl SearchEngine {
         // replay dominates recovery time and shards share nothing here.
         let track_idle = config.idle_ticks.is_some();
         let max_queries = config.max_queries;
+        let tier = config.compiled;
         let parts: Vec<Result<ShardParts, ServiceError>> = std::thread::scope(|scope| {
             let plans = &plans;
             let dir = &durability.dir;
@@ -461,6 +586,7 @@ impl SearchEngine {
                             corruptions,
                             plans,
                             max_queries,
+                            tier,
                             track_idle,
                         ))
                     })
@@ -472,6 +598,7 @@ impl SearchEngine {
                 Vec::new(),
                 plans,
                 max_queries,
+                tier,
                 track_idle,
             ))];
             for handle in handles {
@@ -574,10 +701,10 @@ impl SearchEngine {
         let mut plans = self.plans.write().expect("plans lock poisoned");
         let index = u32::try_from(plans.len()).expect("plan count fits u32");
         if let Some(wal) = &self.shards[0].wal {
-            let (dag, weights, costs, reach) = entry.artifacts();
+            let (dag, weights, costs, reach, compiled) = entry.artifacts();
             wal.append(&WalEvent::PlanRegistered {
                 plan: index,
-                payload: plan_payload(dag, weights, costs, reach),
+                payload: plan_payload(dag, weights, costs, reach, compiled),
             })?;
             wal.sync()?;
         }
@@ -635,42 +762,68 @@ impl SearchEngine {
             }
         }
 
-        let (mut policy, pool_hit) = plan_entry.acquire(kind);
-        let started = catch_unwind(AssertUnwindSafe(|| {
-            if matches!(failpoints::hit("engine.policy"), Some(FaultAction::Panic)) {
-                panic!("injected policy panic");
-            }
-            SessionStepper::start(policy.as_mut(), &plan_entry.ctx(), self.config.max_queries)
-        }));
         let shard_k = self.placement.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let shard = &self.shards[shard_k];
-        let stepper = match started {
-            Ok(Ok(s)) => s,
-            Ok(Err(e)) => {
-                // A failed reset leaves the instance in an unknown state:
-                // drop it rather than re-pool it, release the reservation,
-                // and hand the error to this caller only.
-                self.live.fetch_sub(1, Ordering::Relaxed);
-                shard.counters.errored.fetch_add(1, Ordering::Relaxed);
-                return Err(e.into());
-            }
-            Err(_) => {
-                // Panic during construction: quarantine the instance.
-                self.live.fetch_sub(1, Ordering::Relaxed);
-                shard.counters.panicked.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::PolicyPanicked);
+        // Compiled tier first: a hot plan serves from its flat array with no
+        // policy instance and no pool traffic at all.
+        let compiled =
+            compiled_tree_for(self.config.compiled, &plan_entry, kind).and_then(|tree| {
+                let cursor = tree.cursor(&plan_entry.ctx(), self.config.max_queries);
+                if cursor.needs_fallback() {
+                    // Truncated at the root (e.g. `max_depth` 0): nothing
+                    // compiled to serve, so this session opens live.
+                    shard
+                        .counters
+                        .compiled_fallbacks
+                        .fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    Some(SessionCore::Compiled { tree, cursor })
+                }
+            });
+        let core = match compiled {
+            Some(core) => core,
+            None => {
+                let (mut policy, pool_hit) = plan_entry.acquire(kind);
+                let started = catch_unwind(AssertUnwindSafe(|| {
+                    if matches!(failpoints::hit("engine.policy"), Some(FaultAction::Panic)) {
+                        panic!("injected policy panic");
+                    }
+                    SessionStepper::start(
+                        policy.as_mut(),
+                        &plan_entry.ctx(),
+                        self.config.max_queries,
+                    )
+                }));
+                let stepper = match started {
+                    Ok(Ok(s)) => s,
+                    Ok(Err(e)) => {
+                        // A failed reset leaves the instance in an unknown
+                        // state: drop it rather than re-pool it, release the
+                        // reservation, and hand the error to this caller only.
+                        self.live.fetch_sub(1, Ordering::Relaxed);
+                        shard.counters.errored.fetch_add(1, Ordering::Relaxed);
+                        return Err(e.into());
+                    }
+                    Err(_) => {
+                        // Panic during construction: quarantine the instance.
+                        self.live.fetch_sub(1, Ordering::Relaxed);
+                        shard.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                        return Err(ServiceError::PolicyPanicked);
+                    }
+                };
+                if pool_hit {
+                    shard.counters.pool_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                SessionCore::Live { policy, stepper }
             }
         };
-        if pool_hit {
-            shard.counters.pool_hits.fetch_add(1, Ordering::Relaxed);
-        }
 
         let session = LiveSession {
             plan: plan_entry,
             plan_index: plan.index,
             kind,
-            policy,
-            stepper,
+            core,
             answers: Vec::new(),
             last_touch: now,
         };
@@ -686,7 +839,7 @@ impl SearchEngine {
                     index: local,
                     generation: slot.generation,
                     plan: plan.index,
-                    kind: kind_code(kind),
+                    kind: session_kind_code(kind, session.core.is_compiled()),
                 }) {
                     drop(slot);
                     self.release_slot(shard, local);
@@ -727,22 +880,27 @@ impl SearchEngine {
         let (shard_k, step) = self.step_session(
             id,
             |s| {
-                let LiveSession {
-                    plan,
-                    policy,
-                    stepper,
-                    ..
-                } = s;
-                stepper.next_question(policy.as_mut(), &plan.ctx())
+                let LiveSession { plan, core, .. } = s;
+                match core {
+                    SessionCore::Live { policy, stepper } => stepper
+                        .next_question(policy.as_mut(), &plan.ctx())
+                        .map(|step| (step, false)),
+                    SessionCore::Compiled { tree, cursor } => {
+                        cursor.next_question(tree).map(|step| (step, true))
+                    }
+                }
             },
             |_, _| None,
         )?;
-        self.shards[shard_k]
-            .counters
-            .steps
-            .fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[shard_k];
+        shard.counters.steps.fetch_add(1, Ordering::Relaxed);
         match step {
-            Ok(step) => Ok(step),
+            Ok((step, compiled)) => {
+                if compiled {
+                    shard.counters.compiled_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(step)
+            }
             Err(e @ CoreError::Diverged { .. }) => {
                 // The search ran out of budget: reclaim the slot. The policy
                 // itself is healthy (divergence is a budget condition), so it
@@ -767,21 +925,52 @@ impl SearchEngine {
     /// acknowledged answer history.
     pub fn answer(&self, id: SessionId, yes: bool) -> Result<(), ServiceError> {
         self.check_active()?;
+        let max_queries = self.config.max_queries;
         let (shard_k, fed) = self.step_session(
             id,
             |s| {
                 let LiveSession {
                     plan,
-                    policy,
-                    stepper,
+                    kind,
+                    core,
                     answers,
                     ..
                 } = s;
-                stepper.answer(policy.as_mut(), &plan.ctx(), yes)?;
-                answers.push(yes);
-                Ok(u32::try_from(answers.len() - 1).expect("answer count fits u32"))
+                let tier = match core {
+                    SessionCore::Live { policy, stepper } => {
+                        stepper.answer(policy.as_mut(), &plan.ctx(), yes)?;
+                        answers.push(yes);
+                        StepTier::Live
+                    }
+                    SessionCore::Compiled { tree, cursor } => {
+                        cursor.answer(tree, &plan.ctx(), yes)?;
+                        answers.push(yes);
+                        if cursor.needs_fallback() {
+                            // Crossed the truncation frontier: materialise
+                            // the live policy by replaying the acknowledged
+                            // answer history. Policies are deterministic, so
+                            // the transcript continues bit-identically — the
+                            // tier switch is invisible to the caller.
+                            let (mut policy, _) = plan.acquire(*kind);
+                            let stepper = SessionStepper::replay(
+                                policy.as_mut(),
+                                &plan.ctx(),
+                                max_queries,
+                                answers,
+                            )?;
+                            *core = SessionCore::Live { policy, stepper };
+                            StepTier::Fallback
+                        } else {
+                            StepTier::Compiled
+                        }
+                    }
+                };
+                Ok((
+                    u32::try_from(answers.len() - 1).expect("answer count fits u32"),
+                    tier,
+                ))
             },
-            |seq, local| {
+            |(seq, _), local| {
                 Some(WalEvent::Answered {
                     index: local,
                     generation: id.generation,
@@ -790,10 +979,20 @@ impl SearchEngine {
                 })
             },
         )?;
-        self.shards[shard_k]
-            .counters
-            .steps
-            .fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[shard_k];
+        shard.counters.steps.fetch_add(1, Ordering::Relaxed);
+        match &fed {
+            Ok((_, StepTier::Compiled)) => {
+                shard.counters.compiled_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok((_, StepTier::Fallback)) => {
+                shard
+                    .counters
+                    .compiled_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
         fed.map_err(ServiceError::from)?;
         self.maybe_autocompact(shard_k);
         Ok(())
@@ -833,7 +1032,10 @@ impl SearchEngine {
                 if matches!(failpoints::hit("engine.policy"), Some(FaultAction::Panic)) {
                     panic!("injected policy panic");
                 }
-                session.stepper.finish(session.policy.as_ref())
+                match &session.core {
+                    SessionCore::Live { policy, stepper } => stepper.finish(policy.as_ref()),
+                    SessionCore::Compiled { cursor, .. } => cursor.finish(),
+                }
             }));
             let outcome = match finished {
                 Ok(Ok(outcome)) => outcome,
@@ -851,7 +1053,7 @@ impl SearchEngine {
             slot.generation = slot.generation.wrapping_add(1);
             (outcome, slot.session.take().expect("checked above"))
         };
-        session.plan.release(session.kind, session.policy);
+        session.release_policy();
         self.release_slot(shard, local);
         shard.counters.finished.fetch_add(1, Ordering::Relaxed);
         self.maybe_autocompact(shard_k);
@@ -904,6 +1106,8 @@ impl SearchEngine {
             panicked: 0,
             steps: 0,
             pool_hits: 0,
+            compiled_hits: 0,
+            compiled_fallbacks: 0,
             wal_records: 0,
             degraded: self.is_degraded(),
         };
@@ -917,6 +1121,8 @@ impl SearchEngine {
             stats.panicked += c.panicked.load(Ordering::Relaxed);
             stats.steps += c.steps.load(Ordering::Relaxed);
             stats.pool_hits += c.pool_hits.load(Ordering::Relaxed);
+            stats.compiled_hits += c.compiled_hits.load(Ordering::Relaxed);
+            stats.compiled_fallbacks += c.compiled_fallbacks.load(Ordering::Relaxed);
             if let Some(wal) = &shard.wal {
                 stats.wal_records += wal.total_records.load(Ordering::Relaxed);
             }
@@ -1022,10 +1228,10 @@ impl SearchEngine {
         if shard_k == 0 {
             let plans = self.plans.read().expect("plans lock poisoned");
             for (i, entry) in plans.iter().enumerate() {
-                let (dag, weights, costs, reach) = entry.artifacts();
+                let (dag, weights, costs, reach, compiled) = entry.artifacts();
                 snap.append_buffered(&WalEvent::PlanRegistered {
                     plan: i as u32,
-                    payload: plan_payload(dag, weights, costs, reach),
+                    payload: plan_payload(dag, weights, costs, reach, compiled),
                 })
                 .map_err(durability_err)?;
             }
@@ -1057,11 +1263,13 @@ impl SearchEngine {
                 }
                 continue;
             };
+            // The mode bit records the session's CURRENT tier, not the one
+            // it opened on: a fallen-back session snapshots as plain live.
             snap.append_buffered(&WalEvent::SessionOpened {
                 index: local,
                 generation: slot.generation,
                 plan: s.plan_index,
-                kind: kind_code(s.kind),
+                kind: session_kind_code(s.kind, s.core.is_compiled()),
             })
             .map_err(durability_err)?;
             for (seq, &yes) in s.answers.iter().enumerate() {
@@ -1184,7 +1392,7 @@ impl SearchEngine {
                 slot.session.take()
             };
             if let Some(s) = reclaimed {
-                s.plan.release(s.kind, s.policy);
+                s.release_policy();
                 self.release_slot(shard, local);
                 shard.counters.evicted.fetch_add(1, Ordering::Relaxed);
                 evicted += 1;
@@ -1344,7 +1552,7 @@ impl SearchEngine {
             slot.generation = slot.generation.wrapping_add(1);
             slot.session.take().expect("checked above")
         };
-        session.plan.release(session.kind, session.policy);
+        session.release_policy();
         self.release_slot(shard, local);
         let counter = match how {
             Removal::Cancelled => &shard.counters.cancelled,
@@ -1437,6 +1645,7 @@ fn restore_shard(
     corruptions: Vec<String>,
     plans: &[Arc<PlanEntry>],
     max_queries: Option<u32>,
+    tier: CompiledTier,
     track_idle: bool,
 ) -> ShardParts {
     let mut parts = ShardParts {
@@ -1473,7 +1682,7 @@ fn restore_shard(
                 })));
                 parts.free.push(local as u32);
             }
-            Some(rsess) => match restore_session(plans, &rsess, max_queries) {
+            Some(rsess) => match restore_session(plans, &rsess, max_queries, tier) {
                 Ok(session) => {
                     parts.slots.push(Arc::new(Mutex::new(Slot {
                         generation: rsess.generation,
@@ -1510,6 +1719,7 @@ fn restore_session(
     plans: &[Arc<PlanEntry>],
     rsess: &ReplaySession,
     max_queries: Option<u32>,
+    tier: CompiledTier,
 ) -> Result<LiveSession, String> {
     let kind = kind_from_code(rsess.kind)
         .ok_or_else(|| format!("unknown policy code {}", rsess.kind.tag))?;
@@ -1517,6 +1727,26 @@ fn restore_session(
         .get(rsess.plan as usize)
         .cloned()
         .ok_or_else(|| format!("references unregistered plan {}", rsess.plan))?;
+    // The logged mode bit is advisory: a session tagged compiled returns to
+    // the compiled tier when the recovering engine still compiles its plan
+    // and the answer history stays inside the flat array; otherwise it is
+    // replayed live — the transcript is bit-identical either way.
+    if code_is_compiled(rsess.kind) {
+        if let Some(tree) = compiled_tree_for(tier, &plan, kind) {
+            if let Ok(cursor) = tree.replay(&plan.ctx(), max_queries, &rsess.answers) {
+                if !cursor.needs_fallback() {
+                    return Ok(LiveSession {
+                        plan,
+                        plan_index: rsess.plan,
+                        kind,
+                        core: SessionCore::Compiled { tree, cursor },
+                        answers: rsess.answers.clone(),
+                        last_touch: 0,
+                    });
+                }
+            }
+        }
+    }
     let (mut policy, _) = plan.acquire(kind);
     let replayed = catch_unwind(AssertUnwindSafe(|| {
         SessionStepper::replay(policy.as_mut(), &plan.ctx(), max_queries, &rsess.answers)
@@ -1530,8 +1760,7 @@ fn restore_session(
         plan,
         plan_index: rsess.plan,
         kind,
-        policy,
-        stepper,
+        core: SessionCore::Live { policy, stepper },
         answers: rsess.answers.clone(),
         last_touch: 0,
     })

@@ -72,7 +72,8 @@ pub mod wire;
 pub use aigs_data::wal::FsyncPolicy;
 pub use durability::{DurabilityConfig, RecoveryReport};
 pub use engine::{
-    EngineConfig, EngineStats, SearchEngine, SessionHandle, SessionId, DEFAULT_MAX_SESSIONS,
+    CompiledTier, EngineConfig, EngineStats, SearchEngine, SessionHandle, SessionId,
+    DEFAULT_MAX_SESSIONS,
 };
 pub use error::ServiceError;
 pub use kind::PolicyKind;

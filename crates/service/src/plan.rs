@@ -1,9 +1,11 @@
 //! Shared plan artifacts: the per-(hierarchy, distribution) state every
 //! session on that plan reuses.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use aigs_core::{fresh_cache_token, NodeWeights, Policy, QueryCosts, SearchContext};
+use aigs_core::{
+    fresh_cache_token, CompiledConfig, CompiledPlan, NodeWeights, Policy, QueryCosts, SearchContext,
+};
 use aigs_graph::{Dag, ReachIndex};
 
 use crate::kind::{PolicyKind, POOLED_KINDS};
@@ -66,6 +68,12 @@ pub struct PlanSpec {
     pub costs: Arc<QueryCosts>,
     /// Shared reachability backend choice.
     pub reach: ReachChoice,
+    /// Per-plan compiled-tier opt-in: `Some(cfg)` compiles this plan's
+    /// decision trees (lazily, per policy kind) with `cfg`'s truncation
+    /// knobs, so sessions step through a flat array instead of the live
+    /// policy. `None` serves live unless the engine-wide tier
+    /// ([`crate::CompiledTier::All`]) supplies a default.
+    pub compiled: Option<CompiledConfig>,
 }
 
 impl PlanSpec {
@@ -76,6 +84,7 @@ impl PlanSpec {
             weights,
             costs: Arc::new(QueryCosts::Uniform),
             reach: ReachChoice::Auto,
+            compiled: None,
         }
     }
 
@@ -88,6 +97,12 @@ impl PlanSpec {
     /// Overrides the reachability backend choice.
     pub fn with_reach(mut self, reach: ReachChoice) -> Self {
         self.reach = reach;
+        self
+    }
+
+    /// Opts the plan into the compiled serving tier with `cfg`.
+    pub fn with_compiled(mut self, cfg: CompiledConfig) -> Self {
+        self.compiled = Some(cfg);
         self
     }
 }
@@ -115,6 +130,15 @@ pub(crate) struct PlanEntry {
     /// per-instance caches (closures, Euler views, base arrays).
     pools: [Mutex<Vec<Box<dyn Policy + Send>>>; POOLED_KINDS],
     pool_cap: usize,
+    /// The spec's compiled-tier opt-in, kept for WAL re-encoding and as
+    /// the config the lazy compiles below use (falling back to the
+    /// engine-wide default when `None`).
+    compiled_cfg: Option<CompiledConfig>,
+    /// Lazily compiled flat decision trees, one slot per poolable kind
+    /// (deterministic kinds only — `Random` has no tree to compile).
+    /// `Some(None)` caches a failed/oversized compile so every session
+    /// after the first falls through to the live tier without retrying.
+    compiled: [OnceLock<Option<Arc<CompiledPlan>>>; POOLED_KINDS],
 }
 
 impl PlanEntry {
@@ -143,14 +167,64 @@ impl PlanEntry {
             cache_token: fresh_cache_token(),
             pools: std::array::from_fn(|_| Mutex::new(Vec::new())),
             pool_cap,
+            compiled_cfg: spec.compiled,
+            compiled: std::array::from_fn(|_| OnceLock::new()),
         };
         entry.ctx().validate().map_err(ServiceError::Core)?;
         Ok(entry)
     }
 
     /// The registered artifacts, for WAL snapshot encoding.
-    pub(crate) fn artifacts(&self) -> (&Dag, &NodeWeights, &QueryCosts, ReachChoice) {
-        (&self.dag, &self.weights, &self.costs, self.reach_choice)
+    pub(crate) fn artifacts(
+        &self,
+    ) -> (
+        &Dag,
+        &NodeWeights,
+        &QueryCosts,
+        ReachChoice,
+        Option<&CompiledConfig>,
+    ) {
+        (
+            &self.dag,
+            &self.weights,
+            &self.costs,
+            self.reach_choice,
+            self.compiled_cfg.as_ref(),
+        )
+    }
+
+    /// The compiled flat tree for `kind`, compiling it on first use with
+    /// the plan's config (or `tier_default` when the plan did not opt in
+    /// itself). `None` when the kind has no tree (`Random`), when neither
+    /// the plan nor the engine tier supplies a config, or when the compile
+    /// failed — the caller serves live in every such case. Failures are
+    /// cached: a plan that cannot compile is decided once, not per open.
+    pub(crate) fn compiled_for(
+        &self,
+        kind: PolicyKind,
+        tier_default: Option<&CompiledConfig>,
+    ) -> Option<Arc<CompiledPlan>> {
+        let i = kind.pool_index()?;
+        let cfg = *self.compiled_cfg.as_ref().or(tier_default)?;
+        self.compiled[i]
+            .get_or_init(|| {
+                let (mut policy, _) = self.acquire(kind);
+                let compiled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    CompiledPlan::compile(policy.as_mut(), &self.ctx(), &cfg)
+                }));
+                match compiled {
+                    Ok(Ok(plan)) => {
+                        // The compile DFS unwinds the policy back to its
+                        // reset state, so the instance is safe to pool.
+                        self.release(kind, policy);
+                        Some(Arc::new(plan))
+                    }
+                    // Compile error or panic: drop the instance (its state
+                    // is unknown) and serve this kind live forever.
+                    _ => None,
+                }
+            })
+            .clone()
     }
 
     /// The borrow-based view policies consume, rebuilt per call from the
@@ -308,5 +382,35 @@ mod tests {
         let r = PolicyKind::Random { seed: 1 };
         plan.release(r, r.build());
         assert_eq!(plan.pooled(r), 0);
+    }
+
+    #[test]
+    fn compiled_trees_are_lazy_cached_and_kind_scoped() {
+        let plan = diamond_plan(ReachChoice::Auto);
+        // No plan opt-in, no engine default: nothing compiles.
+        assert!(plan.compiled_for(PolicyKind::GreedyDag, None).is_none());
+        // An engine-wide default kicks in, and the compile is cached.
+        let dflt = CompiledConfig::new();
+        let c1 = plan
+            .compiled_for(PolicyKind::GreedyDag, Some(&dflt))
+            .expect("compiles under engine default");
+        let c2 = plan
+            .compiled_for(PolicyKind::GreedyDag, Some(&dflt))
+            .unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2), "second call reuses the compile");
+        assert!(!c1.truncated());
+        // Random has no decision tree to compile.
+        assert!(plan
+            .compiled_for(PolicyKind::Random { seed: 1 }, Some(&dflt))
+            .is_none());
+
+        // A per-plan opt-in compiles without any engine default.
+        let dag = Arc::new(dag_from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap());
+        let weights = Arc::new(NodeWeights::uniform(5));
+        let spec =
+            PlanSpec::new(dag, weights).with_compiled(CompiledConfig::new().with_max_depth(1));
+        let plan = PlanEntry::build(spec, 4).unwrap();
+        let c = plan.compiled_for(PolicyKind::TopDown, None).unwrap();
+        assert!(c.truncated(), "depth-1 compile truncates the diamond");
     }
 }

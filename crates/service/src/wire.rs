@@ -54,8 +54,8 @@
 //! 1 = resolved) + node `u32`; ANSWER/CANCEL → empty; FINISH → target
 //! `u32`, queries `u32`, price `f64`; STATS → live `u64`, peak-live `u64`,
 //! shards `u32`, then `u64` counters (opened, finished, cancelled,
-//! evicted, errored, panicked, steps, pool-hits, wal-records), degraded
-//! `u8`.
+//! evicted, errored, panicked, steps, pool-hits, compiled-hits,
+//! compiled-fallbacks, wal-records), degraded `u8`.
 //!
 //! A BAD_REQUEST is answered before the connection is closed; an
 //! oversized or unparsable *length prefix* closes the connection without
@@ -446,6 +446,8 @@ impl WireClient {
             panicked: p(c.u64())?,
             steps: p(c.u64())?,
             pool_hits: p(c.u64())?,
+            compiled_hits: p(c.u64())?,
+            compiled_fallbacks: p(c.u64())?,
             wal_records: p(c.u64())?,
             degraded: c.u8().map_err(WireError::Protocol)? != 0,
         };
@@ -720,6 +722,8 @@ fn decode_and_run(engine: &SearchEngine, payload: &[u8]) -> Result<Vec<u8>, Requ
                 s.panicked,
                 s.steps,
                 s.pool_hits,
+                s.compiled_hits,
+                s.compiled_fallbacks,
                 s.wal_records,
             ] {
                 out.extend_from_slice(&v.to_le_bytes());

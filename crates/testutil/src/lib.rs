@@ -87,6 +87,22 @@ pub fn forced_backend() -> Option<&'static str> {
     }
 }
 
+/// The compiled-tier mode forced by `AIGS_COMPILED`, if any: `false` for
+/// `0` (tier off), `true` for `1` (compile everything). Unknown values
+/// panic so a typo in a CI matrix fails loudly instead of silently testing
+/// nothing — the service's own resolver is deliberately lenient, so this
+/// strict parse is the test-facing guard.
+pub fn forced_compiled() -> Option<bool> {
+    match std::env::var("AIGS_COMPILED") {
+        Err(_) => None,
+        Ok(v) => match v.trim() {
+            "0" => Some(false),
+            "1" => Some(true),
+            other => panic!("unknown AIGS_COMPILED {other:?} (expected 0 or 1)"),
+        },
+    }
+}
+
 /// Every reachability backend a DAG policy must be transcript-invariant
 /// over, as `(label, index)` pairs (`None` = no shared index at all).
 /// Restricted to the one named by `AIGS_TEST_BACKEND` when that is set.
@@ -196,6 +212,18 @@ mod tests {
         match forced_backend() {
             None => assert_eq!(labels, vec!["closure", "interval", "bfs", "none"]),
             Some(want) => assert_eq!(labels, vec![want]),
+        }
+    }
+
+    #[test]
+    fn compiled_knob_parses_strictly() {
+        // Same env-var caveat as above: assert agreement with whatever the
+        // process was launched with; the CI matrix exercises both values.
+        match std::env::var("AIGS_COMPILED").as_deref().map(str::trim) {
+            Err(_) => assert_eq!(forced_compiled(), None),
+            Ok("0") => assert_eq!(forced_compiled(), Some(false)),
+            Ok("1") => assert_eq!(forced_compiled(), Some(true)),
+            Ok(_) => {} // would panic; not constructible from a green matrix
         }
     }
 

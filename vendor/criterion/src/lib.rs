@@ -229,6 +229,24 @@ impl Criterion {
     }
 }
 
+/// Records a non-time scalar (bytes, node counts) into the same result
+/// stream as the timing rows, so deterministic gauges can be committed to
+/// the baseline JSON and regression-checked alongside latencies. Shim
+/// extension — upstream criterion has no equivalent; benches using it are
+/// tied to the offline harness. The value lands in `median_ns` (the field
+/// every consumer reads) with `samples: 1` marking it as a gauge.
+pub fn record_gauge(id: impl Into<String>, value: f64) {
+    let id = id.into();
+    println!("{id:<56} gauge  {value:>12.1}");
+    RESULTS.lock().unwrap().push(BenchResult {
+        id,
+        median_ns: value,
+        min_ns: value,
+        max_ns: value,
+        samples: 1,
+    });
+}
+
 /// Writes every recorded result as JSON to `$CRITERION_JSON`, when set.
 /// Called automatically by [`criterion_main!`].
 pub fn flush_json() {
