@@ -49,6 +49,11 @@
 //!   sweep instead demonstrates that sharding costs nothing when the
 //!   parallelism is not there (flat rows, no cross-shard contention
 //!   collapse).
+//! * `service_telemetry_overhead/step-{on,off}/{live}` — the
+//!   greedy-dag-closure step workload with the telemetry cells enabled
+//!   (the shipping default) vs disabled: the on-row must stay within 10%
+//!   of the off-row, the budget ISSUE/README state for always-on
+//!   observability.
 //! * `service_live_scale/top-down-closure/{live}` — single-step latency
 //!   with ≥1,000,000 concurrently live sessions (the slab's design
 //!   target), plus a printed open-rate/RSS report from the same pass.
@@ -818,6 +823,70 @@ fn bench_million_live(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry's hot-path tax, measured directly: the `service_step`
+/// workload on greedy-dag-closure with the metric cells enabled
+/// (`step-on`, the shipping default) and disabled (`step-off`). The rows
+/// share the pre-advance and population logic with `bench_step`, so
+/// on/off is the only variable; the gate is that `step-on` stays within
+/// 10% of `step-off` (each telemetry record is two relaxed `fetch_add`s
+/// plus one `Instant::now` pair per operation).
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let live = live_sessions();
+    let mut group = c.benchmark_group("service_telemetry_overhead");
+    group.sample_size(20);
+    let s = scenarios()
+        .into_iter()
+        .find(|s| s.label == "greedy-dag-closure")
+        .expect("greedy-dag-closure scenario");
+    for (label, enabled) in [("step-on", true), ("step-off", false)] {
+        let engine = SearchEngine::new(EngineConfig {
+            max_sessions: live + 8,
+            telemetry: Some(enabled),
+            ..EngineConfig::default()
+        });
+        let plan = engine
+            .register_plan(PlanSpec::new(s.dag.clone(), s.weights.clone()).with_reach(s.reach))
+            .unwrap();
+        let mut sessions: Vec<(SessionId, NodeId)> = (0..live)
+            .map(|i| {
+                let z = target(&s.dag, i);
+                (engine.open_session(plan, s.kind).unwrap().id(), z)
+            })
+            .collect();
+        let mut cursor = 0;
+        let mut fresh = live;
+        warm_population(&engine, plan, s.kind, &s.dag, &mut sessions, &mut fresh);
+        group.bench_function(BenchmarkId::new(label, live), |b| {
+            b.iter(|| {
+                step_one(
+                    &engine,
+                    plan,
+                    s.kind,
+                    &s.dag,
+                    &mut sessions,
+                    cursor,
+                    &mut fresh,
+                );
+                cursor = (cursor + 1) % live;
+            })
+        });
+        if enabled {
+            // The instrumented run must actually have instrumented: the
+            // cells hold every step the measurement loop made.
+            let snap = engine.telemetry();
+            use aigs_service::telemetry::Op;
+            assert!(
+                snap.op_total(Op::Next) > 0,
+                "telemetry-on row recorded nothing"
+            );
+        }
+        for (id, _) in sessions {
+            let _ = engine.cancel(id);
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_step,
@@ -826,6 +895,7 @@ criterion_group!(
     bench_step_wal,
     bench_recovery,
     bench_shard_sweep,
+    bench_telemetry_overhead,
     bench_million_live,
     report_tail_and_parallel
 );

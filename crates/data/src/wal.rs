@@ -320,10 +320,11 @@ impl SessionWal {
         &self.path
     }
 
-    /// Appends one record, honouring the fsync policy. On error the file
-    /// may hold a torn record at its tail; the writer must be considered
-    /// poisoned (readers stop cleanly at the tear).
-    pub fn append(&mut self, event: &WalEvent) -> io::Result<()> {
+    /// Appends one record, honouring the fsync policy, and returns the
+    /// encoded record's byte length. On error the file may hold a torn
+    /// record at its tail; the writer must be considered poisoned
+    /// (readers stop cleanly at the tear).
+    pub fn append(&mut self, event: &WalEvent) -> io::Result<usize> {
         self.buf.clear();
         encode_record(event, &mut self.buf);
         match aigs_testutil::failpoints::hit("wal.append") {
@@ -354,16 +355,16 @@ impl SessionWal {
             }
             FsyncPolicy::Never => {}
         }
-        Ok(())
+        Ok(self.buf.len())
     }
 
     /// Appends one record into an in-memory batch, handing accumulated
     /// bytes to the OS only at the flush threshold and on [`Self::sync`].
-    /// For bulk rewrites (snapshot compaction) whose files are published
-    /// atomically *after* a final sync — unlike [`Self::append`], a crash
-    /// can lose buffered records, so never use this for acknowledged
-    /// per-operation appends.
-    pub fn append_buffered(&mut self, event: &WalEvent) -> io::Result<()> {
+    /// Returns the encoded record's byte length. For bulk rewrites
+    /// (snapshot compaction) whose files are published atomically *after*
+    /// a final sync — unlike [`Self::append`], a crash can lose buffered
+    /// records, so never use this for acknowledged per-operation appends.
+    pub fn append_buffered(&mut self, event: &WalEvent) -> io::Result<usize> {
         match aigs_testutil::failpoints::hit("wal.append") {
             None => {}
             Some(aigs_testutil::failpoints::FaultAction::IoError) => {
@@ -379,11 +380,13 @@ impl SessionWal {
                 panic!("injected wal append panic");
             }
         }
+        let before = self.batch.len();
         encode_record(event, &mut self.batch);
+        let encoded = self.batch.len() - before;
         if self.batch.len() >= BATCH_FLUSH_BYTES {
             self.flush_batch()?;
         }
-        Ok(())
+        Ok(encoded)
     }
 
     fn flush_batch(&mut self) -> io::Result<()> {

@@ -65,6 +65,7 @@ use aigs_data::wal::{
 use aigs_graph::{dag_from_edges, Dag};
 
 use crate::plan::ReachChoice;
+use crate::telemetry::ShardTelemetry;
 use crate::{PlanSpec, PolicyKind, ServiceError};
 
 pub(crate) const SNAPSHOT_FILE: &str = "snapshot.log";
@@ -272,6 +273,78 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), ServiceError> {
         .map_err(|e| durability_err(format!("fsync {}: {e}", dir.display())))
 }
 
+/// The engine-wide degraded-mode latch, shared across every shard's
+/// [`WalState`] and group-commit thread. Beyond the boolean the previous
+/// revision kept, it records *when* (engine logical clock) and *why* (the
+/// triggering WAL error, verbatim) the engine degraded — surfaced through
+/// [`crate::EngineStats::degraded_since`] /
+/// [`crate::EngineStats::degraded_reason`] so operators do not have to
+/// infer the transition from refused mutators.
+pub(crate) struct DegradedState {
+    /// Set on the first WAL failure; never cleared.
+    flag: AtomicBool,
+    /// The engine's logical clock (shared with the engine), read at trip
+    /// time to stamp `entered_at`.
+    clock: Arc<AtomicU64>,
+    entered_at: AtomicU64,
+    reason: Mutex<Option<String>>,
+}
+
+impl DegradedState {
+    pub(crate) fn new(clock: Arc<AtomicU64>) -> Arc<DegradedState> {
+        Arc::new(DegradedState {
+            flag: AtomicBool::new(false),
+            clock,
+            entered_at: AtomicU64::new(0),
+            reason: Mutex::new(None),
+        })
+    }
+
+    /// Whether the engine is degraded.
+    #[inline]
+    pub(crate) fn is(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Latches degraded mode with the triggering error. First caller
+    /// wins (the recorded reason is the *original* failure); returns
+    /// whether this call performed the transition. Cold path — taken only
+    /// on WAL failure.
+    pub(crate) fn trip(&self, reason: &str) -> bool {
+        let mut guard = self.reason.lock().expect("degraded reason poisoned");
+        if self.flag.load(Ordering::Relaxed) {
+            return false;
+        }
+        *guard = Some(reason.to_string());
+        self.entered_at
+            .store(self.clock.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.flag.store(true, Ordering::SeqCst);
+        true
+    }
+
+    /// `(entered-at clock, triggering error)` when degraded.
+    pub(crate) fn entered(&self) -> Option<(u64, String)> {
+        if !self.is() {
+            return None;
+        }
+        let reason = self
+            .reason
+            .lock()
+            .expect("degraded reason poisoned")
+            .clone()
+            .unwrap_or_default();
+        Some((self.entered_at.load(Ordering::Relaxed), reason))
+    }
+}
+
+impl fmt::Debug for DegradedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DegradedState")
+            .field("degraded", &self.is())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Idle flush cadence for the group-commit thread: an acknowledged record
 /// waits at most this long for stable storage even when the batch never
 /// fills.
@@ -308,7 +381,11 @@ struct SyncTarget {
 }
 
 impl GroupSyncer {
-    fn spawn(file: File, degraded: Arc<AtomicBool>) -> GroupSyncer {
+    fn spawn(
+        file: File,
+        degraded: Arc<DegradedState>,
+        telemetry: Arc<ShardTelemetry>,
+    ) -> GroupSyncer {
         let shared = Arc::new(SyncShared {
             dirty: AtomicBool::new(false),
             state: Mutex::new(SyncTarget {
@@ -329,13 +406,23 @@ impl GroupSyncer {
                     if let Some(file) = file {
                         // Mirrors `SessionWal::sync`, including the chaos
                         // injection site.
+                        let timer = telemetry.enabled().then(std::time::Instant::now);
                         let res = if aigs_testutil::failpoints::hit("wal.fsync").is_some() {
                             Err(std::io::Error::other("injected wal fsync failure"))
                         } else {
                             file.sync_data()
                         };
-                        if res.is_err() {
-                            degraded.store(true, Ordering::SeqCst);
+                        match res {
+                            Ok(()) => {
+                                if let Some(t) = timer {
+                                    telemetry.wal_fsync(t.elapsed().as_nanos() as u64);
+                                }
+                            }
+                            Err(e) => {
+                                if degraded.trip(&format!("group-commit fsync: {e}")) {
+                                    telemetry.wal_degraded();
+                                }
+                            }
                         }
                     }
                     if shutdown {
@@ -422,7 +509,11 @@ pub(crate) struct WalState {
     /// Set on the first append/sync failure (inline or on the group-commit
     /// thread); never cleared. A degraded engine refuses mutating
     /// operations and serves reads only.
-    pub(crate) degraded: Arc<AtomicBool>,
+    pub(crate) degraded: Arc<DegradedState>,
+    /// This shard's metric cell (shared with the engine and the
+    /// group-commit thread); records append bytes, fsync batches and
+    /// latencies, and degraded transitions.
+    telemetry: Arc<ShardTelemetry>,
     /// Guards against concurrent compactions.
     pub(crate) compacting: AtomicBool,
     /// Whether the writer currently sits on `wal.new.log` because a prior
@@ -462,7 +553,8 @@ pub(crate) fn write_header(
         version: WAL_VERSION,
         engine_id,
     })?;
-    wal.append(&WalEvent::ShardMeta { shard, shards })
+    wal.append(&WalEvent::ShardMeta { shard, shards })?;
+    Ok(())
 }
 
 /// Number of events [`write_header`] emits (the headers count toward the
@@ -481,7 +573,8 @@ impl WalState {
         engine_id: u32,
         shard: u32,
         shards: u32,
-        degraded: Arc<AtomicBool>,
+        degraded: Arc<DegradedState>,
+        telemetry: Arc<ShardTelemetry>,
         wipe: bool,
     ) -> Result<Self, ServiceError> {
         std::fs::create_dir_all(&config.dir).map_err(durability_err)?;
@@ -502,6 +595,7 @@ impl WalState {
             FsyncPolicy::EveryN(_) => Some(GroupSyncer::spawn(
                 writer.sync_handle().map_err(durability_err)?,
                 Arc::clone(&degraded),
+                Arc::clone(&telemetry),
             )),
             _ => None,
         };
@@ -514,6 +608,7 @@ impl WalState {
             tail_records: AtomicU64::new(HEADER_EVENTS),
             total_records: AtomicU64::new(HEADER_EVENTS),
             degraded,
+            telemetry,
             compacting: AtomicBool::new(false),
             rotated: AtomicBool::new(false),
             unsynced: AtomicU64::new(0),
@@ -528,19 +623,21 @@ impl WalState {
     /// durable.
     pub(crate) fn append(&self, event: &WalEvent) -> Result<(), ServiceError> {
         let mut writer = self.writer.lock().expect("wal writer poisoned");
-        if self.degraded.load(Ordering::Relaxed) {
+        if self.degraded.is() {
             return Err(ServiceError::Degraded);
         }
         match writer.append(event) {
-            Ok(()) => {
+            Ok(bytes) => {
                 self.tail_records.fetch_add(1, Ordering::Relaxed);
                 self.total_records.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.wal_append(bytes as u64);
                 if let Some(syncer) = &self.syncer {
                     syncer.mark_dirty();
                     if let FsyncPolicy::EveryN(n) = self.config.fsync {
                         if self.unsynced.fetch_add(1, Ordering::Relaxed) + 1 >= u64::from(n.max(1))
                         {
                             self.unsynced.store(0, Ordering::Relaxed);
+                            self.telemetry.wal_flush_signal();
                             syncer.request_flush();
                         }
                     }
@@ -548,7 +645,12 @@ impl WalState {
                 Ok(())
             }
             Err(e) => {
-                self.degraded.store(true, Ordering::SeqCst);
+                if self
+                    .degraded
+                    .trip(&format!("wal append (shard {}): {e}", self.shard))
+                {
+                    self.telemetry.wal_degraded();
+                }
                 Err(durability_err(e))
             }
         }
@@ -558,7 +660,7 @@ impl WalState {
     /// quarantine, eviction): degrades on failure but never surfaces an
     /// error — the teardown itself must proceed regardless.
     pub(crate) fn append_best_effort(&self, event: &WalEvent) {
-        if self.degraded.load(Ordering::Relaxed) {
+        if self.degraded.is() {
             return;
         }
         let _ = self.append(event);
@@ -569,7 +671,7 @@ impl WalState {
     /// compaction is simply abandoned.
     pub(crate) fn rotate(&self) -> Result<(), ServiceError> {
         let mut writer = self.writer.lock().expect("wal writer poisoned");
-        if self.degraded.load(Ordering::Relaxed) {
+        if self.degraded.is() {
             return Err(ServiceError::Degraded);
         }
         if self.rotated.load(Ordering::Relaxed) {
@@ -583,7 +685,12 @@ impl WalState {
         // Flush the outgoing tail before abandoning it: until the snapshot
         // publishes, that file is still part of the replayed history.
         writer.sync().map_err(|e| {
-            self.degraded.store(true, Ordering::SeqCst);
+            if self
+                .degraded
+                .trip(&format!("pre-rotation sync (shard {}): {e}", self.shard))
+            {
+                self.telemetry.wal_degraded();
+            }
             durability_err(e)
         })?;
         let mut rotated = SessionWal::create(
@@ -644,17 +751,31 @@ impl WalState {
     /// failure, like an append).
     pub(crate) fn sync(&self) -> Result<(), ServiceError> {
         let mut writer = self.writer.lock().expect("wal writer poisoned");
-        if self.degraded.load(Ordering::Relaxed) {
+        if self.degraded.is() {
             return Err(ServiceError::Degraded);
         }
         self.unsynced.store(0, Ordering::Relaxed);
         if let Some(syncer) = &self.syncer {
             syncer.shared.dirty.store(false, Ordering::Release);
         }
-        writer.sync().map_err(|e| {
-            self.degraded.store(true, Ordering::SeqCst);
-            durability_err(e)
-        })
+        let timer = self.telemetry.enabled().then(std::time::Instant::now);
+        match writer.sync() {
+            Ok(()) => {
+                if let Some(t) = timer {
+                    self.telemetry.wal_fsync(t.elapsed().as_nanos() as u64);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if self
+                    .degraded
+                    .trip(&format!("wal fsync (shard {}): {e}", self.shard))
+                {
+                    self.telemetry.wal_degraded();
+                }
+                Err(durability_err(e))
+            }
+        }
     }
 }
 

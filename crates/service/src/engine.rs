@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use aigs_core::{
@@ -16,11 +16,14 @@ use aigs_testutil::failpoints::{self, FaultAction};
 
 use crate::durability::{
     code_is_compiled, discover_shards, durability_err, kind_from_code, plan_payload,
-    plan_spec_from_payload, read_dir_logs, session_kind_code, shard_dir, sync_dir,
+    plan_spec_from_payload, read_dir_logs, session_kind_code, shard_dir, sync_dir, DegradedState,
     DurabilityConfig, RecoveryReport, ReplaySession, ReplayState, WalState, ROTATED_FILE,
     SHARD_DIR_PREFIX, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE,
 };
 use crate::plan::PlanEntry;
+use crate::telemetry::{
+    self, render_histogram, PredictedCost, ShardTelemetry, SlowOp, TelemetrySnapshot,
+};
 use crate::{PlanId, PlanSpec, PolicyKind, ServiceError};
 
 /// Default admission limit of [`EngineConfig`].
@@ -63,6 +66,11 @@ pub struct EngineConfig {
     /// Which plans serve from the compiled tier (flat decision-tree arrays
     /// instead of live policy steps). See [`CompiledTier`].
     pub compiled: CompiledTier,
+    /// Whether the [`crate::telemetry`] hooks record. `None` resolves from
+    /// the `AIGS_TELEMETRY` environment variable at construction (on
+    /// unless `0`); the hooks are cheap enough (two relaxed atomic adds
+    /// per histogram record) that on is the default.
+    pub telemetry: Option<bool>,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +83,7 @@ impl Default for EngineConfig {
             shards: 0,
             durability: None,
             compiled: CompiledTier::Auto,
+            telemetry: None,
         }
     }
 }
@@ -192,7 +201,7 @@ impl SessionId {
 }
 
 /// A point-in-time snapshot of engine activity, aggregated across shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineStats {
     /// Currently live (suspended or mid-step) sessions.
     pub live: usize,
@@ -232,6 +241,47 @@ pub struct EngineStats {
     /// Whether the engine is in degraded (read-mostly) mode after a WAL
     /// failure on any shard.
     pub degraded: bool,
+    /// The engine's logical clock when it degraded (`None` while
+    /// healthy).
+    pub degraded_since: Option<u64>,
+    /// The WAL error that triggered degradation, verbatim (`None` while
+    /// healthy).
+    pub degraded_reason: Option<String>,
+}
+
+/// One shard's slice of [`EngineStats`]: the per-shard counters before
+/// they are summed, so shard imbalance (skewed live counts, one shard
+/// absorbing the evictions, a single hot log) is observable. Returned by
+/// [`SearchEngine::stats_per_shard`] and the wire protocol's shard-stats
+/// opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Which shard (0-based).
+    pub shard: u32,
+    /// Sessions currently live on this shard.
+    pub live: u64,
+    /// Sessions opened on this shard.
+    pub opened: u64,
+    /// Sessions finished with an outcome.
+    pub finished: u64,
+    /// Sessions cancelled by their caller.
+    pub cancelled: u64,
+    /// Sessions evicted as idle.
+    pub evicted: u64,
+    /// Sessions torn down by search errors.
+    pub errored: u64,
+    /// Sessions quarantined by policy panics.
+    pub panicked: u64,
+    /// `next_question`/`answer` operations served.
+    pub steps: u64,
+    /// Opens served by a warm pooled instance.
+    pub pool_hits: u64,
+    /// Steps served from the compiled tier.
+    pub compiled_hits: u64,
+    /// Sessions that left the compiled tier for the live one.
+    pub compiled_fallbacks: u64,
+    /// WAL records appended to this shard's log (0 with durability off).
+    pub wal_records: u64,
 }
 
 /// The stepping state behind one live session: which serving tier it is
@@ -267,6 +317,16 @@ enum StepTier {
     Live,
     Compiled,
     Fallback,
+}
+
+impl StepTier {
+    fn telemetry(&self) -> telemetry::Tier {
+        match self {
+            StepTier::Live => telemetry::Tier::Live,
+            StepTier::Compiled => telemetry::Tier::Compiled,
+            StepTier::Fallback => telemetry::Tier::Fallback,
+        }
+    }
 }
 
 struct LiveSession {
@@ -333,16 +393,26 @@ struct Shard {
     /// mutex may be held while taking the heap lock, never the reverse.
     idle: Mutex<BinaryHeap<IdleEntry>>,
     counters: Counters,
+    /// Sessions currently live on this shard (the engine-global `live`
+    /// stays the admission budget; this one exists so shard skew is
+    /// observable). Incremented by slot allocation, decremented by slot
+    /// release — exactly paired on every teardown path.
+    live: AtomicU64,
+    /// This shard's telemetry cell, shared (`Arc`) with its `WalState` and
+    /// group-commit thread.
+    telemetry: Arc<ShardTelemetry>,
     wal: Option<WalState>,
 }
 
 impl Shard {
-    fn empty() -> Shard {
+    fn empty(telemetry_enabled: bool) -> Shard {
         Shard {
             slots: RwLock::new(Vec::new()),
             free: Mutex::new(Vec::new()),
             idle: Mutex::new(BinaryHeap::new()),
             counters: Counters::default(),
+            live: AtomicU64::new(0),
+            telemetry: Arc::new(ShardTelemetry::new(telemetry_enabled)),
             wal: None,
         }
     }
@@ -404,11 +474,19 @@ pub struct SearchEngine {
     live: AtomicUsize,
     peak_live: AtomicUsize,
     /// Engine-wide logical clock; see [`Shard`] for why it is not sharded.
-    clock: AtomicU64,
+    /// Shared (`Arc`) with the degraded latch so WAL failure sites can
+    /// stamp their entry time.
+    clock: Arc<AtomicU64>,
     /// Round-robin shard placement for new sessions.
     placement: AtomicUsize,
-    /// Engine-wide degraded flag, shared with every shard's [`WalState`].
-    degraded: Arc<AtomicBool>,
+    /// Engine-wide degraded latch (flag + entered-at clock + triggering
+    /// error), shared with every shard's [`WalState`].
+    degraded: Arc<DegradedState>,
+    /// Whether telemetry records (resolved once at construction); gates
+    /// the hot paths' `Instant::now()` reads.
+    telemetry_enabled: bool,
+    /// Slow-op journal threshold in nanoseconds (`AIGS_SLOW_OP_NS`).
+    slow_threshold_ns: u64,
 }
 
 /// Issues [`SearchEngine::engine_id`] nonces (process-wide, never zero).
@@ -445,8 +523,12 @@ impl SearchEngine {
         let shard_count = resolve_shards(config.shards);
         config.shards = shard_count;
         config.compiled = resolve_compiled(config.compiled);
-        let degraded = Arc::new(AtomicBool::new(false));
-        let mut shards: Vec<Shard> = (0..shard_count).map(|_| Shard::empty()).collect();
+        let telemetry_enabled = telemetry::resolve_enabled(config.telemetry);
+        let clock = Arc::new(AtomicU64::new(0));
+        let degraded = DegradedState::new(Arc::clone(&clock));
+        let mut shards: Vec<Shard> = (0..shard_count)
+            .map(|_| Shard::empty(telemetry_enabled))
+            .collect();
         if let Some(d) = &config.durability {
             std::fs::create_dir_all(&d.dir).map_err(durability_err)?;
             // Wipe every stale shard directory — including those past the
@@ -472,6 +554,7 @@ impl SearchEngine {
                     k as u32,
                     shard_count as u32,
                     Arc::clone(&degraded),
+                    Arc::clone(&shard.telemetry),
                     true,
                 )?);
             }
@@ -485,9 +568,11 @@ impl SearchEngine {
             shards,
             live: AtomicUsize::new(0),
             peak_live: AtomicUsize::new(0),
-            clock: AtomicU64::new(0),
+            clock,
             placement: AtomicUsize::new(0),
             degraded,
+            telemetry_enabled,
+            slow_threshold_ns: telemetry::resolve_slow_threshold(),
         })
     }
 
@@ -607,7 +692,10 @@ impl SearchEngine {
             parts
         });
 
-        let degraded = Arc::new(AtomicBool::new(false));
+        let telemetry_enabled = telemetry::resolve_enabled(config.telemetry);
+        let clock = Arc::new(AtomicU64::new(0));
+        let degraded = DegradedState::new(Arc::clone(&clock));
+        let recover_timer = telemetry_enabled.then(std::time::Instant::now);
         let mut shards = Vec::with_capacity(shard_count);
         let mut live = 0usize;
         for (k, part) in parts.into_iter().enumerate() {
@@ -636,6 +724,8 @@ impl SearchEngine {
                 free: Mutex::new(part.free),
                 idle: Mutex::new(part.idle),
                 counters,
+                live: AtomicU64::new(part.live as u64),
+                telemetry: Arc::new(ShardTelemetry::new(telemetry_enabled)),
                 wal: None,
             });
         }
@@ -647,9 +737,11 @@ impl SearchEngine {
             shards,
             live: AtomicUsize::new(live),
             peak_live: AtomicUsize::new(live),
-            clock: AtomicU64::new(0),
+            clock,
             placement: AtomicUsize::new(0),
             degraded: Arc::clone(&degraded),
+            telemetry_enabled,
+            slow_threshold_ns: telemetry::resolve_slow_threshold(),
         };
 
         // Re-establish durability deterministically, shard by shard:
@@ -675,8 +767,18 @@ impl SearchEngine {
                 k as u32,
                 shard_count as u32,
                 Arc::clone(&degraded),
+                Arc::clone(&engine.shards[k].telemetry),
                 false,
             )?);
+        }
+        if let Some(t) = recover_timer {
+            // One wall-clock observation for the whole recovery, on shard
+            // 0's cell (it exists even for a 1-shard engine).
+            engine.shards[0].telemetry.record_duration(
+                telemetry::Op::Recover,
+                telemetry::Tier::Live,
+                t.elapsed().as_nanos() as u64,
+            );
         }
         Ok((engine, report))
     }
@@ -733,6 +835,7 @@ impl SearchEngine {
         kind: PolicyKind,
     ) -> Result<SessionHandle<'_>, ServiceError> {
         self.check_active()?;
+        let timer = self.op_timer();
         let now = self.tick();
         if plan.engine != self.engine_id {
             return Err(ServiceError::UnknownPlan(plan));
@@ -827,6 +930,11 @@ impl SearchEngine {
             answers: Vec::new(),
             last_touch: now,
         };
+        let opened_tier = if session.core.is_compiled() {
+            telemetry::Tier::Compiled
+        } else {
+            telemetry::Tier::Live
+        };
         let local = allocate_slot(shard);
         let slot_arc = slot_arc(shard, local);
         let generation = {
@@ -852,6 +960,7 @@ impl SearchEngine {
             slot.generation
         };
         shard.counters.opened.fetch_add(1, Ordering::Relaxed);
+        self.record_op(shard_k, telemetry::Op::Open, opened_tier, kind, timer);
         self.maybe_autocompact(shard_k);
         Ok(SessionHandle {
             engine: self,
@@ -877,7 +986,8 @@ impl SearchEngine {
     /// session is untouched. Works in degraded mode: question derivation is
     /// deterministic, so it never needs the log.
     pub fn next_question(&self, id: SessionId) -> Result<SessionStep, ServiceError> {
-        let (shard_k, step) = self.step_session(
+        let timer = self.op_timer();
+        let (shard_k, step, kind) = self.step_session(
             id,
             |s| {
                 let LiveSession { plan, core, .. } = s;
@@ -894,6 +1004,11 @@ impl SearchEngine {
         )?;
         let shard = &self.shards[shard_k];
         shard.counters.steps.fetch_add(1, Ordering::Relaxed);
+        let tier = match &step {
+            Ok((_, true)) => telemetry::Tier::Compiled,
+            _ => telemetry::Tier::Live,
+        };
+        self.record_op(shard_k, telemetry::Op::Next, tier, kind, timer);
         match step {
             Ok((step, compiled)) => {
                 if compiled {
@@ -925,8 +1040,9 @@ impl SearchEngine {
     /// acknowledged answer history.
     pub fn answer(&self, id: SessionId, yes: bool) -> Result<(), ServiceError> {
         self.check_active()?;
+        let timer = self.op_timer();
         let max_queries = self.config.max_queries;
-        let (shard_k, fed) = self.step_session(
+        let (shard_k, fed, kind) = self.step_session(
             id,
             |s| {
                 let LiveSession {
@@ -981,6 +1097,11 @@ impl SearchEngine {
         )?;
         let shard = &self.shards[shard_k];
         shard.counters.steps.fetch_add(1, Ordering::Relaxed);
+        let tier = match &fed {
+            Ok((_, tier)) => tier.telemetry(),
+            Err(_) => telemetry::Tier::Live,
+        };
+        self.record_op(shard_k, telemetry::Op::Answer, tier, kind, timer);
         match &fed {
             Ok((_, StepTier::Compiled)) => {
                 shard.counters.compiled_hits.fetch_add(1, Ordering::Relaxed);
@@ -1005,6 +1126,7 @@ impl SearchEngine {
     /// logged ([`ServiceError::Durability`]).
     pub fn finish(&self, id: SessionId) -> Result<SearchOutcome, ServiceError> {
         self.check_active()?;
+        let timer = self.op_timer();
         // Probe resolution and take the session under ONE slot-lock
         // acquisition: a probe-then-remove pair would let a concurrent
         // cancel/evict slip between the two and discard the outcome.
@@ -1053,9 +1175,23 @@ impl SearchEngine {
             slot.generation = slot.generation.wrapping_add(1);
             (outcome, slot.session.take().expect("checked above"))
         };
+        let kind = session.kind;
+        let finish_tier = if session.core.is_compiled() {
+            telemetry::Tier::Compiled
+        } else {
+            telemetry::Tier::Live
+        };
+        if self.telemetry_enabled {
+            // Realized cost per finished session — the paper's objective,
+            // recorded next to the predicted expected cost.
+            session
+                .plan
+                .record_finish(kind, outcome.queries, outcome.price);
+        }
         session.release_policy();
         self.release_slot(shard, local);
         shard.counters.finished.fetch_add(1, Ordering::Relaxed);
+        self.record_op(shard_k, telemetry::Op::Finish, finish_tier, kind, timer);
         self.maybe_autocompact(shard_k);
         Ok(outcome)
     }
@@ -1063,7 +1199,10 @@ impl SearchEngine {
     /// Discards a session regardless of progress, reclaiming its slot.
     pub fn cancel(&self, id: SessionId) -> Result<(), ServiceError> {
         self.check_active()?;
-        self.remove(id, Removal::Cancelled)
+        let timer = self.op_timer();
+        let (shard_k, kind, tier) = self.remove(id, Removal::Cancelled)?;
+        self.record_op(shard_k, telemetry::Op::Cancel, tier, kind, timer);
+        Ok(())
     }
 
     /// Evicts every session idle for at least the configured
@@ -1094,6 +1233,7 @@ impl SearchEngine {
     /// sessions' history; the purely operational ones (`steps`,
     /// `pool_hits`, `errored`, `panicked`) restart from zero.
     pub fn stats(&self) -> EngineStats {
+        let entered = self.degraded.entered();
         let mut stats = EngineStats {
             live: self.live.load(Ordering::Relaxed),
             peak_live: self.peak_live.load(Ordering::Relaxed),
@@ -1109,7 +1249,9 @@ impl SearchEngine {
             compiled_hits: 0,
             compiled_fallbacks: 0,
             wal_records: 0,
-            degraded: self.is_degraded(),
+            degraded: entered.is_some(),
+            degraded_since: entered.as_ref().map(|(at, _)| *at),
+            degraded_reason: entered.map(|(_, reason)| reason),
         };
         for shard in &self.shards {
             let c = &shard.counters;
@@ -1128,6 +1270,232 @@ impl SearchEngine {
             }
         }
         stats
+    }
+
+    /// The per-shard slices of [`Self::stats`], *before* summation, so
+    /// shard imbalance — skewed live counts, one shard absorbing the
+    /// evictions — is observable. Counters on different shards are
+    /// sampled at slightly different instants; each shard's own row is
+    /// internally consistent the same way [`Self::stats`] is.
+    pub fn stats_per_shard(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let c = &shard.counters;
+                ShardStats {
+                    shard: k as u32,
+                    live: shard.live.load(Ordering::Relaxed),
+                    opened: c.opened.load(Ordering::Relaxed),
+                    finished: c.finished.load(Ordering::Relaxed),
+                    cancelled: c.cancelled.load(Ordering::Relaxed),
+                    evicted: c.evicted.load(Ordering::Relaxed),
+                    errored: c.errored.load(Ordering::Relaxed),
+                    panicked: c.panicked.load(Ordering::Relaxed),
+                    steps: c.steps.load(Ordering::Relaxed),
+                    pool_hits: c.pool_hits.load(Ordering::Relaxed),
+                    compiled_hits: c.compiled_hits.load(Ordering::Relaxed),
+                    compiled_fallbacks: c.compiled_fallbacks.load(Ordering::Relaxed),
+                    wal_records: shard
+                        .wal
+                        .as_ref()
+                        .map_or(0, |w| w.total_records.load(Ordering::Relaxed)),
+                }
+            })
+            .collect()
+    }
+
+    /// A cross-shard aggregation of the telemetry cells: per-(op, tier)
+    /// latency histograms, per-(op, kind) counts, WAL internals, and
+    /// per-plan realized/predicted cost rows. Cumulative since
+    /// construction; difference two snapshots with
+    /// [`TelemetrySnapshot::minus`] for rates. With telemetry disabled
+    /// the snapshot exists but is all-zero (`enabled` says which).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::empty(self.telemetry_enabled, self.shards.len() as u32);
+        snap.clock = self.clock.load(Ordering::Relaxed);
+        for shard in &self.shards {
+            snap.absorb_shard(&shard.telemetry);
+        }
+        let plans = self.plans.read().expect("plans lock poisoned");
+        snap.plans = plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.cost_snapshot(i as u32))
+            .filter(|p| !p.kinds.is_empty())
+            .collect();
+        snap
+    }
+
+    /// Drains every shard's slow-op journal: operations whose wall time
+    /// crossed the `AIGS_SLOW_OP_NS` threshold (default 1 ms), oldest
+    /// first per shard. Each ring holds the 64 most recent entries;
+    /// [`TelemetrySnapshot::slow_dropped`] counts overwrites.
+    pub fn drain_slow_ops(&self) -> Vec<SlowOp> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.telemetry.drain_slow());
+        }
+        out
+    }
+
+    /// The predicted expected cost of serving `kind` on `plan` — the
+    /// paper's objective (Definition 8), computed by evaluating the
+    /// policy exhaustively over the plan's prior and cached on the plan.
+    /// `Ok(None)` when the kind has no deterministic evaluation
+    /// (`Random`) or the evaluation failed. The first call per (plan,
+    /// kind) costs O(targets × session length); telemetry snapshots
+    /// surface the cached value next to the realized distribution so
+    /// predicted-vs-realized drift is directly readable.
+    pub fn predict_expected_cost(
+        &self,
+        plan: PlanId,
+        kind: PolicyKind,
+    ) -> Result<Option<PredictedCost>, ServiceError> {
+        if plan.engine != self.engine_id {
+            return Err(ServiceError::UnknownPlan(plan));
+        }
+        let entry = {
+            let plans = self.plans.read().expect("plans lock poisoned");
+            plans
+                .get(plan.index as usize)
+                .cloned()
+                .ok_or(ServiceError::UnknownPlan(plan))?
+        };
+        Ok(entry.predict(kind))
+    }
+
+    /// Renders the engine's stats and telemetry as Prometheus text
+    /// exposition (version 0.0.4): `aigs_*` gauges, counters, and
+    /// cumulative `le`-bucketed histograms. Served over HTTP by
+    /// [`crate::wire::WireServer`] at `GET /metrics`.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write;
+        let stats = self.stats();
+        let telem = self.telemetry();
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(out, "# TYPE aigs_live_sessions gauge");
+        let _ = writeln!(out, "aigs_live_sessions {}", stats.live);
+        let _ = writeln!(out, "aigs_peak_live_sessions {}", stats.peak_live);
+        let _ = writeln!(out, "aigs_shards {}", stats.shards);
+        let _ = writeln!(out, "aigs_degraded {}", u8::from(stats.degraded));
+        if let Some(since) = stats.degraded_since {
+            let _ = writeln!(out, "aigs_degraded_since_clock {since}");
+        }
+        let _ = writeln!(out, "aigs_wal_records_total {}", stats.wal_records);
+
+        let _ = writeln!(out, "# TYPE aigs_ops_total counter");
+        for (o, op) in telemetry::OPS.iter().enumerate() {
+            for (slot, &count) in telem.op_kind[o].iter().enumerate() {
+                if count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "aigs_ops_total{{op=\"{}\",kind=\"{}\"}} {count}",
+                        op.name(),
+                        telemetry::kind_slot_name(slot)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# TYPE aigs_op_duration_ns histogram");
+        for (o, op) in telemetry::OPS.iter().enumerate() {
+            for (t, tier) in telemetry::TIERS.iter().enumerate() {
+                let h = &telem.op_tier_ns[o][t];
+                if h.count() > 0 {
+                    render_histogram(
+                        &mut out,
+                        "aigs_op_duration_ns",
+                        &format!("op=\"{}\",tier=\"{}\"", op.name(), tier.name()),
+                        h,
+                    );
+                }
+            }
+        }
+
+        let _ = writeln!(out, "# TYPE aigs_shard_live gauge");
+        for row in self.stats_per_shard() {
+            let _ = writeln!(
+                out,
+                "aigs_shard_live{{shard=\"{}\"}} {}",
+                row.shard, row.live
+            );
+            let _ = writeln!(
+                out,
+                "aigs_shard_steps_total{{shard=\"{}\"}} {}",
+                row.shard, row.steps
+            );
+            let _ = writeln!(
+                out,
+                "aigs_shard_evicted_total{{shard=\"{}\"}} {}",
+                row.shard, row.evicted
+            );
+            let _ = writeln!(
+                out,
+                "aigs_shard_wal_records_total{{shard=\"{}\"}} {}",
+                row.shard, row.wal_records
+            );
+        }
+
+        let _ = writeln!(out, "# TYPE aigs_wal_append_bytes_total counter");
+        let _ = writeln!(
+            out,
+            "aigs_wal_append_bytes_total {}",
+            telem.wal.append_bytes
+        );
+        let _ = writeln!(
+            out,
+            "aigs_wal_flush_signals_total {}",
+            telem.wal.flush_signals
+        );
+        let _ = writeln!(out, "aigs_wal_compactions_total {}", telem.wal.compactions);
+        let _ = writeln!(
+            out,
+            "aigs_wal_degraded_transitions_total {}",
+            telem.wal.degraded_transitions
+        );
+        if telem.wal.fsync_ns.count() > 0 {
+            render_histogram(
+                &mut out,
+                "aigs_wal_fsync_duration_ns",
+                "",
+                &telem.wal.fsync_ns,
+            );
+            render_histogram(&mut out, "aigs_wal_fsync_batch", "", &telem.wal.fsync_batch);
+        }
+
+        let _ = writeln!(out, "# TYPE aigs_plan_realized_queries histogram");
+        for plan in &telem.plans {
+            for row in &plan.kinds {
+                let labels = format!("plan=\"{}\",kind=\"{}\"", plan.plan, row.kind);
+                if row.queries.count() > 0 {
+                    render_histogram(
+                        &mut out,
+                        "aigs_plan_realized_queries",
+                        &labels,
+                        &row.queries,
+                    );
+                    let _ = writeln!(
+                        out,
+                        "aigs_plan_realized_price_total{{{labels}}} {}",
+                        row.price_sum
+                    );
+                }
+                if let Some(p) = row.predicted {
+                    let _ = writeln!(
+                        out,
+                        "aigs_plan_predicted_queries{{{labels}}} {}",
+                        p.expected_queries
+                    );
+                    let _ = writeln!(
+                        out,
+                        "aigs_plan_predicted_price{{{labels}}} {}",
+                        p.expected_price
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "aigs_slow_ops_dropped_total {}", telem.slow_dropped);
+        out
     }
 
     /// Compacts every shard's write-ahead log now: rotates the tail,
@@ -1162,7 +1530,43 @@ impl SearchEngine {
     }
 
     fn is_degraded(&self) -> bool {
-        self.degraded.load(Ordering::Relaxed)
+        self.degraded.is()
+    }
+
+    /// Starts an operation timer — `None` (and therefore zero overhead
+    /// downstream) when telemetry is disabled.
+    #[inline]
+    fn op_timer(&self) -> Option<std::time::Instant> {
+        self.telemetry_enabled.then(std::time::Instant::now)
+    }
+
+    /// Records one completed operation on `shard_k`'s telemetry cell and
+    /// journals it if it crossed the slow-op threshold. No-op when
+    /// `timer` is `None` (telemetry disabled).
+    #[inline]
+    fn record_op(
+        &self,
+        shard_k: usize,
+        op: telemetry::Op,
+        tier: telemetry::Tier,
+        kind: PolicyKind,
+        timer: Option<std::time::Instant>,
+    ) {
+        let Some(t) = timer else { return };
+        let ns = t.elapsed().as_nanos() as u64;
+        let cell = &self.shards[shard_k].telemetry;
+        cell.record_op(op, tier, kind, ns);
+        cell.note_slow(
+            self.slow_threshold_ns,
+            SlowOp {
+                shard: shard_k as u32,
+                op,
+                tier,
+                kind,
+                duration_ns: ns,
+                at: self.clock.load(Ordering::Relaxed),
+            },
+        );
     }
 
     /// Gate for mutating operations: a degraded engine is read-mostly.
@@ -1190,6 +1594,9 @@ impl SearchEngine {
             wal.publish_snapshot()
         })();
         wal.compacting.store(false, Ordering::SeqCst);
+        if result.is_ok() {
+            self.shards[shard_k].telemetry.wal_compaction();
+        }
         result
     }
 
@@ -1356,6 +1763,7 @@ impl SearchEngine {
         if self.is_degraded() {
             return (0, None);
         }
+        let timer = self.op_timer();
         let now = self.clock.load(Ordering::Relaxed);
         let mut evicted = 0;
         let oldest = loop {
@@ -1392,17 +1800,31 @@ impl SearchEngine {
                 slot.session.take()
             };
             if let Some(s) = reclaimed {
+                // Per-kind eviction counts reconcile exactly with the
+                // `evicted` counter; the drain's single latency
+                // observation is recorded below.
+                shard.telemetry.count_op(telemetry::Op::Evict, s.kind);
                 s.release_policy();
                 self.release_slot(shard, local);
                 shard.counters.evicted.fetch_add(1, Ordering::Relaxed);
                 evicted += 1;
             }
         };
+        if evicted > 0 {
+            if let Some(t) = timer {
+                shard.telemetry.record_duration(
+                    telemetry::Op::Evict,
+                    telemetry::Tier::Live,
+                    t.elapsed().as_nanos() as u64,
+                );
+            }
+        }
         (evicted, oldest)
     }
 
     fn release_slot(&self, shard: &Shard, local: u32) {
         self.live.fetch_sub(1, Ordering::Relaxed);
+        shard.live.fetch_sub(1, Ordering::Relaxed);
         shard.free.lock().expect("free list poisoned").push(local);
     }
 
@@ -1446,7 +1868,7 @@ impl SearchEngine {
         id: SessionId,
         f: impl FnOnce(&mut LiveSession) -> Result<T, CoreError>,
         event: impl FnOnce(&T, u32) -> Option<WalEvent>,
-    ) -> Result<(usize, Result<T, CoreError>), ServiceError> {
+    ) -> Result<(usize, Result<T, CoreError>, PolicyKind), ServiceError> {
         let (shard_k, local, slot_arc) = self.locate(id)?;
         let shard = &self.shards[shard_k];
         let mut slot = slot_arc.lock().expect("slot lock poisoned");
@@ -1457,6 +1879,7 @@ impl SearchEngine {
             .session
             .as_mut()
             .ok_or(ServiceError::UnknownSession(id))?;
+        let kind = session.kind;
         let now = self.tick();
         session.last_touch = now;
         self.touch_idle(shard, local, id.generation, now);
@@ -1491,7 +1914,7 @@ impl SearchEngine {
                         }
                     }
                 }
-                Ok((shard_k, result))
+                Ok((shard_k, result, kind))
             }
             Err(_) => self.quarantine(shard_k, local, slot),
         }
@@ -1525,7 +1948,13 @@ impl SearchEngine {
         Err(ServiceError::PolicyPanicked)
     }
 
-    fn remove(&self, id: SessionId, how: Removal) -> Result<(), ServiceError> {
+    /// Tears down the session behind `id`, returning its shard, kind and
+    /// serving tier for the caller's telemetry record.
+    fn remove(
+        &self,
+        id: SessionId,
+        how: Removal,
+    ) -> Result<(usize, PolicyKind, telemetry::Tier), ServiceError> {
         let (shard_k, local, slot_arc) = self.locate(id)?;
         let shard = &self.shards[shard_k];
         let session = {
@@ -1552,6 +1981,12 @@ impl SearchEngine {
             slot.generation = slot.generation.wrapping_add(1);
             slot.session.take().expect("checked above")
         };
+        let kind = session.kind;
+        let tier = if session.core.is_compiled() {
+            telemetry::Tier::Compiled
+        } else {
+            telemetry::Tier::Live
+        };
         session.release_policy();
         self.release_slot(shard, local);
         let counter = match how {
@@ -1559,12 +1994,15 @@ impl SearchEngine {
             Removal::Errored => &shard.counters.errored,
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok((shard_k, kind, tier))
     }
 }
 
-/// Allocates a local slot on `shard`, preferring its free list.
+/// Allocates a local slot on `shard`, preferring its free list, and
+/// claims one unit of the shard's live count (paired with
+/// `release_slot` on every teardown path).
 fn allocate_slot(shard: &Shard) -> u32 {
+    shard.live.fetch_add(1, Ordering::Relaxed);
     if let Some(i) = shard.free.lock().expect("free list poisoned").pop() {
         return i;
     }

@@ -27,6 +27,11 @@
 //!   shared by every session on that plan, plus a per-plan pool of policy
 //!   instances whose journal-based `reset` costs O(Δ of the last session)
 //!   instead of an O(n) rebuild.
+//! * [`telemetry`] — first-class observability: per-shard latency
+//!   histograms by operation/tier/kind, WAL and fsync internals, per-plan
+//!   realized-vs-predicted cost, a slow-op journal, and a Prometheus text
+//!   exposition ([`SearchEngine::prometheus_text`], served by
+//!   [`wire::WireServer`] at `GET /metrics`).
 //!
 //! ## Quick start
 //!
@@ -67,12 +72,13 @@ mod engine;
 mod error;
 mod kind;
 mod plan;
+pub mod telemetry;
 pub mod wire;
 
 pub use aigs_data::wal::FsyncPolicy;
 pub use durability::{DurabilityConfig, RecoveryReport};
 pub use engine::{
-    CompiledTier, EngineConfig, EngineStats, SearchEngine, SessionHandle, SessionId,
+    CompiledTier, EngineConfig, EngineStats, SearchEngine, SessionHandle, SessionId, ShardStats,
     DEFAULT_MAX_SESSIONS,
 };
 pub use error::ServiceError;

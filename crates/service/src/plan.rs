@@ -9,6 +9,8 @@ use aigs_core::{
 use aigs_graph::{Dag, ReachIndex};
 
 use crate::kind::{PolicyKind, POOLED_KINDS};
+use crate::telemetry::{kind_slot_name, micros_to_price, PlanTelemetry, PredictedCost};
+use crate::telemetry::{PlanCostSnapshot, PlanKindCost, KIND_SLOTS};
 use crate::ServiceError;
 
 /// Handle to a registered plan (a "roster entry"): one hierarchy + target
@@ -23,6 +25,15 @@ use crate::ServiceError;
 pub struct PlanId {
     pub(crate) engine: u32,
     pub(crate) index: u32,
+}
+
+impl PlanId {
+    /// The plan's registration position on its engine — the value
+    /// telemetry uses as the `plan` label
+    /// ([`crate::telemetry::PlanCostSnapshot::plan`]).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
 }
 
 /// Which reachability backend a plan shares across its sessions.
@@ -139,6 +150,13 @@ pub(crate) struct PlanEntry {
     /// `Some(None)` caches a failed/oversized compile so every session
     /// after the first falls through to the live tier without retrying.
     compiled: [OnceLock<Option<Arc<CompiledPlan>>>; POOLED_KINDS],
+    /// Realized-cost telemetry cells (queries/price per finished session,
+    /// one cell per kind slot).
+    telemetry: PlanTelemetry,
+    /// Lazily computed predicted expected cost per poolable kind, from an
+    /// exhaustive evaluation over the plan's prior (paper Definition 8).
+    /// `Some(None)` caches an evaluation that failed or panicked.
+    predicted: [OnceLock<Option<PredictedCost>>; POOLED_KINDS],
 }
 
 impl PlanEntry {
@@ -169,6 +187,8 @@ impl PlanEntry {
             pool_cap,
             compiled_cfg: spec.compiled,
             compiled: std::array::from_fn(|_| OnceLock::new()),
+            telemetry: PlanTelemetry::new(),
+            predicted: std::array::from_fn(|_| OnceLock::new()),
         };
         entry.ctx().validate().map_err(ServiceError::Core)?;
         Ok(entry)
@@ -282,6 +302,80 @@ impl PlanEntry {
             if pool.len() < self.pool_cap {
                 pool.push(policy);
             }
+        }
+    }
+
+    /// Records one finished session's realized cost into the plan's
+    /// telemetry cell for `kind` (two relaxed adds plus a histogram
+    /// record).
+    pub(crate) fn record_finish(&self, kind: PolicyKind, queries: u32, price: f64) {
+        self.telemetry.record_finish(kind, queries, price);
+    }
+
+    /// The predicted expected cost of `kind` on this plan, computing it on
+    /// first call by evaluating the policy exhaustively over the prior
+    /// (paper Definitions 7–8; O(targets × session length)). `None` for
+    /// `Random` (no deterministic tree to evaluate) or when the evaluation
+    /// fails. Cached — subsequent calls are a load.
+    pub(crate) fn predict(&self, kind: PolicyKind) -> Option<PredictedCost> {
+        let i = kind.pool_index()?;
+        *self.predicted[i].get_or_init(|| {
+            let (mut policy, _) = self.acquire(kind);
+            let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                aigs_core::evaluate_exhaustive(policy.as_mut(), &self.ctx())
+            }));
+            match report {
+                Ok(Ok(report)) => {
+                    // Exhaustive evaluation leaves the policy reset between
+                    // targets, so the instance is safe to pool.
+                    self.release(kind, policy);
+                    Some(PredictedCost {
+                        expected_queries: report.expected_cost,
+                        expected_price: report.expected_price,
+                    })
+                }
+                // Evaluation error or panic: drop the instance and cache
+                // the absence so no later snapshot retries the O(n·len)
+                // sweep.
+                _ => None,
+            }
+        })
+    }
+
+    /// The cached prediction for kind slot `i`, never forcing the
+    /// evaluation (snapshots must not spend O(targets × session length)
+    /// on the stats path).
+    fn predicted_peek(&self, i: usize) -> Option<PredictedCost> {
+        self.predicted
+            .get(i)
+            .and_then(|slot| slot.get())
+            .copied()
+            .flatten()
+    }
+
+    /// Realized/predicted cost rows for this plan: one row per kind slot
+    /// with recorded traffic or a computed prediction.
+    pub(crate) fn cost_snapshot(&self, plan_index: u32) -> PlanCostSnapshot {
+        let mut kinds = Vec::new();
+        for i in 0..KIND_SLOTS {
+            let cell = &self.telemetry.realized[i];
+            let queries = cell.queries.snapshot();
+            let predicted = self.predicted_peek(i);
+            if queries.count() == 0 && predicted.is_none() {
+                continue;
+            }
+            kinds.push(PlanKindCost {
+                kind: kind_slot_name(i).to_string(),
+                queries,
+                price_sum: micros_to_price(
+                    cell.price_micros.load(std::sync::atomic::Ordering::Relaxed),
+                ),
+                predicted,
+            });
+        }
+        PlanCostSnapshot {
+            plan: plan_index,
+            kinds,
         }
     }
 

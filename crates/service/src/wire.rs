@@ -28,6 +28,8 @@
 //! | `0x04` | FINISH | session id |
 //! | `0x05` | CANCEL | session id |
 //! | `0x06` | STATS | *(empty)* |
+//! | `0x07` | METRICS | mode `u8` (0 = full, 1 = delta since this connection's last snapshot) |
+//! | `0x08` | SHARD_STATS | *(empty)* |
 //!
 //! Kind tag/seed use the same stable code table as the WAL
 //! ([`crate::PolicyKind`] ↔ tag 0–8, seed meaningful only for
@@ -55,11 +57,29 @@
 //! `u32`, queries `u32`, price `f64`; STATS → live `u64`, peak-live `u64`,
 //! shards `u32`, then `u64` counters (opened, finished, cancelled,
 //! evicted, errored, panicked, steps, pool-hits, compiled-hits,
-//! compiled-fallbacks, wal-records), degraded `u8`.
+//! compiled-fallbacks, wal-records), degraded `u8`, degraded-since `u64`
+//! (logical clock, 0 when healthy), then the rest of the body is the
+//! UTF-8 degraded reason (empty when healthy); SHARD_STATS → shard count
+//! `u32`, then per shard: shard `u32` + 12 `u64` counters (live, opened,
+//! finished, cancelled, evicted, errored, panicked, steps, pool-hits,
+//! compiled-hits, compiled-fallbacks, wal-records); METRICS → an encoded
+//! [`TelemetrySnapshot`] (see [`WireClient::metrics`]); in delta mode the
+//! server diffs against the previous snapshot taken *on this connection*
+//! (histograms and counters are since-last-call, predicted costs stay
+//! absolute).
 //!
 //! A BAD_REQUEST is answered before the connection is closed; an
 //! oversized or unparsable *length prefix* closes the connection without
 //! a response (the stream can no longer be framed).
+//!
+//! ## HTTP escape hatch
+//!
+//! A connection whose first four bytes are `GET ` is served as one
+//! plain-text HTTP exchange instead of a framed one: `GET /metrics`
+//! returns the engine's Prometheus exposition
+//! ([`SearchEngine::prometheus_text`]) with status 200, any other path
+//! returns 404, and the connection closes. This lets a stock Prometheus
+//! scraper (or `curl`) read the same port the binary protocol runs on.
 //!
 //! ## Server shape
 //!
@@ -83,6 +103,11 @@ use aigs_data::wal::KindCode;
 use aigs_graph::NodeId;
 
 use crate::durability::{kind_code, kind_from_code};
+use crate::engine::ShardStats;
+use crate::telemetry::{
+    HistSnapshot, PlanCostSnapshot, PlanKindCost, PredictedCost, TelemetrySnapshot, WalMetrics,
+    HIST_BUCKETS,
+};
 use crate::{EngineStats, PlanId, PolicyKind, SearchEngine, ServiceError, SessionId};
 
 /// Hard ceiling on a frame's payload, both directions. Every legitimate
@@ -101,6 +126,8 @@ const OP_ANSWER: u8 = 0x03;
 const OP_FINISH: u8 = 0x04;
 const OP_CANCEL: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
+const OP_METRICS: u8 = 0x07;
+const OP_SHARD_STATS: u8 = 0x08;
 
 // Status codes.
 const ST_OK: u8 = 0x00;
@@ -279,6 +306,151 @@ fn put_session_id(out: &mut Vec<u8>, id: SessionId) {
     out.extend_from_slice(&g.to_le_bytes());
 }
 
+// ---- telemetry snapshot encoding ---------------------------------------
+//
+// Histograms are sparse on the wire: a `u8` count of non-zero buckets,
+// then (`u8` bucket index, `u64` count) pairs, then the `u64` sum of
+// recorded values. A fresh engine's snapshot is therefore a few hundred
+// bytes, not 21 × 64 × 8.
+
+fn put_hist(out: &mut Vec<u8>, h: &HistSnapshot) {
+    let nonzero = h.buckets.iter().filter(|&&b| b != 0).count() as u8;
+    out.push(nonzero);
+    for (i, &count) in h.buckets.iter().enumerate() {
+        if count != 0 {
+            out.push(i as u8);
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&h.sum.to_le_bytes());
+}
+
+fn read_hist(c: &mut Cursor<'_>) -> Result<HistSnapshot, String> {
+    let mut h = HistSnapshot::default();
+    let nonzero = c.u8()?;
+    for _ in 0..nonzero {
+        let i = c.u8()? as usize;
+        if i >= HIST_BUCKETS {
+            return Err(format!("histogram bucket index {i} out of range"));
+        }
+        h.buckets[i] = c.u64()?;
+    }
+    h.sum = c.u64()?;
+    Ok(h)
+}
+
+fn put_utf8(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u8::MAX as usize);
+    out.push(s.len().min(u8::MAX as usize) as u8);
+    out.extend_from_slice(&s.as_bytes()[..s.len().min(u8::MAX as usize)]);
+}
+
+fn read_utf8(c: &mut Cursor<'_>) -> Result<String, String> {
+    let len = c.u8()? as usize;
+    let bytes = c.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid UTF-8 string: {e}"))
+}
+
+fn encode_snapshot(snap: &TelemetrySnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.push(snap.enabled as u8);
+    out.extend_from_slice(&snap.clock.to_le_bytes());
+    out.extend_from_slice(&snap.shards.to_le_bytes());
+    // Dimensions up front so decoders survive new ops/tiers/kinds.
+    out.push(snap.op_tier_ns.len() as u8);
+    out.push(snap.op_tier_ns.first().map_or(0, Vec::len) as u8);
+    out.push(snap.op_kind.first().map_or(0, Vec::len) as u8);
+    for per_tier in &snap.op_tier_ns {
+        for h in per_tier {
+            put_hist(&mut out, h);
+        }
+    }
+    for per_kind in &snap.op_kind {
+        for &count in per_kind {
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    for v in [
+        snap.wal.append_bytes,
+        snap.wal.flush_signals,
+        snap.wal.compactions,
+        snap.wal.degraded_transitions,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    put_hist(&mut out, &snap.wal.fsync_batch);
+    put_hist(&mut out, &snap.wal.fsync_ns);
+    out.extend_from_slice(&(snap.plans.len() as u32).to_le_bytes());
+    for plan in &snap.plans {
+        out.extend_from_slice(&plan.plan.to_le_bytes());
+        out.push(plan.kinds.len() as u8);
+        for row in &plan.kinds {
+            put_utf8(&mut out, &row.kind);
+            put_hist(&mut out, &row.queries);
+            out.extend_from_slice(&row.price_sum.to_bits().to_le_bytes());
+            match &row.predicted {
+                Some(p) => {
+                    out.push(1);
+                    out.extend_from_slice(&p.expected_queries.to_bits().to_le_bytes());
+                    out.extend_from_slice(&p.expected_price.to_bits().to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+    }
+    out.extend_from_slice(&snap.slow_dropped.to_le_bytes());
+    out
+}
+
+fn decode_snapshot(c: &mut Cursor<'_>) -> Result<TelemetrySnapshot, String> {
+    let enabled = c.u8()? != 0;
+    let clock = c.u64()?;
+    let shards = c.u32()?;
+    let mut snap = TelemetrySnapshot::empty(enabled, shards);
+    snap.clock = clock;
+    let (ops, tiers, kinds) = (c.u8()? as usize, c.u8()? as usize, c.u8()? as usize);
+    snap.op_tier_ns = (0..ops)
+        .map(|_| (0..tiers).map(|_| read_hist(c)).collect())
+        .collect::<Result<_, _>>()?;
+    snap.op_kind = (0..ops)
+        .map(|_| (0..kinds).map(|_| c.u64()).collect())
+        .collect::<Result<_, _>>()?;
+    snap.wal = WalMetrics {
+        append_bytes: c.u64()?,
+        flush_signals: c.u64()?,
+        compactions: c.u64()?,
+        degraded_transitions: c.u64()?,
+        fsync_batch: read_hist(c)?,
+        fsync_ns: read_hist(c)?,
+    };
+    let plan_count = c.u32()?;
+    snap.plans = (0..plan_count)
+        .map(|_| {
+            let plan = c.u32()?;
+            let kind_count = c.u8()?;
+            let kinds = (0..kind_count)
+                .map(|_| {
+                    Ok(PlanKindCost {
+                        kind: read_utf8(c)?,
+                        queries: read_hist(c)?,
+                        price_sum: c.f64()?,
+                        predicted: match c.u8()? {
+                            0 => None,
+                            _ => Some(PredictedCost {
+                                expected_queries: c.f64()?,
+                                expected_price: c.f64()?,
+                            }),
+                        },
+                    })
+                })
+                .collect::<Result<_, String>>()?;
+            Ok(PlanCostSnapshot { plan, kinds })
+        })
+        .collect::<Result<_, String>>()?;
+    snap.slow_dropped = c.u64()?;
+    Ok(snap)
+}
+
 /// Writes one frame: length prefix + payload.
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
     debug_assert!(payload.len() <= MAX_FRAME as usize);
@@ -450,9 +622,62 @@ impl WireClient {
             compiled_fallbacks: p(c.u64())?,
             wal_records: p(c.u64())?,
             degraded: c.u8().map_err(WireError::Protocol)? != 0,
+            degraded_since: None,
+            degraded_reason: None,
         };
+        let since = p(c.u64())?;
+        let reason = c.rest_utf8();
         c.done().map_err(WireError::Protocol)?;
-        Ok(stats)
+        Ok(EngineStats {
+            degraded_since: stats.degraded.then_some(since),
+            degraded_reason: stats.degraded.then_some(reason),
+            ..stats
+        })
+    }
+
+    /// Per-shard activity counters, for spotting shard imbalance (one hot
+    /// shard, uneven eviction) that the aggregated [`stats`](Self::stats)
+    /// hides.
+    pub fn stats_per_shard(&mut self) -> Result<Vec<ShardStats>, WireError> {
+        let body = self.call(&[OP_SHARD_STATS])?;
+        let mut c = Cursor::new(&body);
+        let p = |r: Result<u64, String>| r.map_err(WireError::Protocol);
+        let count = c.u32().map_err(WireError::Protocol)?;
+        let mut shards = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            shards.push(ShardStats {
+                shard: c.u32().map_err(WireError::Protocol)?,
+                live: p(c.u64())?,
+                opened: p(c.u64())?,
+                finished: p(c.u64())?,
+                cancelled: p(c.u64())?,
+                evicted: p(c.u64())?,
+                errored: p(c.u64())?,
+                panicked: p(c.u64())?,
+                steps: p(c.u64())?,
+                pool_hits: p(c.u64())?,
+                compiled_hits: p(c.u64())?,
+                compiled_fallbacks: p(c.u64())?,
+                wal_records: p(c.u64())?,
+            });
+        }
+        c.done().map_err(WireError::Protocol)?;
+        Ok(shards)
+    }
+
+    /// Fetches the engine's [`TelemetrySnapshot`]. With `delta = false`
+    /// the snapshot is absolute (totals since engine start / recovery);
+    /// with `delta = true` the server subtracts the previous snapshot
+    /// taken *on this connection*, so histograms and counters cover only
+    /// the interval since the last `metrics` call here (the first delta
+    /// call on a connection returns totals). Predicted plan costs are
+    /// gauges and stay absolute in both modes.
+    pub fn metrics(&mut self, delta: bool) -> Result<TelemetrySnapshot, WireError> {
+        let body = self.call(&[OP_METRICS, delta as u8])?;
+        let mut c = Cursor::new(&body);
+        let snap = decode_snapshot(&mut c).map_err(WireError::Protocol)?;
+        c.done().map_err(WireError::Protocol)?;
+        Ok(snap)
     }
 }
 
@@ -595,6 +820,13 @@ fn read_exact_idle(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) ->
     Ok(true)
 }
 
+/// Per-connection server state: the last [`TelemetrySnapshot`] taken on
+/// this connection, the baseline for METRICS delta mode.
+#[derive(Default)]
+struct ConnState {
+    last_metrics: Option<TelemetrySnapshot>,
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     engine: &SearchEngine,
@@ -602,11 +834,19 @@ fn serve_connection(
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(READ_TICK))?;
+    let mut conn = ConnState::default();
     let mut header = [0u8; 4];
+    let mut first = true;
     loop {
         if !read_exact_idle(&mut stream, &mut header, stop)? {
             return Ok(());
         }
+        if first && header == *b"GET " {
+            // Someone pointed an HTTP client at the port: serve one
+            // plain-text exchange (the /metrics exposition) and close.
+            return serve_http(&mut stream, engine, stop);
+        }
+        first = false;
         let len = u32::from_le_bytes(header);
         if len > MAX_FRAME {
             // The stream can no longer be framed; no response is possible.
@@ -619,14 +859,45 @@ fn serve_connection(
         if !read_exact_idle(&mut stream, &mut payload, stop)? {
             return Ok(());
         }
-        let response = handle_request(engine, &payload);
+        let response = handle_request(engine, &mut conn, &payload);
         write_frame(&mut stream, &response)?;
     }
 }
 
+/// Serves one HTTP exchange on a connection whose first four bytes were
+/// `GET ` (already consumed): reads the rest of the request head, answers
+/// `/metrics` with the Prometheus exposition, everything else with 404.
+fn serve_http(stream: &mut TcpStream, engine: &SearchEngine, stop: &AtomicBool) -> io::Result<()> {
+    // Read until the end of the request head (bare GETs carry no body).
+    // Cap the head at 8 KiB — more than any scraper sends.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        if !read_exact_idle(stream, &mut byte, stop)? {
+            break; // EOF or stop: serve what we have
+        }
+        head.push(byte[0]);
+    }
+    // The request target is the bytes up to the next space ("GET " was
+    // already consumed by the framing reader).
+    let head = String::from_utf8_lossy(&head);
+    let path = head.split_whitespace().next().unwrap_or("");
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", engine.prometheus_text())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\ncontent-type: text/plain; version=0.0.4\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
 /// Decodes one request, runs it against the engine, encodes the response.
-fn handle_request(engine: &SearchEngine, payload: &[u8]) -> Vec<u8> {
-    match decode_and_run(engine, payload) {
+fn handle_request(engine: &SearchEngine, conn: &mut ConnState, payload: &[u8]) -> Vec<u8> {
+    match decode_and_run(engine, conn, payload) {
         Ok(ok_body) => ok_body,
         Err(RequestError::Malformed(msg)) => {
             let mut out = vec![ST_BAD_REQUEST];
@@ -654,7 +925,11 @@ impl From<String> for RequestError {
     }
 }
 
-fn decode_and_run(engine: &SearchEngine, payload: &[u8]) -> Result<Vec<u8>, RequestError> {
+fn decode_and_run(
+    engine: &SearchEngine,
+    conn: &mut ConnState,
+    payload: &[u8],
+) -> Result<Vec<u8>, RequestError> {
     let mut c = Cursor::new(payload);
     let op = c.u8()?;
     let mut out = vec![ST_OK];
@@ -729,6 +1004,48 @@ fn decode_and_run(engine: &SearchEngine, payload: &[u8]) -> Result<Vec<u8>, Requ
                 out.extend_from_slice(&v.to_le_bytes());
             }
             out.push(s.degraded as u8);
+            out.extend_from_slice(&s.degraded_since.unwrap_or(0).to_le_bytes());
+            if let Some(reason) = &s.degraded_reason {
+                out.extend_from_slice(reason.as_bytes());
+            }
+        }
+        OP_SHARD_STATS => {
+            c.done()?;
+            let shards = engine.stats_per_shard();
+            out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+            for s in shards {
+                out.extend_from_slice(&s.shard.to_le_bytes());
+                for v in [
+                    s.live,
+                    s.opened,
+                    s.finished,
+                    s.cancelled,
+                    s.evicted,
+                    s.errored,
+                    s.panicked,
+                    s.steps,
+                    s.pool_hits,
+                    s.compiled_hits,
+                    s.compiled_fallbacks,
+                    s.wal_records,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        OP_METRICS => {
+            let mode = c.u8()?;
+            c.done()?;
+            if mode > 1 {
+                return Err(format!("metrics mode byte must be 0 or 1, got {mode}").into());
+            }
+            let current = engine.telemetry();
+            let reply = match (mode, conn.last_metrics.as_ref()) {
+                (1, Some(prev)) => current.minus(prev),
+                _ => current.clone(),
+            };
+            conn.last_metrics = Some(current);
+            out.extend_from_slice(&encode_snapshot(&reply));
         }
         other => return Err(format!("unknown opcode {other:#04x}").into()),
     }

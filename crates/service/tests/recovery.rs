@@ -438,14 +438,18 @@ fn legacy_v1_log_is_migrated_and_continues_bit_identically() {
     let mut legacy = SessionWal::create(dir.join("wal.log"), FsyncPolicy::Always).unwrap();
     for event in &events {
         match event {
-            WalEvent::EngineMeta { engine_id, .. } => legacy
-                .append(&WalEvent::EngineMeta {
-                    version: 1,
-                    engine_id: *engine_id,
-                })
-                .unwrap(),
+            WalEvent::EngineMeta { engine_id, .. } => {
+                legacy
+                    .append(&WalEvent::EngineMeta {
+                        version: 1,
+                        engine_id: *engine_id,
+                    })
+                    .unwrap();
+            }
             WalEvent::ShardMeta { .. } => {}
-            other => legacy.append(other).unwrap(),
+            other => {
+                legacy.append(other).unwrap();
+            }
         }
     }
     drop(legacy);

@@ -226,3 +226,91 @@ fn shutdown_is_prompt() {
         }
     }
 }
+
+/// The extended STATS body, SHARD_STATS, and METRICS (full + delta)
+/// round-trip over the wire and reconcile with each other.
+#[test]
+fn stats_shard_stats_and_metrics_over_wire() {
+    use aigs_service::telemetry::{Op, Tier};
+
+    let (engine, plan, server) = serve(2, 64);
+    let dag = Arc::new(dag_from_seed(N, 0.3, SEED));
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    for v in dag.nodes().take(5) {
+        let id = client.open(plan, PolicyKind::GreedyDag).unwrap();
+        drive_wire(&mut client, id, &dag, v);
+    }
+
+    // Extended stats: healthy engine → degraded fields empty.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.opened, 5);
+    assert!(!stats.degraded);
+    assert_eq!(stats.degraded_since, None);
+    assert_eq!(stats.degraded_reason, None);
+
+    // Per-shard rows sum to the aggregate.
+    let shards = client.stats_per_shard().unwrap();
+    assert_eq!(shards.len(), stats.shards);
+    assert_eq!(shards.iter().map(|s| s.opened).sum::<u64>(), stats.opened);
+    assert_eq!(shards.iter().map(|s| s.steps).sum::<u64>(), stats.steps);
+    assert_eq!(
+        shards.iter().map(|s| s.finished).sum::<u64>(),
+        stats.finished
+    );
+
+    // Full metrics snapshot decodes and matches the in-process one.
+    let full = client.metrics(false).unwrap();
+    let local = engine.telemetry();
+    assert_eq!(full.enabled, local.enabled);
+    for op in aigs_service::telemetry::OPS {
+        assert_eq!(full.op_total(op), local.op_total(op), "{op:?} over wire");
+    }
+    assert_eq!(
+        full.op_tier(Op::Next, Tier::Live).sum,
+        local.op_tier(Op::Next, Tier::Live).sum
+    );
+    assert_eq!(full.plans.len(), local.plans.len());
+
+    // Delta mode: new traffic shows up, and only the new traffic.
+    let before_opens = full.op_total(Op::Open);
+    let id = client.open(plan, PolicyKind::GreedyDag).unwrap();
+    drive_wire(&mut client, id, &dag, aigs_graph::NodeId::new(1));
+    let delta = client.metrics(true).unwrap();
+    assert_eq!(delta.op_total(Op::Open), 1, "delta after one open");
+    assert!(delta.op_total(Op::Open) < before_opens + 1 || before_opens == 0);
+    // An immediate second delta is empty of operations.
+    let quiet = client.metrics(true).unwrap();
+    for op in aigs_service::telemetry::OPS {
+        assert_eq!(quiet.op_total(op), 0, "{op:?} in a quiet delta");
+    }
+    server.shutdown();
+}
+
+/// Pointing a plain HTTP client at the wire port serves the Prometheus
+/// exposition on `/metrics` and a 404 elsewhere.
+#[test]
+fn http_get_serves_prometheus_exposition() {
+    let (_engine, plan, server) = serve(1, 16);
+    let dag = Arc::new(dag_from_seed(N, 0.3, SEED));
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let id = client.open(plan, PolicyKind::GreedyDag).unwrap();
+    drive_wire(&mut client, id, &dag, aigs_graph::NodeId::new(2));
+
+    let http = |req: &str| -> String {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    };
+
+    let ok = http("GET /metrics HTTP/1.1\r\nhost: test\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+    assert!(ok.contains("aigs_live_sessions"), "{ok}");
+    assert!(ok.contains("aigs_ops_total{op=\"open\""), "{ok}");
+
+    let missing = http("GET / HTTP/1.1\r\nhost: test\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    server.shutdown();
+}

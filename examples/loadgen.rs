@@ -279,6 +279,46 @@ fn main() {
             lat.report(op);
         }
     }
+    // The same operations as seen from inside the engine: the telemetry
+    // histograms the server exposes over `metrics` / `GET /metrics`.
+    // Client-side numbers above include the TCP round-trip; the gap
+    // between the two tables is the wire's cost. Quantiles come from
+    // log2 buckets, so they are upper bounds with ≤2x resolution.
+    let snap = engine.telemetry();
+    if snap.enabled {
+        use aigs::service::telemetry::{Op, Tier};
+        println!(
+            "\n  {:<14} {:>9}  {:>9}  {:>9}  {:>9}   server-side (telemetry)",
+            "op", "count", "p50 µs", "p90 µs", "p99 µs"
+        );
+        for op in [Op::Open, Op::Next, Op::Answer, Op::Finish, Op::Cancel] {
+            let mut h = snap.op_tier(op, Tier::Live).clone();
+            for tier in [Tier::Compiled, Tier::Fallback] {
+                h.merge(snap.op_tier(op, tier));
+            }
+            if h.count() == 0 {
+                continue;
+            }
+            println!(
+                "  {:<14} {:>9}  {:>9.1}  {:>9.1}  {:>9.1}",
+                op.name(),
+                h.count(),
+                h.quantile(0.50) as f64 / 1_000.0,
+                h.quantile(0.90) as f64 / 1_000.0,
+                h.quantile(0.99) as f64 / 1_000.0,
+            );
+        }
+        let slow = engine.drain_slow_ops();
+        if !slow.is_empty() {
+            let worst = slow.iter().map(|s| s.duration_ns).max().unwrap_or(0);
+            println!(
+                "  slow-op journal: {} entries over threshold (worst {:.1} µs)",
+                slow.len(),
+                worst as f64 / 1_000.0
+            );
+        }
+    }
+
     let stats = engine.stats();
     println!(
         "\n  {total_ops} ops in {:.2?} ({:.0} ops/s); {verified} transcripts verified \
