@@ -24,6 +24,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// CI smoke mode: cap sizes so the whole bench runs in seconds while the
+/// re-root ordering gate (`bench_check --require-faster`) still has its
+/// lattice rows to compare.
+fn smoke() -> bool {
+    std::env::var("AIGS_BENCH_SMOKE").is_ok()
+}
+
 fn weights_for(n: usize, seed: u64) -> NodeWeights {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap()
@@ -37,12 +44,160 @@ fn deepest_leaf(dag: &Dag) -> NodeId {
         .expect("graphs under bench have leaves")
 }
 
+/// A heavy chain of `depth` levels with `fanout` light two-node stubs per
+/// level; the chain child carries `ratio` of each level's subtree mass, so
+/// selection walks the chain and every *yes* re-roots onto a cone member —
+/// the shape where the incremental frontier previously *lost* to the
+/// from-scratch oracle (ROADMAP item 5) and where re-root reuse now serves
+/// the surviving sub-frontier.
+fn yes_chain(depth: usize, fanout: usize, ratio: f64) -> (Dag, NodeWeights) {
+    let n = depth + 1 + depth * fanout * 2;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut masses = vec![0.0f64; n];
+    let mut next = depth + 1;
+    let mut level_mass = 1.0f64;
+    for i in 0..depth {
+        edges.push((i as u32, (i + 1) as u32));
+        let share = (1.0 - ratio) * level_mass / (fanout + 1) as f64;
+        masses[i] = share;
+        for _ in 0..fanout {
+            let (l, m) = (next, next + 1);
+            next += 2;
+            edges.push((i as u32, l as u32));
+            edges.push((l as u32, m as u32));
+            masses[l] = share / 2.0;
+            masses[m] = share / 2.0;
+        }
+        level_mass *= ratio;
+    }
+    masses[depth] = level_mass;
+    let g = aigs_graph::dag_from_edges(n, &edges).unwrap();
+    let w = NodeWeights::from_masses(masses).unwrap();
+    (g, w)
+}
+
+/// A deep lattice: `levels` ranks of `width` parallel nodes, complete
+/// bipartite between consecutive ranks, per-rank mass falling by `ratio`.
+/// Every node of a rank reaches the whole suffix, so the heavy cone spans
+/// several full ranks — the wide-cone shape where the from-scratch pruned
+/// BFS pays O(edges) per round while the incremental scan pays O(nodes).
+fn yes_lattice(levels: usize, width: usize, ratio: f64) -> (Dag, NodeWeights) {
+    let n = 1 + levels * width;
+    let at = |lvl: usize, i: usize| {
+        if lvl == 0 {
+            0
+        } else {
+            (1 + (lvl - 1) * width + i) as u32
+        }
+    };
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut masses = vec![0.0f64; n];
+    let mut level_mass = 1.0f64;
+    for lvl in 1..=levels {
+        for i in 0..width {
+            if lvl == 1 {
+                edges.push((0, at(1, i)));
+            } else {
+                for j in 0..width {
+                    edges.push((at(lvl - 1, j), at(lvl, i)));
+                }
+            }
+        }
+        let share = if lvl == levels {
+            level_mass
+        } else {
+            (1.0 - ratio) * level_mass
+        };
+        for i in 0..width {
+            masses[at(lvl, i) as usize] = share / width as f64;
+        }
+        level_mass *= ratio;
+    }
+    let g = aigs_graph::dag_from_edges(n, &edges).unwrap();
+    let w = NodeWeights::from_masses(masses).unwrap();
+    (g, w)
+}
+
+/// Deep drill-down sessions, incremental vs from-scratch: each round
+/// answers *yes* at the current root's heaviest child — the top of the
+/// heavy cone, the "it's definitely under this subtree" confirmation an
+/// interactive session produces — so every answer re-roots one level down
+/// and the surviving cone carries over. (A *select*-driven yes lands at
+/// the cone's bottom edge instead, where `cone ∩ G_q` is empty by
+/// construction — there is nothing to reuse for any policy, so it is not
+/// the re-root shape.) Two topologies: the tree chain exercises the
+/// mask-free tree walk, the dense lattice the closure-mask walk with a
+/// multi-rank surviving cone. The acceptance gate for re-root reuse: each
+/// incremental `greedy-dag` row must beat its `greedy-dag-scratch` twin
+/// (bench_check enforces it with `--require-faster`).
+fn bench_yes_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yes_chain");
+    group.sample_size(20);
+    let depths: &[usize] = if smoke() { &[32] } else { &[32, 64] };
+    for &depth in depths {
+        let (g, w) = yes_chain(depth, 24, 0.95);
+        let reach = aigs_graph::ReachIndex::closure_for(&g);
+        let token = fresh_cache_token();
+        let ctx = SearchContext::new(&g, &w)
+            .with_reach(&reach)
+            .with_cache_token(token);
+        for mut p in [
+            Box::new(GreedyDagPolicy::new()) as Box<dyn Policy + Send>,
+            Box::new(GreedyDagPolicy::reference()),
+        ] {
+            p.reset(&ctx);
+            let name = p.name();
+            group.bench_function(BenchmarkId::new(name, depth), |b| {
+                b.iter(|| {
+                    p.reset(&ctx);
+                    for lvl in 1..=depth {
+                        let _ = p.select(&ctx);
+                        p.observe(&ctx, NodeId::new(lvl), true);
+                    }
+                })
+            });
+        }
+    }
+    for (levels, width) in [(24usize, 16usize)] {
+        let (g, w) = yes_lattice(levels, width, 0.9);
+        let reach = aigs_graph::ReachIndex::closure_for(&g);
+        let token = fresh_cache_token();
+        let ctx = SearchContext::new(&g, &w)
+            .with_reach(&reach)
+            .with_cache_token(token);
+        for mut p in [
+            Box::new(GreedyDagPolicy::new()) as Box<dyn Policy + Send>,
+            Box::new(GreedyDagPolicy::reference()),
+        ] {
+            p.reset(&ctx);
+            let name = p.name();
+            let id = format!("{name}-lattice");
+            group.bench_function(BenchmarkId::new(id, levels * width), |b| {
+                b.iter(|| {
+                    p.reset(&ctx);
+                    for lvl in 1..levels {
+                        let _ = p.select(&ctx);
+                        p.observe(&ctx, NodeId::new(1 + (lvl - 1) * width), true);
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// One select+observe(no)+unobserve cycle; q is re-selected every iteration
 /// so every policy's phase bookkeeping stays honest.
 fn bench_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("undo_roundtrip");
     group.sample_size(20);
-    for n in [1024usize, 8192, 65536] {
+    let ns: &[usize] = if smoke() {
+        &[1024]
+    } else {
+        &[1024, 8192, 65536]
+    };
+    let warm_n = *ns.last().unwrap();
+    for &n in ns {
         let tree = random_tree(&TreeConfig::bushy(n), &mut ChaCha8Rng::seed_from_u64(7));
         let w = weights_for(n, 11);
         let token = fresh_cache_token();
@@ -65,10 +220,30 @@ fn bench_roundtrip(c: &mut Criterion) {
                 })
             });
         }
+        if n == warm_n {
+            // Warm-pool variant: the instance arrives as a clone of a warm
+            // prototype (base frontier pre-selected, the state the service
+            // pool hands out after this PR) and the cycle runs mid-session,
+            // on top of one committed answer.
+            let mut proto = GreedyDagPolicy::new();
+            proto.reset(&ctx);
+            let _ = proto.select(&ctx);
+            let mut p = proto.clone_box();
+            let q0 = p.select(&ctx);
+            p.observe(&ctx, q0, false);
+            group.bench_function(BenchmarkId::new("greedy-dag-warm", n), |b| {
+                b.iter(|| {
+                    let q = p.select(&ctx);
+                    p.observe(&ctx, q, false);
+                    p.unobserve(&ctx);
+                })
+            });
+        }
     }
     // DAG mode (closure-backed WIGS, rounded-greedy ancestor repair);
     // closure memory is quadratic, so cap n.
-    for n in [1024usize, 8192] {
+    let dag_ns: &[usize] = if smoke() { &[1024] } else { &[1024, 8192] };
+    for &n in dag_ns {
         let dag = random_dag(
             &DagConfig::bushy(n, 0.1),
             &mut ChaCha8Rng::seed_from_u64(13),
@@ -103,7 +278,12 @@ fn bench_roundtrip(c: &mut Criterion) {
 fn bench_leaf_undo(c: &mut Criterion) {
     let mut group = c.benchmark_group("leaf_undo");
     group.sample_size(20);
-    for n in [1024usize, 8192, 65536] {
+    let ns: &[usize] = if smoke() {
+        &[1024]
+    } else {
+        &[1024, 8192, 65536]
+    };
+    for &n in ns {
         let tree = random_tree(&TreeConfig::bushy(n), &mut ChaCha8Rng::seed_from_u64(7));
         let w = weights_for(n, 11);
         let token = fresh_cache_token();
@@ -132,7 +312,8 @@ fn bench_leaf_undo(c: &mut Criterion) {
 fn bench_hetero_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_hetero");
     group.sample_size(10);
-    for n in [1024usize, 8192] {
+    let ns: &[usize] = if smoke() { &[1024] } else { &[1024, 8192] };
+    for &n in ns {
         let tree = random_tree(&TreeConfig::bushy(n), &mut ChaCha8Rng::seed_from_u64(7));
         let w = weights_for(n, 11);
         let mut rng = ChaCha8Rng::seed_from_u64(23);
@@ -154,6 +335,7 @@ fn bench_hetero_sweep(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_yes_chain,
     bench_roundtrip,
     bench_leaf_undo,
     bench_hetero_sweep

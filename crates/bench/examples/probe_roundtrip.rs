@@ -1,0 +1,73 @@
+//! Scratch probe: phase breakdown of the undo_roundtrip greedy-dag cycle.
+use std::time::Instant;
+
+use aigs_core::policy::GreedyDagPolicy;
+use aigs_core::{fresh_cache_token, NodeWeights, Policy, SearchContext};
+use aigs_graph::generate::{random_tree, TreeConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn weights_for(n: usize, seed: u64) -> NodeWeights {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap()
+}
+
+fn main() {
+    let n = 65536usize;
+    let tree = random_tree(&TreeConfig::bushy(n), &mut ChaCha8Rng::seed_from_u64(7));
+    let w = weights_for(n, 11);
+    let token = fresh_cache_token();
+    let ctx = SearchContext::new(&tree, &w).with_cache_token(token);
+    let mut p = GreedyDagPolicy::new();
+    p.reset(&ctx);
+    // warm up
+    for _ in 0..5 {
+        let q = p.select(&ctx);
+        p.observe(&ctx, q, false);
+        p.unobserve(&ctx);
+    }
+    let iters = 200;
+    let (mut t_sel, mut t_obs, mut t_un) = (0u128, 0u128, 0u128);
+    let mut q_last = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let q = p.select(&ctx);
+        let t1 = Instant::now();
+        p.observe(&ctx, q, false);
+        let t2 = Instant::now();
+        p.unobserve(&ctx);
+        let t3 = Instant::now();
+        t_sel += (t1 - t0).as_nanos();
+        t_obs += (t2 - t1).as_nanos();
+        t_un += (t3 - t2).as_nanos();
+        q_last = Some(q);
+    }
+    println!(
+        "n={n} q={:?} select={}ns observe={}ns unobserve={}ns total={}ns",
+        q_last,
+        t_sel / iters,
+        t_obs / iters,
+        t_un / iters,
+        (t_sel + t_obs + t_un) / iters
+    );
+    // How big is the doomed set for that q?
+    let q = q_last.unwrap();
+    let mut cnt = 0usize;
+    let mut stack = vec![q];
+    let mut seen = vec![false; n];
+    seen[q.index()] = true;
+    while let Some(u) = stack.pop() {
+        cnt += 1;
+        for &c in tree.children(u) {
+            if !seen[c.index()] {
+                seen[c.index()] = true;
+                stack.push(c);
+            }
+        }
+    }
+    println!("|G_q| = {cnt}");
+    // frontier size after select
+    let _ = p.select(&ctx);
+    let (cone, boundary) = p.frontier_snapshot();
+    println!("cone={} boundary={}", cone.len(), boundary.len());
+}

@@ -1,0 +1,97 @@
+//! Cold-start vs warm-pooled session admission, measured end to end
+//! through the engine: opens a burst of sessions (held live, so the LIFO
+//! instance pool never refills and every open takes the prototype-clone
+//! path) and prints per-open p50/p99 for `open_session` + the first
+//! `next_question` — the pair a cold start previously inflated with an
+//! O(n) base candidate rebuild inside the first step. The `cold` rows
+//! replicate the pre-warm-pool admission at the policy layer (fresh
+//! build + reset + first select under the same plan context) for the
+//! before/after comparison on one binary.
+//!
+//! Run with `cargo run --release -p aigs-bench --example probe_warm_open
+//! [n] [opens]`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use aigs_core::SessionStep;
+use aigs_graph::generate::{random_tree, TreeConfig};
+use aigs_service::{EngineConfig, PlanSpec, PolicyKind, SearchEngine};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn pct(sorted: &[u128], p: f64) -> u128 {
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+fn report(label: &str, mut ns: Vec<u128>) {
+    ns.sort_unstable();
+    println!(
+        "{label:>28}: p50 {:>9} ns  p99 {:>9} ns  max {:>9} ns  ({} samples)",
+        pct(&ns, 0.50),
+        pct(&ns, 0.99),
+        ns.last().unwrap(),
+        ns.len()
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(65536);
+    let opens: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(2000);
+
+    let tree = Arc::new(random_tree(
+        &TreeConfig::bushy(n),
+        &mut ChaCha8Rng::seed_from_u64(7),
+    ));
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let weights = Arc::new(
+        aigs_core::NodeWeights::from_masses((0..n).map(|_| rng.gen_range(0.01..1.0)).collect())
+            .unwrap(),
+    );
+
+    // Warm path: `pool_cap: 0` means every release is dropped, so every
+    // open is a pool miss and takes the prototype-clone path. Sessions
+    // are cancelled after their first question to keep the measurement
+    // about admission, not about holding `opens` live clones in memory.
+    let engine = SearchEngine::new(EngineConfig {
+        max_sessions: 64,
+        pool_cap: 0,
+        ..EngineConfig::default()
+    });
+    let plan = engine
+        .register_plan(PlanSpec::new(Arc::clone(&tree), Arc::clone(&weights)))
+        .unwrap();
+    let mut open_ns = Vec::with_capacity(opens);
+    let mut first_ns = Vec::with_capacity(opens);
+    for _ in 0..opens {
+        let t0 = Instant::now();
+        let id = engine
+            .open_session(plan, PolicyKind::GreedyDag)
+            .unwrap()
+            .id();
+        open_ns.push(t0.elapsed().as_nanos());
+        let t0 = Instant::now();
+        let step = engine.next_question(id).unwrap();
+        first_ns.push(t0.elapsed().as_nanos());
+        assert!(matches!(step, SessionStep::Ask(_)));
+        engine.cancel(id).unwrap();
+    }
+    report("warm open", open_ns);
+    report("warm first question", first_ns);
+
+    // Cold path (pre-warm-pool admission): fresh instance + reset + first
+    // select under the same plan artifacts.
+    let token = aigs_core::fresh_cache_token();
+    let ctx = aigs_core::SearchContext::new(&tree, &weights).with_cache_token(token);
+    let mut cold_ns = Vec::with_capacity(opens.min(200));
+    for _ in 0..opens.min(200) {
+        let t0 = Instant::now();
+        let mut p = PolicyKind::GreedyDag.build();
+        p.reset(&ctx);
+        let _ = p.select(&ctx);
+        cold_ns.push(t0.elapsed().as_nanos());
+        drop(p);
+    }
+    report("cold build+reset+select", cold_ns);
+}

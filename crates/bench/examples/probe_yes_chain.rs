@@ -1,0 +1,99 @@
+//! Phase-split probe for the deep yes-chain drive: accumulates `select`
+//! and `observe`+`reset` wall time separately for the incremental policy
+//! and the from-scratch oracle, so regressions can be pinned to the phase
+//! that caused them. Run with `cargo run --release -p aigs-bench
+//! --example probe_yes_chain [depth] [fanout] [sessions] [ratio]`.
+
+use aigs_core::policy::GreedyDagPolicy;
+use aigs_core::{fresh_cache_token, NodeWeights, Policy, SearchContext};
+use aigs_graph::NodeId;
+use std::time::{Duration, Instant};
+
+fn yes_chain(depth: usize, fanout: usize, ratio: f64) -> (aigs_graph::Dag, NodeWeights) {
+    let n = depth + 1 + depth * fanout * 2;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut masses = vec![0.0f64; n];
+    let mut next = depth + 1;
+    let mut level_mass = 1.0f64;
+    for i in 0..depth {
+        edges.push((i as u32, (i + 1) as u32));
+        let share = (1.0 - ratio) * level_mass / (fanout + 1) as f64;
+        masses[i] = share;
+        for _ in 0..fanout {
+            let (l, m) = (next, next + 1);
+            next += 2;
+            edges.push((i as u32, l as u32));
+            edges.push((l as u32, m as u32));
+            masses[l] = share / 2.0;
+            masses[m] = share / 2.0;
+        }
+        level_mass *= ratio;
+    }
+    masses[depth] = level_mass;
+    let g = aigs_graph::dag_from_edges(n, &edges).unwrap();
+    let w = NodeWeights::from_masses(masses).unwrap();
+    (g, w)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let depth: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(64);
+    let fanout: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(8);
+    let sessions: u32 = args.next().map(|s| s.parse().unwrap()).unwrap_or(20000);
+    let ratio: f64 = args.next().map(|s| s.parse().unwrap()).unwrap_or(0.8);
+    let (g, w) = yes_chain(depth, fanout, ratio);
+    let reach = aigs_graph::ReachIndex::closure_for(&g);
+    let token = fresh_cache_token();
+    let ctx = SearchContext::new(&g, &w)
+        .with_reach(&reach)
+        .with_cache_token(token);
+    for mut p in [
+        Box::new(GreedyDagPolicy::new()) as Box<dyn Policy + Send>,
+        Box::new(GreedyDagPolicy::reference()),
+    ] {
+        p.reset(&ctx);
+        let name = p.name();
+        let (mut t_select, mut t_other) = (Duration::ZERO, Duration::ZERO);
+        let mut rounds = 0u64;
+        // Drill-down drive (mirrors the `yes_chain` bench): each round
+        // answers *yes* at the current root's heavy chain child, so every
+        // answer re-roots one level down with the cone carrying over.
+        for _ in 0..sessions {
+            let t0 = Instant::now();
+            p.reset(&ctx);
+            t_other += t0.elapsed();
+            for lvl in 1..=depth {
+                let t0 = Instant::now();
+                let _ = p.select(&ctx);
+                t_select += t0.elapsed();
+                rounds += 1;
+                let t0 = Instant::now();
+                p.observe(&ctx, NodeId::new(lvl), true);
+                t_other += t0.elapsed();
+            }
+        }
+        println!(
+            "{name:>20}: select {:>7.1} ns/round  observe+reset {:>7.1} ns/round  ({rounds} rounds)",
+            t_select.as_nanos() as f64 / rounds as f64,
+            t_other.as_nanos() as f64 / rounds as f64,
+        );
+        // Steady-state select on a fixed mid-session state: the incremental
+        // side runs the pure frontier scan, the oracle re-runs the BFS.
+        p.reset(&ctx);
+        for lvl in 1..=3 {
+            let _ = p.select(&ctx);
+            p.observe(&ctx, NodeId::new(lvl), true);
+        }
+        let reps = 2_000_000u32;
+        let t0 = Instant::now();
+        let mut sink = 0u64;
+        for _ in 0..reps {
+            sink = sink.wrapping_add(p.select(&ctx).index() as u64);
+        }
+        let dt = t0.elapsed();
+        println!(
+            "{name:>20}: steady-state select {:>7.1} ns (sink {sink})",
+            dt.as_nanos() as f64 / reps as f64
+        );
+    }
+}

@@ -3,8 +3,18 @@
 //! median exceeds `tolerance ×` the baseline median.
 //!
 //! ```text
-//! bench_check <baseline.json> <current.json> [tolerance]
+//! bench_check <baseline.json> <current.json> [tolerance] \
+//!             [--require-faster A B]...
 //! ```
+//!
+//! Each `--require-faster A B` pair (repeatable) additionally asserts an
+//! *ordering* between two rows of the **current** dump: row `A`'s median
+//! must not exceed row `B`'s by more than 10%. Unlike the cross-machine
+//! baseline ratio, both rows of a pair come from the same run on the same
+//! hardware, so a tight slack is honest: it absorbs scheduler jitter
+//! without letting a real inversion (an "optimised" path losing to its
+//! from-scratch reference) through. Pair ids are matched exactly; a
+//! missing id is a usage error (exit 2), not a silent pass.
 //!
 //! The default tolerance is 5×: CI smoke runs share hardware with other
 //! jobs and the committed baselines come from a different machine, so the
@@ -97,6 +107,23 @@ enum Verdict {
     Unmatched,
 }
 
+/// Same-run ordering slack for `--require-faster` pairs: `A` may exceed
+/// `B` by at most this factor before the pair fails.
+const FASTER_SLACK: f64 = 1.10;
+
+/// Judges one `--require-faster` pair against the current rows: returns
+/// `(a_median, b_median, holds)` or an error when either id is absent.
+fn judge_faster(current: &ExactMap<'_>, a: &str, b: &str) -> Result<(f64, f64, bool), String> {
+    let find = |id: &str| {
+        current
+            .get(id)
+            .copied()
+            .ok_or_else(|| format!("--require-faster: no current row with id {id:?}"))
+    };
+    let (fast, slow) = (find(a)?, find(b)?);
+    Ok((fast, slow, fast <= slow * FASTER_SLACK))
+}
+
 /// Compares one current row against the baseline maps.
 fn judge(row: &Row, exact: &ExactMap<'_>, stripped: &StrippedMap<'_>, tolerance: f64) -> Verdict {
     let matched: Option<(&str, f64)> = exact
@@ -124,7 +151,12 @@ fn judge(row: &Row, exact: &ExactMap<'_>, stripped: &StrippedMap<'_>, tolerance:
     }
 }
 
-fn run(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<bool, String> {
+fn run(
+    baseline_path: &str,
+    current_path: &str,
+    tolerance: f64,
+    faster: &[(String, String)],
+) -> Result<bool, String> {
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
     let baseline =
         parse_rows(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
@@ -171,16 +203,54 @@ fn run(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<bool, 
             baseline.len()
         ));
     }
+    let mut inversions = 0usize;
+    if !faster.is_empty() {
+        let current_map: ExactMap<'_> = current
+            .iter()
+            .map(|r| (r.id.as_str(), r.median_ns))
+            .collect();
+        for (a, b) in faster {
+            let (fast, slow, holds) = judge_faster(&current_map, a, b)?;
+            if holds {
+                println!("ok    {a} ({fast:.1} ns) faster than {b} ({slow:.1} ns)");
+            } else {
+                inversions += 1;
+                println!(
+                    "FAIL  {a} ({fast:.1} ns) not faster than {b} ({slow:.1} ns, \
+                     {FASTER_SLACK}x slack)"
+                );
+            }
+        }
+    }
     println!(
-        "bench_check: {matched} matched, {} skipped, {failures} over {tolerance}x tolerance",
-        current.len() - matched
+        "bench_check: {matched} matched, {} skipped, {failures} over {tolerance}x tolerance, \
+         {inversions} of {} orderings inverted",
+        current.len() - matched,
+        faster.len()
     );
-    Ok(failures == 0)
+    Ok(failures == 0 && inversions == 0)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (baseline, current, tolerance) = match args.as_slice() {
+    const USAGE: &str = "usage: bench_check <baseline.json> <current.json> [tolerance=5] \
+                         [--require-faster A B]...";
+    let mut positional: Vec<String> = Vec::new();
+    let mut faster: Vec<(String, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--require-faster" {
+            match (args.next(), args.next()) {
+                (Some(a), Some(b)) => faster.push((a, b)),
+                _ => {
+                    eprintln!("bench_check: --require-faster takes two row ids\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let (baseline, current, tolerance) = match positional.as_slice() {
         [b, c] => (b, c, 5.0),
         [b, c, t] => match t.parse::<f64>() {
             Ok(t) if t > 0.0 => (b, c, t),
@@ -190,11 +260,11 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: bench_check <baseline.json> <current.json> [tolerance=5]");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
-    match run(baseline, current, tolerance) {
+    match run(baseline, current, tolerance, &faster) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -283,6 +353,31 @@ mod tests {
             judge(&row("sweep/s/2", 20.0), &exact, &stripped, 5.0),
             Verdict::Unmatched
         );
+    }
+
+    #[test]
+    fn require_faster_gates_orderings_with_slack() {
+        let rows = [
+            row("yes_chain/inc/64", 100.0),
+            row("yes_chain/scratch/64", 200.0),
+            row("yes_chain/noisy/64", 108.0),
+        ];
+        let (exact, _) = maps(&rows);
+        // Clear win holds.
+        let (a, b, holds) =
+            judge_faster(&exact, "yes_chain/inc/64", "yes_chain/scratch/64").unwrap();
+        assert!(holds);
+        assert_eq!((a, b), (100.0, 200.0));
+        // Within the 10% slack: jitter, not an inversion.
+        let (_, _, holds) = judge_faster(&exact, "yes_chain/noisy/64", "yes_chain/inc/64").unwrap();
+        assert!(holds, "8% over must pass the 10% slack");
+        // Past the slack: a real inversion fails.
+        let (_, _, holds) =
+            judge_faster(&exact, "yes_chain/scratch/64", "yes_chain/inc/64").unwrap();
+        assert!(!holds);
+        // A missing id is an error, never a silent pass.
+        assert!(judge_faster(&exact, "typo/row", "yes_chain/inc/64").is_err());
+        assert!(judge_faster(&exact, "yes_chain/inc/64", "typo/row").is_err());
     }
 
     #[test]

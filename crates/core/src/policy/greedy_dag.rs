@@ -19,17 +19,30 @@
 //! predicate — every alive path from `r` to a heavy node runs through heavy
 //! nodes — which is what makes incremental maintenance exact:
 //!
-//! * a *no* answer deletes the doomed subgraph (its nodes leave the
-//!   frontier by dying — an alive child of a doomed node is itself doomed)
-//!   and subtracts the doomed contribution from every alive ancestor along
-//!   the existing deleted walk, via
-//!   [`aigs_graph::ReachIndex::doomed_contributions`];
+//! * a *no* answer dooms `alive ∩ G_q`, but only the **root repair** is
+//!   applied eagerly (the root is always a full ancestor, so its delta is
+//!   exactly `q`'s own alive aggregates — O(1), and it keeps `resolved`
+//!   exact); the doomed-subgraph walk, the remaining ancestor repairs via
+//!   [`aigs_graph::ReachIndex::doomed_contributions`] and the alive-bit
+//!   clears are **deferred** to the next read (`select` or the following
+//!   `observe`), landing in the same journal step. An answer that is
+//!   undone before it is ever read — the decision-tree builder's
+//!   backtracking, exhaustive evaluation, speculative probes — therefore
+//!   rolls back in O(1) instead of O(|G_q|);
 //! * a shrinking total promotes boundary nodes into the cone; `select`
 //!   re-scans the flat frontier lists, promoting and expanding where
 //!   `2·w̃ > w̃(r)` now holds (each promotion scans its children once);
-//! * a *yes* answer re-roots at `q`; the next `select` rebuilds the cone
-//!   below `q` (the sub-frontier under `q` is re-derived, everything
-//!   outside `G_q` is dropped wholesale);
+//! * a *yes* answer re-roots at `q`; when `q` was a member of the current
+//!   heavy cone **and** the reach index stores `G_q` as a materialised row
+//!   ([`aigs_graph::ReachIndex::stored_mask`]), the next `select`
+//!   **re-roots onto the already-computed sub-frontier**: surviving cone
+//!   members are exactly the old cone ∩ `G_q` (they stay heavy under the
+//!   smaller total), surviving boundary members are the old boundary ∩
+//!   `G_q` entries with a parent in the new cone, and the ordinary
+//!   promotion cascade discovers everything the shrunken total newly
+//!   uncovers — bit-identical to the pruned BFS from `q`, without
+//!   re-walking the cone's edges. Without a stored row the mask itself
+//!   would cost a DFS over `G_q`, so the rebuild path is kept;
 //! * the rare non-local events — a cone member falling light (demotion) or
 //!   the `count_mode` fallback flipping because the alive rounded weight
 //!   hit zero — conservatively invalidate the frontier; the next `select`
@@ -41,7 +54,13 @@
 //! (the live cone + boundary) via [`StepJournal::log_frame`], so
 //! `unobserve` and a cache-token `reset` land on the exact pre-step
 //! frontier — `reset` typically restores the *base* frontier of the first
-//! round, letting a pooled policy skip the cold root BFS entirely.
+//! round, letting a pooled policy skip the cold root BFS entirely. A step
+//! that begins on an already-invalid frontier marks its frame **doomed**
+//! ([`StepJournal::mark_frame_doomed`]): undoing it lands on state the
+//! next `select` rebuilds from scratch regardless of list content, so the
+//! spill is skipped outright (the lists are left as consistent garbage —
+//! every tagged node stays list-member, which is all later wholesale
+//! clears rely on).
 
 use std::collections::VecDeque;
 
@@ -67,6 +86,15 @@ struct DagStep {
     fr_count_mode: bool,
     /// Set when a frontier frame was spilled for this step.
     frame_spilled: bool,
+    /// Set when this step mutated the frontier *without* spilling a frame
+    /// (doomed rebuilds, re-root steps, tainted lists): undo then
+    /// invalidates the frontier (the next `select` rebuilds, bit-exactly)
+    /// instead of restoring content.
+    frame_lossy: bool,
+    /// Snapshot of the policy's `fr_tainted` flag at `begin` — restored on
+    /// pop so the undo chain knows whether the list content at this step's
+    /// begin still matched the *previous* step's begin.
+    tainted: bool,
     /// Split point inside the spilled frame: entries `[..cone_len]` are the
     /// live cone, the rest the live boundary.
     frame_cone_len: u32,
@@ -114,12 +142,22 @@ pub struct GreedyDagPolicy {
     /// dead nodes are stale until revival; every reader checks `alive`
     /// first.
     fr_state: Vec<u8>,
-    /// Heavy cone members, in discovery order. May contain dead entries
-    /// (skipped by scans, dropped at the next rebuild).
-    cone: Vec<NodeId>,
-    /// Boundary candidates, in discovery order. May contain dead or
-    /// promoted entries (skipped via `alive`/`fr_state`).
-    boundary: Vec<NodeId>,
+    /// Heavy cone members with their cached scores, in discovery order.
+    /// May contain dead entries (skipped by scans, dropped at the next
+    /// rebuild). The inline score is the member's `w̃`/`ñ` under
+    /// `fr_count_mode`, refreshed lazily (see `fr_rescore`) — it turns the
+    /// steady-state scan into a sequential pass over `(id, score)` pairs
+    /// instead of a random `wt`/`cnt` gather per entry.
+    cone: Vec<(NodeId, u64)>,
+    /// Boundary candidates with their cached scores, in discovery order.
+    /// May contain dead or promoted entries (skipped via
+    /// `alive`/`fr_state`); same score-caching contract as `cone`.
+    boundary: Vec<(NodeId, u64)>,
+    /// Set whenever cached list scores may have drifted from `wt`/`cnt` —
+    /// after a flushed *no* repair and after every journal pop. The next
+    /// incremental scan refreshes every kept entry (exactly the loads the
+    /// scan performed unconditionally before caching) and clears this.
+    fr_rescore: bool,
 
     // Scratch (never journalled; semantically transparent to rollback).
     visited: VisitedSet,
@@ -128,11 +166,32 @@ pub struct GreedyDagPolicy {
     deleted: Vec<NodeId>,
     /// Cone members repaired by the current `observe` (demotion check).
     touched_cone: Vec<NodeId>,
+    /// Boundary children met by the current re-root walk, pending
+    /// re-qualification against the surviving cone (reused).
+    requal: Vec<NodeId>,
+    /// Cached `ctx.dag.is_tree()` (O(n) to compute, so probed once per
+    /// full reset): on trees the re-root walk needs no reach mask and no
+    /// re-qualification, so re-root reuse runs under every backend.
+    tree: bool,
     /// Epoch set over *word* indices: which alive words were journalled
     /// this step.
     word_mark: VisitedSet,
     /// Shared-reach scratch for base aggregation and doomed repairs.
     reach: ReachScratch,
+    /// A *no* answer whose doomed-subgraph materialisation is still
+    /// deferred. Invariant: `None` at every step boundary — `observe` and
+    /// `select` flush it first, `unwind_one` clears it (the owning step's
+    /// journal entries undo the eager root repair).
+    pending_doom: Option<NodeId>,
+    /// True when the live frontier lists no longer match the content the
+    /// journal's top step began with *and* no spilled frame can recover it
+    /// (a lossy step was popped, or a lossy mutation ran). While set,
+    /// `frame_guard` must not spill (it would capture the wrong content)
+    /// and a frameless pop must not revalidate. Orthogonal to `fr_valid`:
+    /// a rebuild makes the live lists exact without mending the undo
+    /// chain. Cleared by frame restores (wholesale content recovery),
+    /// step `begin` (snapshotted into the payload), and empty journals.
+    fr_tainted: bool,
 }
 
 impl GreedyDagPolicy {
@@ -167,12 +226,17 @@ impl GreedyDagPolicy {
             fr_state: Vec::new(),
             cone: Vec::new(),
             boundary: Vec::new(),
+            fr_rescore: false,
             visited: VisitedSet::new(0),
             queue: VecDeque::new(),
             deleted: Vec::new(),
             touched_cone: Vec::new(),
+            requal: Vec::new(),
+            tree: false,
             word_mark: VisitedSet::new(0),
             reach: ReachScratch::new(0),
+            pending_doom: None,
+            fr_tainted: false,
         }
     }
 
@@ -186,6 +250,10 @@ impl GreedyDagPolicy {
     /// differential harness; not part of the stable API.
     #[doc(hidden)]
     pub fn frontier_snapshot(&self) -> (Vec<u32>, Vec<u32>) {
+        debug_assert!(
+            self.pending_doom.is_none(),
+            "flush_pending before snapshotting"
+        );
         if !self.fr_valid {
             return (Vec::new(), Vec::new());
         }
@@ -194,8 +262,8 @@ impl GreedyDagPolicy {
                 .cone
                 .iter()
                 .chain(self.boundary.iter())
-                .filter(|x| self.alive.contains(**x) && self.fr_state[x.index()] == tag)
-                .map(|x| x.0)
+                .filter(|(x, _)| self.alive.contains(*x) && self.fr_state[x.index()] == tag)
+                .map(|(x, _)| x.0)
                 .collect();
             v.sort_unstable();
             v.dedup();
@@ -207,9 +275,14 @@ impl GreedyDagPolicy {
     /// The alive-masked frontier aggregates as `(alive ids, w̃, ñ)`; dead
     /// nodes report zero (their stored entries are deliberately stale).
     /// Test-facing introspection: the journal-rollback fuzz compares these
-    /// bit-for-bit against a cold `compute_base` rebuild.
+    /// bit-for-bit against a cold `compute_base` rebuild. Callers holding a
+    /// deferred *no* answer must [`GreedyDagPolicy::flush_pending`] first.
     #[doc(hidden)]
     pub fn aggregates_snapshot(&self) -> (Vec<u32>, Vec<u64>, Vec<u32>) {
+        debug_assert!(
+            self.pending_doom.is_none(),
+            "flush_pending before snapshotting"
+        );
         let n = self.wt.len();
         let mut ids = Vec::new();
         let mut wt = vec![0u64; n];
@@ -228,6 +301,20 @@ impl GreedyDagPolicy {
     #[doc(hidden)]
     pub fn debug_root(&self) -> NodeId {
         self.root
+    }
+
+    /// Forces the materialisation of a deferred *no* answer (if any), so
+    /// array state can be inspected without going through `select`.
+    /// Test-facing hook; the public API flushes on its own.
+    #[doc(hidden)]
+    pub fn flush_pending(&mut self, ctx: &SearchContext<'_>) {
+        self.flush_doom(ctx);
+    }
+
+    /// Whether a *no* answer is still deferred. Test-facing introspection.
+    #[doc(hidden)]
+    pub fn doom_pending(&self) -> bool {
+        self.pending_doom.is_some()
     }
 
     /// Whether a frontier for the current root and mode is live (i.e. the
@@ -270,26 +357,57 @@ impl GreedyDagPolicy {
                     // current entry, then rebuild both lists (and tags)
                     // from the frame. Dead-but-tagged entries are restored
                     // too — their tags were live when the frame was taken.
-                    for x in cone.iter().chain(boundary.iter()) {
+                    // Entries are encoded as (id, score_lo, score_hi)
+                    // triples; the restored cached scores were exact at the
+                    // step's begin, and the caller re-arms `fr_rescore`
+                    // anyway because earlier pops may restore weights.
+                    for (x, _) in cone.iter().chain(boundary.iter()) {
                         fr_state[x.index()] = FR_OUT;
                     }
                     cone.clear();
                     boundary.clear();
-                    let split = step.frame_cone_len as usize;
-                    for &raw in &frame[..split] {
-                        fr_state[raw as usize] = FR_CONE;
-                        cone.push(NodeId(raw));
+                    let split = step.frame_cone_len as usize * 3;
+                    for ch in frame[..split].chunks_exact(3) {
+                        fr_state[ch[0] as usize] = FR_CONE;
+                        cone.push((NodeId(ch[0]), ch[1] as u64 | ((ch[2] as u64) << 32)));
                     }
-                    for &raw in &frame[split..] {
-                        fr_state[raw as usize] = FR_BOUNDARY;
-                        boundary.push(NodeId(raw));
+                    for ch in frame[split..].chunks_exact(3) {
+                        fr_state[ch[0] as usize] = FR_BOUNDARY;
+                        boundary.push((NodeId(ch[0]), ch[1] as u64 | ((ch[2] as u64) << 32)));
                     }
                 }
             },
         ) {
             Some(step) => {
+                // A still-deferred doom belongs to the step being popped:
+                // its only applied effect is the eager root repair, which
+                // the entry logs above just reverted — drop the marker.
+                self.pending_doom = None;
+                // Any pop may restore `wt`/`cnt` of list members; cached
+                // scores refresh at the next scan.
+                self.fr_rescore = true;
                 self.root = step.prev_root;
-                self.fr_valid = step.fr_valid;
+                // Undo-chain induction: a restored frame recovers this
+                // step's begin content wholesale (current garbage is
+                // irrelevant); a lossy step leaves unrecoverable content;
+                // a frameless step left the content alone, so the current
+                // taint status carries through.
+                if step.frame_spilled {
+                    self.fr_valid = step.fr_valid;
+                    self.fr_tainted = step.tainted;
+                } else if step.frame_lossy {
+                    self.fr_valid = false;
+                    self.fr_tainted = true;
+                } else {
+                    self.fr_valid = step.fr_valid && !self.fr_tainted;
+                    self.fr_tainted = self.fr_tainted || step.tainted;
+                }
+                if self.journal.is_empty() {
+                    // No steps left: the live content is the session base
+                    // (exact iff `fr_valid`), so there is no divergence
+                    // left to track.
+                    self.fr_tainted = false;
+                }
                 self.fr_root = step.fr_root;
                 self.fr_count_mode = step.fr_count_mode;
                 true
@@ -328,30 +446,58 @@ impl GreedyDagPolicy {
     /// Spills the live frontier into the step on top of the journal, once
     /// per step, immediately before its first structural mutation. A step
     /// that never mutates the frontier stores nothing; with an empty
-    /// journal there is nothing to undo to, so nothing is spilled either.
+    /// journal there is nothing to undo to, so nothing is spilled either;
+    /// and a step whose frame is marked doomed (it began on an invalid
+    /// frontier, so its undo lands on a rebuild-pending state) skips the
+    /// spill outright.
     fn frame_guard(&mut self) {
         if self.journal.is_empty() || self.journal.frame_pending() {
             return;
         }
-        let fr_state = &self.fr_state;
-        let cone_live = self
-            .cone
-            .iter()
-            .filter(|x| fr_state[x.index()] == FR_CONE)
-            .map(|x| x.0);
-        let boundary_live = self
-            .boundary
-            .iter()
-            .filter(|x| fr_state[x.index()] == FR_BOUNDARY)
-            .map(|x| x.0);
-        let cone_len = cone_live.clone().count();
-        self.journal.log_frame(cone_live.chain(boundary_live));
+        let doomed = self.journal.frame_doomed();
+        let root = self.root;
+        let tainted = self.fr_tainted;
         let step = self
             .journal
             .last_payload_mut()
             .expect("journal non-empty: a step is on top");
-        step.frame_spilled = true;
-        step.frame_cone_len = cone_len as u32;
+        if step.frame_lossy {
+            return;
+        }
+        // Mutations with no recoverable frame go lossy: doomed steps (their
+        // undo lands on a rebuild-pending state anyway), tainted lists (a
+        // spill would capture content that is not this step's begin state),
+        // and re-root steps — the latter is the deliberate trade: a deep
+        // yes-chain pays zero frame traffic (undoing past a re-root costs
+        // one rebuild instead), which is what lets the incremental path
+        // beat the from-scratch oracle on re-root-heavy sessions.
+        if doomed || tainted || step.prev_root != root {
+            step.frame_lossy = true;
+            self.fr_tainted = true;
+            return;
+        }
+        let fr_state = &self.fr_state;
+        let enc = |&(v, s): &(NodeId, u64)| [v.0, s as u32, (s >> 32) as u32];
+        let cone_live = self
+            .cone
+            .iter()
+            .filter(|(x, _)| fr_state[x.index()] == FR_CONE);
+        let boundary_live = self
+            .boundary
+            .iter()
+            .filter(|(x, _)| fr_state[x.index()] == FR_BOUNDARY);
+        let cone_len = cone_live.clone().count();
+        if self
+            .journal
+            .log_frame(cone_live.flat_map(enc).chain(boundary_live.flat_map(enc)))
+        {
+            let step = self
+                .journal
+                .last_payload_mut()
+                .expect("journal non-empty: a step is on top");
+            step.frame_spilled = true;
+            step.frame_cone_len = cone_len as u32;
+        }
     }
 
     /// From-scratch frontier derivation: the pruned BFS of Alg. 6
@@ -368,7 +514,7 @@ impl GreedyDagPolicy {
         let record = !self.reference;
         if record {
             self.frame_guard();
-            for x in self.cone.iter().chain(self.boundary.iter()) {
+            for (x, _) in self.cone.iter().chain(self.boundary.iter()) {
                 self.fr_state[x.index()] = FR_OUT;
             }
             self.cone.clear();
@@ -399,11 +545,11 @@ impl GreedyDagPolicy {
                     self.queue.push_back(c);
                     if record {
                         self.fr_state[c.index()] = FR_CONE;
-                        self.cone.push(c);
+                        self.cone.push((c, s));
                     }
                 } else if record {
                     self.fr_state[c.index()] = FR_BOUNDARY;
-                    self.boundary.push(c);
+                    self.boundary.push((c, s));
                 }
             }
         }
@@ -411,8 +557,238 @@ impl GreedyDagPolicy {
             self.fr_valid = true;
             self.fr_root = r;
             self.fr_count_mode = count_mode;
+            self.fr_rescore = false;
         }
         best.expect("unresolved root has an alive child").1
+    }
+
+    /// Re-root reuse: after a *yes* at a node that was a member of the
+    /// still-valid heavy cone, derive the new root's frontier from the
+    /// existing one in **O(dropped region)** instead of re-running the
+    /// pruned BFS over the whole surviving cone. The walk starts at the old
+    /// root and descends only through cone members *outside* `G_root`
+    /// (descendants of a survivor are survivors, so pruning at the `G_root`
+    /// mask is exact), clearing their tags; boundary children met along the
+    /// way are re-qualified against the surviving cone. List entries are
+    /// not touched here — the dropped tags make them stale, and the next
+    /// `select` scan compacts stale entries out as it passes (the lists are
+    /// *consistent garbage*: every reader is tag-checked).
+    ///
+    /// Returns `false` (caller rebuilds) when the frontier is invalid, the
+    /// new root was not a cone member, or — on non-tree hierarchies — the
+    /// reach backend has no materialised row (without one the mask itself
+    /// would cost a DFS over `G_root` — more than the rebuild it replaces).
+    /// On **trees** no mask is needed at all: a dropped node's children
+    /// reach the root only through their unique (dropped) parent, so every
+    /// child of the dropped region is itself outside `G_root` — except the
+    /// walk's one entry into the new root, whose tag is pre-cleared. Tree
+    /// re-roots therefore skip the membership probes *and* the boundary
+    /// re-qualification pass, and run under every reach backend.
+    ///
+    /// Exactness (every claim backed by `w̃`-monotonicity over the
+    /// ancestor-closed alive set, and proven wholesale by the differential
+    /// suite):
+    /// * modes agree — a cone member's score is pinned strictly positive in
+    ///   weight mode and zero-total in count mode, so `fr_count_mode` never
+    ///   disagrees with the new root's mode;
+    /// * the new total `w̃(root)` is ≤ the old one, so old cone members in
+    ///   `G_root` are still heavy and cone membership stays the same local
+    ///   predicate the BFS applies — old cone ∩ `G_root` minus the root is
+    ///   exactly the surviving cone. The walk unreaches exactly its
+    ///   complement: dead subtrees are skipped (dead tags are already
+    ///   stale to every reader), and alive dropped members are all
+    ///   reachable from the old root through alive dropped members (alive
+    ///   is ancestor-closed; an alive path into `G_root` never leaves it);
+    /// * an old boundary member survives iff the BFS from the new root
+    ///   would discover it: some parent is the root or in the new cone (a
+    ///   boundary node whose in-mask parents are all light sits below the
+    ///   pruning line and must drop, even though it is in `G_root`). The
+    ///   re-qualification tests this as `fr_state[p] == FR_CONE` after the
+    ///   walk — exact because a qualifying parent not yet tagged (heavy
+    ///   only under the new total) re-adds the dropped member when the
+    ///   scan's promotion cascade reaches it;
+    /// * nodes the old frontier never discovered (below the old pruning
+    ///   line, heavy only under the new total) enter through the ordinary
+    ///   promotion cascade of the incremental `select` scan, exactly as a
+    ///   BFS would reach them — their ancestors in `G_root` are heavy too,
+    ///   so the promotion chain never stalls.
+    fn try_reroot(&mut self, ctx: &SearchContext<'_>, count_mode: bool) -> bool {
+        let r = self.root;
+        if !self.fr_valid || self.fr_root == r || self.fr_state[r.index()] != FR_CONE {
+            return false;
+        }
+        let mask = if self.tree {
+            None
+        } else {
+            match ctx.reach.and_then(|ix| ix.stored_mask(r)) {
+                Some(m) => Some(m),
+                None => return false,
+            }
+        };
+        debug_assert!(self.alive.contains(r));
+        debug_assert_eq!(
+            self.fr_count_mode, count_mode,
+            "cone membership pins the balancing mode"
+        );
+        self.frame_guard();
+        // The new root stops being a member of its own frontier.
+        self.fr_state[r.index()] = FR_OUT;
+        // The FR_CONE → FR_OUT transition doubles as the visited marker (it
+        // fires once per node), so the walk needs no `VisitedSet` and no
+        // alive checks: dead cone-tagged regions are cleared like live ones
+        // (their entries were already invisible to the scan, and the
+        // re-root step is lossy, so no undo ever relies on them), and a
+        // boundary child pushed twice through diamond parents is merely
+        // re-qualified idempotently.
+        self.queue.clear();
+        self.queue.push_back(self.fr_root);
+        while let Some(u) = self.queue.pop_front() {
+            for &c in ctx.dag.children(u) {
+                match self.fr_state[c.index()] {
+                    FR_CONE if mask.is_none_or(|m| !m.contains(c)) => {
+                        self.fr_state[c.index()] = FR_OUT;
+                        self.queue.push_back(c);
+                    }
+                    FR_BOUNDARY => match mask {
+                        Some(_) => self.requal.push(c),
+                        // Tree: the unique parent chain is dropped, so the
+                        // boundary child is outside `G_root` unconditionally.
+                        None => self.fr_state[c.index()] = FR_OUT,
+                    },
+                    _ => {}
+                }
+            }
+        }
+        if let Some(mask) = mask {
+            for i in 0..self.requal.len() {
+                let b = self.requal[i];
+                let keep = mask.contains(b)
+                    && ctx
+                        .dag
+                        .parents(b)
+                        .iter()
+                        .any(|&p| p == r || self.fr_state[p.index()] == FR_CONE);
+                if !keep {
+                    self.fr_state[b.index()] = FR_OUT;
+                }
+            }
+            self.requal.clear();
+        }
+        self.fr_root = r;
+        self.fr_count_mode = count_mode;
+        true
+    }
+
+    /// Materialises a deferred *no* answer: collects the doomed subgraph,
+    /// repairs the remaining alive ancestors (the root was repaired eagerly
+    /// at `observe` time and is skipped here — its eager value *is* the
+    /// exact post-repair value on either delta or absolute emission), clears
+    /// the alive bits word-granularly and runs the frontier invalidation
+    /// checks. Everything journals into the step that recorded the answer,
+    /// which is still on top — `observe` and `select` call this before
+    /// touching anything else.
+    fn flush_doom(&mut self, ctx: &SearchContext<'_>) {
+        let Some(q) = self.pending_doom.take() else {
+            return;
+        };
+        debug_assert!(!self.journal.is_empty(), "pending doom has an open step");
+        // Collect the doomed subgraph D = alive ∩ G_q into reusable scratch.
+        self.deleted.clear();
+        self.visited.clear();
+        self.queue.clear();
+        debug_assert!(self.alive.contains(q));
+        self.visited.insert(q);
+        self.queue.push_back(q);
+        while let Some(u) = self.queue.pop_front() {
+            self.deleted.push(u);
+            for &c in ctx.dag.children(u) {
+                if self.alive.contains(c) && self.visited.insert(c) {
+                    self.queue.push_back(c);
+                }
+            }
+        }
+        // AdjustWeight (Alg. 7), aggregated: one repair per alive non-doomed
+        // ancestor, each journalling the ancestor's old `w̃`/`ñ` before the
+        // single subtraction. Doomed nodes keep their last alive aggregates
+        // (nothing reads a dead node, and undo revives bit-exactly), so the
+        // journal carries O(|ancestors|) entries instead of one per
+        // (ancestor, doomed) pair.
+        let index = ctx.reach.unwrap_or(&ReachIndex::Bfs);
+        self.touched_cone.clear();
+        {
+            let journal = &mut self.journal;
+            let wt = &mut self.wt;
+            let cnt = &mut self.cnt;
+            let fr_state = &self.fr_state;
+            let touched = &mut self.touched_cone;
+            let watch = self.fr_valid && self.fr_root == self.root;
+            let skip = self.root;
+            index.doomed_contributions(
+                ctx.dag,
+                &self.deleted,
+                &self.alive,
+                &self.w,
+                &mut self.reach,
+                |p, wv, cv, absolute| {
+                    if p == skip {
+                        return;
+                    }
+                    journal.log_u64(p.index(), wt[p.index()]);
+                    journal.log_u32(p.index(), cnt[p.index()]);
+                    if absolute {
+                        wt[p.index()] = wv;
+                        cnt[p.index()] = cv;
+                    } else {
+                        wt[p.index()] -= wv;
+                        cnt[p.index()] -= cv;
+                    }
+                    if watch && fr_state[p.index()] == FR_CONE {
+                        touched.push(p);
+                    }
+                },
+            );
+        }
+        // The nodes die: word-granular alive clears (one journalled word
+        // per 64 ids). Frontier tags of dead nodes go stale on purpose —
+        // scans check `alive` first, and frames restore tags wholesale.
+        self.word_mark.clear();
+        for &d in &self.deleted {
+            let word = d.index() >> 6;
+            if self.word_mark.insert(NodeId::new(word)) {
+                self.journal.log_word(word, self.alive.word(word));
+            }
+            self.alive.remove(d);
+        }
+        // Frontier bookkeeping: the two non-local events — the count-mode
+        // fallback flipping (the alive rounded weight hit zero) and a
+        // repaired cone member falling light — invalidate the frontier;
+        // the next `select` rebuilds it from scratch. A doom landing while
+        // the frontier still describes an *earlier* root also invalidates:
+        // the retained member scores are now stale, so re-root reuse would
+        // diverge from the pruned BFS (`fr_valid` lives in the step payload,
+        // so undo restores it exactly).
+        if self.fr_valid {
+            if self.fr_root != self.root {
+                self.fr_valid = false;
+            } else {
+                let new_mode = self.wt[self.root.index()] == 0;
+                if new_mode != self.fr_count_mode {
+                    self.fr_valid = false;
+                } else {
+                    let total = self.score(new_mode, self.root);
+                    for i in 0..self.touched_cone.len() {
+                        let p = self.touched_cone[i];
+                        if 2 * self.score(new_mode, p) <= total {
+                            self.fr_valid = false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Repairs moved `wt`/`cnt` under surviving list members; their
+        // cached scores refresh at the next scan.
+        self.fr_rescore = true;
     }
 }
 
@@ -452,6 +828,10 @@ impl Policy for GreedyDagPolicy {
         }
         self.root = ctx.dag.root();
         self.journal.clear();
+        self.pending_doom = None;
+        self.fr_tainted = false;
+        self.fr_rescore = false;
+        self.tree = ctx.dag.is_tree();
         self.base_token = ctx.cache_token;
         self.fr_valid = false;
         self.fr_root = NodeId::SENTINEL;
@@ -477,6 +857,7 @@ impl Policy for GreedyDagPolicy {
     }
 
     fn select(&mut self, ctx: &SearchContext<'_>) -> NodeId {
+        self.flush_doom(ctx);
         debug_assert!(self.resolved().is_none());
         let r = self.root;
         // When every alive candidate has zero rounded weight (forced
@@ -484,9 +865,11 @@ impl Policy for GreedyDagPolicy {
         // search stays logarithmic.
         let count_mode = self.wt[r.index()] == 0;
         let total = self.score(count_mode, r);
-        if self.reference
-            || !(self.fr_valid && self.fr_root == r && self.fr_count_mode == count_mode)
-        {
+        if self.reference {
+            return self.rebuild_frontier(ctx, count_mode, total);
+        }
+        let fr_exact = self.fr_valid && self.fr_root == r && self.fr_count_mode == count_mode;
+        if !fr_exact && !self.try_reroot(ctx, count_mode) {
             return self.rebuild_frontier(ctx, count_mode, total);
         }
 
@@ -495,7 +878,11 @@ impl Policy for GreedyDagPolicy {
         // and only upwards (boundary → cone), because unrepaired scores are
         // unchanged and repaired cone members were demotion-checked in
         // `observe`. Scan the flat lists, promoting and expanding as the
-        // pruned BFS would discover.
+        // pruned BFS would discover. Entries whose tag moved on (re-root
+        // drops, promoted duplicates, wholesale clears) are compacted out
+        // as the scan passes — dropping an invisible entry is semantically
+        // free, so this needs no frame. Dead entries with matching tags
+        // stay: an undo can revive them.
         let mut best: Option<(u64, NodeId)> = None;
         let consider = |s: u64, c: NodeId, best: &mut Option<(u64, NodeId)>| {
             let balance = (2 * s).abs_diff(total);
@@ -507,140 +894,118 @@ impl Policy for GreedyDagPolicy {
                 *best = Some((balance, c));
             }
         };
+        // When `fr_rescore` is armed (a flushed repair or a journal pop may
+        // have moved `wt`/`cnt`), refresh each kept entry's cached score —
+        // that pass is exactly the per-entry gather the scan always paid
+        // before caching. Otherwise the cached pairs are exact and the scan
+        // is a sequential compare.
+        let rescore = self.fr_rescore;
+        let mut j = 0;
         for i in 0..self.cone.len() {
-            let v = self.cone[i];
-            if !self.alive.contains(v) {
+            let (v, mut s) = self.cone[i];
+            if self.fr_state[v.index()] != FR_CONE {
                 continue;
             }
-            let s = self.score(count_mode, v);
+            let live = self.alive.contains(v);
+            if rescore && live {
+                s = self.score(count_mode, v);
+            }
+            self.cone[j] = (v, s);
+            j += 1;
+            if !live {
+                continue;
+            }
+            debug_assert_eq!(s, self.score(count_mode, v), "stale cached cone score");
             debug_assert!(2 * s > total, "cone member fell light without a rebuild");
             consider(s, v, &mut best);
         }
+        self.cone.truncate(j);
+        let mut j = 0;
         let mut i = 0;
         while i < self.boundary.len() {
-            let b = self.boundary[i];
+            let (b, mut s) = self.boundary[i];
             i += 1;
-            if !self.alive.contains(b) || self.fr_state[b.index()] != FR_BOUNDARY {
+            if self.fr_state[b.index()] != FR_BOUNDARY {
                 continue;
             }
-            let s = self.score(count_mode, b);
+            if !self.alive.contains(b) {
+                self.boundary[j] = (b, s);
+                j += 1;
+                continue;
+            }
+            if rescore {
+                s = self.score(count_mode, b);
+            }
+            debug_assert_eq!(s, self.score(count_mode, b), "stale cached boundary score");
             consider(s, b, &mut best);
             if 2 * s > total {
                 // Promotion: b joins the cone; its alive children join the
                 // boundary and are evaluated by this very loop, cascading
-                // exactly like the pruned BFS expansion.
+                // exactly like the pruned BFS expansion. (A member the
+                // re-root walk dropped for want of a tagged parent
+                // re-enters here once that parent is promoted.)
                 self.frame_guard();
                 self.fr_state[b.index()] = FR_CONE;
-                self.cone.push(b);
+                self.cone.push((b, s));
                 for &c in ctx.dag.children(b) {
                     if self.alive.contains(c) && self.fr_state[c.index()] == FR_OUT {
                         self.fr_state[c.index()] = FR_BOUNDARY;
-                        self.boundary.push(c);
+                        self.boundary.push((c, self.score(count_mode, c)));
                     }
                 }
+            } else {
+                self.boundary[j] = (b, s);
+                j += 1;
             }
         }
+        self.boundary.truncate(j);
+        self.fr_rescore = false;
         best.expect("unresolved root has an alive child").1
     }
 
     fn observe(&mut self, ctx: &SearchContext<'_>, q: NodeId, yes: bool) {
+        self.flush_doom(ctx);
         self.journal.begin(DagStep {
             prev_root: self.root,
             fr_valid: self.fr_valid,
             fr_root: self.fr_root,
             fr_count_mode: self.fr_count_mode,
             frame_spilled: false,
+            frame_lossy: false,
+            tainted: self.fr_tainted,
             frame_cone_len: 0,
         });
+        // The new step's begin content is the live content by definition;
+        // whether *older* content is recoverable travels in the payload.
+        self.fr_tainted = false;
+        if !self.fr_valid {
+            // The frontier is already invalid, so this step's structural
+            // mutation is regenerated wholesale by the next rebuild — a
+            // spilled frame would be restored only to be thrown away.
+            self.journal.mark_frame_doomed();
+        }
         if yes {
             // Re-root: the frontier arrays still describe the old root; the
-            // next `select` sees `fr_root != root` and rebuilds onto the
-            // sub-frontier below `q`.
+            // next `select` re-roots onto the surviving sub-frontier (or
+            // rebuilds when `q` was not a cone member).
             self.root = q;
             return;
         }
-        // Collect the doomed subgraph D = alive ∩ G_q into reusable scratch.
-        self.deleted.clear();
-        self.visited.clear();
-        self.queue.clear();
+        // Defer the doomed-subgraph materialisation: an `unobserve` before
+        // the next `select`/`observe` annuls the answer entirely, and the
+        // undo_roundtrip hot loop is exactly that pattern. Only the root's
+        // aggregates are repaired eagerly — the root is a full ancestor of
+        // every doomed node (the alive set is ancestor-closed), so its exact
+        // post-repair value is one subtraction of `q`'s own aggregates —
+        // which keeps `resolved()` exact while the rest waits.
         debug_assert!(self.alive.contains(q));
-        self.visited.insert(q);
-        self.queue.push_back(q);
-        while let Some(u) = self.queue.pop_front() {
-            self.deleted.push(u);
-            for &c in ctx.dag.children(u) {
-                if self.alive.contains(c) && self.visited.insert(c) {
-                    self.queue.push_back(c);
-                }
-            }
-        }
-        // AdjustWeight (Alg. 7), aggregated: one repair per alive non-doomed
-        // ancestor, each journalling the ancestor's old `w̃`/`ñ` before the
-        // single subtraction. Doomed nodes keep their last alive aggregates
-        // (nothing reads a dead node, and undo revives bit-exactly), so the
-        // journal carries O(|ancestors|) entries instead of one per
-        // (ancestor, doomed) pair.
-        let index = ctx.reach.unwrap_or(&ReachIndex::Bfs);
-        self.touched_cone.clear();
-        {
-            let journal = &mut self.journal;
-            let wt = &mut self.wt;
-            let cnt = &mut self.cnt;
-            let fr_state = &self.fr_state;
-            let touched = &mut self.touched_cone;
-            let watch = self.fr_valid && self.fr_root == self.root;
-            index.doomed_contributions(
-                ctx.dag,
-                &self.deleted,
-                &self.alive,
-                &self.w,
-                &mut self.reach,
-                |p, wv, cv, absolute| {
-                    journal.log_u64(p.index(), wt[p.index()]);
-                    journal.log_u32(p.index(), cnt[p.index()]);
-                    if absolute {
-                        wt[p.index()] = wv;
-                        cnt[p.index()] = cv;
-                    } else {
-                        wt[p.index()] -= wv;
-                        cnt[p.index()] -= cv;
-                    }
-                    if watch && fr_state[p.index()] == FR_CONE {
-                        touched.push(p);
-                    }
-                },
-            );
-        }
-        // The nodes die: word-granular alive clears (one journalled word
-        // per 64 ids). Frontier tags of dead nodes go stale on purpose —
-        // scans check `alive` first, and frames restore tags wholesale.
-        self.word_mark.clear();
-        for &d in &self.deleted {
-            let word = d.index() >> 6;
-            if self.word_mark.insert(NodeId::new(word)) {
-                self.journal.log_word(word, self.alive.word(word));
-            }
-            self.alive.remove(d);
-        }
-        // Frontier bookkeeping: the two non-local events — the count-mode
-        // fallback flipping (the alive rounded weight hit zero) and a
-        // repaired cone member falling light — invalidate the frontier;
-        // the next `select` rebuilds it from scratch.
-        if self.fr_valid && self.fr_root == self.root {
-            let new_mode = self.wt[self.root.index()] == 0;
-            if new_mode != self.fr_count_mode {
-                self.fr_valid = false;
-            } else {
-                let total = self.score(new_mode, self.root);
-                for i in 0..self.touched_cone.len() {
-                    let p = self.touched_cone[i];
-                    if 2 * self.score(new_mode, p) <= total {
-                        self.fr_valid = false;
-                        break;
-                    }
-                }
-            }
-        }
+        debug_assert!(q != self.root, "a *no* at the root empties the space");
+        let (r, qi) = (self.root.index(), q.index());
+        self.journal.log_u64(r, self.wt[r]);
+        self.journal.log_u32(r, self.cnt[r]);
+        self.wt[r] -= self.wt[qi];
+        self.cnt[r] -= self.cnt[qi];
+        self.pending_doom = Some(q);
     }
 
     fn unobserve(&mut self, _ctx: &SearchContext<'_>) {
@@ -739,6 +1104,7 @@ mod tests {
         // Eliminate G_3 = {3, 4}: node 1 loses both, node 2 loses both,
         // root loses both.
         p.observe(&ctx, NodeId::new(3), false);
+        p.flush_pending(&ctx);
         assert_eq!(p.cnt[0], cnt0[0] - 2);
         assert_eq!(p.cnt[1], cnt0[1] - 2);
         assert_eq!(p.cnt[2], cnt0[2] - 2);
@@ -819,5 +1185,63 @@ mod tests {
         let snap = p.frontier_snapshot();
         assert_eq!(p.select(&ctx), NodeId::new(3));
         assert_eq!(p.frontier_snapshot(), snap);
+    }
+}
+
+#[cfg(test)]
+mod drill_probe {
+    use super::*;
+    use crate::{fresh_cache_token, NodeWeights, SearchContext};
+
+    fn yes_chain(depth: usize, fanout: usize, ratio: f64) -> (aigs_graph::Dag, NodeWeights) {
+        let n = depth + 1 + depth * fanout * 2;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut masses = vec![0.0f64; n];
+        let mut next = depth + 1;
+        let mut level_mass = 1.0f64;
+        for i in 0..depth {
+            edges.push((i as u32, (i + 1) as u32));
+            let share = (1.0 - ratio) * level_mass / (fanout + 1) as f64;
+            masses[i] = share;
+            for _ in 0..fanout {
+                let (l, m) = (next, next + 1);
+                next += 2;
+                edges.push((i as u32, l as u32));
+                edges.push((l as u32, m as u32));
+                masses[l] = share / 2.0;
+                masses[m] = share / 2.0;
+            }
+            level_mass *= ratio;
+        }
+        masses[depth] = level_mass;
+        let g = aigs_graph::dag_from_edges(n, &edges).unwrap();
+        let w = NodeWeights::from_masses(masses).unwrap();
+        (g, w)
+    }
+
+    /// The drill-down regression guard: answering *yes* at the root's heavy
+    /// chain child must keep the frontier live through the re-root walk on
+    /// every round — no backend needed, because the hierarchy is a tree.
+    /// If re-root reuse silently stops firing (e.g. the heavy child loses
+    /// its cone tag), the `yes_chain` bench quietly degrades into measuring
+    /// recording rebuilds; this test pins the mechanism itself.
+    #[test]
+    fn drill_uses_reroot() {
+        let (g, w) = yes_chain(16, 8, 0.8);
+        let token = fresh_cache_token();
+        let ctx = SearchContext::new(&g, &w).with_cache_token(token);
+        let mut p = GreedyDagPolicy::new();
+        p.reset(&ctx);
+        assert!(p.tree, "yes_chain is a tree");
+        for lvl in 1..=8usize {
+            let _ = p.select(&ctx);
+            assert!(p.fr_valid, "frontier fell invalid at level {lvl}");
+            assert_eq!(p.fr_root, p.root, "select left a stale frontier root");
+            assert!(
+                p.fr_state[NodeId::new(lvl).index()] == FR_CONE,
+                "heavy chain child lost its cone tag at level {lvl}"
+            );
+            p.observe(&ctx, NodeId::new(lvl), true);
+        }
     }
 }

@@ -55,6 +55,11 @@ struct Mark<S> {
     spill: u32,
     words: u32,
     frame: u32,
+    /// Rebuild-pending bit: the state a frame would snapshot is already
+    /// doomed (the undo of this step lands on it invalidated, so the next
+    /// read regenerates it from scratch anyway). While set,
+    /// [`StepJournal::log_frame`] is a no-op for this step.
+    frame_doomed: bool,
     payload: S,
 }
 
@@ -129,8 +134,27 @@ impl<S: Copy> StepJournal<S> {
             spill: self.spill.len() as u32,
             words: self.words.len() as u32,
             frame: self.frame.len() as u32,
+            frame_doomed: false,
             payload,
         });
+    }
+
+    /// Marks the most recent step's frame as **doomed**: whatever structure
+    /// a frame would snapshot is already invalid, so undoing this step lands
+    /// on state the next reader rebuilds from scratch regardless of content.
+    /// Subsequent [`StepJournal::log_frame`] calls for this step become
+    /// no-ops — the spill is pure waste, skip it.
+    pub fn mark_frame_doomed(&mut self) {
+        debug_assert!(!self.steps.is_empty(), "doomed mark outside a step");
+        if let Some(mark) = self.steps.last_mut() {
+            mark.frame_doomed = true;
+        }
+    }
+
+    /// True when the most recent step's frame is marked doomed (see
+    /// [`StepJournal::mark_frame_doomed`]); `false` on an empty journal.
+    pub fn frame_doomed(&self) -> bool {
+        self.steps.last().is_some_and(|m| m.frame_doomed)
     }
 
     /// Records the old value of a 64-bit slot about to change.
@@ -186,11 +210,18 @@ impl<S: Copy> StepJournal<S> {
     /// followed by its live boundary, with the split point in the step
     /// payload). At most one frame per step; replayed by
     /// [`StepJournal::pop_full`] *after* the entry logs, so frame-restored
-    /// structures may depend on the already-restored arrays.
-    pub fn log_frame(&mut self, frame: impl IntoIterator<Item = u32>) {
+    /// structures may depend on the already-restored arrays. A no-op (and
+    /// `false`) when the step's frame is marked doomed via
+    /// [`StepJournal::mark_frame_doomed`]; returns `true` when the frame was
+    /// actually stored.
+    pub fn log_frame(&mut self, frame: impl IntoIterator<Item = u32>) -> bool {
         debug_assert!(!self.steps.is_empty(), "frame outside a step");
         debug_assert!(!self.frame_pending(), "step already carries a frame");
+        if self.frame_doomed() {
+            return false;
+        }
         self.frame.extend(frame);
+        true
     }
 
     /// Stashes a node sequence (e.g. the heavy chain a `select` rebuild is
@@ -430,6 +461,34 @@ mod tests {
         assert_eq!(arr_at_frame, Some(77), "frame replays after entry logs");
         assert_eq!(seen, vec![(2, vec![]), (1, vec![4, 5, 6])]);
         assert!(j.is_empty());
+    }
+
+    #[test]
+    fn doomed_frames_are_skipped_per_step() {
+        let mut j: StepJournal<P> = StepJournal::new();
+        j.begin(P(1));
+        j.mark_frame_doomed();
+        assert!(j.frame_doomed());
+        assert!(!j.log_frame([1u32, 2, 3]), "doomed frame must be a no-op");
+        assert!(!j.frame_pending(), "nothing was stored");
+        // The bit is per step: a later step spills normally.
+        j.begin(P(2));
+        assert!(!j.frame_doomed(), "doomed bit does not leak across steps");
+        assert!(j.log_frame([9u32]));
+        assert!(j.frame_pending());
+        let mut frames = Vec::new();
+        while j
+            .pop_full(
+                |_, _| {},
+                |_, _| {},
+                |_| {},
+                |_, _| {},
+                |_| {},
+                |p, f| frames.push((p.0, f.to_vec())),
+            )
+            .is_some()
+        {}
+        assert_eq!(frames, vec![(2, vec![9]), (1, vec![])]);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 
 use aigs_core::policy::GreedyDagPolicy;
 use aigs_core::{fresh_cache_token, Policy, SearchContext, SessionStep, SessionStepper};
-use aigs_graph::{Dag, NodeId};
+use aigs_graph::{dag_from_edges, Dag, NodeId};
 use aigs_testutil::{
     assert_transcripts_equal, backends, dag_from_seed, drive_transcript, generic_prices,
     generic_weights, Transcript,
@@ -103,6 +103,7 @@ fn assert_state_matches_cold_rebuild(
     ctx: &SearchContext<'_>,
     label: &str,
 ) {
+    p.flush_pending(ctx);
     let (alive_ids, wt, cnt) = p.aggregates_snapshot();
     let n = ctx.dag.node_count();
     let mut alive = vec![false; n];
@@ -125,6 +126,83 @@ fn assert_state_matches_cold_rebuild(
             "{label}: boundary diverged from cold BFS"
         );
     }
+}
+
+/// A heavy chain of `depth` levels with `fanout` light two-node stubs
+/// hanging off every level. The chain child of level `i` carries a `ratio`
+/// fraction of the level's subtree mass, so for `ratio ∈ (1/√2, ~0.85)` the
+/// deepest heavy chain node is both the balance winner and a cone member —
+/// every *yes* along the chain re-roots onto a cone member, the exact shape
+/// the re-root reuse fast path serves.
+fn yes_chain(depth: usize, fanout: usize, ratio: f64) -> (Dag, aigs_core::NodeWeights) {
+    let n = depth + 1 + depth * fanout * 2;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut masses = vec![0.0f64; n];
+    let mut next = depth + 1;
+    let mut level_mass = 1.0f64;
+    for i in 0..depth {
+        edges.push((i as u32, (i + 1) as u32));
+        let share = (1.0 - ratio) * level_mass / (fanout + 1) as f64;
+        masses[i] = share;
+        for _ in 0..fanout {
+            let (l, m) = (next, next + 1);
+            next += 2;
+            edges.push((i as u32, l as u32));
+            edges.push((l as u32, m as u32));
+            masses[l] = share / 2.0;
+            masses[m] = share / 2.0;
+        }
+        level_mass *= ratio;
+    }
+    masses[depth] = level_mass;
+    let g = dag_from_edges(n, &edges).unwrap();
+    let w = aigs_core::NodeWeights::from_masses(masses).unwrap();
+    (g, w)
+}
+
+/// Test-side replay of an answer prefix: the surviving root and alive set,
+/// computed by brute force, independent of any policy bookkeeping.
+fn replay_alive(g: &Dag, prefix: &[(NodeId, bool)]) -> (NodeId, Vec<bool>) {
+    let mut alive = vec![true; g.node_count()];
+    let mut root = g.root();
+    for &(q, ans) in prefix {
+        if ans {
+            root = q;
+        } else if alive[q.index()] {
+            alive[q.index()] = false;
+            let mut stack = vec![q];
+            while let Some(u) = stack.pop() {
+                for &c in g.children(u) {
+                    if alive[c.index()] {
+                        alive[c.index()] = false;
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+    (root, alive)
+}
+
+/// |alive ∩ G_root| computed test-side — `resolved()` must say `Some(root)`
+/// exactly when this is 1.
+fn alive_cone_count(g: &Dag, root: NodeId, alive: &[bool]) -> usize {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![root];
+    seen[root.index()] = true;
+    let mut count = 0;
+    while let Some(u) = stack.pop() {
+        if alive[u.index()] {
+            count += 1;
+        }
+        for &c in g.children(u) {
+            if alive[c.index()] && !seen[c.index()] {
+                seen[c.index()] = true;
+                stack.push(c);
+            }
+        }
+    }
+    count
 }
 
 proptest! {
@@ -305,6 +383,198 @@ proptest! {
             assert_transcripts_equal(&want_t, &got_t, &label);
         }
     }
+
+    /// Deep yes-chain differential: ≥32 consecutive re-roots down a heavy
+    /// chain (the shape where PR 5's incremental select *lost* to the
+    /// from-scratch oracle). Transcripts must stay bit-identical to
+    /// `reference()` on every backend — the closure backend takes the
+    /// re-root reuse fast path, the others the rebuild fallback — and the
+    /// final aggregates must match a cold rebuild.
+    #[test]
+    fn deep_yes_chain_incremental_equals_scratch(
+        depth in 32usize..44,
+        fanout in 1usize..3,
+        ratio_pct in 72u32..84,
+        stub_salt in 0usize..1000,
+    ) {
+        let (g, weights) = yes_chain(depth, fanout, ratio_pct as f64 / 100.0);
+        // Two targets: the deepest chain node (all-yes chain) and a stub
+        // leaf partway down (yes-chain prefix, then a no and a sideways
+        // resolution).
+        let stub_leaf = NodeId::new(depth + 2 + 2 * (stub_salt % (depth * fanout)));
+        for (backend_name, index) in backends(&g, depth as u64) {
+            let base = SearchContext::new(&g, &weights);
+            let ctx = match &index {
+                Some(ix) => base.with_reach(ix),
+                None => base,
+            };
+            let mut fast = GreedyDagPolicy::new();
+            let mut oracle = GreedyDagPolicy::reference();
+            for target in [NodeId::new(depth), stub_leaf] {
+                let label = format!("backend {backend_name}, yes-chain target {target}");
+                let (want_t, want) =
+                    drive_transcript(&mut oracle, &ctx, target, &format!("scratch: {label}"));
+                let (got_t, got) =
+                    drive_transcript(&mut fast, &ctx, target, &format!("incremental: {label}"));
+                assert_transcripts_equal(&want_t, &got_t, &label);
+                prop_assert_eq!(got.queries, want.queries, "{}", &label);
+                if target == NodeId::new(depth) {
+                    let yes_count = want_t.iter().filter(|&&(_, a)| a).count();
+                    prop_assert!(
+                        yes_count >= depth / 4,
+                        "chain target must exercise repeated re-roots, got {} yes answers: {}",
+                        yes_count,
+                        &label
+                    );
+                }
+                assert_state_matches_cold_rebuild(&mut fast, &ctx, &label);
+            }
+        }
+    }
+
+    /// Pending-doom / doomed-frame interleaving fuzz, deliberately *without*
+    /// per-op flushing: blind observes (no `select` in between) stack a
+    /// deferred *no* on top of possibly-invalid frontiers, undos annul the
+    /// deferral through the O(1) path, token resets unwind across it, and
+    /// `resolved()` — served by the eager root repair alone — must agree
+    /// with a brute-force replay after every single op. Final state is
+    /// bit-checked against cold rebuilds and the from-scratch reference.
+    #[test]
+    fn pending_doom_interleaving_fuzz_without_flush(
+        n in 3usize..20,
+        frac in 0.05f64..0.4,
+        seed in 0u64..10_000,
+        witness_raw in 0u32..100,
+        // 0-1 advance, 2-3 blind observe (no select first), 4-5 undo,
+        // 6 reset, 7 advance
+        script in prop::collection::vec(0u8..8, 1..36),
+    ) {
+        let g = dag_from_seed(n, frac, seed);
+        let nn = g.node_count();
+        let weights = generic_weights(nn, seed);
+        let token = fresh_cache_token();
+        let witness = NodeId::new(witness_raw as usize % nn);
+        for (backend_name, index) in backends(&g, seed) {
+            let base = SearchContext::new(&g, &weights).with_cache_token(token);
+            let ctx = match &index {
+                Some(ix) => base.with_reach(ix),
+                None => base,
+            };
+            let mut p = GreedyDagPolicy::new();
+            p.reset(&ctx);
+            let mut prefix: Vec<(NodeId, bool)> = Vec::new();
+            for (op_no, &op) in script.iter().enumerate() {
+                let label = format!("backend {backend_name}, op {op_no}");
+                match op {
+                    4 | 5 if !prefix.is_empty() => {
+                        p.unobserve(&ctx);
+                        prefix.pop();
+                    }
+                    6 => {
+                        p.reset(&ctx);
+                        prefix.clear();
+                    }
+                    2 | 3 => {
+                        // Blind observe: an alive non-root node under the
+                        // current root, answered honestly, *without* the
+                        // flushing `select` an ordinary advance performs.
+                        let (root, alive) = replay_alive(&g, &prefix);
+                        let pick = (0..nn)
+                            .map(|k| NodeId::new((k + op_no + seed as usize) % nn))
+                            .find(|&q| {
+                                alive[q.index()] && q != root && g.reaches(root, q)
+                            });
+                        if let Some(q) = pick {
+                            let ans = g.reaches(q, witness);
+                            p.observe(&ctx, q, ans);
+                            prefix.push((q, ans));
+                        }
+                    }
+                    _ => {
+                        if p.resolved().is_none() {
+                            let q = p.select(&ctx);
+                            let ans = g.reaches(q, witness);
+                            p.observe(&ctx, q, ans);
+                            prefix.push((q, ans));
+                        }
+                    }
+                }
+                // `resolved()` runs off the eagerly repaired root aggregates
+                // while the rest of the doom is still deferred.
+                let (root, alive) = replay_alive(&g, &prefix);
+                let want_resolved =
+                    (alive_cone_count(&g, root, &alive) == 1).then_some(root);
+                prop_assert_eq!(p.resolved(), want_resolved, "{}", &label);
+            }
+            let label = format!("backend {backend_name}, final");
+            assert_state_matches_cold_rebuild(&mut p, &ctx, &label);
+            let mut oracle = GreedyDagPolicy::reference();
+            oracle.reset(&ctx);
+            for &(q, ans) in &prefix {
+                oracle.observe(&ctx, q, ans);
+            }
+            prop_assert_eq!(oracle.resolved(), p.resolved(), "{}", &label);
+            if p.resolved().is_none() {
+                prop_assert_eq!(
+                    p.select(&ctx),
+                    oracle.select(&ctx),
+                    "next question diverged: {}",
+                    &label
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic split of the two *yes* re-root shapes: a cone member (the
+/// closure backend serves it from the retained sub-frontier) and a light
+/// boundary outsider (every backend falls back to the pruned-BFS rebuild).
+/// Both must land bit-equal to cold rebuilds; the deferral hooks are
+/// checked explicitly along the way.
+#[test]
+fn reroot_cone_member_vs_non_member_is_differential_clean() {
+    let (g, weights) = yes_chain(8, 2, 0.75);
+    for (backend_name, index) in backends(&g, 5) {
+        let base = SearchContext::new(&g, &weights);
+        let ctx = match &index {
+            Some(ix) => base.with_reach(ix),
+            None => base,
+        };
+        let label = format!("re-root shapes under {backend_name}");
+        let mut p = GreedyDagPolicy::new();
+        p.reset(&ctx);
+        let q = p.select(&ctx);
+        let (cone, _) = p.frontier_snapshot();
+        assert!(
+            cone.contains(&q.0),
+            "{label}: the chain balance winner sits in the heavy cone"
+        );
+        p.observe(&ctx, q, true);
+        assert!(!p.doom_pending(), "{label}: a yes defers nothing");
+        assert_state_matches_cold_rebuild(&mut p, &ctx, &format!("{label}, cone member"));
+        // The helper left a live frontier for the new root; now re-root to
+        // a light stub child — never a cone member.
+        let stub = *g
+            .children(q)
+            .iter()
+            .find(|c| c.index() > 8)
+            .expect("chain levels carry stubs");
+        let (cone, boundary) = p.frontier_snapshot();
+        assert!(!cone.contains(&stub.0), "{label}: stub must not be heavy");
+        assert!(
+            boundary.contains(&stub.0),
+            "{label}: stub sits on the boundary"
+        );
+        p.observe(&ctx, stub, true);
+        assert_state_matches_cold_rebuild(&mut p, &ctx, &format!("{label}, outsider"));
+        // And a *no* right after: the deferral must engage and undo in O(1).
+        let q2 = p.select(&ctx);
+        p.observe(&ctx, q2, false);
+        assert!(p.doom_pending(), "{label}: a no defers the doomed walk");
+        p.unobserve(&ctx);
+        assert!(!p.doom_pending(), "{label}: undo annuls the deferral");
+        assert_state_matches_cold_rebuild(&mut p, &ctx, &format!("{label}, undone no"));
+    }
 }
 
 fn witnessed_target(seed: u64, n: usize) -> usize {
@@ -346,6 +616,7 @@ fn count_mode_flip_mid_session_is_differential_clean() {
         for (i, &(q, ans)) in want_t.iter().enumerate() {
             assert_eq!(p.select(&ctx), q, "{label}: replay diverged");
             p.observe(&ctx, q, ans);
+            p.flush_pending(&ctx);
             let (_, wt, _) = p.aggregates_snapshot();
             if p.resolved().is_none() && wt[p.debug_root().index()] == 0 {
                 flipped_at = Some(i);

@@ -123,6 +123,10 @@ impl PlanSpec {
 ///
 /// `Arc<PlanEntry>` is held by every live session on the plan, so artifacts
 /// stay alive exactly as long as something uses them.
+/// State of one lazily built warm prototype: `None` = not yet attempted,
+/// `Some(None)` = warm-up failed (cached), `Some(Some(p))` = ready.
+type WarmSlot = Option<Option<Box<dyn Policy + Send>>>;
+
 pub(crate) struct PlanEntry {
     dag: Arc<Dag>,
     weights: Arc<NodeWeights>,
@@ -141,6 +145,15 @@ pub(crate) struct PlanEntry {
     /// per-instance caches (closures, Euler views, base arrays).
     pools: [Mutex<Vec<Box<dyn Policy + Send>>>; POOLED_KINDS],
     pool_cap: usize,
+    /// Lazily built warm *prototype* per poolable kind: an instance that
+    /// was reset under the plan's context and pre-selected once, so its
+    /// base candidate state (and, for frontier-caching policies, the base
+    /// frontier) is already computed. Pool misses clone this instead of
+    /// cold-building, turning an open-burst cold start from an O(n)
+    /// rebuild into a memcpy of warm state. `None` = not yet attempted,
+    /// `Some(None)` = the warm-up failed/panicked (cached — such kinds
+    /// cold-build forever), `Some(Some(p))` = ready to clone.
+    warm: [Mutex<WarmSlot>; POOLED_KINDS],
     /// The spec's compiled-tier opt-in, kept for WAL re-encoding and as
     /// the config the lazy compiles below use (falling back to the
     /// engine-wide default when `None`).
@@ -185,6 +198,7 @@ impl PlanEntry {
             cache_token: fresh_cache_token(),
             pools: std::array::from_fn(|_| Mutex::new(Vec::new())),
             pool_cap,
+            warm: std::array::from_fn(|_| Mutex::new(None)),
             compiled_cfg: spec.compiled,
             compiled: std::array::from_fn(|_| OnceLock::new()),
             telemetry: PlanTelemetry::new(),
@@ -260,14 +274,51 @@ impl PlanEntry {
     }
 
     /// A policy instance for `kind`: a warm pooled one when available
-    /// (`true` = pool hit), else a fresh build.
+    /// (`true` = pool hit), else a clone of the plan's warm prototype,
+    /// else a fresh cold build. Prototype clones report `false` — the
+    /// `pool_hits` counter stays a measure of genuine instance reuse —
+    /// but they still skip the O(n) base rebuild a cold start pays: the
+    /// clone carries the prototype's reset state (under the plan's cache
+    /// token, so the session's own reset is an O(1) token match) plus
+    /// whatever the pre-select computed.
     pub(crate) fn acquire(&self, kind: PolicyKind) -> (Box<dyn Policy + Send>, bool) {
         if let Some(i) = kind.pool_index() {
             if let Some(p) = self.pools[i].lock().expect("pool poisoned").pop() {
                 return (p, true);
             }
+            if let Some(p) = self.warm_clone(kind, i) {
+                return (p, false);
+            }
         }
         (kind.build(), false)
+    }
+
+    /// Clones the warm prototype for pool slot `i`, building it on first
+    /// use: `kind.build()` + reset under the plan context + one
+    /// pre-`select` (skipped when the plan resolves immediately) so the
+    /// instance's lazily-computed base state is materialised before it is
+    /// ever cloned. A warm-up that errors or panics is cached as absent —
+    /// the kind falls back to cold builds without retrying per open. The
+    /// slot lock is held across `clone_box`, serialising concurrent
+    /// cold-start bursts on the memcpy instead of letting each pay the
+    /// full rebuild.
+    fn warm_clone(&self, kind: PolicyKind, i: usize) -> Option<Box<dyn Policy + Send>> {
+        let mut slot = self.warm[i].lock().expect("warm slot poisoned");
+        let proto = slot.get_or_insert_with(|| {
+            let warmed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut p = kind.build();
+                p.try_reset(&self.ctx()).ok()?;
+                if p.resolved().is_none() {
+                    let _ = p.select(&self.ctx());
+                }
+                Some(p)
+            }));
+            match warmed {
+                Ok(Some(p)) => Some(p),
+                _ => None,
+            }
+        });
+        proto.as_ref().map(|p| p.clone_box())
     }
 
     /// Returns a healthy instance to its pool (dropped when the pool is at
@@ -384,6 +435,13 @@ impl PlanEntry {
         kind.pool_index()
             .map_or(0, |i| self.pools[i].lock().unwrap().len())
     }
+
+    /// Whether the warm prototype for `kind` has been built (test hook).
+    #[cfg(test)]
+    pub(crate) fn warm_ready(&self, kind: PolicyKind) -> bool {
+        kind.pool_index()
+            .is_some_and(|i| matches!(*self.warm[i].lock().unwrap(), Some(Some(_))))
+    }
 }
 
 impl std::fmt::Debug for PlanEntry {
@@ -476,6 +534,45 @@ mod tests {
         let r = PolicyKind::Random { seed: 1 };
         plan.release(r, r.build());
         assert_eq!(plan.pooled(r), 0);
+    }
+
+    #[test]
+    fn pool_miss_clones_warm_prototype() {
+        let plan = diamond_plan(ReachChoice::Auto);
+        let kind = PolicyKind::GreedyDag;
+        assert!(!plan.warm_ready(kind), "prototype is lazy");
+        let (_a, hit) = plan.acquire(kind);
+        assert!(!hit, "prototype clones are not pool hits");
+        assert!(plan.warm_ready(kind), "first miss builds the prototype");
+        // Random is unpoolable and never gets a prototype.
+        let r = PolicyKind::Random { seed: 1 };
+        let _ = plan.acquire(r);
+        assert!(!plan.warm_ready(r));
+    }
+
+    #[test]
+    fn warm_clone_matches_cold_build_transcripts() {
+        // A warm-cloned instance must be observationally identical to a
+        // freshly built one: drive both through every single-answer
+        // session on the diamond and compare selections.
+        let plan = diamond_plan(ReachChoice::Auto);
+        let ctx = plan.ctx();
+        for yes in [false, true] {
+            let (mut warm, _) = plan.acquire(PolicyKind::GreedyDag);
+            let mut cold = PolicyKind::GreedyDag.build();
+            warm.try_reset(&ctx).unwrap();
+            cold.try_reset(&ctx).unwrap();
+            for _ in 0..4 {
+                if warm.resolved().is_some() || cold.resolved().is_some() {
+                    assert_eq!(warm.resolved(), cold.resolved());
+                    break;
+                }
+                let (a, b) = (warm.select(&ctx), cold.select(&ctx));
+                assert_eq!(a, b, "warm clone diverged from cold build");
+                warm.observe(&ctx, a, yes);
+                cold.observe(&ctx, b, yes);
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! | `0x06` | STATS | *(empty)* |
 //! | `0x07` | METRICS | mode `u8` (0 = full, 1 = delta since this connection's last snapshot) |
 //! | `0x08` | SHARD_STATS | *(empty)* |
+//! | `0x09` | SLOW_OPS | *(empty)* |
 //!
 //! Kind tag/seed use the same stable code table as the WAL
 //! ([`crate::PolicyKind`] ↔ tag 0–8, seed meaningful only for
@@ -62,7 +63,14 @@
 //! UTF-8 degraded reason (empty when healthy); SHARD_STATS → shard count
 //! `u32`, then per shard: shard `u32` + 12 `u64` counters (live, opened,
 //! finished, cancelled, evicted, errored, panicked, steps, pool-hits,
-//! compiled-hits, compiled-fallbacks, wal-records); METRICS → an encoded
+//! compiled-hits, compiled-fallbacks, wal-records); SLOW_OPS → entry
+//! count `u32`, then per entry: shard `u32`, op index `u8`
+//! ([`crate::telemetry::OPS`] order), tier index `u8`
+//! ([`crate::telemetry::TIERS`] order), kind tag `u8` + kind seed `u64`
+//! (same code table as OPEN), duration `u64` (ns), at `u64` (logical
+//! clock) — the read *drains* the per-shard rings, so concurrent
+//! SLOW_OPS readers partition the records rather than duplicating them;
+//! METRICS → an encoded
 //! [`TelemetrySnapshot`] (see [`WireClient::metrics`]); in delta mode the
 //! server diffs against the previous snapshot taken *on this connection*
 //! (histograms and counters are since-last-call, predicted costs stay
@@ -80,6 +88,10 @@
 //! ([`SearchEngine::prometheus_text`]) with status 200, any other path
 //! returns 404, and the connection closes. This lets a stock Prometheus
 //! scraper (or `curl`) read the same port the binary protocol runs on.
+//! A request whose `Accept` header names `application/openmetrics-text`
+//! is answered with that media type (version 1.0.0) and the OpenMetrics
+//! `# EOF` terminator appended; all other requests get
+//! `text/plain; version=0.0.4`.
 //!
 //! ## Server shape
 //!
@@ -105,8 +117,8 @@ use aigs_graph::NodeId;
 use crate::durability::{kind_code, kind_from_code};
 use crate::engine::ShardStats;
 use crate::telemetry::{
-    HistSnapshot, PlanCostSnapshot, PlanKindCost, PredictedCost, TelemetrySnapshot, WalMetrics,
-    HIST_BUCKETS,
+    HistSnapshot, PlanCostSnapshot, PlanKindCost, PredictedCost, SlowOp, TelemetrySnapshot,
+    WalMetrics, HIST_BUCKETS, OPS, TIERS,
 };
 use crate::{EngineStats, PlanId, PolicyKind, SearchEngine, ServiceError, SessionId};
 
@@ -128,6 +140,7 @@ const OP_CANCEL: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_METRICS: u8 = 0x07;
 const OP_SHARD_STATS: u8 = 0x08;
+const OP_SLOW_OPS: u8 = 0x09;
 
 // Status codes.
 const ST_OK: u8 = 0x00;
@@ -665,6 +678,48 @@ impl WireClient {
         Ok(shards)
     }
 
+    /// Drains the engine's per-shard slow-op journals: operations whose
+    /// wall time crossed the `AIGS_SLOW_OP_NS` threshold, oldest first
+    /// per shard (the same records
+    /// [`SearchEngine::drain_slow_ops`](crate::SearchEngine::drain_slow_ops)
+    /// returns in-process). Draining is destructive — records read here
+    /// are gone from the rings, so point exactly one collector at this
+    /// op.
+    pub fn slow_ops(&mut self) -> Result<Vec<SlowOp>, WireError> {
+        let body = self.call(&[OP_SLOW_OPS])?;
+        let mut c = Cursor::new(&body);
+        let p = |r: Result<u64, String>| r.map_err(WireError::Protocol);
+        let count = c.u32().map_err(WireError::Protocol)?;
+        let mut ops = Vec::with_capacity(count.min(4096) as usize);
+        for _ in 0..count {
+            let shard = c.u32().map_err(WireError::Protocol)?;
+            let op_ix = c.u8().map_err(WireError::Protocol)? as usize;
+            let tier_ix = c.u8().map_err(WireError::Protocol)? as usize;
+            let code = KindCode {
+                tag: c.u8().map_err(WireError::Protocol)?,
+                seed: p(c.u64())?,
+            };
+            let duration_ns = p(c.u64())?;
+            let at = p(c.u64())?;
+            ops.push(SlowOp {
+                shard,
+                op: *OPS
+                    .get(op_ix)
+                    .ok_or_else(|| WireError::Protocol(format!("bad op index {op_ix}")))?,
+                tier: *TIERS
+                    .get(tier_ix)
+                    .ok_or_else(|| WireError::Protocol(format!("bad tier index {tier_ix}")))?,
+                kind: kind_from_code(code).ok_or_else(|| {
+                    WireError::Protocol(format!("unknown policy kind tag {}", code.tag))
+                })?,
+                duration_ns,
+                at,
+            });
+        }
+        c.done().map_err(WireError::Protocol)?;
+        Ok(ops)
+    }
+
     /// Fetches the engine's [`TelemetrySnapshot`]. With `delta = false`
     /// the snapshot is absolute (totals since engine start / recovery);
     /// with `delta = true` the server subtracts the previous snapshot
@@ -866,7 +921,8 @@ fn serve_connection(
 
 /// Serves one HTTP exchange on a connection whose first four bytes were
 /// `GET ` (already consumed): reads the rest of the request head, answers
-/// `/metrics` with the Prometheus exposition, everything else with 404.
+/// `/metrics` with the Prometheus exposition (negotiated to OpenMetrics
+/// when the `Accept` header asks for it), everything else with 404.
 fn serve_http(stream: &mut TcpStream, engine: &SearchEngine, stop: &AtomicBool) -> io::Result<()> {
     // Read until the end of the request head (bare GETs carry no body).
     // Cap the head at 8 KiB — more than any scraper sends.
@@ -882,13 +938,34 @@ fn serve_http(stream: &mut TcpStream, engine: &SearchEngine, stop: &AtomicBool) 
     // already consumed by the framing reader).
     let head = String::from_utf8_lossy(&head);
     let path = head.split_whitespace().next().unwrap_or("");
-    let (status, body) = if path == "/metrics" {
-        ("200 OK", engine.prometheus_text())
+    const PROM_TYPE: &str = "text/plain; version=0.0.4";
+    const OPENMETRICS_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    let (status, ctype, body) = if path == "/metrics" {
+        // Content negotiation: a scraper advertising OpenMetrics support
+        // (Prometheus sends `Accept: application/openmetrics-text` when
+        // configured for it) gets the exposition under the OpenMetrics
+        // media type with the spec's mandatory `# EOF` terminator;
+        // everyone else gets the classic 0.0.4 text format unchanged.
+        let openmetrics = head.lines().any(|line| {
+            line.split_once(':').is_some_and(|(name, value)| {
+                name.trim().eq_ignore_ascii_case("accept")
+                    && value
+                        .to_ascii_lowercase()
+                        .contains("application/openmetrics-text")
+            })
+        });
+        let mut body = engine.prometheus_text();
+        if openmetrics {
+            body.push_str("# EOF\n");
+            ("200 OK", OPENMETRICS_TYPE, body)
+        } else {
+            ("200 OK", PROM_TYPE, body)
+        }
     } else {
-        ("404 Not Found", String::from("not found\n"))
+        ("404 Not Found", PROM_TYPE, String::from("not found\n"))
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\ncontent-type: text/plain; version=0.0.4\r\n\
+        "HTTP/1.1 {status}\r\ncontent-type: {ctype}\r\n\
          content-length: {}\r\nconnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -1031,6 +1108,21 @@ fn decode_and_run(
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
+            }
+        }
+        OP_SLOW_OPS => {
+            c.done()?;
+            let ops = engine.drain_slow_ops();
+            out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for s in ops {
+                let code = kind_code(s.kind);
+                out.extend_from_slice(&s.shard.to_le_bytes());
+                out.push(s.op.index() as u8);
+                out.push(s.tier.index() as u8);
+                out.push(code.tag);
+                out.extend_from_slice(&code.seed.to_le_bytes());
+                out.extend_from_slice(&s.duration_ns.to_le_bytes());
+                out.extend_from_slice(&s.at.to_le_bytes());
             }
         }
         OP_METRICS => {

@@ -287,6 +287,51 @@ fn stats_shard_stats_and_metrics_over_wire() {
     server.shutdown();
 }
 
+/// SLOW_OPS drains the per-shard slow-op rings over the wire: with a 1 ns
+/// threshold every operation journals, entries decode to the in-process
+/// [`aigs_service::telemetry::SlowOp`] shape, and the drain is
+/// destructive.
+#[test]
+fn slow_ops_drain_over_wire() {
+    std::env::set_var("AIGS_SLOW_OP_NS", "1");
+    let engine = Arc::new(SearchEngine::new(EngineConfig {
+        shards: 2,
+        max_sessions: 64,
+        telemetry: Some(true),
+        ..EngineConfig::default()
+    }));
+    std::env::remove_var("AIGS_SLOW_OP_NS");
+    let dag = Arc::new(dag_from_seed(N, 0.3, SEED));
+    let weights = Arc::new(generic_weights(N, SEED));
+    let plan = engine
+        .register_plan(
+            aigs_service::PlanSpec::new(Arc::clone(&dag), weights).with_reach(env_reach_choice()),
+        )
+        .unwrap();
+    let server = WireServer::bind(Arc::clone(&engine), "127.0.0.1:0", 2).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    for v in dag.nodes().take(4) {
+        let id = client.open(plan, PolicyKind::GreedyDag).unwrap();
+        drive_wire(&mut client, id, &dag, v);
+    }
+
+    let slow = client.slow_ops().unwrap();
+    assert!(!slow.is_empty(), "1 ns threshold should flag everything");
+    for entry in &slow {
+        assert!((entry.shard as usize) < 2);
+        assert_eq!(entry.kind, PolicyKind::GreedyDag);
+        assert!(entry.duration_ns >= 1);
+    }
+    // Some entry must be a session step, not just opens.
+    assert!(slow
+        .iter()
+        .any(|e| matches!(e.op, aigs_service::telemetry::Op::Next)));
+    // Draining is destructive: a quiet engine has nothing new.
+    assert!(client.slow_ops().unwrap().is_empty());
+    server.shutdown();
+}
+
 /// Pointing a plain HTTP client at the wire port serves the Prometheus
 /// exposition on `/metrics` and a 404 elsewhere.
 #[test]
@@ -307,8 +352,30 @@ fn http_get_serves_prometheus_exposition() {
 
     let ok = http("GET /metrics HTTP/1.1\r\nhost: test\r\n\r\n");
     assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+    assert!(
+        ok.contains("content-type: text/plain; version=0.0.4"),
+        "{ok}"
+    );
     assert!(ok.contains("aigs_live_sessions"), "{ok}");
     assert!(ok.contains("aigs_ops_total{op=\"open\""), "{ok}");
+    assert!(
+        !ok.contains("# EOF"),
+        "classic format has no terminator: {ok}"
+    );
+
+    // An OpenMetrics-capable scraper negotiates the 1.0.0 media type and
+    // gets the spec's mandatory `# EOF` terminator.
+    let om = http(
+        "GET /metrics HTTP/1.1\r\nhost: test\r\n\
+         Accept: application/openmetrics-text; version=1.0.0\r\n\r\n",
+    );
+    assert!(om.starts_with("HTTP/1.1 200"), "{om}");
+    assert!(
+        om.contains("content-type: application/openmetrics-text; version=1.0.0; charset=utf-8"),
+        "{om}"
+    );
+    assert!(om.contains("aigs_live_sessions"), "{om}");
+    assert!(om.ends_with("# EOF\n"), "{om}");
 
     let missing = http("GET / HTTP/1.1\r\nhost: test\r\n\r\n");
     assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
